@@ -1,0 +1,51 @@
+# Development entry points. Everything is stdlib-only Go; no external
+# dependencies are fetched by any target.
+
+GO ?= go
+
+.PHONY: all build test race fuzz bench experiments validate examples fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every fuzz target (CI-sized; crank -fuzztime for a
+# real session).
+fuzz:
+	$(GO) test -fuzz FuzzTreapOps -fuzztime 10s ./internal/treap/
+	$(GO) test -fuzz FuzzMapOps -fuzztime 10s ./internal/btree/
+	$(GO) test -fuzz FuzzPersistence -fuzztime 10s ./internal/pstree/
+	$(GO) test -fuzz FuzzTreeOps -fuzztime 10s ./internal/interval/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the EXPERIMENTS.md tables (E1-E23).
+experiments:
+	$(GO) run ./cmd/topk-bench -seed 42
+
+validate:
+	$(GO) run ./cmd/topk-validate
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dating
+	$(GO) run ./examples/hotels
+	$(GO) run ./examples/geosearch
+	$(GO) run ./examples/analytics
+
+clean:
+	$(GO) clean ./...

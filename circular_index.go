@@ -1,0 +1,100 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/circular"
+	"topk/internal/core"
+	"topk/internal/em"
+	"topk/internal/halfspace"
+)
+
+// CircularIndex answers top-k circular range queries (the paper's
+// Corollary 1): given a center and radius, return the k heaviest points
+// within the ball. Internally the points are lifted to ℝ^(d+1) and served
+// by a halfspace structure (the standard lifting trick).
+type CircularIndex[T any] struct {
+	opts    Options
+	d       int
+	tracker *em.Tracker
+	topk    core.TopK[circular.Ball, halfspace.PtN]
+	pri     core.Prioritized[circular.Ball, halfspace.PtN]
+	data    map[float64]T
+	n       int
+}
+
+// NewCircularIndex builds a static index over d-dimensional items.
+func NewCircularIndex[T any](items []PointItemN[T], d int, opts ...Option) (*CircularIndex[T], error) {
+	if d < 1 {
+		return nil, fmt.Errorf("topk: dimension %d", d)
+	}
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[halfspace.PtN], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		if len(it.Coords) != d {
+			return nil, fmt.Errorf("topk: item %d has %d coordinates in dimension %d", i, len(it.Coords), d)
+		}
+		cores[i] = core.Item[halfspace.PtN]{Value: circular.Lift(it.Coords), Weight: it.Weight}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	t, err := buildTopK(cores, circular.Match,
+		circular.NewPrioritizedFactory(d, tracker),
+		circular.NewMaxFactory(d, tracker),
+		circular.Lambda(d), o, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &CircularIndex[T]{
+		opts: o, d: d, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *CircularIndex[T]) Len() int { return ix.n }
+
+// Dim returns the index dimension (of the original, unlifted points).
+func (ix *CircularIndex[T]) Dim() int { return ix.d }
+
+func (ix *CircularIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
+	return PointItemN[T]{Coords: circular.Unlift(it.Value), Weight: it.Weight, Data: ix.data[it.Weight]}
+}
+
+// TopK returns the k heaviest points within distance r of center,
+// heaviest first.
+func (ix *CircularIndex[T]) TopK(center []float64, r float64, k int) []PointItemN[T] {
+	res := ix.topk.TopK(circular.Ball{Center: center, R: r}, k)
+	out := make([]PointItemN[T], len(res))
+	for i, it := range res {
+		out[i] = ix.wrap(it)
+	}
+	return out
+}
+
+// ReportAbove streams every point within the ball with weight ≥ tau.
+func (ix *CircularIndex[T]) ReportAbove(center []float64, r, tau float64, visit func(PointItemN[T]) bool) {
+	ix.pri.ReportAbove(circular.Ball{Center: center, R: r}, tau, func(it core.Item[halfspace.PtN]) bool {
+		return visit(ix.wrap(it))
+	})
+}
+
+// Max returns the heaviest point within the ball (a top-1 query).
+func (ix *CircularIndex[T]) Max(center []float64, r float64) (PointItemN[T], bool) {
+	it, ok := maxOfTopK(ix.topk, circular.Ball{Center: center, R: r})
+	if !ok {
+		return PointItemN[T]{}, false
+	}
+	return ix.wrap(it), true
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *CircularIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters.
+func (ix *CircularIndex[T]) ResetStats() { ix.tracker.ResetCounters() }

@@ -1,0 +1,105 @@
+// Command topk-csv builds a top-k index over a CSV dataset and answers
+// queries from the command line — the "bring your own data" entry point.
+//
+// Dataset kinds and their formats (optional header, '#' comments,
+// optional trailing label column; weights must be distinct):
+//
+//	intervals  lo,hi,weight[,label]        query args: <stab point>
+//	points     pos,weight[,label]          query args: <lo> <hi>
+//	rects      x1,x2,y1,y2,weight[,label]  query args: <x> <y>
+//	points3d   x,y,z,weight[,label]        query args: <x> <y> <z>
+//
+// Example:
+//
+//	topk-csv -kind rects -file profiles.csv -k 10 29 168
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"topk"
+	"topk/internal/csvload"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "", "dataset kind: intervals|points|rects|points3d")
+		file = flag.String("file", "", "CSV file ('-' for stdin)")
+		k    = flag.Int("k", 10, "results per query")
+		red  = flag.String("reduction", "expected", "expected|worstcase|binarysearch|fullscan")
+		seed = flag.Uint64("seed", 1, "structure seed")
+	)
+	flag.Parse()
+	if *kind == "" || *file == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: topk-csv -kind KIND -file FILE [-k K] [-reduction R] <query args...>")
+		fmt.Fprintf(os.Stderr, "kinds: %v\n", csvload.Kinds())
+		os.Exit(2)
+	}
+
+	var r topk.Reduction
+	switch strings.ToLower(*red) {
+	case "expected":
+		r = topk.Expected
+	case "worstcase":
+		r = topk.WorstCase
+	case "binarysearch":
+		r = topk.BinarySearch
+	case "fullscan":
+		r = topk.FullScan
+	default:
+		fmt.Fprintf(os.Stderr, "topk-csv: unknown reduction %q\n", *red)
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topk-csv:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	ds, err := csvload.Read(in, csvload.Kind(*kind))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topk-csv:", err)
+		os.Exit(1)
+	}
+
+	args := make([]float64, flag.NArg())
+	for i, a := range flag.Args() {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topk-csv: query arg %q: %v\n", a, err)
+			os.Exit(2)
+		}
+		args[i] = v
+	}
+
+	start := time.Now()
+	res, err := ds.Query(args, *k, topk.WithReduction(r), topk.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topk-csv:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("# %d records, kind=%s, reduction=%v, query=%v, k=%d (build+query %v)\n",
+		ds.Len(), *kind, r, args, *k, elapsed.Round(time.Millisecond))
+	for i, row := range res {
+		label := row.Label
+		if label == "" {
+			label = "-"
+		}
+		fmt.Printf("%2d. weight=%-12g %-20s %s\n", i+1, row.Weight, label, row.Desc)
+	}
+	if len(res) == 0 {
+		fmt.Println("(no matches)")
+	}
+}

@@ -1,0 +1,108 @@
+// Command topk-validate runs high-trial-count empirical validations of the
+// paper's probabilistic lemmas (Lemmas 1–3), independent of the
+// experiment harness's default trial counts.
+//
+// Usage:
+//
+//	topk-validate -trials 200000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"topk/internal/core"
+	"topk/internal/wrand"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 100000, "trials per parameter cell")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+	g := wrand.New(*seed)
+	failures := 0
+
+	fmt.Printf("Lemma 1 (rank sampling), %d trials per cell\n", *trials)
+	fmt.Printf("%-10s %-8s %-8s %-8s %-12s %s\n", "n", "k", "p", "δ", "failure", "verdict")
+	for _, lp := range []core.Lemma1Params{
+		{N: 100000, K: 500, P: 0.05, Delta: 0.10},
+		{N: 100000, K: 1000, P: 0.03, Delta: 0.10},
+		{N: 200000, K: 5000, P: 0.01, Delta: 0.05},
+		{N: 400000, K: 20000, P: 0.002, Delta: 0.30},
+		{N: 1000000, K: 50000, P: 0.001, Delta: 0.20},
+	} {
+		if !lp.Applicable() {
+			fmt.Printf("%-10d %-8d %-8g %-8g %-12s cell outside lemma conditions\n", lp.N, lp.K, lp.P, lp.Delta, "-")
+			continue
+		}
+		fail := 0
+		for i := 0; i < *trials; i++ {
+			if !core.Lemma1Trial(g, lp) {
+				fail++
+			}
+		}
+		rate := float64(fail) / float64(*trials)
+		verdict := "ok"
+		if rate > lp.Delta {
+			verdict = "VIOLATED"
+			failures++
+		}
+		fmt.Printf("%-10d %-8d %-8g %-8g %-12.5f %s (bound %g)\n", lp.N, lp.K, lp.P, lp.Delta, rate, verdict, lp.Delta)
+	}
+
+	fmt.Printf("\nLemma 3 ((1/K)-sample max rank), %d trials per cell\n", *trials)
+	fmt.Printf("%-10s %-10s %-12s %s\n", "K", "n", "success", "verdict")
+	for _, k := range []float64{2, 8, 64, 512, 4096, 32768} {
+		n := int(16 * k)
+		succ := 0
+		for i := 0; i < *trials; i++ {
+			if core.Lemma3Trial(g, n, k) {
+				succ++
+			}
+		}
+		rate := float64(succ) / float64(*trials)
+		verdict := "ok"
+		if rate < 0.09 {
+			verdict = "VIOLATED"
+			failures++
+		}
+		fmt.Printf("%-10g %-10d %-12.5f %s (bound 0.09)\n", k, n, rate, verdict)
+	}
+
+	fmt.Printf("\nLemma 2 (core-set size), 50 draws per cell\n")
+	fmt.Printf("%-10s %-10s %-14s %-14s %s\n", "n", "K", "mean |R|", "bound", "verdict")
+	for _, n := range []int{1 << 14, 1 << 17, 1 << 20} {
+		k := float64(n) / 128
+		cp := core.CoreSetParams{N: n, K: k, Lambda: 2}
+		items := make([]core.Item[int], n)
+		for i := range items {
+			items[i].Weight = float64(i)
+		}
+		total := 0
+		const draws = 50
+		over := 0
+		for d := 0; d < draws; d++ {
+			r := core.CoreSet(g, items, cp)
+			total += len(r)
+			if float64(len(r)) > cp.MaxSize() {
+				over++
+			}
+		}
+		verdict := "ok"
+		if over > 0 {
+			verdict = "VIOLATED" // CoreSet resamples until within bound
+			failures++
+		}
+		fmt.Printf("%-10d %-10.0f %-14.0f %-14.0f %s\n", n, k, float64(total)/draws, math.Ceil(cp.MaxSize()), verdict)
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d bound violations\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall bounds hold")
+}

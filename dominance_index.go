@@ -1,0 +1,98 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/core"
+	"topk/internal/dominance"
+	"topk/internal/em"
+)
+
+// DominanceItem is one weighted point in ℝ³ with an arbitrary payload —
+// the paper's hotel example: (price, distance, 10−security) with rating
+// as the weight.
+type DominanceItem[T any] struct {
+	X, Y, Z float64
+	Weight  float64
+	Data    T
+}
+
+// DominanceIndex answers top-k 3D dominance queries (the paper's
+// Theorem 6): given a corner (x, y, z), return the k heaviest points p
+// with p.X ≤ x, p.Y ≤ y and p.Z ≤ z.
+type DominanceIndex[T any] struct {
+	opts    Options
+	tracker *em.Tracker
+	topk    core.TopK[dominance.Pt3, dominance.Pt3]
+	pri     core.Prioritized[dominance.Pt3, dominance.Pt3]
+	data    map[float64]T
+	n       int
+}
+
+// NewDominanceIndex builds a static index over items (weights distinct).
+func NewDominanceIndex[T any](items []DominanceItem[T], opts ...Option) (*DominanceIndex[T], error) {
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[dominance.Pt3], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		cores[i] = core.Item[dominance.Pt3]{Value: dominance.Pt3{X: it.X, Y: it.Y, Z: it.Z}, Weight: it.Weight}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	t, err := buildTopK(cores, dominance.Match,
+		dominance.NewPrioritizedFactory(tracker),
+		dominance.NewMaxFactory(tracker),
+		dominance.Lambda, o, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &DominanceIndex[T]{
+		opts: o, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *DominanceIndex[T]) Len() int { return ix.n }
+
+func (ix *DominanceIndex[T]) wrap(it core.Item[dominance.Pt3]) DominanceItem[T] {
+	return DominanceItem[T]{X: it.Value.X, Y: it.Value.Y, Z: it.Value.Z, Weight: it.Weight, Data: ix.data[it.Weight]}
+}
+
+// TopK returns the k heaviest points dominated by (x, y, z), heaviest
+// first.
+func (ix *DominanceIndex[T]) TopK(x, y, z float64, k int) []DominanceItem[T] {
+	res := ix.topk.TopK(dominance.Pt3{X: x, Y: y, Z: z}, k)
+	out := make([]DominanceItem[T], len(res))
+	for i, it := range res {
+		out[i] = ix.wrap(it)
+	}
+	return out
+}
+
+// ReportAbove streams every point dominated by (x, y, z) with weight ≥
+// tau; return false from visit to stop early.
+func (ix *DominanceIndex[T]) ReportAbove(x, y, z, tau float64, visit func(DominanceItem[T]) bool) {
+	ix.pri.ReportAbove(dominance.Pt3{X: x, Y: y, Z: z}, tau, func(it core.Item[dominance.Pt3]) bool {
+		return visit(ix.wrap(it))
+	})
+}
+
+// Max returns the heaviest point dominated by (x, y, z) (a top-1 query).
+func (ix *DominanceIndex[T]) Max(x, y, z float64) (DominanceItem[T], bool) {
+	it, ok := maxOfTopK(ix.topk, dominance.Pt3{X: x, Y: y, Z: z})
+	if !ok {
+		return DominanceItem[T]{}, false
+	}
+	return ix.wrap(it), true
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *DominanceIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters.
+func (ix *DominanceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }

@@ -1,0 +1,105 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/core"
+	"topk/internal/em"
+	"topk/internal/enclosure"
+)
+
+// RectItem is one weighted axis-parallel rectangle with a payload — the
+// paper's dating example: a member's preferred age range × height range,
+// weighted by salary.
+type RectItem[T any] struct {
+	X1, X2, Y1, Y2 float64
+	Weight         float64
+	Data           T
+}
+
+// EnclosureIndex answers top-k 2D point-enclosure queries (the paper's
+// Theorem 5): given a point (x, y), return the k heaviest rectangles
+// containing it.
+type EnclosureIndex[T any] struct {
+	opts    Options
+	tracker *em.Tracker
+	topk    core.TopK[enclosure.Pt2, enclosure.Rect]
+	pri     core.Prioritized[enclosure.Pt2, enclosure.Rect]
+	data    map[float64]T
+	n       int
+}
+
+// NewEnclosureIndex builds a static index over items (weights distinct,
+// rectangles well-formed).
+func NewEnclosureIndex[T any](items []RectItem[T], opts ...Option) (*EnclosureIndex[T], error) {
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[enclosure.Rect], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		cores[i] = core.Item[enclosure.Rect]{
+			Value:  enclosure.Rect{X1: it.X1, X2: it.X2, Y1: it.Y1, Y2: it.Y2},
+			Weight: it.Weight,
+		}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	t, err := buildTopK(cores, enclosure.Match,
+		enclosure.NewPrioritizedFactory(tracker),
+		enclosure.NewMaxFactory(tracker),
+		enclosure.Lambda, o, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &EnclosureIndex[T]{
+		opts: o, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
+	}, nil
+}
+
+// Len returns the number of indexed rectangles.
+func (ix *EnclosureIndex[T]) Len() int { return ix.n }
+
+func (ix *EnclosureIndex[T]) wrap(it core.Item[enclosure.Rect]) RectItem[T] {
+	return RectItem[T]{
+		X1: it.Value.X1, X2: it.Value.X2, Y1: it.Value.Y1, Y2: it.Value.Y2,
+		Weight: it.Weight, Data: ix.data[it.Weight],
+	}
+}
+
+// TopK returns the k heaviest rectangles containing (x, y), heaviest
+// first.
+func (ix *EnclosureIndex[T]) TopK(x, y float64, k int) []RectItem[T] {
+	res := ix.topk.TopK(enclosure.Pt2{X: x, Y: y}, k)
+	out := make([]RectItem[T], len(res))
+	for i, it := range res {
+		out[i] = ix.wrap(it)
+	}
+	return out
+}
+
+// ReportAbove streams every rectangle containing (x, y) with weight ≥
+// tau; return false from visit to stop early.
+func (ix *EnclosureIndex[T]) ReportAbove(x, y, tau float64, visit func(RectItem[T]) bool) {
+	ix.pri.ReportAbove(enclosure.Pt2{X: x, Y: y}, tau, func(it core.Item[enclosure.Rect]) bool {
+		return visit(ix.wrap(it))
+	})
+}
+
+// Max returns the heaviest rectangle containing (x, y) (a top-1 query).
+func (ix *EnclosureIndex[T]) Max(x, y float64) (RectItem[T], bool) {
+	it, ok := maxOfTopK(ix.topk, enclosure.Pt2{X: x, Y: y})
+	if !ok {
+		return RectItem[T]{}, false
+	}
+	return ix.wrap(it), true
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *EnclosureIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters.
+func (ix *EnclosureIndex[T]) ResetStats() { ix.tracker.ResetCounters() }

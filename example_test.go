@@ -1,0 +1,175 @@
+package topk_test
+
+import (
+	"fmt"
+
+	"topk"
+)
+
+// The basic flow: build an index over weighted intervals, ask a top-k
+// stabbing query, and update it.
+func ExampleNewIntervalIndex() {
+	sessions := []topk.IntervalItem[string]{
+		{Lo: 0, Hi: 45, Weight: 912, Data: "alice"},
+		{Lo: 10, Hi: 25, Weight: 340, Data: "bob"},
+		{Lo: 15, Hi: 80, Weight: 2048, Data: "carol"},
+	}
+	ix, err := topk.NewIntervalIndex(sessions)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range ix.TopK(20, 2) {
+		fmt.Printf("%s %.0f\n", s.Data, s.Weight)
+	}
+	_ = ix.Insert(topk.IntervalItem[string]{Lo: 18, Hi: 30, Weight: 5000, Data: "dave"})
+	best, _ := ix.Max(20)
+	fmt.Println("now best:", best.Data)
+	// Output:
+	// carol 2048
+	// alice 912
+	// now best: dave
+}
+
+// The paper's dating-website query (Section 1.4): the richest members
+// whose preference rectangles contain the querying member.
+func ExampleNewEnclosureIndex() {
+	members := []topk.RectItem[string]{
+		{X1: 25, X2: 35, Y1: 160, Y2: 180, Weight: 90000, Data: "m1"},
+		{X1: 20, X2: 30, Y1: 165, Y2: 175, Weight: 120000, Data: "m2"},
+		{X1: 30, X2: 40, Y1: 150, Y2: 170, Weight: 75000, Data: "m3"},
+	}
+	ix, err := topk.NewEnclosureIndex(members)
+	if err != nil {
+		panic(err)
+	}
+	// Age 28, height 170: which members' preferences contain me?
+	for _, m := range ix.TopK(28, 170, 10) {
+		fmt.Printf("%s $%.0f\n", m.Data, m.Weight)
+	}
+	// Output:
+	// m2 $120000
+	// m1 $90000
+}
+
+// The paper's hotel query (Section 1.4): best-rated hotels within price,
+// distance, and security budgets — 3D dominance with the rating as weight.
+func ExampleNewDominanceIndex() {
+	hotels := []topk.DominanceItem[string]{
+		{X: 120, Y: 2.0, Z: 3, Weight: 4.7, Data: "Grand"},
+		{X: 80, Y: 0.5, Z: 5, Weight: 4.2, Data: "Plaza"},
+		{X: 200, Y: 1.0, Z: 2, Weight: 4.9, Data: "Ritz"},
+	}
+	ix, err := topk.NewDominanceIndex(hotels)
+	if err != nil {
+		panic(err)
+	}
+	// Price ≤ 150, distance ≤ 3km, security rating ≥ 10−5 = 5.
+	for _, h := range ix.TopK(150, 3, 5, 2) {
+		fmt.Println(h.Data, h.Weight)
+	}
+	// Output:
+	// Grand 4.7
+	// Plaza 4.2
+}
+
+// Choosing a reduction: the worst-case (Theorem 1) structure is static
+// but deterministic in its query bound; the binary-search baseline is the
+// prior work the paper improves on.
+func ExampleWithReduction() {
+	pts := []topk.PointItem1[string]{
+		{Pos: 1, Weight: 10, Data: "a"},
+		{Pos: 5, Weight: 30, Data: "b"},
+		{Pos: 9, Weight: 20, Data: "c"},
+	}
+	for _, r := range []topk.Reduction{topk.Expected, topk.WorstCase, topk.BinarySearch, topk.FullScan} {
+		ix, err := topk.NewRangeIndex(pts, topk.WithReduction(r))
+		if err != nil {
+			panic(err)
+		}
+		top := ix.TopK(0, 6, 1)
+		fmt.Printf("%v: %s\n", r, top[0].Data)
+	}
+	// Output:
+	// Expected: b
+	// WorstCase: b
+	// BinarySearch: b
+	// FullScan: b
+}
+
+// Every index reports its simulated external-memory activity.
+func ExampleStats() {
+	ix, err := topk.NewRangeIndex([]topk.PointItem1[int]{
+		{Pos: 1, Weight: 1}, {Pos: 2, Weight: 2}, {Pos: 3, Weight: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	ix.ResetStats()
+	ix.TopK(0, 10, 2)
+	st := ix.Stats()
+	fmt.Println(st.IOs() > 0, st.Reduction)
+	// Output:
+	// true Expected
+}
+
+// Orthogonal range top-k: the k heaviest points inside an axis box.
+func ExampleNewOrthoIndex() {
+	pts := []topk.PointItemN[string]{
+		{Coords: []float64{1, 1}, Weight: 5, Data: "a"},
+		{Coords: []float64{2, 3}, Weight: 9, Data: "b"},
+		{Coords: []float64{8, 2}, Weight: 7, Data: "c"},
+	}
+	ix, err := topk.NewOrthoIndex(pts, 2)
+	if err != nil {
+		panic(err)
+	}
+	res, err := ix.TopK([]float64{0, 0}, []float64{5, 5}, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res {
+		fmt.Println(p.Data, p.Weight)
+	}
+	// Output:
+	// b 9
+	// a 5
+}
+
+// Circular range top-k via the paper's lifting trick.
+func ExampleNewCircularIndex() {
+	pts := []topk.PointItemN[string]{
+		{Coords: []float64{0, 0}, Weight: 1, Data: "origin"},
+		{Coords: []float64{3, 4}, Weight: 2, Data: "edge"}, // distance exactly 5
+		{Coords: []float64{10, 0}, Weight: 3, Data: "far"},
+	}
+	ix, err := topk.NewCircularIndex(pts, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range ix.TopK([]float64{0, 0}, 5, 10) {
+		fmt.Println(p.Data)
+	}
+	// Output:
+	// edge
+	// origin
+}
+
+// Halfspace top-k in d dimensions: linear-constraint search.
+func ExampleNewHalfspaceIndex() {
+	pts := []topk.PointItemN[string]{
+		{Coords: []float64{1, 0, 0, 0}, Weight: 10, Data: "x"},
+		{Coords: []float64{0, 1, 0, 0}, Weight: 20, Data: "y"},
+		{Coords: []float64{-1, 0, 0, 0}, Weight: 30, Data: "-x"},
+	}
+	ix, err := topk.NewHalfspaceIndex(pts, 4)
+	if err != nil {
+		panic(err)
+	}
+	// x₀ ≥ 0 selects "x" and "y" (x₀ = 0 is on the closed boundary).
+	for _, p := range ix.TopK([]float64{1, 0, 0, 0}, 0, 10) {
+		fmt.Println(p.Data)
+	}
+	// Output:
+	// y
+	// x
+}

@@ -1,0 +1,98 @@
+// Analytics: a streaming scenario for the dynamic top-k indexes. Events
+// (latency samples tagged with a timestamp) stream through a sliding
+// window held in a RangeIndex: at any moment, "the k slowest requests in
+// the last minute" is a top-k range query, and window eviction is the
+// Theorem 2 delete path. A 2D OrthoIndex answers the offline variant
+// ("slowest requests in any time × shard rectangle").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topk"
+	"topk/internal/wrand"
+)
+
+func main() {
+	g := wrand.New(1234)
+
+	// ---- Streaming: sliding-window top-k over a dynamic RangeIndex ----
+	const window = 60.0                        // seconds
+	ix, err := topk.NewRangeIndex[string](nil) // Expected reduction: dynamic
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type event struct {
+		t float64
+		w float64
+	}
+	var inWindow []event
+	now := 0.0
+	evict := func() {
+		kept := inWindow[:0]
+		for _, e := range inWindow {
+			if e.t >= now-window {
+				kept = append(kept, e)
+				continue
+			}
+			if _, err := ix.Delete(e.w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		inWindow = kept
+	}
+
+	fmt.Println("streaming 10k events through a 60s window...")
+	for i := 0; i < 10000; i++ {
+		now += g.ExpFloat64() * 0.05 // ~20 events/sec
+		lat := g.ExpFloat64() * 30   // latency ms, heavy tail
+		// Weight = latency with a tiny tiebreak so weights stay distinct.
+		w := lat + float64(i)*1e-9
+		if err := ix.Insert(topk.PointItem1[string]{
+			Pos: now, Weight: w, Data: fmt.Sprintf("req-%05d", i),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		inWindow = append(inWindow, event{t: now, w: w})
+		if i%1000 == 999 {
+			evict()
+			top := ix.TopK(now-window, now, 3)
+			fmt.Printf("t=%7.1fs  window=%5d events  slowest:", now, ix.Len())
+			for _, s := range top {
+				fmt.Printf("  %s (%.1fms)", s.Data, s.Weight)
+			}
+			fmt.Println()
+		}
+	}
+	st := ix.Stats()
+	fmt.Printf("stream done: %d simulated I/Os across %d inserts/deletes/queries\n\n",
+		st.IOs(), 10000*2)
+
+	// ---- Offline: time × shard rectangles over an OrthoIndex ----------
+	const n = 20000
+	ws := g.UniqueFloats(n, 500)
+	pts := make([]topk.PointItemN[string], n)
+	for i := range pts {
+		pts[i] = topk.PointItemN[string]{
+			Coords: []float64{g.Float64() * 3600, float64(g.IntN(32))}, // (time, shard)
+			Weight: ws[i],
+			Data:   fmt.Sprintf("req-%05d", i),
+		}
+	}
+	oix, err := topk.NewOrthoIndex(pts, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := []float64{600, 4}, []float64{1200, 8}
+	res, err := oix.TopK(lo, hi, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slowest 5 requests in t∈[600,1200]s on shards 4–8:\n")
+	for i, r := range res {
+		fmt.Printf("  %d. %s  %.1fms  (t=%.0fs shard=%.0f)\n",
+			i+1, r.Data, r.Weight, r.Coords[0], r.Coords[1])
+	}
+}

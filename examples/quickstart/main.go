@@ -1,0 +1,65 @@
+// Quickstart: index weighted intervals, ask top-k stabbing queries, and
+// update the index — the smallest end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topk"
+)
+
+func main() {
+	// A tiny observability scenario: sessions on a server, each an
+	// interval [start, end] in minutes, weighted by bytes transferred.
+	sessions := []topk.IntervalItem[string]{
+		{Lo: 0, Hi: 45, Weight: 912, Data: "alice"},
+		{Lo: 10, Hi: 25, Weight: 340, Data: "bob"},
+		{Lo: 15, Hi: 80, Weight: 2048, Data: "carol"},
+		{Lo: 20, Hi: 22, Weight: 77, Data: "dave"},
+		{Lo: 30, Hi: 60, Weight: 1500, Data: "erin"},
+		{Lo: 42, Hi: 55, Weight: 101, Data: "frank"},
+	}
+
+	// The default reduction is the paper's Theorem 2 (Expected):
+	// prioritized + max structures, no asymptotic slowdown, updatable.
+	ix, err := topk.NewIntervalIndex(sessions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Top-k: the 3 heaviest sessions active at minute 21.
+	fmt.Println("top-3 sessions active at t=21:")
+	for i, s := range ix.TopK(21, 3) {
+		fmt.Printf("  %d. %-6s [%3.0f, %3.0f]  %6.0f bytes\n", i+1, s.Data, s.Lo, s.Hi, s.Weight)
+	}
+
+	// Max: the single heaviest (top-1) at t=50.
+	if m, ok := ix.Max(50); ok {
+		fmt.Printf("heaviest at t=50: %s (%.0f bytes)\n", m.Data, m.Weight)
+	}
+
+	// Prioritized reporting: everything at t=21 with ≥ 300 bytes.
+	fmt.Println("sessions at t=21 with ≥ 300 bytes:")
+	ix.ReportAbove(21, 300, func(s topk.IntervalItem[string]) bool {
+		fmt.Printf("  %-6s %6.0f bytes\n", s.Data, s.Weight)
+		return true
+	})
+
+	// Updates (Theorem 2's dynamic path).
+	if err := ix.Insert(topk.IntervalItem[string]{Lo: 18, Hi: 70, Weight: 5000, Data: "grace"}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ix.Delete(340); err != nil { // bob logs off
+		log.Fatal(err)
+	}
+	fmt.Println("after insert(grace)/delete(bob), top-3 at t=21:")
+	for i, s := range ix.TopK(21, 3) {
+		fmt.Printf("  %d. %-6s %6.0f bytes\n", i+1, s.Data, s.Weight)
+	}
+
+	// Every index reports its simulated external-memory cost.
+	st := ix.Stats()
+	fmt.Printf("simulated I/O since construction: %d reads, %d writes (%d blocks held)\n",
+		st.Reads, st.Writes, st.Blocks)
+}

@@ -1,0 +1,189 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/core"
+	"topk/internal/em"
+	"topk/internal/halfspace"
+)
+
+// PointItem2 is one weighted point in the plane with a payload.
+type PointItem2[T any] struct {
+	X, Y   float64
+	Weight float64
+	Data   T
+}
+
+// HalfplaneIndex answers top-k 2D halfspace queries (the paper's
+// Theorem 3, d = 2): given a halfplane {a·x + b·y ≥ c}, return the k
+// heaviest points inside it.
+type HalfplaneIndex[T any] struct {
+	opts    Options
+	tracker *em.Tracker
+	topk    core.TopK[halfspace.Halfplane, halfspace.Pt2]
+	pri     core.Prioritized[halfspace.Halfplane, halfspace.Pt2]
+	data    map[float64]T
+	n       int
+}
+
+// NewHalfplaneIndex builds a static index over items (weights distinct).
+func NewHalfplaneIndex[T any](items []PointItem2[T], opts ...Option) (*HalfplaneIndex[T], error) {
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[halfspace.Pt2], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		cores[i] = core.Item[halfspace.Pt2]{Value: halfspace.Pt2{X: it.X, Y: it.Y}, Weight: it.Weight}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	t, err := buildTopK(cores, halfspace.Match,
+		halfspace.NewPrioritizedFactory(tracker),
+		halfspace.NewMaxFactory(tracker),
+		halfspace.Lambda, o, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &HalfplaneIndex[T]{
+		opts: o, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *HalfplaneIndex[T]) Len() int { return ix.n }
+
+func (ix *HalfplaneIndex[T]) wrap(it core.Item[halfspace.Pt2]) PointItem2[T] {
+	return PointItem2[T]{X: it.Value.X, Y: it.Value.Y, Weight: it.Weight, Data: ix.data[it.Weight]}
+}
+
+// TopK returns the k heaviest points with a·x + b·y ≥ c, heaviest first.
+func (ix *HalfplaneIndex[T]) TopK(a, b, c float64, k int) []PointItem2[T] {
+	res := ix.topk.TopK(halfspace.Halfplane{A: a, B: b, C: c}, k)
+	out := make([]PointItem2[T], len(res))
+	for i, it := range res {
+		out[i] = ix.wrap(it)
+	}
+	return out
+}
+
+// ReportAbove streams every point in the halfplane with weight ≥ tau.
+func (ix *HalfplaneIndex[T]) ReportAbove(a, b, c, tau float64, visit func(PointItem2[T]) bool) {
+	ix.pri.ReportAbove(halfspace.Halfplane{A: a, B: b, C: c}, tau, func(it core.Item[halfspace.Pt2]) bool {
+		return visit(ix.wrap(it))
+	})
+}
+
+// Max returns the heaviest point in the halfplane (a top-1 query).
+func (ix *HalfplaneIndex[T]) Max(a, b, c float64) (PointItem2[T], bool) {
+	it, ok := maxOfTopK(ix.topk, halfspace.Halfplane{A: a, B: b, C: c})
+	if !ok {
+		return PointItem2[T]{}, false
+	}
+	return ix.wrap(it), true
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *HalfplaneIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters.
+func (ix *HalfplaneIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// PointItemN is one weighted point in ℝ^d with a payload.
+type PointItemN[T any] struct {
+	Coords []float64
+	Weight float64
+	Data   T
+}
+
+// HalfspaceIndex answers top-k halfspace queries in fixed dimension d ≥ 3
+// (the paper's Theorem 3, d ≥ 4): given {x : a·x ≥ c}, return the k
+// heaviest points inside.
+type HalfspaceIndex[T any] struct {
+	opts    Options
+	d       int
+	tracker *em.Tracker
+	topk    core.TopK[halfspace.Halfspace, halfspace.PtN]
+	pri     core.Prioritized[halfspace.Halfspace, halfspace.PtN]
+	data    map[float64]T
+	n       int
+}
+
+// NewHalfspaceIndex builds a static index over d-dimensional items.
+func NewHalfspaceIndex[T any](items []PointItemN[T], d int, opts ...Option) (*HalfspaceIndex[T], error) {
+	if d < 1 {
+		return nil, fmt.Errorf("topk: dimension %d", d)
+	}
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[halfspace.PtN], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		if len(it.Coords) != d {
+			return nil, fmt.Errorf("topk: item %d has %d coordinates in dimension %d", i, len(it.Coords), d)
+		}
+		cores[i] = core.Item[halfspace.PtN]{Value: halfspace.PtN{C: it.Coords}, Weight: it.Weight}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	t, err := buildTopK(cores, halfspace.MatchN,
+		halfspace.NewKDPrioritizedFactory(d, tracker),
+		halfspace.NewKDMaxFactory(d, tracker),
+		halfspace.LambdaN(d), o, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &HalfspaceIndex[T]{
+		opts: o, d: d, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *HalfspaceIndex[T]) Len() int { return ix.n }
+
+// Dim returns the index dimension.
+func (ix *HalfspaceIndex[T]) Dim() int { return ix.d }
+
+func (ix *HalfspaceIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
+	return PointItemN[T]{Coords: it.Value.C, Weight: it.Weight, Data: ix.data[it.Weight]}
+}
+
+// TopK returns the k heaviest points with a·x ≥ c, heaviest first.
+func (ix *HalfspaceIndex[T]) TopK(a []float64, c float64, k int) []PointItemN[T] {
+	res := ix.topk.TopK(halfspace.Halfspace{A: a, C: c}, k)
+	out := make([]PointItemN[T], len(res))
+	for i, it := range res {
+		out[i] = ix.wrap(it)
+	}
+	return out
+}
+
+// ReportAbove streams every point in the halfspace with weight ≥ tau.
+func (ix *HalfspaceIndex[T]) ReportAbove(a []float64, c, tau float64, visit func(PointItemN[T]) bool) {
+	ix.pri.ReportAbove(halfspace.Halfspace{A: a, C: c}, tau, func(it core.Item[halfspace.PtN]) bool {
+		return visit(ix.wrap(it))
+	})
+}
+
+// Max returns the heaviest point in the halfspace (a top-1 query).
+func (ix *HalfspaceIndex[T]) Max(a []float64, c float64) (PointItemN[T], bool) {
+	it, ok := maxOfTopK(ix.topk, halfspace.Halfspace{A: a, C: c})
+	if !ok {
+		return PointItemN[T]{}, false
+	}
+	return ix.wrap(it), true
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *HalfspaceIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters.
+func (ix *HalfspaceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }

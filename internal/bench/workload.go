@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"math"
+
+	"topk/internal/core"
+	"topk/internal/dominance"
+	"topk/internal/enclosure"
+	"topk/internal/halfspace"
+	"topk/internal/interval"
+	"topk/internal/wrand"
+)
+
+// Workload generators. All weights are distinct (the paper's standing
+// assumption) and all generators are deterministic in the seed.
+
+// Intervals returns n intervals with uniform left endpoints in [0, 100)
+// and exponential lengths (mean meanLen).
+func Intervals(seed uint64, n int, meanLen float64) []core.Item[interval.Interval] {
+	g := wrand.New(seed)
+	ws := g.UniqueFloats(n, 1e9)
+	items := make([]core.Item[interval.Interval], n)
+	for i := range items {
+		lo := g.Float64() * 100
+		items[i] = core.Item[interval.Interval]{
+			Value:  interval.Interval{Lo: lo, Hi: lo + g.ExpFloat64()*meanLen},
+			Weight: ws[i],
+		}
+	}
+	return items
+}
+
+// StabPoints returns count stabbing queries in [0, 100).
+func StabPoints(seed uint64, count int) []float64 {
+	g := wrand.New(seed)
+	qs := make([]float64, count)
+	for i := range qs {
+		qs[i] = g.Float64() * 100
+	}
+	return qs
+}
+
+// Rects returns n "dating-profile" rectangles: preferred age × height
+// windows with uniform corners and exponential extents.
+func Rects(seed uint64, n int) []core.Item[enclosure.Rect] {
+	g := wrand.New(seed)
+	ws := g.UniqueFloats(n, 1e9)
+	items := make([]core.Item[enclosure.Rect], n)
+	for i := range items {
+		x1, y1 := 18+g.Float64()*40, 140+g.Float64()*50
+		items[i] = core.Item[enclosure.Rect]{
+			Value: enclosure.Rect{
+				X1: x1, X2: x1 + 2 + g.ExpFloat64()*10,
+				Y1: y1, Y2: y1 + 2 + g.ExpFloat64()*20,
+			},
+			Weight: ws[i],
+		}
+	}
+	return items
+}
+
+// EnclosurePoints returns count query points within the Rects domain.
+func EnclosurePoints(seed uint64, count int) []enclosure.Pt2 {
+	g := wrand.New(seed)
+	qs := make([]enclosure.Pt2, count)
+	for i := range qs {
+		qs[i] = enclosure.Pt2{X: 18 + g.Float64()*45, Y: 140 + g.Float64()*60}
+	}
+	return qs
+}
+
+// Hotels returns n "hotel" points: price × distance × (10 − security),
+// rated by weight.
+func Hotels(seed uint64, n int) []core.Item[dominance.Pt3] {
+	g := wrand.New(seed)
+	ws := g.UniqueFloats(n, 1e9)
+	items := make([]core.Item[dominance.Pt3], n)
+	for i := range items {
+		items[i] = core.Item[dominance.Pt3]{
+			Value: dominance.Pt3{
+				X: 40 + g.ExpFloat64()*120, // price
+				Y: g.ExpFloat64() * 8,      // distance from center
+				Z: g.Float64() * 10,        // 10 - security rating
+			},
+			Weight: ws[i],
+		}
+	}
+	return items
+}
+
+// DominanceQueries returns corners that select a sizeable fraction of the
+// hotels.
+func DominanceQueries(seed uint64, count int) []dominance.Pt3 {
+	g := wrand.New(seed)
+	qs := make([]dominance.Pt3, count)
+	for i := range qs {
+		qs[i] = dominance.Pt3{
+			X: 80 + g.Float64()*300,
+			Y: 2 + g.Float64()*12,
+			Z: 2 + g.Float64()*8,
+		}
+	}
+	return qs
+}
+
+// Gaussian2D returns n points from a 2D normal cloud.
+func Gaussian2D(seed uint64, n int) []core.Item[halfspace.Pt2] {
+	g := wrand.New(seed)
+	ws := g.UniqueFloats(n, 1e9)
+	items := make([]core.Item[halfspace.Pt2], n)
+	for i := range items {
+		items[i] = core.Item[halfspace.Pt2]{
+			Value:  halfspace.Pt2{X: g.NormFloat64() * 10, Y: g.NormFloat64() * 10},
+			Weight: ws[i],
+		}
+	}
+	return items
+}
+
+// Halfplanes returns count query halfplanes with unit normals and offsets
+// covering empty through nearly-full selections.
+func Halfplanes(seed uint64, count int) []halfspace.Halfplane {
+	g := wrand.New(seed)
+	qs := make([]halfspace.Halfplane, count)
+	for i := range qs {
+		theta := g.Float64() * 2 * math.Pi
+		qs[i] = halfspace.Halfplane{
+			A: math.Cos(theta), B: math.Sin(theta), C: g.NormFloat64() * 8,
+		}
+	}
+	return qs
+}
+
+// GaussianND returns n points from a d-dimensional normal cloud.
+func GaussianND(seed uint64, n, d int) []core.Item[halfspace.PtN] {
+	g := wrand.New(seed)
+	ws := g.UniqueFloats(n, 1e9)
+	items := make([]core.Item[halfspace.PtN], n)
+	for i := range items {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = g.NormFloat64() * 10
+		}
+		items[i] = core.Item[halfspace.PtN]{Value: halfspace.PtN{C: c}, Weight: ws[i]}
+	}
+	return items
+}
+
+// Halfspaces returns count query halfspaces in dimension d.
+func Halfspaces(seed uint64, count, d int) []halfspace.Halfspace {
+	g := wrand.New(seed)
+	qs := make([]halfspace.Halfspace, count)
+	for i := range qs {
+		a := make([]float64, d)
+		norm := 0.0
+		for j := range a {
+			a[j] = g.NormFloat64()
+			norm += a[j] * a[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range a {
+			a[j] /= norm
+		}
+		qs[i] = halfspace.Halfspace{A: a, C: g.NormFloat64() * 10}
+	}
+	return qs
+}

@@ -1,0 +1,61 @@
+package btree
+
+import "testing"
+
+// FuzzMapOps drives random op sequences against a map oracle plus the
+// invariant checker.
+func FuzzMapOps(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 20, 1, 10, 2, 20})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 3, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := NewMap[int](nil)
+		oracle := map[float64]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, kb := data[i]%3, data[i+1]
+			k := float64(kb)
+			switch op {
+			case 0:
+				m.Insert(k, i)
+				oracle[k] = i
+			case 1:
+				got := m.Delete(k)
+				_, want := oracle[k]
+				if got != want {
+					t.Fatalf("Delete(%v) = %v, oracle %v", k, got, want)
+				}
+				delete(oracle, k)
+			case 2:
+				got, ok := m.Get(k)
+				want, wok := oracle[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Get(%v) mismatch", k)
+				}
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() != len(oracle) {
+			t.Fatalf("Len=%d oracle=%d", m.Len(), len(oracle))
+		}
+	})
+}
+
+func TestMapInvariantsAfterChurn(t *testing.T) {
+	m := NewMap[int](nil)
+	for i := 0; i < 4000; i++ {
+		m.Insert(float64((i*7919)%1000), i)
+		if i%3 == 1 {
+			m.Delete(float64((i * 104729) % 1000))
+		}
+		if i%500 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("after %d ops: %v", i, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

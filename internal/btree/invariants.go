@@ -1,0 +1,71 @@
+package btree
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckInvariants verifies the B-tree's structural invariants: key order
+// within and across nodes, degree bounds, uniform leaf depth, and the
+// entry count. Intended for tests and fuzzing; O(n).
+func (m *Map[V]) CheckInvariants() error {
+	leafDepth := -1
+	count, err := m.check(m.root, math.Inf(-1), math.Inf(1), true, 0, &leafDepth)
+	if err != nil {
+		return err
+	}
+	if count != m.size {
+		return fmt.Errorf("btree: size is %d, counted %d", m.size, count)
+	}
+	return nil
+}
+
+func (m *Map[V]) check(n *mnode[V], lo, hi float64, isRoot bool, depth int, leafDepth *int) (int, error) {
+	if len(n.vals) != len(n.keys) {
+		return 0, fmt.Errorf("btree: node has %d keys but %d values", len(n.keys), len(n.vals))
+	}
+	if !isRoot && len(n.keys) < m.deg-1 {
+		return 0, fmt.Errorf("btree: non-root node underflow: %d keys < %d", len(n.keys), m.deg-1)
+	}
+	if len(n.keys) > 2*m.deg-1 {
+		return 0, fmt.Errorf("btree: node overflow: %d keys > %d", len(n.keys), 2*m.deg-1)
+	}
+	prev := lo
+	for _, k := range n.keys {
+		if k <= prev && !(math.IsInf(prev, -1)) {
+			return 0, fmt.Errorf("btree: key order violated: %v after %v", k, prev)
+		}
+		if k <= lo || k >= hi {
+			if !math.IsInf(lo, -1) && k <= lo || !math.IsInf(hi, 1) && k >= hi {
+				return 0, fmt.Errorf("btree: key %v outside separator range (%v, %v)", k, lo, hi)
+			}
+		}
+		prev = k
+	}
+	if n.leaf() {
+		if *leafDepth == -1 {
+			*leafDepth = depth
+		} else if *leafDepth != depth {
+			return 0, fmt.Errorf("btree: leaves at depths %d and %d", *leafDepth, depth)
+		}
+		return len(n.keys), nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, fmt.Errorf("btree: internal node with %d keys has %d children", len(n.keys), len(n.children))
+	}
+	total := len(n.keys)
+	childLo := lo
+	for i, c := range n.children {
+		childHi := hi
+		if i < len(n.keys) {
+			childHi = n.keys[i]
+		}
+		sub, err := m.check(c, childLo, childHi, false, depth+1, leafDepth)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+		childLo = childHi
+	}
+	return total, nil
+}

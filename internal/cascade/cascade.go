@@ -1,0 +1,162 @@
+// Package cascade implements fractional cascading (Chazelle & Guibas),
+// the technique the paper invokes twice (Sections 5.2 and 5.4) to shave a
+// log factor off iterated predecessor searches: when a query performs the
+// same predecessor search in sorted catalogs along a root-to-leaf path,
+// cascading bridges reduce every search after the first to O(1).
+//
+// Each node's catalog is augmented with every second entry of its
+// children's augmented catalogs (sampling always keeps a child's minimum,
+// so position transfer never loses the predecessor). A query binary
+// searches once at the root and then follows bridge pointers downward,
+// advancing at most a constant number of entries per level.
+package cascade
+
+import "sort"
+
+// Input describes the catalog tree to build over: one sorted key slice per
+// node, and up to two children.
+type Input struct {
+	// Keys must be sorted ascending (duplicates allowed).
+	Keys        []float64
+	Left, Right *Input
+}
+
+// Node is one node of the built cascading structure.
+type Node struct {
+	own         []float64
+	cat         []entry
+	left, right *Node
+}
+
+type entry struct {
+	key      float64
+	ownPred  int32 // index of the last own key ≤ key; -1 if none
+	leftPos  int32 // index of the last left-child cat entry with key ≤ key
+	rightPos int32
+}
+
+// Build constructs the cascading structure. The input tree is not
+// modified; nil input yields nil.
+func Build(in *Input) *Node {
+	if in == nil {
+		return nil
+	}
+	if !sort.Float64sAreSorted(in.Keys) {
+		panic("cascade: node keys not sorted")
+	}
+	nd := &Node{
+		own:   append([]float64(nil), in.Keys...),
+		left:  Build(in.Left),
+		right: Build(in.Right),
+	}
+	nd.cat = mergeCatalog(nd.own, sample(nd.left), sample(nd.right), nd.left, nd.right)
+	return nd
+}
+
+// sample returns every second catalog key of the child, starting at index
+// 0 (so the child's minimum is always present in the parent).
+func sample(child *Node) []float64 {
+	if child == nil {
+		return nil
+	}
+	out := make([]float64, 0, (len(child.cat)+1)/2)
+	for i := 0; i < len(child.cat); i += 2 {
+		out = append(out, child.cat[i].key)
+	}
+	return out
+}
+
+// mergeCatalog builds the augmented catalog and its bridge pointers.
+func mergeCatalog(own, ls, rs []float64, left, right *Node) []entry {
+	merged := make([]float64, 0, len(own)+len(ls)+len(rs))
+	merged = append(merged, own...)
+	merged = append(merged, ls...)
+	merged = append(merged, rs...)
+	sort.Float64s(merged)
+
+	cat := make([]entry, len(merged))
+	oi, li, ri := -1, -1, -1
+	for i, k := range merged {
+		for oi+1 < len(own) && own[oi+1] <= k {
+			oi++
+		}
+		if left != nil {
+			for li+1 < len(left.cat) && left.cat[li+1].key <= k {
+				li++
+			}
+		}
+		if right != nil {
+			for ri+1 < len(right.cat) && right.cat[ri+1].key <= k {
+				ri++
+			}
+		}
+		cat[i] = entry{key: k, ownPred: int32(oi), leftPos: int32(li), rightPos: int32(ri)}
+	}
+	return cat
+}
+
+// Cursor is a position in one node's catalog during a cascading descent.
+type Cursor struct {
+	node *Node
+	pos  int // index of the last catalog entry with key ≤ x; -1 if none
+	x    float64
+}
+
+// CatalogLen returns the augmented catalog length (diagnostics, space
+// accounting).
+func (n *Node) CatalogLen() int { return len(n.cat) }
+
+// LeftChild and RightChild expose the built tree's structure for callers
+// that mirror their own trees onto it.
+func (n *Node) LeftChild() *Node  { return n.left }
+func (n *Node) RightChild() *Node { return n.right }
+
+// Search starts a descent: one binary search in the root catalog.
+// Work: O(log |catalog|); every later step is O(1).
+func (n *Node) Search(x float64) Cursor {
+	pos := sort.Search(len(n.cat), func(i int) bool { return n.cat[i].key > x }) - 1
+	return Cursor{node: n, pos: pos, x: x}
+}
+
+// OwnPred returns the index of the predecessor of x in this node's own
+// keys (the largest own key ≤ x), or -1.
+func (c Cursor) OwnPred() int {
+	if c.pos < 0 {
+		return -1
+	}
+	return int(c.node.cat[c.pos].ownPred)
+}
+
+// Left moves the cursor to the left child in O(1) amortized work.
+func (c Cursor) Left() Cursor { return c.descend(c.node.left, true) }
+
+// Right moves the cursor to the right child.
+func (c Cursor) Right() Cursor { return c.descend(c.node.right, false) }
+
+// Steps, for instrumentation: number of pointer-advance steps taken by all
+// descents of this cursor chain is bounded by 2 per level (the sampling
+// rate), which tests verify.
+func (c Cursor) descend(child *Node, useLeft bool) Cursor {
+	if child == nil {
+		return Cursor{}
+	}
+	pos := -1
+	if c.pos >= 0 {
+		if useLeft {
+			pos = int(c.node.cat[c.pos].leftPos)
+		} else {
+			pos = int(c.node.cat[c.pos].rightPos)
+		}
+	}
+	// The bridge points at the predecessor among the *sampled* entries;
+	// at most one unsampled child entry can sit between two samples, so a
+	// constant advance restores the exact predecessor.
+	for pos+1 < len(child.cat) && child.cat[pos+1].key <= c.x {
+		pos++
+	}
+	return Cursor{node: child, pos: pos, x: c.x}
+}
+
+// Valid reports whether the cursor points at a real node (descending past
+// a leaf yields an invalid cursor).
+func (c Cursor) Valid() bool { return c.node != nil }

@@ -1,0 +1,175 @@
+package cascade
+
+import (
+	"sort"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+// buildRandomTree builds a random catalog tree of the given depth.
+func buildRandomTree(g *wrand.RNG, depth, maxKeys int) *Input {
+	if depth == 0 {
+		return nil
+	}
+	n := g.IntN(maxKeys + 1)
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = g.Float64() * 100
+	}
+	sort.Float64s(keys)
+	return &Input{
+		Keys:  keys,
+		Left:  buildRandomTree(g, depth-1, maxKeys),
+		Right: buildRandomTree(g, depth-1, maxKeys),
+	}
+}
+
+// oraclePred is the plain binary search the cascade must agree with.
+func oraclePred(keys []float64, x float64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > x }) - 1
+}
+
+// checkAllPaths walks every root-to-leaf path comparing cursor answers to
+// plain binary search.
+func checkAllPaths(t *testing.T, in *Input, nd *Node, c Cursor, x float64) {
+	t.Helper()
+	if in == nil {
+		return
+	}
+	if !c.Valid() {
+		t.Fatalf("cursor invalid at a real node (x=%v)", x)
+	}
+	want := oraclePred(in.Keys, x)
+	if got := c.OwnPred(); got != want {
+		t.Fatalf("x=%v: OwnPred=%d, want %d (keys %v)", x, got, want, in.Keys)
+	}
+	checkAllPaths(t, in.Left, nd.left, c.Left(), x)
+	checkAllPaths(t, in.Right, nd.right, c.Right(), x)
+}
+
+func TestCascadeAgainstBinarySearch(t *testing.T) {
+	g := wrand.New(1)
+	for trial := 0; trial < 30; trial++ {
+		in := buildRandomTree(g, 5, 12)
+		if in == nil {
+			continue
+		}
+		nd := Build(in)
+		for probe := 0; probe < 60; probe++ {
+			x := g.Float64()*120 - 10
+			checkAllPaths(t, in, nd, nd.Search(x), x)
+		}
+		// Probe exactly at every root key (boundary semantics).
+		for _, k := range in.Keys {
+			checkAllPaths(t, in, nd, nd.Search(k), k)
+		}
+	}
+}
+
+func TestCascadeDeepPath(t *testing.T) {
+	// A long path (the segment-tree use case): depth 16, verifying both
+	// correctness and that catalogs stay linear in total size.
+	g := wrand.New(2)
+	var build func(d int) *Input
+	build = func(d int) *Input {
+		if d == 0 {
+			return nil
+		}
+		keys := g.UniqueFloats(8, 100)
+		sort.Float64s(keys)
+		return &Input{Keys: keys, Left: build(d - 1), Right: build(d - 1)}
+	}
+	in := build(14)
+	nd := Build(in)
+
+	totalOwn, totalCat := 0, 0
+	var count func(in *Input, nd *Node)
+	count = func(in *Input, nd *Node) {
+		if in == nil {
+			return
+		}
+		totalOwn += len(in.Keys)
+		totalCat += nd.CatalogLen()
+		count(in.Left, nd.left)
+		count(in.Right, nd.right)
+	}
+	count(in, nd)
+	if totalCat > 4*totalOwn {
+		t.Fatalf("catalog blowup: %d augmented vs %d own entries (> 4x)", totalCat, totalOwn)
+	}
+
+	for probe := 0; probe < 100; probe++ {
+		x := g.Float64() * 110
+		c := nd.Search(x)
+		cur, curIn := nd, in
+		for cur != nil {
+			want := oraclePred(curIn.Keys, x)
+			if got := c.OwnPred(); got != want {
+				t.Fatalf("x=%v: OwnPred=%d, want %d", x, got, want)
+			}
+			if probe%2 == 0 {
+				c, cur, curIn = c.Left(), cur.left, curIn.Left
+			} else {
+				c, cur, curIn = c.Right(), cur.right, curIn.Right
+			}
+		}
+	}
+}
+
+func TestCascadeEmptyAndEdge(t *testing.T) {
+	if Build(nil) != nil {
+		t.Fatal("Build(nil) != nil")
+	}
+	// Node with no keys of its own but children with keys.
+	in := &Input{
+		Keys:  nil,
+		Left:  &Input{Keys: []float64{1, 3}},
+		Right: &Input{Keys: []float64{2, 4}},
+	}
+	nd := Build(in)
+	c := nd.Search(3.5)
+	if got := c.OwnPred(); got != -1 {
+		t.Fatalf("empty own keys: OwnPred=%d, want -1", got)
+	}
+	if got := c.Left().OwnPred(); got != 1 {
+		t.Fatalf("left OwnPred=%d, want 1 (key 3)", got)
+	}
+	if got := c.Right().OwnPred(); got != 0 {
+		t.Fatalf("right OwnPred=%d, want 0 (key 2)", got)
+	}
+	// Below all keys.
+	c = nd.Search(0.5)
+	if c.OwnPred() != -1 || c.Left().OwnPred() != -1 || c.Right().OwnPred() != -1 {
+		t.Fatal("below-all query found a predecessor")
+	}
+	// Descending past a leaf yields an invalid cursor, not a panic.
+	leaf := Build(&Input{Keys: []float64{1}})
+	if leaf.Search(2).Left().Valid() {
+		t.Fatal("descend past leaf returned a valid cursor")
+	}
+}
+
+func TestCascadePanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted keys accepted")
+		}
+	}()
+	Build(&Input{Keys: []float64{3, 1}})
+}
+
+func TestCascadeDuplicateKeys(t *testing.T) {
+	in := &Input{
+		Keys: []float64{2, 2, 2, 5},
+		Left: &Input{Keys: []float64{2, 2}},
+	}
+	nd := Build(in)
+	c := nd.Search(2)
+	if got := c.OwnPred(); got != 2 {
+		t.Fatalf("OwnPred with duplicates = %d, want 2 (last of the 2s)", got)
+	}
+	if got := c.Left().OwnPred(); got != 1 {
+		t.Fatalf("left OwnPred = %d, want 1", got)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+
+	"topk/internal/wrand"
+)
+
+// This file implements the sampling machinery of Sections 3.1 and 4:
+//
+//   - Lemma 1 (rank sampling): in a p-sample R of S, the element with rank
+//     ⌈2kp⌉ in R has rank in [k, 4k] in S, w.p. ≥ 1-δ when kp ≥ 3 ln(3/δ)
+//     and n ≥ 4k.
+//   - Lemma 2 (top-k core-set): a p-sample with p = 4(λ/K) ln n acts as a
+//     core-set: for every predicate with |q(D)| ≥ 4K, the rank-⌈8λ ln n⌉
+//     element of q(R) has rank in [K, 4K] in q(D).
+//   - Lemma 3: in a (1/K)-sample, the maximum has rank in (K, 4K] w.p.
+//     ≥ 0.09.
+
+// CoreSetParams carries the parameters of one Lemma 2 application.
+type CoreSetParams struct {
+	N      int     // |D| at the top of the recursion (ln n factors use this)
+	K      float64 // target rank scale (the lemma's K)
+	Lambda float64 // polynomial-boundedness exponent λ
+}
+
+// P returns the sampling probability p = min(1, 4(λ/K) ln n) from the
+// proof of Lemma 2.
+func (cp CoreSetParams) P() float64 {
+	if cp.N < 2 || cp.K <= 0 {
+		return 1
+	}
+	p := 4 * cp.Lambda * math.Log(float64(cp.N)) / cp.K
+	if p >= 1 {
+		return 1
+	}
+	return p
+}
+
+// PivotRank returns ⌈8λ ln n⌉, the in-sample weight rank whose element the
+// query algorithms of Section 3.2 retrieve from the core-set.
+func (cp CoreSetParams) PivotRank() int {
+	r := int(math.Ceil(8 * cp.Lambda * math.Log(float64(cp.N))))
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// MaxSize returns the Lemma 2 size bound 12λ(n/K) ln n, against which the
+// construction resamples.
+func (cp CoreSetParams) MaxSize() float64 {
+	if cp.N < 2 {
+		return float64(cp.N)
+	}
+	return 12 * cp.Lambda * (float64(cp.N) / cp.K) * math.Log(float64(cp.N))
+}
+
+// CoreSet draws a p-sample of items per Lemma 2, resampling until the
+// |R| ≤ 12λ(n/K) ln n size bound holds (the proof shows each draw succeeds
+// with probability ≥ 2/3, so the loop terminates after O(1) expected
+// draws). The rank guarantees hold per-query with the lemma's probability;
+// they are existential in the lemma and validated empirically by
+// experiment E3.
+func CoreSet[V any](g *wrand.RNG, items []Item[V], cp CoreSetParams) []Item[V] {
+	p := cp.P()
+	if p >= 1 {
+		out := make([]Item[V], len(items))
+		copy(out, items)
+		return out
+	}
+	bound := cp.MaxSize()
+	for {
+		idx := g.SampleIndices(len(items), p)
+		if float64(len(idx)) <= bound {
+			out := make([]Item[V], len(idx))
+			for i, j := range idx {
+				out[i] = items[j]
+			}
+			return out
+		}
+	}
+}
+
+// Lemma1Params is one parameter cell of Lemma 1.
+type Lemma1Params struct {
+	N     int     // |S|
+	K     int     // target rank k
+	P     float64 // sampling probability
+	Delta float64 // failure probability bound δ
+}
+
+// Applicable reports whether the lemma's working conditions hold:
+// kp ≥ 3 ln(3/δ) and n ≥ 4k.
+func (lp Lemma1Params) Applicable() bool {
+	return float64(lp.K)*lp.P >= 3*math.Log(3/lp.Delta) && lp.N >= 4*lp.K
+}
+
+// SampleRank returns ⌈2kp⌉, the in-sample rank Lemma 1 speaks about.
+func (lp Lemma1Params) SampleRank() int {
+	return int(math.Ceil(2 * float64(lp.K) * lp.P))
+}
+
+// Lemma1Trial draws one p-sample of {1..n} (interpreting i as the element
+// of rank i, largest first) and reports whether both bullets of Lemma 1
+// hold: |R| > 2kp, and the rank-⌈2kp⌉ sample has true rank in [k, 4k].
+// Experiments run many trials to compare the empirical failure rate
+// against δ.
+func Lemma1Trial(g *wrand.RNG, lp Lemma1Params) bool {
+	idx := g.SampleIndices(lp.N, lp.P) // ascending; idx[j] has true rank idx[j]+1
+	if float64(len(idx)) <= 2*float64(lp.K)*lp.P {
+		return false
+	}
+	r := lp.SampleRank()
+	if r > len(idx) {
+		return false
+	}
+	trueRank := idx[r-1] + 1
+	return trueRank >= lp.K && trueRank <= 4*lp.K
+}
+
+// Lemma3Trial draws one (1/K)-sample of {1..n} and reports whether both
+// bullets of Lemma 3 hold: the sample is non-empty, and its largest element
+// (the one with the smallest true rank) has true rank in (K, 4K].
+// The lemma guarantees success probability ≥ 0.09 when K ≥ 2, n ≥ 4K.
+func Lemma3Trial(g *wrand.RNG, n int, k float64) bool {
+	idx := g.SampleIndices(n, 1/k)
+	if len(idx) == 0 {
+		return false
+	}
+	trueRank := float64(idx[0] + 1)
+	return trueRank > k && trueRank <= 4*k
+}
+
+// RankOfWeight returns the 1-based weight rank of w within items (1 =
+// heaviest); ok is false when w is absent. O(n); used by tests and the
+// lemma validators, not by query paths.
+func RankOfWeight[V any](items []Item[V], w float64) (rank int, ok bool) {
+	rank = 1
+	for _, it := range items {
+		if it.Weight == w {
+			ok = true
+		} else if it.Weight > w {
+			rank++
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return rank, true
+}

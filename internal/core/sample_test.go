@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+func TestLemma1EmpiricalFailureRate(t *testing.T) {
+	// Lemma 1: under kp ≥ 3 ln(3/δ) and n ≥ 4k, both bullets hold w.p.
+	// ≥ 1-δ. Check the empirical failure rate against δ on a grid.
+	g := wrand.New(101)
+	cells := []Lemma1Params{
+		{N: 20000, K: 500, P: 0.05, Delta: 0.1},
+		{N: 50000, K: 1000, P: 0.02, Delta: 0.3},
+		{N: 10000, K: 2500, P: 0.01, Delta: 0.3},
+	}
+	const trials = 2000
+	for _, lp := range cells {
+		if !lp.Applicable() {
+			t.Fatalf("cell %+v violates the lemma's working conditions", lp)
+		}
+		fail := 0
+		for i := 0; i < trials; i++ {
+			if !Lemma1Trial(g, lp) {
+				fail++
+			}
+		}
+		rate := float64(fail) / trials
+		// Allow a small sampling slack over δ itself.
+		if rate > lp.Delta+0.02 {
+			t.Errorf("cell %+v: empirical failure rate %.4f > δ=%.2f", lp, rate, lp.Delta)
+		}
+	}
+}
+
+func TestLemma1Inapplicable(t *testing.T) {
+	lp := Lemma1Params{N: 100, K: 30, P: 0.05, Delta: 0.01}
+	if lp.Applicable() {
+		t.Fatalf("cell %+v should violate n ≥ 4k or kp ≥ 3ln(3/δ)", lp)
+	}
+}
+
+func TestLemma3EmpiricalSuccessRate(t *testing.T) {
+	// Lemma 3 guarantees success probability ≥ 0.09 for K ≥ 2, n ≥ 4K.
+	g := wrand.New(202)
+	const trials = 20000
+	for _, k := range []float64{2, 10, 100, 1000} {
+		n := int(8 * k)
+		succ := 0
+		for i := 0; i < trials; i++ {
+			if Lemma3Trial(g, n, k) {
+				succ++
+			}
+		}
+		rate := float64(succ) / trials
+		if rate < 0.09 {
+			t.Errorf("K=%v n=%d: empirical success rate %.4f < 0.09", k, n, rate)
+		}
+	}
+}
+
+func TestCoreSetSizeBound(t *testing.T) {
+	g := wrand.New(303)
+	items := genItems(g, 50000)
+	cp := CoreSetParams{N: len(items), K: 1000, Lambda: 2}
+	r := CoreSet(g, items, cp)
+	if float64(len(r)) > cp.MaxSize() {
+		t.Fatalf("core-set size %d exceeds Lemma 2 bound %.0f", len(r), cp.MaxSize())
+	}
+	if len(r) == 0 {
+		t.Fatal("core-set empty for a 50k input")
+	}
+	// Core-set items must be actual input items.
+	weights := map[float64]struct{}{}
+	for _, it := range items {
+		weights[it.Weight] = struct{}{}
+	}
+	for _, it := range r {
+		if _, ok := weights[it.Weight]; !ok {
+			t.Fatalf("core-set contains foreign item %+v", it)
+		}
+	}
+}
+
+func TestCoreSetFullCopyWhenPIs1(t *testing.T) {
+	g := wrand.New(404)
+	items := genItems(g, 100)
+	cp := CoreSetParams{N: len(items), K: 1, Lambda: 2} // p ≥ 1
+	r := CoreSet(g, items, cp)
+	if len(r) != len(items) {
+		t.Fatalf("p=1 core-set has %d items, want all %d", len(r), len(items))
+	}
+	// Must be a copy, not an alias.
+	r[0].Weight = -1
+	if items[0].Weight == -1 {
+		t.Fatal("core-set aliases the input slice")
+	}
+}
+
+func TestCoreSetRankGuaranteeEmpirical(t *testing.T) {
+	// E3 in miniature: for queries with |q(D)| ≥ 4K, the pivot element of
+	// q(R) should have rank in [K, 4K] in q(D) for the vast majority of
+	// queries (per-query failure probability is polynomially small).
+	g := wrand.New(505)
+	n := 40000
+	items := genItems(g, n)
+	cp := CoreSetParams{N: n, K: 400, Lambda: 1}
+	r := CoreSet(g, items, cp)
+	pr := cp.PivotRank()
+
+	bad, tested := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		lo := g.Float64() * 50
+		q := span{lo, lo + 20 + g.Float64()*30}
+		qd := oracleTopK(items, q, n) // all matches, sorted desc
+		if float64(len(qd)) < 4*cp.K {
+			continue
+		}
+		qr := oracleTopK(r, q, len(r))
+		if len(qr) < pr {
+			bad++
+			tested++
+			continue
+		}
+		pivot := qr[pr-1].Weight
+		rank, ok := RankOfWeight(qd, pivot)
+		if !ok {
+			t.Fatalf("pivot weight %v not in q(D)", pivot)
+		}
+		tested++
+		if float64(rank) < cp.K || float64(rank) > 4*cp.K {
+			bad++
+		}
+	}
+	if tested < 10 {
+		t.Fatalf("only %d queries were large enough; workload bug", tested)
+	}
+	if bad > tested/5 {
+		t.Errorf("core-set rank guarantee failed on %d/%d large queries", bad, tested)
+	}
+}
+
+func TestPivotRankAndParams(t *testing.T) {
+	if r := pivotRank(1, 2); r != 1 {
+		t.Errorf("pivotRank(1) = %d, want 1", r)
+	}
+	cp := CoreSetParams{N: 1, K: 10, Lambda: 2}
+	if p := cp.P(); p != 1 {
+		t.Errorf("P() for N=1 is %v, want 1", p)
+	}
+	cp = CoreSetParams{N: 1000, K: 100, Lambda: 1}
+	want := 4 * math.Log(1000) / 100
+	if p := cp.P(); math.Abs(p-want) > 1e-12 {
+		t.Errorf("P() = %v, want %v", p, want)
+	}
+}
+
+func TestRankOfWeight(t *testing.T) {
+	items := []Item[float64]{{1, 10}, {2, 30}, {3, 20}}
+	if r, ok := RankOfWeight(items, 30); !ok || r != 1 {
+		t.Errorf("rank of 30 = %d,%v, want 1,true", r, ok)
+	}
+	if r, ok := RankOfWeight(items, 20); !ok || r != 2 {
+		t.Errorf("rank of 20 = %d,%v, want 2,true", r, ok)
+	}
+	if r, ok := RankOfWeight(items, 10); !ok || r != 3 {
+		t.Errorf("rank of 10 = %d,%v, want 3,true", r, ok)
+	}
+	if _, ok := RankOfWeight(items, 99); ok {
+		t.Error("rank of absent weight reported ok")
+	}
+}

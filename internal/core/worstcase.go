@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math"
+
+	"topk/internal/em"
+	"topk/internal/wrand"
+	"topk/internal/xsort"
+)
+
+// This file implements the Theorem 1 reduction (Section 3.2): from any
+// prioritized-reporting structure on a λ-polynomially-bounded problem to a
+// static top-k structure with
+//
+//	S_top(n) = O(S_pri(n))
+//	Q_top(n) = O(Q_pri(n) · log n / (log B + log(Q_pri(n)/log_B n)))
+//
+// The construction defines (Eqs. 8–9)
+//
+//	g = Q_pri(n) / log_B n        (≥ 1 by assumption)
+//	f = 12 λ B Q_pri(n)
+//
+// and has two components:
+//
+//   - a "top-f chain": nested core-sets R_0 = D ⊇ R_1 ⊇ R_2 ⊇ … (each a
+//     Lemma 2 core-set of the previous with K = f), each carrying a
+//     prioritized structure, answering all queries with k ≤ f;
+//   - a "large-k ladder": core-sets R[i] of D with K = 2^(i-1) f for
+//     i = 1..h, each carrying its own top-f chain, answering k > f.
+//
+// Lemma 2 is existential (each sample is good with constant probability),
+// so the query algorithms here are made *self-checking*: whenever a sample
+// fails to deliver the rank guarantee the algorithm detects it (too few
+// elements above the pivot weight) and falls back to an exhaustive
+// prioritized enumeration, preserving correctness unconditionally and the
+// cost bound with the lemma's probability. Fallbacks are counted in Stats.
+
+// WorstCaseOptions configures the Theorem 1 reduction.
+type WorstCaseOptions struct {
+	// B is the block size used in the f and g formulas. The paper assumes
+	// B ≥ 64 in EM; in RAM it is a constant. Default 64.
+	B int
+	// Lambda is the polynomial-boundedness exponent λ of the underlying
+	// problem (|{q(D)}| ≤ n^λ). Default 2, which covers every problem in
+	// the paper's Section 5 (intervals and enclosure have λ ≤ 2,
+	// halfplanes have λ = 2, 3D dominance λ = 3 — pass it explicitly).
+	Lambda float64
+	// QPri estimates Q_pri(n), the query-overhead term of the plugged-in
+	// prioritized structure, in I/Os. Theorem 1 requires
+	// Q_pri(n) ≥ log_B n; the value is clamped up to that.
+	// Default: log_B n.
+	QPri func(n int) float64
+	// FScale multiplies the top-f threshold f = 12λB·Q_pri(n). The
+	// paper's constant is chosen for the asymptotic analysis and makes f
+	// comparable to n at laptop scales; smaller values let experiments
+	// observe the asymptotic regime at feasible n. Correctness is
+	// unaffected — the query algorithms self-check every sample and
+	// repair failures — only the failure probability grows. Default 1.
+	FScale float64
+	// Seed drives the core-set sampling. Same seed ⇒ same structure.
+	Seed uint64
+	// Tracker, when non-nil, is charged for the reduction's own scan and
+	// k-selection I/Os (the plugged-in structures charge theirs
+	// separately, typically to the same tracker).
+	Tracker *em.Tracker
+}
+
+func (o *WorstCaseOptions) fill() {
+	if o.B <= 1 {
+		o.B = 64
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 2
+	}
+	if o.QPri == nil {
+		b := o.B
+		o.QPri = func(n int) float64 { return LogB(n, b) }
+	}
+	if o.FScale <= 0 {
+		o.FScale = 1
+	}
+}
+
+// WorstCaseStats exposes instrumentation of the Theorem 1 structure.
+type WorstCaseStats struct {
+	F            int   // the top-f threshold 12λB·Q_pri(n)
+	ChainLevels  int   // number of nested core-sets on D (h in §3.2)
+	LadderLevels int   // number of large-k core-sets R[i]
+	CoreSetItems int   // total items across all core-sets (space overhead)
+	Queries      int64 // top-k queries answered
+	Fallbacks    int64 // self-check fallbacks taken (bad samples)
+	ChainScans   int64 // bottom-level scans performed
+}
+
+// WorstCase is the Theorem 1 top-k structure. It is static: build once,
+// query many times.
+type WorstCase[Q, V any] struct {
+	opts  WorstCaseOptions
+	match MatchFunc[Q, V]
+	f     int
+	items []Item[V] // D, weight-descending
+	chain *topfChain[Q, V]
+	// ladder[i] is the top-f chain on the core-set R[i+1] with
+	// K = 2^i · f (paper's i = index+1).
+	ladder []*topfChain[Q, V]
+	stats  WorstCaseStats
+}
+
+// topfChain is the nested-core-set structure answering top-f queries
+// (§3.2, "queries with k ≤ f").
+type topfChain[Q, V any] struct {
+	f      int
+	lambda float64
+	levels []chainLevel[Q, V]
+	owner  *WorstCase[Q, V]
+}
+
+type chainLevel[Q, V any] struct {
+	items []Item[V]
+	pri   Prioritized[Q, V]
+}
+
+// NewWorstCase builds the Theorem 1 structure over items. newPri is
+// invoked on D and on every core-set. match is used only for bottom-level
+// scans. It returns an error if the items carry duplicate weights.
+func NewWorstCase[Q, V any](
+	items []Item[V],
+	match MatchFunc[Q, V],
+	newPri PrioritizedFactory[Q, V],
+	opts WorstCaseOptions,
+) (*WorstCase[Q, V], error) {
+	opts.fill()
+	if err := ValidateWeights(items); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	d := make([]Item[V], n)
+	copy(d, items)
+	SortByWeightDesc(d)
+
+	qpri := math.Max(opts.QPri(n), LogB(n, opts.B))
+	f := int(math.Ceil(opts.FScale * 12 * opts.Lambda * float64(opts.B) * qpri))
+	if f < 1 {
+		f = 1
+	}
+
+	w := &WorstCase[Q, V]{opts: opts, match: match, f: f, items: d}
+	g := wrand.New(opts.Seed ^ 0x7461_6f31) // independent stream per structure
+
+	w.chain = buildChain(w, d, newPri, g.Split())
+	w.stats.ChainLevels = len(w.chain.levels)
+
+	// Large-k ladder: R[i] with K = 2^(i-1) f while 2^(i-1) f ≤ n.
+	for k := float64(f); k <= float64(n); k *= 2 {
+		r := CoreSet(g, d, CoreSetParams{N: n, K: k, Lambda: opts.Lambda})
+		w.ladder = append(w.ladder, buildChain(w, r, newPri, g.Split()))
+		w.stats.CoreSetItems += len(r)
+	}
+	w.stats.LadderLevels = len(w.ladder)
+	w.stats.F = f
+	for _, lvl := range w.chain.levels[1:] {
+		w.stats.CoreSetItems += len(lvl.items)
+	}
+	return w, nil
+}
+
+// buildChain constructs the nested top-f chain over base: R_0 = base and
+// R_{i+1} = CoreSet(R_i, K = f) until |R_i| ≤ 4f. The guard against
+// non-shrinking samples keeps construction total even when the lemma's
+// preconditions are violated by tiny inputs.
+func buildChain[Q, V any](
+	owner *WorstCase[Q, V],
+	base []Item[V],
+	newPri PrioritizedFactory[Q, V],
+	g *wrand.RNG,
+) *topfChain[Q, V] {
+	c := &topfChain[Q, V]{f: owner.f, lambda: owner.opts.Lambda, owner: owner}
+	cur := base
+	for {
+		c.levels = append(c.levels, chainLevel[Q, V]{items: cur, pri: newPri(cur)})
+		if len(cur) <= 4*c.f {
+			break
+		}
+		next := CoreSet(g, cur, CoreSetParams{N: len(cur), K: float64(c.f), Lambda: c.lambda})
+		if len(next) >= len(cur) || len(next) == 0 {
+			break // degenerate sample; the current level becomes the base case
+		}
+		cur = next
+	}
+	return c
+}
+
+// N returns the number of indexed items.
+func (w *WorstCase[Q, V]) N() int { return len(w.items) }
+
+// F returns the small/large-k threshold f = 12λB·Q_pri(n).
+func (w *WorstCase[Q, V]) F() int { return w.f }
+
+// Stats returns instrumentation counters.
+func (w *WorstCase[Q, V]) Stats() WorstCaseStats { return w.stats }
+
+// Prioritized exposes the structure's prioritized black box on D (the
+// chain's level 0), so callers can answer prioritized queries without
+// building a second copy.
+func (w *WorstCase[Q, V]) Prioritized() Prioritized[Q, V] { return w.chain.levels[0].pri }
+
+// TopK answers a top-k query (§3.2). The result is weight-descending with
+// min(k, |q(D)|) items.
+func (w *WorstCase[Q, V]) TopK(q Q, k int) []Item[V] {
+	w.stats.Queries++
+	if k <= 0 || len(w.items) == 0 {
+		return nil
+	}
+	n := len(w.items)
+
+	// k ≥ n/2: scan the entire D in O(n/B) = O(k/B) I/Os.
+	if k >= n/2 {
+		return w.scanTopK(q, k)
+	}
+	// k ≤ f: answer as a top-f query followed by k-selection.
+	if k <= w.f {
+		top := w.chain.topF(q)
+		if k < len(top) {
+			top = top[:k]
+		}
+		return top
+	}
+	return w.largeK(q, k)
+}
+
+// largeK answers queries with f < k < n/2 via the ladder (§3.2, "queries
+// with k > f").
+func (w *WorstCase[Q, V]) largeK(q Q, k int) []Item[V] {
+	n := len(w.items)
+	priD := w.chain.levels[0].pri
+
+	// Smallest i ≥ 1 with 2^(i-1) f ≥ k; then K = 2^(i-1) f ∈ [k, 2k).
+	i := 0
+	bigK := w.f
+	for bigK < k && i+1 < len(w.ladder) {
+		bigK *= 2
+		i++
+	}
+	if bigK < k {
+		// Ladder exhausted (can happen only for k close to n/2 with a
+		// degenerate ladder); scanning is within the O(k/B) budget.
+		return w.scanTopK(q, k)
+	}
+
+	// If |q(D)| ≤ 4K, a cost-monitored prioritized query solves it.
+	cand, complete := CollectAtMost(priD, q, math.Inf(-1), 4*bigK)
+	if complete {
+		w.chargeScan(len(cand))
+		return TopKOf(cand, k)
+	}
+
+	// |q(D)| > 4K: fetch the pivot from the core-set R[i] via its top-f
+	// structure, then harvest from D above the pivot's weight.
+	chain := w.ladder[i]
+	r := pivotRank(n, w.opts.Lambda)
+	top := chain.topF(q)
+	if len(top) < r {
+		w.stats.Fallbacks++
+		return w.exhaustive(priD, q, k)
+	}
+	pivot := top[r-1].Weight
+	got, cnt := w.harvest(priD, q, pivot, k)
+	if cnt < k {
+		// The pivot landed above rank k in q(D) (sample failure): the
+		// harvested set may miss part of the answer.
+		w.stats.Fallbacks++
+		return w.exhaustive(priD, q, k)
+	}
+	return got
+}
+
+// topF answers a top-f query on the chain (the inductive algorithm of
+// §3.2), returning min(f, |q(R_0)|) items weight-descending.
+func (c *topfChain[Q, V]) topF(q Q) []Item[V] {
+	return c.query(q, 0)
+}
+
+func (c *topfChain[Q, V]) query(q Q, j int) []Item[V] {
+	w := c.owner
+	lvl := c.levels[j]
+	// Base case: scan the bottom core-set.
+	if j == len(c.levels)-1 {
+		w.stats.ChainScans++
+		w.chargeScan(len(lvl.items))
+		var hit []Item[V]
+		for _, it := range lvl.items {
+			if w.match(q, it.Value) {
+				hit = append(hit, it)
+			}
+		}
+		return TopKOf(hit, c.f)
+	}
+
+	// |q(R_j)| ≤ 4f ⇒ the cost-monitored query solves it directly.
+	cand, complete := CollectAtMost(lvl.pri, q, math.Inf(-1), 4*c.f)
+	if complete {
+		w.chargeScan(len(cand))
+		return TopKOf(cand, c.f)
+	}
+
+	// |q(R_j)| > 4f: recurse for the pivot, then harvest above it.
+	r := pivotRank(len(lvl.items), c.lambda)
+	if r > c.f {
+		r = c.f // Eq. (11) guarantees r ≤ f; clamp for degenerate params
+	}
+	sub := c.query(q, j+1)
+	if len(sub) < r {
+		w.stats.Fallbacks++
+		return w.exhaustive(lvl.pri, q, c.f)
+	}
+	pivot := sub[r-1].Weight
+	got, cnt := w.harvest(lvl.pri, q, pivot, c.f)
+	if cnt < c.f {
+		w.stats.Fallbacks++
+		return w.exhaustive(lvl.pri, q, c.f)
+	}
+	return got
+}
+
+// pivotRank is ⌈8λ ln n⌉, the in-sample rank Lemma 2 certifies for an
+// application of the lemma to a set of size n. (The paper's §3.2 prose
+// writes ⌈8λ ln |q(R_j)|⌉ at the recursion step; the lemma's guarantee is
+// stated for ln of the *input* size, which is what we use — any
+// discrepancy is caught by the self-check and repaired.)
+func pivotRank(n int, lambda float64) int {
+	if n < 2 {
+		return 1
+	}
+	r := int(math.Ceil(8 * lambda * math.Log(float64(n))))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// harvest streams every element of q(·) with weight ≥ pivot through a
+// k-bounded collector. It returns the top-k of that set (weight-descending)
+// and the total number streamed; cnt < k signals that the pivot was too
+// high (a sample failure the caller must repair).
+func (w *WorstCase[Q, V]) harvest(p Prioritized[Q, V], q Q, pivot float64, k int) (top []Item[V], cnt int) {
+	col := xsort.NewCollector(k, LessItems[V])
+	p.ReportAbove(q, pivot, func(it Item[V]) bool {
+		col.Offer(it)
+		cnt++
+		return true
+	})
+	w.chargeScan(cnt) // k-selection over the harvested batch
+	return col.Items(), cnt
+}
+
+// exhaustive answers top-k by draining the prioritized structure with
+// τ = −∞. Correct unconditionally; used only on sample failures.
+func (w *WorstCase[Q, V]) exhaustive(p Prioritized[Q, V], q Q, k int) []Item[V] {
+	col := xsort.NewCollector(k, LessItems[V])
+	n := 0
+	p.ReportAbove(q, math.Inf(-1), func(it Item[V]) bool {
+		col.Offer(it)
+		n++
+		return true
+	})
+	w.chargeScan(n)
+	return col.Items()
+}
+
+// scanTopK answers by scanning all of D (the k ≥ n/2 path).
+func (w *WorstCase[Q, V]) scanTopK(q Q, k int) []Item[V] {
+	w.chargeScan(len(w.items))
+	col := xsort.NewCollector(k, LessItems[V])
+	for _, it := range w.items {
+		if w.match(q, it.Value) {
+			col.Offer(it)
+		}
+	}
+	return col.Items()
+}
+
+func (w *WorstCase[Q, V]) chargeScan(nItems int) {
+	if w.opts.Tracker != nil {
+		w.opts.Tracker.ScanCost(nItems)
+	}
+}

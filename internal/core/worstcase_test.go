@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+func naiveFactory(items []Item[float64]) Prioritized[span, float64] {
+	return newNaive(items)
+}
+
+func buildWC(t *testing.T, g *wrand.RNG, n int, opts WorstCaseOptions) (*WorstCase[span, float64], []Item[float64]) {
+	t.Helper()
+	items := genItems(g, n)
+	wc, err := NewWorstCase(items, spanMatch, naiveFactory, opts)
+	if err != nil {
+		t.Fatalf("NewWorstCase: %v", err)
+	}
+	return wc, items
+}
+
+func TestWorstCaseMatchesOracle(t *testing.T) {
+	g := wrand.New(1)
+	// Small B keeps f small so that all three query paths (chain, ladder,
+	// full scan) are exercised at feasible n.
+	wc, items := buildWC(t, g, 6000, WorstCaseOptions{B: 2, Lambda: 1, Seed: 7})
+	ks := []int{1, 2, 5, wc.F() - 1, wc.F(), wc.F() + 1, 2 * wc.F(), 4000, 6000, 9999}
+	for trial := 0; trial < 60; trial++ {
+		lo := g.Float64() * 100
+		q := span{lo, lo + g.Float64()*60}
+		for _, k := range ks {
+			got := wc.TopK(q, k)
+			want := oracleTopK(items, q, k)
+			sameItems(t, got, want, "worst-case topk")
+		}
+	}
+}
+
+func TestWorstCaseEmptyAndEdgeQueries(t *testing.T) {
+	g := wrand.New(2)
+	wc, items := buildWC(t, g, 500, WorstCaseOptions{B: 2, Lambda: 1, Seed: 3})
+
+	if got := wc.TopK(span{200, 300}, 5); len(got) != 0 {
+		t.Fatalf("empty-range query returned %d items", len(got))
+	}
+	if got := wc.TopK(span{0, 100}, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := wc.TopK(span{0, 100}, -3); got != nil {
+		t.Fatalf("k<0 returned %v", got)
+	}
+	got := wc.TopK(span{0, 100}, 10*len(items))
+	if len(got) != len(items) {
+		t.Fatalf("k≫n returned %d items, want all %d", len(got), len(items))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Weight >= got[i-1].Weight {
+			t.Fatal("result not strictly weight-descending")
+		}
+	}
+}
+
+func TestWorstCaseSingletonAndTiny(t *testing.T) {
+	items := []Item[float64]{{Value: 5, Weight: 1}}
+	wc, err := NewWorstCase(items, spanMatch, naiveFactory, WorstCaseOptions{B: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wc.TopK(span{0, 10}, 3); len(got) != 1 || got[0].Value != 5 {
+		t.Fatalf("singleton query = %+v", got)
+	}
+	empty, err := NewWorstCase(nil, spanMatch, naiveFactory, WorstCaseOptions{B: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.TopK(span{0, 10}, 3); len(got) != 0 {
+		t.Fatalf("empty structure returned %v", got)
+	}
+}
+
+func TestWorstCaseRejectsDuplicateWeights(t *testing.T) {
+	items := []Item[float64]{{1, 5}, {2, 5}}
+	if _, err := NewWorstCase(items, spanMatch, naiveFactory, WorstCaseOptions{}); err == nil {
+		t.Fatal("duplicate weights accepted")
+	}
+}
+
+func TestWorstCaseSpaceIsLinear(t *testing.T) {
+	// Theorem 1: S_top = O(S_pri). With S_pri linear in items, the total
+	// number of core-set items must be O(n) — check the constant is small.
+	g := wrand.New(3)
+	for _, n := range []int{2000, 8000, 32000} {
+		wc, _ := buildWC(t, g, n, WorstCaseOptions{B: 2, Lambda: 1, Seed: 11})
+		st := wc.Stats()
+		if st.CoreSetItems > 3*n {
+			t.Errorf("n=%d: %d core-set items (> 3n); space not linear", n, st.CoreSetItems)
+		}
+		if st.ChainLevels < 1 || st.LadderLevels < 1 {
+			t.Errorf("n=%d: degenerate structure: %+v", n, st)
+		}
+	}
+}
+
+func TestWorstCaseDeterministicForSeed(t *testing.T) {
+	g1, g2 := wrand.New(5), wrand.New(5)
+	items1 := genItems(g1, 3000)
+	items2 := genItems(g2, 3000)
+	wc1, err := NewWorstCase(items1, spanMatch, naiveFactory, WorstCaseOptions{B: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc2, err := NewWorstCase(items2, spanMatch, naiveFactory, WorstCaseOptions{B: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := wc1.Stats(), wc2.Stats()
+	if s1.CoreSetItems != s2.CoreSetItems || s1.ChainLevels != s2.ChainLevels {
+		t.Errorf("same seed produced different structures: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestWorstCaseFallbackRepairsBadSamples is failure injection for the
+// self-checking query path: FScale far below 1 shrinks f until Lemma 2's
+// preconditions (f ≥ 4λ ln n, pivot rank ≤ f) no longer hold, so core-set
+// samples go "bad" and the harvest comes back short. The structure must
+// detect this (Fallbacks > 0) and still answer every query exactly.
+func TestWorstCaseFallbackRepairsBadSamples(t *testing.T) {
+	g := wrand.New(99)
+	items := genItems(g, 20000)
+	wc, err := NewWorstCase(items, spanMatch, naiveFactory,
+		WorstCaseOptions{B: 2, Lambda: 0.02, FScale: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.F() >= 40 {
+		t.Skipf("f = %d; injection needs a tiny f", wc.F())
+	}
+	for trial := 0; trial < 120; trial++ {
+		lo := g.Float64() * 90
+		q := span{lo, lo + 10 + g.Float64()*50}
+		k := 1 + g.IntN(3*wc.F())
+		sameItems(t, wc.TopK(q, k), oracleTopK(items, q, k), "fallback repair")
+	}
+	if wc.Stats().Fallbacks == 0 {
+		t.Log("no fallbacks triggered; injection may need a smaller f (not a failure: answers were exact)")
+	}
+}
+
+func TestWorstCaseFallbacksAreRare(t *testing.T) {
+	g := wrand.New(6)
+	wc, _ := buildWC(t, g, 20000, WorstCaseOptions{B: 2, Lambda: 1, Seed: 13})
+	for trial := 0; trial < 200; trial++ {
+		lo := g.Float64() * 90
+		wc.TopK(span{lo, lo + 10 + g.Float64()*40}, 1+g.IntN(200))
+	}
+	st := wc.Stats()
+	if st.Fallbacks > st.Queries/4 {
+		t.Errorf("fallback rate too high: %d fallbacks over %d queries", st.Fallbacks, st.Queries)
+	}
+}

@@ -1,0 +1,229 @@
+// Package csvload parses the CSV dataset formats accepted by
+// cmd/topk-csv, turning rows into the item types of the public API. It is
+// separate from the command so the parsing and validation logic is unit
+// tested.
+//
+// All formats share the conventions: one record per line, '#' comments
+// and blank lines ignored, an optional header line (detected by a
+// non-numeric first field), weight column required and distinct, and an
+// optional trailing label column.
+package csvload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"topk"
+)
+
+// Kind selects the dataset geometry.
+type Kind string
+
+// Supported dataset kinds.
+const (
+	KindIntervals Kind = "intervals" // lo,hi,weight[,label]
+	KindPoints1D  Kind = "points"    // pos,weight[,label]
+	KindRects     Kind = "rects"     // x1,x2,y1,y2,weight[,label]
+	KindPoints3D  Kind = "points3d"  // x,y,z,weight[,label]
+)
+
+// Kinds lists the supported kinds for usage messages.
+func Kinds() []Kind {
+	return []Kind{KindIntervals, KindPoints1D, KindRects, KindPoints3D}
+}
+
+// numericCols returns the required numeric column count for a kind.
+func numericCols(k Kind) (int, error) {
+	switch k {
+	case KindIntervals:
+		return 3, nil
+	case KindPoints1D:
+		return 2, nil
+	case KindRects:
+		return 5, nil
+	case KindPoints3D:
+		return 4, nil
+	}
+	return 0, fmt.Errorf("csvload: unknown kind %q (supported: %v)", k, Kinds())
+}
+
+// Dataset is the parsed, validated content of one CSV file.
+type Dataset struct {
+	Kind      Kind
+	Intervals []topk.IntervalItem[string]
+	Points1D  []topk.PointItem1[string]
+	Rects     []topk.RectItem[string]
+	Points3D  []topk.DominanceItem[string]
+}
+
+// Len returns the number of parsed records.
+func (d *Dataset) Len() int {
+	switch d.Kind {
+	case KindIntervals:
+		return len(d.Intervals)
+	case KindPoints1D:
+		return len(d.Points1D)
+	case KindRects:
+		return len(d.Rects)
+	case KindPoints3D:
+		return len(d.Points3D)
+	}
+	return 0
+}
+
+// Read parses a CSV stream of the given kind.
+func Read(r io.Reader, kind Kind) (*Dataset, error) {
+	want, err := numericCols(kind)
+	if err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+
+	ds := &Dataset{Kind: kind}
+	seen := map[float64]int{}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvload: %w", err)
+		}
+		line++
+		if len(rec) == 0 || (len(rec) == 1 && strings.TrimSpace(rec[0]) == "") {
+			continue
+		}
+		// Header detection: first record whose first field isn't numeric.
+		if _, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64); err != nil {
+			if line == 1 {
+				continue
+			}
+			return nil, fmt.Errorf("csvload: record %d: non-numeric first field %q", line, rec[0])
+		}
+		if len(rec) < want {
+			return nil, fmt.Errorf("csvload: record %d: %d fields, need ≥ %d for kind %q", line, len(rec), want, kind)
+		}
+		nums := make([]float64, want)
+		for i := 0; i < want; i++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("csvload: record %d field %d: %v", line, i+1, err)
+			}
+			nums[i] = v
+		}
+		label := ""
+		if len(rec) > want {
+			label = strings.TrimSpace(rec[want])
+		}
+		weight := nums[want-1]
+		if prev, dup := seen[weight]; dup {
+			return nil, fmt.Errorf("csvload: record %d: weight %v duplicates record %d (weights must be distinct)", line, weight, prev)
+		}
+		seen[weight] = line
+
+		switch kind {
+		case KindIntervals:
+			if nums[0] > nums[1] {
+				return nil, fmt.Errorf("csvload: record %d: interval lo %v > hi %v", line, nums[0], nums[1])
+			}
+			ds.Intervals = append(ds.Intervals, topk.IntervalItem[string]{
+				Lo: nums[0], Hi: nums[1], Weight: weight, Data: label,
+			})
+		case KindPoints1D:
+			ds.Points1D = append(ds.Points1D, topk.PointItem1[string]{
+				Pos: nums[0], Weight: weight, Data: label,
+			})
+		case KindRects:
+			if nums[0] > nums[1] || nums[2] > nums[3] {
+				return nil, fmt.Errorf("csvload: record %d: malformed rectangle", line)
+			}
+			ds.Rects = append(ds.Rects, topk.RectItem[string]{
+				X1: nums[0], X2: nums[1], Y1: nums[2], Y2: nums[3], Weight: weight, Data: label,
+			})
+		case KindPoints3D:
+			ds.Points3D = append(ds.Points3D, topk.DominanceItem[string]{
+				X: nums[0], Y: nums[1], Z: nums[2], Weight: weight, Data: label,
+			})
+		}
+	}
+	return ds, nil
+}
+
+// Result is one answer row from Query.
+type Result struct {
+	Weight float64
+	Label  string
+	Desc   string // human-readable element description
+}
+
+// Query builds the index for the dataset's kind and answers one top-k
+// query with the given numeric arguments (the predicate parameters for
+// the kind: intervals/points take 1 or 2 args, rects 2, points3d 3).
+func (d *Dataset) Query(args []float64, k int, opts ...topk.Option) ([]Result, error) {
+	switch d.Kind {
+	case KindIntervals:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("csvload: kind %q takes 1 query arg (stab point), got %d", d.Kind, len(args))
+		}
+		ix, err := topk.NewIntervalIndex(d.Intervals, opts...)
+		if err != nil {
+			return nil, err
+		}
+		var out []Result
+		for _, it := range ix.TopK(args[0], k) {
+			out = append(out, Result{Weight: it.Weight, Label: it.Data,
+				Desc: fmt.Sprintf("[%g, %g]", it.Lo, it.Hi)})
+		}
+		return out, nil
+	case KindPoints1D:
+		if len(args) != 2 {
+			return nil, fmt.Errorf("csvload: kind %q takes 2 query args (lo hi), got %d", d.Kind, len(args))
+		}
+		ix, err := topk.NewRangeIndex(d.Points1D, opts...)
+		if err != nil {
+			return nil, err
+		}
+		var out []Result
+		for _, it := range ix.TopK(args[0], args[1], k) {
+			out = append(out, Result{Weight: it.Weight, Label: it.Data,
+				Desc: fmt.Sprintf("pos=%g", it.Pos)})
+		}
+		return out, nil
+	case KindRects:
+		if len(args) != 2 {
+			return nil, fmt.Errorf("csvload: kind %q takes 2 query args (x y), got %d", d.Kind, len(args))
+		}
+		ix, err := topk.NewEnclosureIndex(d.Rects, opts...)
+		if err != nil {
+			return nil, err
+		}
+		var out []Result
+		for _, it := range ix.TopK(args[0], args[1], k) {
+			out = append(out, Result{Weight: it.Weight, Label: it.Data,
+				Desc: fmt.Sprintf("[%g,%g]x[%g,%g]", it.X1, it.X2, it.Y1, it.Y2)})
+		}
+		return out, nil
+	case KindPoints3D:
+		if len(args) != 3 {
+			return nil, fmt.Errorf("csvload: kind %q takes 3 query args (x y z), got %d", d.Kind, len(args))
+		}
+		ix, err := topk.NewDominanceIndex(d.Points3D, opts...)
+		if err != nil {
+			return nil, err
+		}
+		var out []Result
+		for _, it := range ix.TopK(args[0], args[1], args[2], k) {
+			out = append(out, Result{Weight: it.Weight, Label: it.Data,
+				Desc: fmt.Sprintf("(%g, %g, %g)", it.X, it.Y, it.Z)})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("csvload: unknown kind %q", d.Kind)
+}

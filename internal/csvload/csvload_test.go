@@ -1,0 +1,129 @@
+package csvload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadIntervals(t *testing.T) {
+	in := `# sessions
+lo,hi,weight,label
+0,45,912,alice
+10,25,340,bob
+
+15,80,2048,carol
+`
+	ds, err := Read(strings.NewReader(in), KindIntervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ds.Len())
+	}
+	if ds.Intervals[1].Data != "bob" || ds.Intervals[1].Weight != 340 {
+		t.Fatalf("row 2 = %+v", ds.Intervals[1])
+	}
+
+	res, err := ds.Query([]float64{21}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Label != "carol" || res[1].Label != "alice" {
+		t.Fatalf("query = %+v", res)
+	}
+}
+
+func TestReadPoints1DAndQuery(t *testing.T) {
+	in := "1,10,a\n5,30,b\n9,20,c\n"
+	ds, err := Read(strings.NewReader(in), KindPoints1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.Query([]float64{0, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Label != "b" {
+		t.Fatalf("query = %+v", res)
+	}
+	if _, err := ds.Query([]float64{0}, 1); err == nil {
+		t.Fatal("wrong arg count accepted")
+	}
+}
+
+func TestReadRectsAndPoints3D(t *testing.T) {
+	rects := "0,10,0,10,5,r1\n5,15,5,15,7,r2\n"
+	ds, err := Read(strings.NewReader(rects), KindRects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.Query([]float64{7, 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Label != "r2" {
+		t.Fatalf("rect query = %+v", res)
+	}
+
+	p3 := "100,2,3,4.5,hotelA\n80,1,2,4.9,hotelB\n"
+	ds, err = Read(strings.NewReader(p3), KindPoints3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ds.Query([]float64{90, 5, 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Label != "hotelB" {
+		t.Fatalf("3d query = %+v", res)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		in   string
+	}{
+		{"unknown kind", Kind("bogus"), "1,2,3\n"},
+		{"too few fields", KindIntervals, "1,2\n"},
+		{"bad number", KindIntervals, "1,2,x\n"},
+		{"duplicate weight", KindIntervals, "1,2,5\n3,4,5\n"},
+		{"reversed interval", KindIntervals, "9,2,5\n"},
+		{"reversed rect", KindRects, "9,2,0,1,5\n"},
+		{"header not first", KindPoints1D, "1,2\nfoo,bar\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in), c.kind); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestKindsListed(t *testing.T) {
+	if len(Kinds()) != 4 {
+		t.Fatalf("Kinds() = %v", Kinds())
+	}
+	for _, k := range Kinds() {
+		if _, err := numericCols(k); err != nil {
+			t.Errorf("kind %q unsupported by numericCols", k)
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	ds, err := Read(strings.NewReader(""), KindPoints1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 0 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	res, err := ds.Query([]float64{0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty dataset returned %+v", res)
+	}
+}

@@ -1,0 +1,224 @@
+// Package em simulates the external-memory (EM) model of Aggarwal and
+// Vitter, the cost model in which the paper states all of its bounds.
+//
+// A machine has M words of internal memory and a disk formatted into blocks
+// of B words each (the paper assumes B >= 64 and M >= 2B). An I/O reads one
+// block into memory or writes one block back. The cost of an algorithm is
+// the number of I/Os it performs; the space of a structure is the number of
+// blocks it occupies.
+//
+// Data structures in this repository do not serialize their nodes to a real
+// disk. Instead they organize their nodes into logical blocks and charge
+// every block touch through a Tracker, which maintains an LRU cache of M/B
+// frames (touches that hit the cache are free, exactly as in the model) and
+// counts the misses. This measures precisely the quantity the paper's
+// theorems bound, while keeping the structures themselves ordinary Go
+// values that tests can inspect.
+package em
+
+import "fmt"
+
+// BlockID identifies one logical disk block. The zero value is invalid.
+type BlockID uint64
+
+// Config fixes the machine parameters of the simulated EM machine.
+type Config struct {
+	// B is the number of words per block. The paper assumes B >= 64.
+	B int
+	// MemBlocks is the number of block frames that fit in memory (M/B).
+	// The paper requires M >= 2B, i.e. MemBlocks >= 2.
+	MemBlocks int
+}
+
+// DefaultConfig mirrors the paper's running assumptions: B = 64 words and a
+// small memory of 8 frames, so that cache effects stay secondary to the
+// asymptotic I/O counts being measured.
+func DefaultConfig() Config { return Config{B: 64, MemBlocks: 8} }
+
+func (c Config) validate() error {
+	if c.B < 1 {
+		return fmt.Errorf("em: block size B = %d, need >= 1", c.B)
+	}
+	if c.MemBlocks < 2 {
+		return fmt.Errorf("em: memory holds %d blocks, model requires M >= 2B", c.MemBlocks)
+	}
+	return nil
+}
+
+// Stats is a snapshot of I/O and space counters.
+type Stats struct {
+	Reads  int64 // block reads that missed the cache
+	Writes int64 // block writes
+	Hits   int64 // block touches served from the memory cache
+	Blocks int64 // blocks currently allocated (space in the model)
+}
+
+// IOs returns the total I/O count (reads + writes), the paper's cost metric.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Sub returns the counter deltas s - t. Blocks is copied from s, since
+// space is a level, not a flow.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Reads:  s.Reads - t.Reads,
+		Writes: s.Writes - t.Writes,
+		Hits:   s.Hits - t.Hits,
+		Blocks: s.Blocks,
+	}
+}
+
+// Tracker charges I/Os for block touches on one simulated EM machine.
+// A Tracker is not safe for concurrent use; each index owns its own.
+type Tracker struct {
+	cfg    Config
+	next   BlockID
+	stats  Stats
+	cache  *lruCache
+	frozen bool
+}
+
+// NewTracker builds a tracker for the given machine configuration.
+// It panics if the configuration violates the model's constraints, since a
+// misconfigured cost model would silently invalidate every measurement.
+func NewTracker(cfg Config) *Tracker {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Tracker{cfg: cfg, next: 1, cache: newLRUCache(cfg.MemBlocks)}
+}
+
+// B returns the block size in words.
+func (t *Tracker) B() int { return t.cfg.B }
+
+// Config returns the machine configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Stats returns a snapshot of the counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// ResetCounters zeroes the I/O counters (reads, writes, hits) but keeps the
+// allocation count and cache contents, so that build cost and query cost
+// can be measured separately.
+func (t *Tracker) ResetCounters() {
+	t.stats.Reads, t.stats.Writes, t.stats.Hits = 0, 0, 0
+}
+
+// DropCache evicts every cached block, forcing subsequent touches to pay
+// full I/O cost. Queries measured from a cold cache reflect the paper's
+// worst-case accounting.
+func (t *Tracker) DropCache() { t.cache.clear() }
+
+// Alloc reserves one new block and returns its ID. Allocation itself
+// charges one write I/O (the block must reach disk at least once).
+func (t *Tracker) Alloc() BlockID {
+	id := t.next
+	t.next++
+	t.stats.Blocks++
+	t.stats.Writes++
+	t.cache.touch(id)
+	return id
+}
+
+// AllocRun reserves n consecutive blocks (e.g. the leaf level of a static
+// structure) and returns the first ID. It charges n write I/Os.
+func (t *Tracker) AllocRun(n int) BlockID {
+	if n <= 0 {
+		panic("em: AllocRun with n <= 0")
+	}
+	id := t.next
+	t.next += BlockID(n)
+	t.stats.Blocks += int64(n)
+	t.stats.Writes += int64(n)
+	return id
+}
+
+// Free releases a block. Space accounting only; no I/O is charged.
+func (t *Tracker) Free(id BlockID) {
+	if id == 0 {
+		return
+	}
+	t.stats.Blocks--
+	t.cache.evict(id)
+}
+
+// FreeRun releases n consecutive blocks starting at id.
+func (t *Tracker) FreeRun(id BlockID, n int) {
+	for i := 0; i < n; i++ {
+		t.Free(id + BlockID(i))
+	}
+}
+
+// Read charges for reading one block: a cache hit is free, a miss costs one
+// I/O and makes the block resident.
+func (t *Tracker) Read(id BlockID) {
+	if id == 0 {
+		panic("em: read of invalid block 0")
+	}
+	if t.cache.touch(id) {
+		t.stats.Hits++
+		return
+	}
+	t.stats.Reads++
+}
+
+// Write charges one write I/O for block id and makes it resident.
+func (t *Tracker) Write(id BlockID) {
+	if id == 0 {
+		panic("em: write of invalid block 0")
+	}
+	t.cache.touch(id)
+	t.stats.Writes++
+}
+
+// ReadRun charges for a sequential scan of n consecutive blocks starting at
+// id. Sequential scans of runs longer than the cache bypass it (as a real
+// scan would flush itself), so each block costs one read.
+func (t *Tracker) ReadRun(id BlockID, n int) {
+	if n <= 0 {
+		return
+	}
+	if n <= t.cfg.MemBlocks {
+		for i := 0; i < n; i++ {
+			t.Read(id + BlockID(i))
+		}
+		return
+	}
+	t.stats.Reads += int64(n)
+}
+
+// PathCost charges the I/Os of walking `nodes` nodes of a bounded-degree
+// search tree stored in a blocked (van Emde Boas style) layout, in which
+// any top-down walk of d nodes touches O(d / log₂B) blocks — the standard
+// way EM structures store binary search trees. One read is charged per
+// ⌊log₂B⌋ nodes walked.
+func (t *Tracker) PathCost(nodes int) {
+	if nodes <= 0 {
+		return
+	}
+	per := 1
+	for b := t.cfg.B; b > 1; b >>= 1 {
+		per++
+	}
+	t.stats.Reads += int64((nodes + per - 1) / per)
+}
+
+// ScanCost charges the I/Os of scanning nItems items packed B-per-block:
+// ceil(nItems/B) reads. It is the standard O(t/B) output term. The scan is
+// charged directly (no cache interaction) because reporting output is
+// written to the query answer, not revisited.
+func (t *Tracker) ScanCost(nItems int) {
+	if nItems <= 0 {
+		return
+	}
+	t.stats.Reads += int64((nItems + t.cfg.B - 1) / t.cfg.B)
+}
+
+// BlocksFor returns how many blocks are needed to store nItems items of
+// wordsPerItem words each, packed contiguously.
+func BlocksFor(nItems, wordsPerItem, b int) int64 {
+	if nItems <= 0 {
+		return 0
+	}
+	words := int64(nItems) * int64(wordsPerItem)
+	return (words + int64(b) - 1) / int64(b)
+}

@@ -1,0 +1,180 @@
+package em
+
+import "testing"
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTracker accepted MemBlocks = 1, want panic (model requires M >= 2B)")
+		}
+	}()
+	NewTracker(Config{B: 64, MemBlocks: 1})
+}
+
+func TestAllocChargesWriteAndSpace(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 4})
+	id := tr.Alloc()
+	if id == 0 {
+		t.Fatal("Alloc returned invalid block 0")
+	}
+	st := tr.Stats()
+	if st.Writes != 1 || st.Blocks != 1 {
+		t.Fatalf("after Alloc: writes=%d blocks=%d, want 1,1", st.Writes, st.Blocks)
+	}
+	tr.Free(id)
+	if got := tr.Stats().Blocks; got != 0 {
+		t.Fatalf("after Free: blocks=%d, want 0", got)
+	}
+}
+
+func TestReadHitsAndMisses(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 2})
+	a, b, c := tr.Alloc(), tr.Alloc(), tr.Alloc()
+	tr.DropCache()
+	tr.ResetCounters()
+
+	tr.Read(a) // miss
+	tr.Read(a) // hit
+	tr.Read(b) // miss
+	tr.Read(c) // miss, evicts a (LRU)
+	tr.Read(a) // miss again
+	st := tr.Stats()
+	if st.Reads != 4 {
+		t.Errorf("reads = %d, want 4", st.Reads)
+	}
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 2})
+	a, b, c := tr.Alloc(), tr.Alloc(), tr.Alloc()
+	tr.DropCache()
+	tr.ResetCounters()
+
+	tr.Read(a)
+	tr.Read(b)
+	tr.Read(a) // refresh a so that b is LRU
+	tr.Read(c) // should evict b, not a
+	tr.ResetCounters()
+	tr.Read(a)
+	if got := tr.Stats().Hits; got != 1 {
+		t.Errorf("read(a) after refresh: hits=%d, want 1 (a should be resident)", got)
+	}
+	tr.Read(b)
+	if got := tr.Stats().Reads; got != 1 {
+		t.Errorf("read(b): reads=%d, want 1 (b should have been evicted)", got)
+	}
+}
+
+func TestScanCost(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 4})
+	tr.ScanCost(0)
+	if got := tr.Stats().Reads; got != 0 {
+		t.Errorf("ScanCost(0) charged %d reads, want 0", got)
+	}
+	tr.ScanCost(1)
+	if got := tr.Stats().Reads; got != 1 {
+		t.Errorf("ScanCost(1) charged %d reads, want 1", got)
+	}
+	tr.ResetCounters()
+	tr.ScanCost(65) // 65 items at B=64 -> 2 blocks
+	if got := tr.Stats().Reads; got != 2 {
+		t.Errorf("ScanCost(65) charged %d reads, want 2", got)
+	}
+	tr.ResetCounters()
+	tr.ScanCost(128)
+	if got := tr.Stats().Reads; got != 2 {
+		t.Errorf("ScanCost(128) charged %d reads, want 2", got)
+	}
+}
+
+func TestReadRunBypassesCacheWhenLong(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 2})
+	first := tr.AllocRun(10)
+	tr.DropCache()
+	tr.ResetCounters()
+	tr.ReadRun(first, 10)
+	st := tr.Stats()
+	if st.Reads != 10 || st.Hits != 0 {
+		t.Errorf("long ReadRun: reads=%d hits=%d, want 10,0", st.Reads, st.Hits)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	a := tr.Alloc()
+	tr.DropCache()
+	before := tr.Stats()
+	tr.Read(a)
+	tr.Read(a)
+	d := tr.Stats().Sub(before)
+	if d.Reads != 1 || d.Hits != 1 {
+		t.Errorf("delta reads=%d hits=%d, want 1,1", d.Reads, d.Hits)
+	}
+	if d.IOs() != 1 {
+		t.Errorf("delta IOs=%d, want 1", d.IOs())
+	}
+}
+
+func TestBlocksFor(t *testing.T) {
+	cases := []struct {
+		items, words, b int
+		want            int64
+	}{
+		{0, 2, 64, 0},
+		{1, 2, 64, 1},
+		{32, 2, 64, 1},
+		{33, 2, 64, 2},
+		{64, 1, 64, 1},
+		{65, 1, 64, 2},
+	}
+	for _, c := range cases {
+		if got := BlocksFor(c.items, c.words, c.b); got != c.want {
+			t.Errorf("BlocksFor(%d,%d,%d) = %d, want %d", c.items, c.words, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFreeRunAndCacheEviction(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 4})
+	first := tr.AllocRun(3)
+	tr.Read(first)
+	tr.FreeRun(first, 3)
+	if got := tr.Stats().Blocks; got != 0 {
+		t.Errorf("blocks after FreeRun = %d, want 0", got)
+	}
+	if tr.cache.len() != 0 {
+		t.Errorf("cache still holds %d freed blocks", tr.cache.len())
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 2})
+	tr.PathCost(0)
+	if got := tr.Stats().Reads; got != 0 {
+		t.Errorf("PathCost(0) charged %d reads", got)
+	}
+	// B=64: per = 7 (1 + log2 64). 1..7 nodes -> 1 read; 8 -> 2.
+	tr.PathCost(1)
+	if got := tr.Stats().Reads; got != 1 {
+		t.Errorf("PathCost(1) charged %d reads, want 1", got)
+	}
+	tr.ResetCounters()
+	tr.PathCost(7)
+	if got := tr.Stats().Reads; got != 1 {
+		t.Errorf("PathCost(7) charged %d reads, want 1", got)
+	}
+	tr.ResetCounters()
+	tr.PathCost(8)
+	if got := tr.Stats().Reads; got != 2 {
+		t.Errorf("PathCost(8) charged %d reads, want 2", got)
+	}
+	// Larger B packs more nodes per block.
+	tr2 := NewTracker(Config{B: 1024, MemBlocks: 2})
+	tr2.PathCost(11)
+	if got := tr2.Stats().Reads; got != 1 {
+		t.Errorf("B=1024 PathCost(11) charged %d reads, want 1", got)
+	}
+}

@@ -1,0 +1,57 @@
+package halfspace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"topk/internal/core"
+	"topk/internal/wrand"
+)
+
+// TestPolynomialBoundedness2D samples halfplanes densely and counts the
+// distinct outcomes q(D): the paper's §1.3 remark says there are O(n²)
+// because every outcome boundary is a line through two input points. A
+// sampled count can only under-estimate, so exceeding the bound disproves
+// the claim while passing is consistent with it.
+func TestPolynomialBoundedness2D(t *testing.T) {
+	g := wrand.New(56)
+	for _, n := range []int{4, 12, 30} {
+		items := genPoints2(g, n)
+		outcomes := map[string]struct{}{}
+		// Dense directional + offset sampling, plus halfplanes through
+		// point pairs (the actual outcome boundaries).
+		for trial := 0; trial < 4000; trial++ {
+			q := randHalfplane(g)
+			outcomes[outcome2(items, q)] = struct{}{}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a := items[j].Value.Y - items[i].Value.Y
+				b := items[i].Value.X - items[j].Value.X
+				c := a*items[i].Value.X + b*items[i].Value.Y
+				for _, eps := range []float64{-1e-9, 0, 1e-9} {
+					outcomes[outcome2(items, Halfplane{A: a, B: b, C: c + eps})] = struct{}{}
+					outcomes[outcome2(items, Halfplane{A: -a, B: -b, C: -c + eps})] = struct{}{}
+				}
+			}
+		}
+		bound := 3 * math.Pow(float64(n), Lambda)
+		if float64(len(outcomes)) > bound {
+			t.Fatalf("n=%d: %d distinct outcomes > 3·n^%d = %.0f — λ claim broken",
+				n, len(outcomes), int(Lambda), bound)
+		}
+	}
+}
+
+func outcome2(items []core.Item[Pt2], q Halfplane) string {
+	var ws []float64
+	for _, it := range items {
+		if q.Contains(it.Value) {
+			ws = append(ws, it.Weight)
+		}
+	}
+	sort.Float64s(ws)
+	return fmt.Sprint(ws)
+}

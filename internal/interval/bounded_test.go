@@ -1,0 +1,74 @@
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"topk/internal/core"
+	"topk/internal/wrand"
+)
+
+// TestPolynomialBoundedness verifies the hypothesis Theorem 1 rests on for
+// this problem: interval stabbing is λ-polynomially bounded with λ = 1 —
+// the 2n endpoints split ℝ into at most 2n+1 regions, each with one
+// outcome q(D). We enumerate the outcomes exactly by probing one
+// representative per region (and each endpoint itself) and deduplicating
+// the result sets.
+func TestPolynomialBoundedness(t *testing.T) {
+	g := wrand.New(55)
+	for _, n := range []int{5, 20, 100} {
+		items := genIntervals(g, n)
+
+		coords := make([]float64, 0, 2*n)
+		for _, it := range items {
+			coords = append(coords, it.Value.Lo, it.Value.Hi)
+		}
+		sort.Float64s(coords)
+
+		probes := make([]float64, 0, 4*n+2)
+		probes = append(probes, coords[0]-1, coords[len(coords)-1]+1)
+		for i, c := range coords {
+			probes = append(probes, c) // the endpoint itself
+			if i+1 < len(coords) && coords[i+1] > c {
+				probes = append(probes, (c+coords[i+1])/2) // the open gap
+			}
+		}
+
+		outcomes := map[string]struct{}{}
+		for _, q := range probes {
+			outcomes[outcomeKey(items, q)] = struct{}{}
+		}
+		bound := 2*len(coordsDedup(coords)) + 1
+		if len(outcomes) > bound {
+			t.Fatalf("n=%d: %d distinct outcomes > region bound %d — λ=1 claim broken",
+				n, len(outcomes), bound)
+		}
+		// λ = Lambda must also cover it asymptotically: c·n^λ with c = 3.
+		if float64(len(outcomes)) > 3*math.Pow(float64(n), Lambda) {
+			t.Fatalf("n=%d: %d outcomes exceed 3·n^λ (λ=%d)", n, len(outcomes), Lambda)
+		}
+	}
+}
+
+func coordsDedup(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func outcomeKey(items []core.Item[Interval], q float64) string {
+	var ws []float64
+	for _, it := range items {
+		if it.Value.Contains(q) {
+			ws = append(ws, it.Weight)
+		}
+	}
+	sort.Float64s(ws)
+	return fmt.Sprint(ws)
+}

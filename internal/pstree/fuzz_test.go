@@ -1,0 +1,74 @@
+package pstree
+
+import "testing"
+
+// FuzzPersistence drives random op sequences, checkpointing every few ops
+// and re-verifying every checkpoint (contents + invariants) at the end —
+// persistence means history must never change.
+func FuzzPersistence(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 0, 3, 2, 2})
+	f.Add([]byte{0, 9, 0, 9, 1, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Version[int]
+		type checkpoint struct {
+			ver    Version[int]
+			oracle map[float64]int
+		}
+		var cps []checkpoint
+		oracle := map[float64]int{}
+		snapshot := func() {
+			cp := checkpoint{ver: v, oracle: make(map[float64]int, len(oracle))}
+			for k, val := range oracle {
+				cp.oracle[k] = val
+			}
+			cps = append(cps, cp)
+		}
+		snapshot()
+		for i := 0; i+1 < len(data); i += 2 {
+			op, kb := data[i]%3, data[i+1]%64
+			k := float64(kb)
+			switch op {
+			case 0:
+				v = v.Insert(k, i)
+				oracle[k] = i
+			case 1:
+				var removed bool
+				v, removed = v.Delete(k)
+				_, want := oracle[k]
+				if removed != want {
+					t.Fatalf("Delete(%v) = %v, oracle %v", k, removed, want)
+				}
+				delete(oracle, k)
+			case 2:
+				var rm []Entry[int]
+				hi := k + float64(data[i]%8)
+				v, rm = v.DeleteRange(k, hi)
+				for _, e := range rm {
+					if _, present := oracle[e.Key]; !present {
+						t.Fatalf("DeleteRange removed absent key %v", e.Key)
+					}
+					delete(oracle, e.Key)
+				}
+			}
+			if i%6 == 0 {
+				snapshot()
+			}
+		}
+		snapshot()
+		for ci, cp := range cps {
+			if err := cp.ver.CheckInvariants(); err != nil {
+				t.Fatalf("checkpoint %d: %v", ci, err)
+			}
+			if cp.ver.Len() != len(cp.oracle) {
+				t.Fatalf("checkpoint %d: Len=%d oracle=%d", ci, cp.ver.Len(), len(cp.oracle))
+			}
+			for k, want := range cp.oracle {
+				got, ok := cp.ver.Get(k)
+				if !ok || got != want {
+					t.Fatalf("checkpoint %d: Get(%v) = (%v,%v), want %v", ci, k, got, ok, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package pstree
+
+import "fmt"
+
+// CheckInvariants verifies the version's structural invariants — key
+// order, heap order, size augmentation — returning the first violation.
+// Because versions share structure, checking one version exercises the
+// shared spine too. O(n) per version.
+func (v Version[V]) CheckInvariants() error {
+	_, err := pcheck(v.root)
+	return err
+}
+
+func pcheck[V any](n *pnode[V]) (int, error) {
+	if n == nil {
+		return 0, nil
+	}
+	ls, err := pcheck(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := pcheck(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if n.left != nil {
+		if n.left.key >= n.key {
+			return 0, fmt.Errorf("pstree: key order violated: %v >= %v", n.left.key, n.key)
+		}
+		if n.left.prio > n.prio {
+			return 0, fmt.Errorf("pstree: heap order violated at %v", n.key)
+		}
+	}
+	if n.right != nil {
+		if n.right.key <= n.key {
+			return 0, fmt.Errorf("pstree: key order violated: %v <= %v", n.right.key, n.key)
+		}
+		if n.right.prio > n.prio {
+			return 0, fmt.Errorf("pstree: heap order violated at %v", n.key)
+		}
+	}
+	size := 1 + ls + rs
+	if n.size != size {
+		return 0, fmt.Errorf("pstree: size augment at %v is %d, want %d", n.key, n.size, size)
+	}
+	return size, nil
+}

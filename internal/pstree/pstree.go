@@ -1,0 +1,239 @@
+// Package pstree implements a partially persistent sorted map as a
+// path-copying treap. Every update returns a new immutable version; old
+// versions remain queryable forever.
+//
+// This is the Sarnak–Tarjan technique the paper leans on in Sections 5.3
+// and 5.4 (point location among winner regions): sweeping a line through a
+// subdivision while keeping every intermediate status structure alive
+// turns a dynamic 1D problem into a static 2D one. The dominance and
+// halfspace packages use it to store one "step function" version per sweep
+// event in O(log n) extra space per event.
+//
+// Keys are float64; values are generic. Node priorities are deterministic
+// hashes of the keys, so identical key sets produce identical shapes and
+// tests are reproducible.
+package pstree
+
+import "math"
+
+// Version is an immutable snapshot of the map. The zero value is the empty
+// map. Versions are cheap values (a single pointer) and may be copied
+// freely.
+type Version[V any] struct {
+	root *pnode[V]
+}
+
+type pnode[V any] struct {
+	key         float64
+	val         V
+	prio        uint64
+	size        int
+	left, right *pnode[V]
+}
+
+func hashPrio(k float64) uint64 {
+	x := math.Float64bits(k) + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func size[V any](n *pnode[V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+// clone copies a node for path copying.
+func clone[V any](n *pnode[V]) *pnode[V] {
+	c := *n
+	return &c
+}
+
+func pull[V any](n *pnode[V]) *pnode[V] {
+	n.size = 1 + size(n.left) + size(n.right)
+	return n
+}
+
+// Len returns the number of entries in this version.
+func (v Version[V]) Len() int { return size(v.root) }
+
+// splitLess returns persistent (keys < k, keys ≥ k); input is unmodified.
+func splitLess[V any](n *pnode[V], k float64) (l, r *pnode[V]) {
+	if n == nil {
+		return nil, nil
+	}
+	c := clone(n)
+	if c.key < k {
+		var rr *pnode[V]
+		c.right, rr = splitLess(c.right, k)
+		return pull(c), rr
+	}
+	var ll *pnode[V]
+	ll, c.left = splitLess(c.left, k)
+	return ll, pull(c)
+}
+
+// splitLeq returns persistent (keys ≤ k, keys > k).
+func splitLeq[V any](n *pnode[V], k float64) (l, r *pnode[V]) {
+	if n == nil {
+		return nil, nil
+	}
+	c := clone(n)
+	if c.key <= k {
+		var rr *pnode[V]
+		c.right, rr = splitLeq(c.right, k)
+		return pull(c), rr
+	}
+	var ll *pnode[V]
+	ll, c.left = splitLeq(c.left, k)
+	return ll, pull(c)
+}
+
+func merge[V any](a, b *pnode[V]) *pnode[V] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio >= b.prio {
+		c := clone(a)
+		c.right = merge(c.right, b)
+		return pull(c)
+	}
+	c := clone(b)
+	c.left = merge(a, c.left)
+	return pull(c)
+}
+
+// Insert returns a new version with (k, val) set, replacing any existing
+// entry at k. The receiver version is unchanged.
+func (v Version[V]) Insert(k float64, val V) Version[V] {
+	l, rest := splitLess(v.root, k)
+	_, r := splitLeq(rest, k) // drop any existing entry at k
+	n := &pnode[V]{key: k, val: val, prio: hashPrio(k), size: 1}
+	return Version[V]{root: merge(merge(l, n), r)}
+}
+
+// Delete returns a new version without key k, and whether it was present.
+func (v Version[V]) Delete(k float64) (Version[V], bool) {
+	l, rest := splitLess(v.root, k)
+	mid, r := splitLeq(rest, k)
+	return Version[V]{root: merge(l, r)}, mid != nil
+}
+
+// Get returns the value at key k.
+func (v Version[V]) Get(k float64) (val V, ok bool) {
+	n := v.root
+	for n != nil {
+		switch {
+		case k < n.key:
+			n = n.left
+		case k > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return val, false
+}
+
+// Floor returns the entry with the greatest key ≤ x.
+func (v Version[V]) Floor(x float64) (key float64, val V, ok bool) {
+	n := v.root
+	for n != nil {
+		if n.key <= x {
+			key, val, ok = n.key, n.val, true
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return key, val, ok
+}
+
+// Ceiling returns the entry with the smallest key ≥ x.
+func (v Version[V]) Ceiling(x float64) (key float64, val V, ok bool) {
+	n := v.root
+	for n != nil {
+		if n.key >= x {
+			key, val, ok = n.key, n.val, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return key, val, ok
+}
+
+// Min returns the smallest entry.
+func (v Version[V]) Min() (key float64, val V, ok bool) {
+	n := v.root
+	for n != nil {
+		key, val, ok = n.key, n.val, true
+		n = n.left
+	}
+	return key, val, ok
+}
+
+// Max returns the largest entry.
+func (v Version[V]) Max() (key float64, val V, ok bool) {
+	n := v.root
+	for n != nil {
+		key, val, ok = n.key, n.val, true
+		n = n.right
+	}
+	return key, val, ok
+}
+
+// Ascend visits entries with key ≥ from in ascending key order until visit
+// returns false.
+func (v Version[V]) Ascend(from float64, visit func(key float64, val V) bool) {
+	ascend(v.root, from, visit)
+}
+
+func ascend[V any](n *pnode[V], from float64, visit func(float64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key >= from {
+		if !ascend(n.left, from, visit) {
+			return false
+		}
+		if !visit(n.key, n.val) {
+			return false
+		}
+	}
+	return ascend(n.right, from, visit)
+}
+
+// DeleteRange returns a version with every key in [lo, hi] removed, along
+// with the removed entries in ascending order. This is the "splice" the
+// sweep structures use: superseded steps leave in one O(log n + r) op.
+func (v Version[V]) DeleteRange(lo, hi float64) (Version[V], []Entry[V]) {
+	l, rest := splitLess(v.root, lo)
+	mid, r := splitLeq(rest, hi)
+	var out []Entry[V]
+	collect(mid, &out)
+	return Version[V]{root: merge(l, r)}, out
+}
+
+// Entry is a key/value pair returned by DeleteRange.
+type Entry[V any] struct {
+	Key float64
+	Val V
+}
+
+func collect[V any](n *pnode[V], out *[]Entry[V]) {
+	if n == nil {
+		return
+	}
+	collect(n.left, out)
+	*out = append(*out, Entry[V]{Key: n.key, Val: n.val})
+	collect(n.right, out)
+}

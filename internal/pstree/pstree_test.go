@@ -1,0 +1,258 @@
+package pstree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/wrand"
+)
+
+func TestEmptyVersion(t *testing.T) {
+	var v Version[int]
+	if v.Len() != 0 {
+		t.Fatalf("empty Len = %d", v.Len())
+	}
+	if _, ok := v.Get(1); ok {
+		t.Fatal("empty Get found a key")
+	}
+	if _, _, ok := v.Floor(5); ok {
+		t.Fatal("empty Floor found a key")
+	}
+	if _, _, ok := v.Min(); ok {
+		t.Fatal("empty Min found a key")
+	}
+}
+
+func TestInsertPersistence(t *testing.T) {
+	var v0 Version[string]
+	v1 := v0.Insert(1, "a")
+	v2 := v1.Insert(2, "b")
+	v3 := v2.Insert(1, "A") // replace in v3 only
+
+	if v0.Len() != 0 || v1.Len() != 1 || v2.Len() != 2 || v3.Len() != 2 {
+		t.Fatalf("lens = %d,%d,%d,%d", v0.Len(), v1.Len(), v2.Len(), v3.Len())
+	}
+	if got, _ := v2.Get(1); got != "a" {
+		t.Fatalf("v2.Get(1) = %q, want a (old version mutated!)", got)
+	}
+	if got, _ := v3.Get(1); got != "A" {
+		t.Fatalf("v3.Get(1) = %q, want A", got)
+	}
+	if _, ok := v1.Get(2); ok {
+		t.Fatal("v1 sees key inserted in v2")
+	}
+}
+
+func TestDeletePersistence(t *testing.T) {
+	var v Version[int]
+	v1 := v.Insert(1, 10).Insert(2, 20).Insert(3, 30)
+	v2, ok := v1.Delete(2)
+	if !ok {
+		t.Fatal("Delete(2) reported absent")
+	}
+	if _, ok := v2.Get(2); ok {
+		t.Fatal("v2 still has deleted key")
+	}
+	if got, ok := v1.Get(2); !ok || got != 20 {
+		t.Fatal("v1 lost key deleted in v2")
+	}
+	if _, ok := v2.Delete(99); ok {
+		t.Fatal("Delete(99) reported present")
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	var v Version[int]
+	for _, k := range []float64{10, 20, 30} {
+		v = v.Insert(k, int(k))
+	}
+	cases := []struct {
+		x         float64
+		floorKey  float64
+		floorOK   bool
+		ceilKey   float64
+		ceilingOK bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{30, 30, true, 30, true},
+		{35, 30, true, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := v.Floor(c.x)
+		if ok != c.floorOK || (ok && k != c.floorKey) {
+			t.Errorf("Floor(%v) = %v,%v want %v,%v", c.x, k, ok, c.floorKey, c.floorOK)
+		}
+		k, _, ok = v.Ceiling(c.x)
+		if ok != c.ceilingOK || (ok && k != c.ceilKey) {
+			t.Errorf("Ceiling(%v) = %v,%v want %v,%v", c.x, k, ok, c.ceilKey, c.ceilingOK)
+		}
+	}
+}
+
+func TestDeleteRange(t *testing.T) {
+	var v Version[int]
+	for i := 0; i < 10; i++ {
+		v = v.Insert(float64(i), i)
+	}
+	v2, removed := v.DeleteRange(3, 6)
+	if len(removed) != 4 {
+		t.Fatalf("removed %d entries, want 4", len(removed))
+	}
+	for i, e := range removed {
+		if e.Key != float64(3+i) {
+			t.Fatalf("removed[%d].Key = %v, want %v (ascending)", i, e.Key, 3+i)
+		}
+	}
+	if v2.Len() != 6 {
+		t.Fatalf("v2.Len = %d, want 6", v2.Len())
+	}
+	if v.Len() != 10 {
+		t.Fatal("DeleteRange mutated the old version")
+	}
+	for _, k := range []float64{3, 4, 5, 6} {
+		if _, ok := v2.Get(k); ok {
+			t.Fatalf("v2 still contains %v", k)
+		}
+	}
+	// Empty range.
+	v3, removed := v2.DeleteRange(100, 200)
+	if len(removed) != 0 || v3.Len() != v2.Len() {
+		t.Fatal("empty DeleteRange removed entries")
+	}
+}
+
+func TestManyVersionsStayIntact(t *testing.T) {
+	// Simulate a sweep: n insertions, one version per step; then verify
+	// every historical version against a rebuilt oracle.
+	g := wrand.New(1)
+	keys := g.UniqueFloats(500, 1e6)
+	versions := make([]Version[int], 0, len(keys)+1)
+	var v Version[int]
+	versions = append(versions, v)
+	for i, k := range keys {
+		v = v.Insert(k, i)
+		versions = append(versions, v)
+	}
+	for step := 0; step <= len(keys); step += 50 {
+		ver := versions[step]
+		if ver.Len() != step {
+			t.Fatalf("version %d has Len %d", step, ver.Len())
+		}
+		prefix := append([]float64(nil), keys[:step]...)
+		sort.Float64s(prefix)
+		// Floor probes across the key space.
+		for trial := 0; trial < 20; trial++ {
+			x := g.Float64() * 1.1e6
+			i := sort.SearchFloat64s(prefix, x)
+			if i < len(prefix) && prefix[i] == x {
+				// exact hit is its own floor
+			} else {
+				i--
+			}
+			k, _, ok := ver.Floor(x)
+			if i < 0 {
+				if ok {
+					t.Fatalf("version %d: Floor(%v) = %v, want none", step, x, k)
+				}
+			} else if !ok || k != prefix[i] {
+				t.Fatalf("version %d: Floor(%v) = %v,%v want %v", step, x, k, ok, prefix[i])
+			}
+		}
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	var v Version[int]
+	for _, k := range []float64{5, 1, 9, 3, 7} {
+		v = v.Insert(k, int(k))
+	}
+	var got []float64
+	v.Ascend(3, func(k float64, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []float64{3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v, want %v", got, want)
+		}
+	}
+	got = got[:0]
+	v.Ascend(0, func(k float64, _ int) bool {
+		got = append(got, k)
+		return len(got) < 2
+	})
+	if len(got) != 2 {
+		t.Fatalf("early stop visited %d", len(got))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var v Version[int]
+	v = v.Insert(5, 0).Insert(2, 0).Insert(8, 0)
+	if k, _, _ := v.Min(); k != 2 {
+		t.Fatalf("Min = %v", k)
+	}
+	if k, _, _ := v.Max(); k != 8 {
+		t.Fatalf("Max = %v", k)
+	}
+}
+
+// Property: a chain of random ops, checked at the final version against a
+// map oracle, and at a mid checkpoint against a snapshot oracle.
+func TestQuickPersistence(t *testing.T) {
+	f := func(ops []struct {
+		K   uint8
+		Del bool
+	}) bool {
+		var v Version[int]
+		oracle := map[float64]int{}
+		var checkpoint Version[int]
+		checkOracle := map[float64]int{}
+		half := len(ops) / 2
+		for i, op := range ops {
+			k := float64(op.K % 32)
+			if op.Del {
+				v, _ = v.Delete(k)
+				delete(oracle, k)
+			} else {
+				v = v.Insert(k, i)
+				oracle[k] = i
+			}
+			if i == half {
+				checkpoint = v
+				for kk, vv := range oracle {
+					checkOracle[kk] = vv
+				}
+			}
+		}
+		verify := func(ver Version[int], or map[float64]int) bool {
+			if ver.Len() != len(or) {
+				return false
+			}
+			for k, want := range or {
+				got, ok := ver.Get(k)
+				if !ok || got != want {
+					return false
+				}
+			}
+			return true
+		}
+		if !verify(v, oracle) {
+			return false
+		}
+		if len(ops) > 0 && !verify(checkpoint, checkOracle) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

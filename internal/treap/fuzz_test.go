@@ -1,0 +1,75 @@
+package treap
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTreapOps drives random op sequences against a map oracle and the
+// structural invariant checker. Each byte triple encodes one operation.
+func FuzzTreapOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 1, 2, 2, 1, 2})
+	f.Add([]byte{0, 5, 5, 0, 5, 6, 1, 5, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := &Tree[int]{}
+		oracle := map[Key]int{}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, kb, wb := data[i]%3, data[i+1]%32, data[i+2]%32
+			k := Key{K: float64(kb), W: float64(wb)}
+			switch op {
+			case 0:
+				tr.Insert(k, i)
+				oracle[k] = i
+			case 1:
+				got := tr.Delete(k)
+				_, want := oracle[k]
+				if got != want {
+					t.Fatalf("Delete(%v) = %v, oracle %v", k, got, want)
+				}
+				delete(oracle, k)
+			case 2:
+				got, ok := tr.Get(k)
+				want, wok := oracle[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Get(%v) = (%v,%v), oracle (%v,%v)", k, got, ok, want, wok)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("Len=%d oracle=%d", tr.Len(), len(oracle))
+		}
+		// Cross-check one aggregate per sequence.
+		wantMax := math.Inf(-1)
+		for k := range oracle {
+			if k.W > wantMax {
+				wantMax = k.W
+			}
+		}
+		gotMax, ok := tr.MaxWeight()
+		if (len(oracle) > 0) != ok || (ok && gotMax != wantMax) {
+			t.Fatalf("MaxWeight = (%v,%v), want (%v,%v)", gotMax, ok, wantMax, len(oracle) > 0)
+		}
+	})
+}
+
+func TestInvariantsAfterHeavyChurn(t *testing.T) {
+	tr := &Tree[int]{}
+	for i := 0; i < 5000; i++ {
+		tr.Insert(Key{K: float64(i % 97), W: float64(i)}, i)
+		if i%3 == 0 {
+			tr.Delete(Key{K: float64((i / 2) % 97), W: float64(i / 2)})
+		}
+		if i%512 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d ops: %v", i, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

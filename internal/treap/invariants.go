@@ -1,0 +1,57 @@
+package treap
+
+import "fmt"
+
+// CheckInvariants verifies the treap's structural invariants — key order,
+// heap order on priorities, and the size and max-weight augmentations —
+// returning the first violation found. Intended for tests and fuzzing;
+// O(n).
+func (t *Tree[V]) CheckInvariants() error {
+	_, _, err := check(t.root)
+	return err
+}
+
+func check[V any](n *node[V]) (size int, maxW float64, err error) {
+	if n == nil {
+		return 0, 0, nil
+	}
+	ls, lm, err := check(n.left)
+	if err != nil {
+		return 0, 0, err
+	}
+	rs, rm, err := check(n.right)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n.left != nil {
+		if !n.left.key.Less(n.key) {
+			return 0, 0, fmt.Errorf("treap: key order violated: left %v !< %v", n.left.key, n.key)
+		}
+		if n.left.prio > n.prio {
+			return 0, 0, fmt.Errorf("treap: heap order violated at %v", n.key)
+		}
+	}
+	if n.right != nil {
+		if !n.key.Less(n.right.key) {
+			return 0, 0, fmt.Errorf("treap: key order violated: %v !< right %v", n.key, n.right.key)
+		}
+		if n.right.prio > n.prio {
+			return 0, 0, fmt.Errorf("treap: heap order violated at %v", n.key)
+		}
+	}
+	size = 1 + ls + rs
+	if n.size != size {
+		return 0, 0, fmt.Errorf("treap: size augment at %v is %d, want %d", n.key, n.size, size)
+	}
+	maxW = n.key.W
+	if n.left != nil && lm > maxW {
+		maxW = lm
+	}
+	if n.right != nil && rm > maxW {
+		maxW = rm
+	}
+	if n.maxW != maxW {
+		return 0, 0, fmt.Errorf("treap: maxW augment at %v is %v, want %v", n.key, n.maxW, maxW)
+	}
+	return size, maxW, nil
+}

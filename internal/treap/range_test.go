@@ -1,0 +1,123 @@
+package treap
+
+import (
+	"math"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+func TestRangeReportAboveAgainstOracle(t *testing.T) {
+	g := wrand.New(21)
+	tr, entries := buildRandom(g, 700)
+	for trial := 0; trial < 150; trial++ {
+		lo := g.Float64() * 110
+		hi := lo + g.Float64()*40
+		tau := g.Float64() * 1e6
+
+		got := map[float64]bool{}
+		tr.RangeReportAbove(lo, hi, tau, func(k Key, _ int) bool {
+			if k.K < lo || k.K > hi || k.W < tau {
+				t.Fatalf("emitted out-of-range entry %+v", k)
+			}
+			got[k.W] = true
+			return true
+		})
+		want := 0
+		for _, e := range entries {
+			if e.k >= lo && e.k <= hi && e.w >= tau {
+				want++
+				if !got[e.w] {
+					t.Fatalf("missing entry k=%v w=%v for [%v,%v] tau=%v", e.k, e.w, lo, hi, tau)
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("[%v,%v] tau=%v: reported %d, want %d", lo, hi, tau, len(got), want)
+		}
+	}
+}
+
+func TestRangeMaxAgainstOracle(t *testing.T) {
+	g := wrand.New(22)
+	tr, entries := buildRandom(g, 600)
+	for trial := 0; trial < 200; trial++ {
+		lo := g.Float64() * 110
+		hi := lo + g.Float64()*30
+		want := math.Inf(-1)
+		for _, e := range entries {
+			if e.k >= lo && e.k <= hi && e.w > want {
+				want = e.w
+			}
+		}
+		k, _, ok := tr.RangeMax(lo, hi)
+		if math.IsInf(want, -1) {
+			if ok {
+				t.Fatalf("[%v,%v]: found max %v in empty range", lo, hi, k.W)
+			}
+			continue
+		}
+		if !ok || k.W != want {
+			t.Fatalf("[%v,%v]: max (%v,%v), want %v", lo, hi, k.W, ok, want)
+		}
+	}
+}
+
+func TestRangeCountAgainstOracle(t *testing.T) {
+	g := wrand.New(23)
+	tr, entries := buildRandom(g, 500)
+	probes := [][2]float64{{0, 200}, {50, 50}, {-10, -5}, {99.9, 100.1}}
+	for trial := 0; trial < 100; trial++ {
+		lo := g.Float64() * 110
+		probes = append(probes, [2]float64{lo, lo + g.Float64()*25})
+	}
+	for _, pr := range probes {
+		lo, hi := pr[0], pr[1]
+		want := 0
+		for _, e := range entries {
+			if e.k >= lo && e.k <= hi {
+				want++
+			}
+		}
+		if got := tr.RangeCount(lo, hi); got != want {
+			t.Fatalf("RangeCount(%v,%v) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestRangeCountWithDuplicateKeys(t *testing.T) {
+	tr := &Tree[int]{}
+	// Five entries at K=5 (distinct weights), two elsewhere.
+	for i := 0; i < 5; i++ {
+		tr.Insert(Key{5, float64(i)}, i)
+	}
+	tr.Insert(Key{1, 10}, 0)
+	tr.Insert(Key{9, 11}, 0)
+	if got := tr.RangeCount(5, 5); got != 5 {
+		t.Fatalf("RangeCount(5,5) = %d, want 5", got)
+	}
+	if got := tr.RangeCount(1, 9); got != 7 {
+		t.Fatalf("RangeCount(1,9) = %d, want 7", got)
+	}
+	if got := tr.RangeCount(5.1, 8.9); got != 0 {
+		t.Fatalf("RangeCount(5.1,8.9) = %d, want 0", got)
+	}
+	count := 0
+	tr.RangeReportAbove(5, 5, math.Inf(-1), func(Key, int) bool { count++; return true })
+	if count != 5 {
+		t.Fatalf("RangeReportAbove(5,5) visited %d, want 5", count)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	g := wrand.New(24)
+	tr, _ := buildRandom(g, 300)
+	count := 0
+	complete := tr.RangeReportAbove(0, 200, math.Inf(-1), func(Key, int) bool {
+		count++
+		return count < 6
+	})
+	if complete || count != 6 {
+		t.Fatalf("early stop: complete=%v count=%d", complete, count)
+	}
+}

@@ -1,0 +1,289 @@
+package treap
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/wrand"
+)
+
+type entry struct {
+	k, w float64
+	v    int
+}
+
+func buildRandom(g *wrand.RNG, n int) (*Tree[int], []entry) {
+	t := &Tree[int]{}
+	ws := g.UniqueFloats(n, 1e6)
+	entries := make([]entry, n)
+	for i := 0; i < n; i++ {
+		e := entry{k: g.Float64() * 100, w: ws[i], v: i}
+		entries[i] = e
+		t.Insert(Key{e.k, e.w}, e.v)
+	}
+	return t, entries
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := &Tree[string]{}
+	tr.Insert(Key{1, 10}, "a")
+	tr.Insert(Key{2, 20}, "b")
+	tr.Insert(Key{1, 30}, "c") // same K, different W: distinct entry
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(Key{1, 30}); !ok || v != "c" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if _, ok := tr.Get(Key{1, 99}); ok {
+		t.Fatal("Get found an absent key")
+	}
+	if !tr.Delete(Key{1, 10}) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if tr.Delete(Key{1, 10}) {
+		t.Fatal("double Delete returned true")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", tr.Len())
+	}
+}
+
+func TestInsertReplacesValue(t *testing.T) {
+	tr := &Tree[string]{}
+	tr.Insert(Key{1, 10}, "old")
+	tr.Insert(Key{1, 10}, "new")
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", tr.Len())
+	}
+	if v, _ := tr.Get(Key{1, 10}); v != "new" {
+		t.Fatalf("Get = %q, want new", v)
+	}
+}
+
+func TestMaxWeightAugment(t *testing.T) {
+	tr := &Tree[int]{}
+	if _, ok := tr.MaxWeight(); ok {
+		t.Fatal("empty tree reported a max weight")
+	}
+	tr.Insert(Key{5, 50}, 0)
+	tr.Insert(Key{1, 70}, 1)
+	tr.Insert(Key{9, 60}, 2)
+	if w, ok := tr.MaxWeight(); !ok || w != 70 {
+		t.Fatalf("MaxWeight = %v,%v want 70,true", w, ok)
+	}
+	tr.Delete(Key{1, 70})
+	if w, _ := tr.MaxWeight(); w != 60 {
+		t.Fatalf("MaxWeight after delete = %v, want 60", w)
+	}
+}
+
+func oraclePrefixAbove(entries []entry, x, tau float64) []entry {
+	var out []entry
+	for _, e := range entries {
+		if e.k <= x && e.w >= tau {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].w < out[j].w })
+	return out
+}
+
+func TestPrefixSuffixReportAboveAgainstOracle(t *testing.T) {
+	g := wrand.New(11)
+	tr, entries := buildRandom(g, 800)
+	for trial := 0; trial < 100; trial++ {
+		x := g.Float64() * 110
+		tau := g.Float64() * 1e6
+
+		var got []entry
+		tr.PrefixReportAbove(x, tau, func(k Key, v int) bool {
+			got = append(got, entry{k.K, k.W, v})
+			return true
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i].w < got[j].w })
+		want := oraclePrefixAbove(entries, x, tau)
+		if len(got) != len(want) {
+			t.Fatalf("prefix x=%v tau=%v: %d items, want %d", x, tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("prefix mismatch at %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+
+		var gotS int
+		tr.SuffixReportAbove(x, tau, func(k Key, v int) bool {
+			if k.K < x || k.W < tau {
+				t.Fatalf("suffix emitted out-of-range entry k=%v w=%v", k.K, k.W)
+			}
+			gotS++
+			return true
+		})
+		wantS := 0
+		for _, e := range entries {
+			if e.k >= x && e.w >= tau {
+				wantS++
+			}
+		}
+		if gotS != wantS {
+			t.Fatalf("suffix x=%v tau=%v: %d items, want %d", x, tau, gotS, wantS)
+		}
+	}
+}
+
+func TestReportEarlyStop(t *testing.T) {
+	g := wrand.New(12)
+	tr, _ := buildRandom(g, 200)
+	count := 0
+	complete := tr.PrefixReportAbove(200, math.Inf(-1), func(Key, int) bool {
+		count++
+		return count < 5
+	})
+	if complete {
+		t.Fatal("early-stopped enumeration reported complete")
+	}
+	if count != 5 {
+		t.Fatalf("visited %d entries, want 5", count)
+	}
+}
+
+func TestPrefixSuffixMaxAgainstOracle(t *testing.T) {
+	g := wrand.New(13)
+	tr, entries := buildRandom(g, 500)
+	for trial := 0; trial < 200; trial++ {
+		x := g.Float64() * 110
+		var wantP, wantS float64 = math.Inf(-1), math.Inf(-1)
+		for _, e := range entries {
+			if e.k <= x && e.w > wantP {
+				wantP = e.w
+			}
+			if e.k >= x && e.w > wantS {
+				wantS = e.w
+			}
+		}
+		k, _, ok := tr.PrefixMax(x)
+		if math.IsInf(wantP, -1) {
+			if ok {
+				t.Fatalf("PrefixMax(%v) found %v in empty range", x, k)
+			}
+		} else if !ok || k.W != wantP {
+			t.Fatalf("PrefixMax(%v) = %v,%v want %v", x, k.W, ok, wantP)
+		}
+		k, _, ok = tr.SuffixMax(x)
+		if math.IsInf(wantS, -1) {
+			if ok {
+				t.Fatalf("SuffixMax(%v) found %v in empty range", x, k)
+			}
+		} else if !ok || k.W != wantS {
+			t.Fatalf("SuffixMax(%v) = %v,%v want %v", x, k.W, ok, wantS)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	g := wrand.New(14)
+	tr, entries := buildRandom(g, 300)
+	var keys []Key
+	tr.Ascend(func(k Key, _ int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != len(entries) {
+		t.Fatalf("Ascend visited %d, want %d", len(keys), len(entries))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keys[i-1].Less(keys[i]) {
+			t.Fatalf("Ascend out of order at %d: %+v then %+v", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestHeightIsLogarithmic(t *testing.T) {
+	g := wrand.New(15)
+	tr, _ := buildRandom(g, 1<<14)
+	h := tr.Height()
+	// Treap expected height ~ 3 log2 n; allow generous slack.
+	if h > 5*14 {
+		t.Fatalf("height %d for n=2^14; treap badly unbalanced", h)
+	}
+}
+
+func TestDeterministicShape(t *testing.T) {
+	// Hash priorities: shape depends only on the key set, not insert order.
+	keys := []Key{{3, 1}, {1, 2}, {4, 3}, {1, 5}, {5, 4}, {9, 6}, {2, 7}}
+	a, b := &Tree[int]{}, &Tree[int]{}
+	for i, k := range keys {
+		a.Insert(k, i)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Insert(keys[i], i)
+	}
+	if a.Height() != b.Height() {
+		t.Fatalf("insertion order changed tree shape: %d vs %d", a.Height(), b.Height())
+	}
+}
+
+// Property: after arbitrary insert/delete interleavings the tree agrees
+// with a map oracle.
+func TestQuickInsertDeleteOracle(t *testing.T) {
+	f := func(ops []struct {
+		K   uint8
+		W   uint8
+		Del bool
+	}) bool {
+		tr := &Tree[int]{}
+		oracle := map[Key]int{}
+		for i, op := range ops {
+			k := Key{float64(op.K % 16), float64(op.W)}
+			if op.Del {
+				delete(oracle, k)
+				tr.Delete(k)
+			} else {
+				oracle[k] = i
+				tr.Insert(k, i)
+			}
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Augment must agree with oracle max.
+		wantMax := math.Inf(-1)
+		for k := range oracle {
+			if k.W > wantMax {
+				wantMax = k.W
+			}
+		}
+		gotMax, ok := tr.MaxWeight()
+		if len(oracle) == 0 {
+			return !ok
+		}
+		return ok && gotMax == wantMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisitedCounter(t *testing.T) {
+	g := wrand.New(16)
+	tr, _ := buildRandom(g, 1000)
+	tr.ResetVisited()
+	tr.PrefixMax(50)
+	if tr.Visited() == 0 {
+		t.Fatal("PrefixMax touched no nodes according to the counter")
+	}
+	tr.ResetVisited()
+	if tr.Visited() != 0 {
+		t.Fatal("ResetVisited did not zero the counter")
+	}
+}

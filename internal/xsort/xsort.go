@@ -1,0 +1,216 @@
+// Package xsort implements the selection primitives that the paper's query
+// algorithms invoke as black boxes: "k-selection" (pick the k largest out
+// of an unordered batch, Sections 3.2 and 4), rank selection, and a bounded
+// streaming top-k collector.
+//
+// In the EM model, k-selection on m elements costs O(m/B) I/Os (a constant
+// number of scans); callers charge that via em.Tracker.ScanCost. Here we
+// implement the in-memory computation.
+package xsort
+
+import "sort"
+
+// SelectTopK partitions s in place so that its first min(k, len(s))
+// elements are the k "largest" under less (where less(a, b) means a orders
+// before b, i.e. a is better), and returns that prefix. The prefix is NOT
+// sorted; combine with SortPrefix when ordered output is needed.
+//
+// It runs in expected O(len(s)) time (quickselect with median-of-three
+// pivoting and random-ish tie behavior avoided by 3-way partitioning).
+func SelectTopK[T any](s []T, k int, less func(a, b T) bool) []T {
+	if k <= 0 {
+		return s[:0]
+	}
+	if k >= len(s) {
+		return s
+	}
+	quickselect(s, k, less)
+	return s[:k]
+}
+
+// TopKSorted returns the k best elements of s under less, in best-first
+// order, without modifying s.
+func TopKSorted[T any](s []T, k int, less func(a, b T) bool) []T {
+	if k <= 0 {
+		return nil
+	}
+	cp := make([]T, len(s))
+	copy(cp, s)
+	top := SelectTopK(cp, k, less)
+	sort.Slice(top, func(i, j int) bool { return less(top[i], top[j]) })
+	return top
+}
+
+// SortPrefix sorts the first k elements of s best-first under less.
+func SortPrefix[T any](s []T, k int, less func(a, b T) bool) {
+	if k > len(s) {
+		k = len(s)
+	}
+	p := s[:k]
+	sort.Slice(p, func(i, j int) bool { return less(p[i], p[j]) })
+}
+
+// SelectRank rearranges s so that the element with 1-based rank r under
+// less (rank 1 = best) is at s[r-1], and returns it. It panics if r is out
+// of [1, len(s)].
+func SelectRank[T any](s []T, r int, less func(a, b T) bool) T {
+	if r < 1 || r > len(s) {
+		panic("xsort: SelectRank rank out of range")
+	}
+	quickselect(s, r, less)
+	// After quickselect(s, r) the first r elements are the r best; the
+	// rank-r one is the worst among them.
+	worst := 0
+	for i := 1; i < r; i++ {
+		if less(s[worst], s[i]) {
+			worst = i
+		}
+	}
+	s[worst], s[r-1] = s[r-1], s[worst]
+	return s[r-1]
+}
+
+// quickselect rearranges s so s[:k] holds the k best elements under less.
+func quickselect[T any](s []T, k int, less func(a, b T) bool) {
+	lo, hi := 0, len(s)
+	for hi-lo > 12 {
+		p := medianOfThree(s, lo, hi, less)
+		// 3-way partition around pivot value p: [best..][equal..][worst..].
+		lt, i, gt := lo, lo, hi
+		for i < gt {
+			switch {
+			case less(s[i], p):
+				s[lt], s[i] = s[i], s[lt]
+				lt++
+				i++
+			case less(p, s[i]):
+				gt--
+				s[i], s[gt] = s[gt], s[i]
+			default:
+				i++
+			}
+		}
+		switch {
+		case k <= lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return // boundary falls inside the pivot-equal run
+		}
+	}
+	insertionPrefix(s, lo, hi, min(k, hi), less)
+}
+
+func medianOfThree[T any](s []T, lo, hi int, less func(a, b T) bool) T {
+	a, b, c := s[lo], s[lo+(hi-lo)/2], s[hi-1]
+	if less(b, a) {
+		a, b = b, a
+	}
+	if less(c, b) {
+		b = c
+		if less(b, a) {
+			a, b = b, a
+		}
+	}
+	_ = a
+	return b
+}
+
+// insertionPrefix sorts s[lo:hi] far enough that s[lo:k] holds the best
+// elements; for the tiny ranges left by quickselect a full insertion sort
+// is simplest and fast.
+func insertionPrefix[T any](s []T, lo, hi, k int, less func(a, b T) bool) {
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	_ = k
+}
+
+// Collector accumulates a stream of elements and retains the k best under
+// less, using a bounded worst-at-root heap. It is the in-memory analogue of
+// answering a top-k query by scanning (the paper's "read the whole D"
+// fallback), in O(1) amortized time per element.
+type Collector[T any] struct {
+	k    int
+	less func(a, b T) bool
+	heap []T // worst element at heap[0]
+}
+
+// NewCollector returns a collector retaining the k best elements.
+func NewCollector[T any](k int, less func(a, b T) bool) *Collector[T] {
+	if k < 0 {
+		k = 0
+	}
+	return &Collector[T]{k: k, less: less, heap: make([]T, 0, k)}
+}
+
+// Offer considers one element.
+func (c *Collector[T]) Offer(v T) {
+	if c.k == 0 {
+		return
+	}
+	if len(c.heap) < c.k {
+		c.heap = append(c.heap, v)
+		c.siftUp(len(c.heap) - 1)
+		return
+	}
+	// Replace the current worst if v beats it.
+	if c.less(v, c.heap[0]) {
+		c.heap[0] = v
+		c.siftDown(0)
+	}
+}
+
+// Len reports how many elements are currently retained.
+func (c *Collector[T]) Len() int { return len(c.heap) }
+
+// Worst returns the worst retained element; ok is false when empty.
+func (c *Collector[T]) Worst() (v T, ok bool) {
+	if len(c.heap) == 0 {
+		return v, false
+	}
+	return c.heap[0], true
+}
+
+// Items returns the retained elements best-first and resets the collector.
+func (c *Collector[T]) Items() []T {
+	out := c.heap
+	c.heap = nil
+	sort.Slice(out, func(i, j int) bool { return c.less(out[i], out[j]) })
+	return out
+}
+
+// heap invariant: parent is worse-or-equal than children under less
+// (so heap[0] is the overall worst, making replacement cheap).
+func (c *Collector[T]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.less(c.heap[p], c.heap[i]) { // parent better than child: swap up
+			c.heap[p], c.heap[i] = c.heap[i], c.heap[p]
+			i = p
+			continue
+		}
+		return
+	}
+}
+
+func (c *Collector[T]) siftDown(i int) {
+	n := len(c.heap)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && c.less(c.heap[worst], c.heap[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && c.less(c.heap[worst], c.heap[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		c.heap[i], c.heap[worst] = c.heap[worst], c.heap[i]
+		i = worst
+	}
+}

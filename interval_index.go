@@ -1,0 +1,177 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+
+	"topk/internal/core"
+	"topk/internal/em"
+	"topk/internal/interval"
+)
+
+// IntervalItem is one weighted interval with an arbitrary payload.
+type IntervalItem[T any] struct {
+	Lo, Hi float64 // the closed interval [Lo, Hi]
+	Weight float64 // distinct across the index
+	Data   T
+}
+
+// IntervalIndex answers top-k interval-stabbing queries (the paper's
+// Theorem 4): given a point x and an integer k, return the k heaviest
+// intervals containing x. With the Expected reduction the index is
+// dynamic: Insert and Delete are supported at O(log_B n) amortized
+// expected I/Os.
+type IntervalIndex[T any] struct {
+	opts    Options
+	tracker *em.Tracker
+	topk    core.TopK[float64, interval.Interval]
+	dyn     *core.Expected[float64, interval.Interval] // non-nil when updatable
+	pri     core.Prioritized[float64, interval.Interval]
+	src     []IntervalItem[T] // retained for Items() on static reductions
+	data    map[float64]T
+	n       int
+}
+
+// NewIntervalIndex builds an index over items. Weights must be distinct
+// and intervals well-formed (Lo ≤ Hi).
+func NewIntervalIndex[T any](items []IntervalItem[T], opts ...Option) (*IntervalIndex[T], error) {
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[interval.Interval], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		cores[i] = core.Item[interval.Interval]{
+			Value:  interval.Interval{Lo: it.Lo, Hi: it.Hi},
+			Weight: it.Weight,
+		}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	ix := &IntervalIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
+
+	pf := interval.NewPrioritizedFactory[interval.Interval](tracker)
+	mf := interval.NewMaxFactory[interval.Interval](tracker)
+	match := interval.Match[interval.Interval]
+
+	// The Expected reduction is built in its dynamic form so the index is
+	// updatable; the other reductions are static.
+	if o.reduction == Expected {
+		dyn, err := core.NewDynamicExpected(cores, match,
+			interval.NewDynamicPrioritizedFactory[interval.Interval](tracker),
+			interval.NewDynamicMaxFactory[interval.Interval](tracker),
+			core.ExpectedOptions{B: o.blockSize, Seed: o.seed, Tracker: tracker})
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	} else {
+		t, err := buildTopK(cores, match, pf, mf, interval.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk = t
+		ix.src = append([]IntervalItem[T](nil), items...)
+	}
+
+	// Direct prioritized access shares the reduction's own black box on D
+	// rather than building a duplicate.
+	ix.pri = prioritizedOf(ix.topk)
+	return ix, nil
+}
+
+// Len returns the number of live intervals.
+func (ix *IntervalIndex[T]) Len() int { return ix.n }
+
+// TopK returns the k heaviest intervals containing x, heaviest first.
+func (ix *IntervalIndex[T]) TopK(x float64, k int) []IntervalItem[T] {
+	res := ix.topk.TopK(x, k)
+	out := make([]IntervalItem[T], len(res))
+	for i, it := range res {
+		out[i] = IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]}
+	}
+	return out
+}
+
+// ReportAbove streams every interval containing x with weight ≥ tau (in
+// unspecified order); return false from visit to stop early. This is the
+// underlying prioritized query.
+func (ix *IntervalIndex[T]) ReportAbove(x, tau float64, visit func(IntervalItem[T]) bool) {
+	ix.pri.ReportAbove(x, tau, func(it core.Item[interval.Interval]) bool {
+		return visit(IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]})
+	})
+}
+
+// Max returns the heaviest interval containing x (a top-1 query).
+func (ix *IntervalIndex[T]) Max(x float64) (IntervalItem[T], bool) {
+	it, ok := maxOfTopK(ix.topk, x)
+	if !ok {
+		return IntervalItem[T]{}, false
+	}
+	return IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]}, true
+}
+
+// Insert adds an interval. Only indexes built with the Expected reduction
+// support updates (Theorem 2's dynamic path); other reductions return an
+// error.
+func (ix *IntervalIndex[T]) Insert(item IntervalItem[T]) error {
+	if ix.dyn == nil {
+		return fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+	}
+	if item.Lo > item.Hi || math.IsNaN(item.Lo) || math.IsNaN(item.Hi) {
+		return fmt.Errorf("topk: malformed interval [%v, %v]", item.Lo, item.Hi)
+	}
+	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
+		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
+	}
+	if _, dup := ix.data[item.Weight]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
+	}
+	ci := core.Item[interval.Interval]{Value: interval.Interval{Lo: item.Lo, Hi: item.Hi}, Weight: item.Weight}
+	if err := ix.dyn.Insert(ci); err != nil {
+		return err
+	}
+	ix.data[item.Weight] = item.Data
+	ix.n++
+	return nil
+}
+
+// Delete removes the interval with the given weight, reporting whether it
+// was present. Only Expected-reduction indexes support updates.
+func (ix *IntervalIndex[T]) Delete(weight float64) (bool, error) {
+	if ix.dyn == nil {
+		return false, fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+	}
+	if !ix.dyn.DeleteWeight(weight) {
+		return false, nil
+	}
+	delete(ix.data, weight)
+	ix.n--
+	return true, nil
+}
+
+// Items returns a snapshot of the live intervals in unspecified order —
+// the full state needed to persist and rebuild the index (construction is
+// deterministic given the same items, options, and seed).
+func (ix *IntervalIndex[T]) Items() []IntervalItem[T] {
+	if ix.dyn == nil {
+		return append([]IntervalItem[T](nil), ix.src...)
+	}
+	live := ix.dyn.Items()
+	out := make([]IntervalItem[T], 0, len(live))
+	for _, it := range live {
+		out = append(out, IntervalItem[T]{
+			Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight],
+		})
+	}
+	return out
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *IntervalIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters (space is preserved).
+func (ix *IntervalIndex[T]) ResetStats() { ix.tracker.ResetCounters() }

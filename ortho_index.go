@@ -1,0 +1,116 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/core"
+	"topk/internal/em"
+	"topk/internal/halfspace"
+	"topk/internal/orthorange"
+)
+
+// OrthoIndex answers top-k orthogonal range queries in fixed dimension d:
+// given an axis-parallel box, return the k heaviest points inside. The 2D
+// case is the companion problem of Rahul & Tao's PODS'15 paper (this
+// paper's §2 survey).
+type OrthoIndex[T any] struct {
+	opts    Options
+	d       int
+	tracker *em.Tracker
+	topk    core.TopK[orthorange.Box, halfspace.PtN]
+	pri     core.Prioritized[orthorange.Box, halfspace.PtN]
+	data    map[float64]T
+	n       int
+}
+
+// NewOrthoIndex builds a static index over d-dimensional items.
+func NewOrthoIndex[T any](items []PointItemN[T], d int, opts ...Option) (*OrthoIndex[T], error) {
+	if d < 1 {
+		return nil, fmt.Errorf("topk: dimension %d", d)
+	}
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[halfspace.PtN], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		if len(it.Coords) != d {
+			return nil, fmt.Errorf("topk: item %d has %d coordinates in dimension %d", i, len(it.Coords), d)
+		}
+		cores[i] = core.Item[halfspace.PtN]{Value: halfspace.PtN{C: it.Coords}, Weight: it.Weight}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	t, err := buildTopK(cores, orthorange.Match,
+		orthorange.NewPrioritizedFactory(d, tracker),
+		orthorange.NewMaxFactory(d, tracker),
+		orthorange.Lambda(d), o, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &OrthoIndex[T]{
+		opts: o, d: d, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *OrthoIndex[T]) Len() int { return ix.n }
+
+// Dim returns the index dimension.
+func (ix *OrthoIndex[T]) Dim() int { return ix.d }
+
+func (ix *OrthoIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
+	return PointItemN[T]{Coords: it.Value.C, Weight: it.Weight, Data: ix.data[it.Weight]}
+}
+
+// TopK returns the k heaviest points inside the box [lo, hi], heaviest
+// first. Malformed boxes (mismatched dimension, lo > hi) return an error.
+func (ix *OrthoIndex[T]) TopK(lo, hi []float64, k int) ([]PointItemN[T], error) {
+	q, err := orthorange.NewBox(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if len(lo) != ix.d {
+		return nil, fmt.Errorf("topk: box has %d coordinates in dimension %d", len(lo), ix.d)
+	}
+	res := ix.topk.TopK(q, k)
+	out := make([]PointItemN[T], len(res))
+	for i, it := range res {
+		out[i] = ix.wrap(it)
+	}
+	return out, nil
+}
+
+// ReportAbove streams every point inside the box with weight ≥ tau.
+func (ix *OrthoIndex[T]) ReportAbove(lo, hi []float64, tau float64, visit func(PointItemN[T]) bool) error {
+	q, err := orthorange.NewBox(lo, hi)
+	if err != nil {
+		return err
+	}
+	ix.pri.ReportAbove(q, tau, func(it core.Item[halfspace.PtN]) bool {
+		return visit(ix.wrap(it))
+	})
+	return nil
+}
+
+// Max returns the heaviest point inside the box.
+func (ix *OrthoIndex[T]) Max(lo, hi []float64) (PointItemN[T], bool, error) {
+	q, err := orthorange.NewBox(lo, hi)
+	if err != nil {
+		return PointItemN[T]{}, false, err
+	}
+	it, ok := maxOfTopK(ix.topk, q)
+	if !ok {
+		return PointItemN[T]{}, false, nil
+	}
+	return ix.wrap(it), true, nil
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *OrthoIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters.
+func (ix *OrthoIndex[T]) ResetStats() { ix.tracker.ResetCounters() }

@@ -1,0 +1,106 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+func TestOrthoIndexAllReductions(t *testing.T) {
+	g := wrand.New(41)
+	const n, d = 1200, 2
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItemN[int], n)
+	for i := range items {
+		items[i] = PointItemN[int]{
+			Coords: []float64{g.Float64() * 100, g.Float64() * 100},
+			Weight: ws[i], Data: i,
+		}
+	}
+	oracle := func(lo, hi []float64, k int) []float64 {
+		var out []float64
+		for _, it := range items {
+			in := true
+			for j := range lo {
+				if it.Coords[j] < lo[j] || it.Coords[j] > hi[j] {
+					in = false
+					break
+				}
+			}
+			if in {
+				out = append(out, it.Weight)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+		if k < len(out) {
+			out = out[:k]
+		}
+		return out
+	}
+	for _, r := range allReductions {
+		ix, err := NewOrthoIndex(items, d, WithReduction(r), WithSeed(9))
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if ix.Dim() != d || ix.Len() != n {
+			t.Fatalf("%v: Dim=%d Len=%d", r, ix.Dim(), ix.Len())
+		}
+		for trial := 0; trial < 25; trial++ {
+			lo := []float64{g.Float64() * 80, g.Float64() * 80}
+			hi := []float64{lo[0] + g.Float64()*40, lo[1] + g.Float64()*40}
+			for _, k := range []int{1, 10, 300} {
+				got, err := ix.TopK(lo, hi, k)
+				if err != nil {
+					t.Fatalf("%v: %v", r, err)
+				}
+				want := oracle(lo, hi, k)
+				if len(got) != len(want) {
+					t.Fatalf("%v: %d results, want %d", r, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Weight != want[i] {
+						t.Fatalf("%v: result %d = %v, want %v", r, i, got[i].Weight, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrthoIndexDirectQueriesAndErrors(t *testing.T) {
+	g := wrand.New(42)
+	const n, d = 300, 3
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItemN[int], n)
+	for i := range items {
+		items[i] = PointItemN[int]{
+			Coords: []float64{g.Float64() * 10, g.Float64() * 10, g.Float64() * 10},
+			Weight: ws[i],
+		}
+	}
+	ix, err := NewOrthoIndex(items, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := []float64{0, 0, 0}, []float64{10, 10, 10}
+	if m, ok, err := ix.Max(lo, hi); err != nil || !ok || m.Weight <= 0 {
+		t.Fatalf("Max over everything = (%+v, %v, %v)", m, ok, err)
+	}
+	count := 0
+	if err := ix.ReportAbove(lo, hi, 0, func(PointItemN[int]) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("ReportAbove saw %d of %d", count, n)
+	}
+	if _, err := ix.TopK([]float64{5, 5, 5}, []float64{1, 1, 1}, 3); err == nil {
+		t.Error("reversed box accepted")
+	}
+	if _, err := ix.TopK([]float64{1, 1}, []float64{2, 2}, 3); err == nil {
+		t.Error("dimension-mismatched box accepted")
+	}
+	if _, err := NewOrthoIndex(items, 2); err == nil {
+		t.Error("dimension mismatch at build accepted")
+	}
+}

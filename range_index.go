@@ -1,0 +1,179 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+
+	"topk/internal/core"
+	"topk/internal/em"
+	"topk/internal/rangerep"
+)
+
+// PointItem1 is one weighted point on the real line with a payload.
+type PointItem1[T any] struct {
+	Pos    float64
+	Weight float64
+	Data   T
+}
+
+// RangeIndex answers top-k 1D range-reporting queries — the most-studied
+// problem of the paper's framework (its Section 2 survey): given a range
+// [lo, hi] and k, return the k heaviest points inside. With the Expected
+// reduction (the default) the index is dynamic.
+type RangeIndex[T any] struct {
+	opts    Options
+	tracker *em.Tracker
+	topk    core.TopK[rangerep.Span, float64]
+	dyn     *core.Expected[rangerep.Span, float64]
+	pri     core.Prioritized[rangerep.Span, float64]
+	src     []PointItem1[T] // retained for Items() on static reductions
+	data    map[float64]T
+	n       int
+}
+
+// NewRangeIndex builds an index over items (weights distinct).
+func NewRangeIndex[T any](items []PointItem1[T], opts ...Option) (*RangeIndex[T], error) {
+	o := applyOptions(opts)
+	tracker := o.newTracker()
+
+	cores := make([]core.Item[float64], len(items))
+	data := make(map[float64]T, len(items))
+	for i, it := range items {
+		cores[i] = core.Item[float64]{Value: it.Pos, Weight: it.Weight}
+		if _, dup := data[it.Weight]; dup {
+			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
+		}
+		data[it.Weight] = it.Data
+	}
+
+	ix := &RangeIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
+	if o.reduction == Expected {
+		dyn, err := core.NewDynamicExpected(cores, rangerep.Match,
+			rangerep.NewDynamicPrioritizedFactory(tracker),
+			rangerep.NewDynamicMaxFactory(tracker),
+			core.ExpectedOptions{B: o.blockSize, Seed: o.seed, Tracker: tracker})
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	} else {
+		t, err := buildTopK(cores, rangerep.Match,
+			rangerep.NewPrioritizedFactory(tracker),
+			rangerep.NewMaxFactory(tracker),
+			rangerep.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk = t
+		ix.src = append([]PointItem1[T](nil), items...)
+	}
+	ix.pri = prioritizedOf(ix.topk)
+	return ix, nil
+}
+
+// Len returns the number of live points.
+func (ix *RangeIndex[T]) Len() int { return ix.n }
+
+func (ix *RangeIndex[T]) wrap(it core.Item[float64]) PointItem1[T] {
+	return PointItem1[T]{Pos: it.Value, Weight: it.Weight, Data: ix.data[it.Weight]}
+}
+
+// TopK returns the k heaviest points in [lo, hi], heaviest first.
+func (ix *RangeIndex[T]) TopK(lo, hi float64, k int) []PointItem1[T] {
+	res := ix.topk.TopK(rangerep.Span{Lo: lo, Hi: hi}, k)
+	out := make([]PointItem1[T], len(res))
+	for i, it := range res {
+		out[i] = ix.wrap(it)
+	}
+	return out
+}
+
+// ReportAbove streams every point in [lo, hi] with weight ≥ tau.
+func (ix *RangeIndex[T]) ReportAbove(lo, hi, tau float64, visit func(PointItem1[T]) bool) {
+	ix.pri.ReportAbove(rangerep.Span{Lo: lo, Hi: hi}, tau, func(it core.Item[float64]) bool {
+		return visit(ix.wrap(it))
+	})
+}
+
+// Max returns the heaviest point in [lo, hi] (a top-1 query).
+func (ix *RangeIndex[T]) Max(lo, hi float64) (PointItem1[T], bool) {
+	it, ok := maxOfTopK(ix.topk, rangerep.Span{Lo: lo, Hi: hi})
+	if !ok {
+		return PointItem1[T]{}, false
+	}
+	return ix.wrap(it), true
+}
+
+// Count returns the number of points in [lo, hi]: O(log_B n) I/Os when the
+// reduction's black box supports counting (all but FullScan), otherwise by
+// enumeration.
+func (ix *RangeIndex[T]) Count(lo, hi float64) int {
+	q := rangerep.Span{Lo: lo, Hi: hi}
+	if p, ok := ix.pri.(*rangerep.Points); ok {
+		return p.Count(q)
+	}
+	n := 0
+	ix.pri.ReportAbove(q, math.Inf(-1), func(core.Item[float64]) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Insert adds a point (Expected reduction only).
+func (ix *RangeIndex[T]) Insert(item PointItem1[T]) error {
+	if ix.dyn == nil {
+		return fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+	}
+	if math.IsNaN(item.Pos) {
+		return fmt.Errorf("topk: NaN position")
+	}
+	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
+		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
+	}
+	if _, dup := ix.data[item.Weight]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
+	}
+	ci := core.Item[float64]{Value: item.Pos, Weight: item.Weight}
+	if err := ix.dyn.Insert(ci); err != nil {
+		return err
+	}
+	ix.data[item.Weight] = item.Data
+	ix.n++
+	return nil
+}
+
+// Delete removes the point with the given weight (Expected reduction
+// only), reporting whether it was present.
+func (ix *RangeIndex[T]) Delete(weight float64) (bool, error) {
+	if ix.dyn == nil {
+		return false, fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+	}
+	if !ix.dyn.DeleteWeight(weight) {
+		return false, nil
+	}
+	delete(ix.data, weight)
+	ix.n--
+	return true, nil
+}
+
+// Items returns a snapshot of the live points in unspecified order — the
+// full state needed to persist and rebuild the index (construction is
+// deterministic given the same items, options, and seed).
+func (ix *RangeIndex[T]) Items() []PointItem1[T] {
+	if ix.dyn == nil {
+		return append([]PointItem1[T](nil), ix.src...)
+	}
+	live := ix.dyn.Items()
+	out := make([]PointItem1[T], 0, len(live))
+	for _, it := range live {
+		out = append(out, PointItem1[T]{Pos: it.Value, Weight: it.Weight, Data: ix.data[it.Weight]})
+	}
+	return out
+}
+
+// Stats returns the index's simulated I/O counters and space usage.
+func (ix *RangeIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
+
+// ResetStats zeroes the I/O counters.
+func (ix *RangeIndex[T]) ResetStats() { ix.tracker.ResetCounters() }

@@ -1,0 +1,170 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+func genRangeItems(g *wrand.RNG, n int) []PointItem1[int] {
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItem1[int], n)
+	for i := range items {
+		items[i] = PointItem1[int]{Pos: g.Float64() * 100, Weight: ws[i], Data: i}
+	}
+	return items
+}
+
+func rangeOracle(items []PointItem1[int], lo, hi float64, k int) []float64 {
+	var ws []float64
+	for _, it := range items {
+		if it.Pos >= lo && it.Pos <= hi {
+			ws = append(ws, it.Weight)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+	if k < len(ws) {
+		ws = ws[:k]
+	}
+	return ws
+}
+
+func TestRangeIndexAllReductions(t *testing.T) {
+	g := wrand.New(31)
+	items := genRangeItems(g, 2500)
+	for _, r := range allReductions {
+		ix, err := NewRangeIndex(items, WithReduction(r), WithSeed(5))
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if ix.Len() != len(items) {
+			t.Fatalf("%v: Len=%d", r, ix.Len())
+		}
+		for trial := 0; trial < 30; trial++ {
+			lo := g.Float64() * 100
+			hi := lo + g.Float64()*35
+			for _, k := range []int{1, 8, 200, 4000} {
+				got := ix.TopK(lo, hi, k)
+				want := rangeOracle(items, lo, hi, k)
+				if len(got) != len(want) {
+					t.Fatalf("%v [%v,%v] k=%d: %d results, want %d", r, lo, hi, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Weight != want[i] {
+						t.Fatalf("%v: result %d = %v, want %v", r, i, got[i].Weight, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeIndexCountMaxReport(t *testing.T) {
+	g := wrand.New(32)
+	items := genRangeItems(g, 900)
+	ix, err := NewRangeIndex(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 25.0, 60.0
+	want := rangeOracle(items, lo, hi, len(items))
+	if got := ix.Count(lo, hi); got != len(want) {
+		t.Fatalf("Count = %d, want %d", got, len(want))
+	}
+	if m, ok := ix.Max(lo, hi); len(want) > 0 && (!ok || m.Weight != want[0]) {
+		t.Fatalf("Max = (%v,%v), want %v", m.Weight, ok, want[0])
+	}
+	seen := 0
+	ix.ReportAbove(lo, hi, 0, func(PointItem1[int]) bool { seen++; return true })
+	if seen != len(want) {
+		t.Fatalf("ReportAbove saw %d, want %d", seen, len(want))
+	}
+}
+
+func TestRangeIndexDynamic(t *testing.T) {
+	g := wrand.New(33)
+	items := genRangeItems(g, 800)
+	ix, err := NewRangeIndex(items, WithReduction(Expected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := append([]PointItem1[int](nil), items...)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 80; i++ {
+			it := PointItem1[int]{Pos: g.Float64() * 100, Weight: 2e6 + g.Float64()*1e6}
+			if err := ix.Insert(it); err != nil {
+				continue
+			}
+			live = append(live, it)
+		}
+		for i := 0; i < 60; i++ {
+			v := g.IntN(len(live))
+			ok, err := ix.Delete(live[v].Weight)
+			if !ok || err != nil {
+				t.Fatalf("Delete: %v %v", ok, err)
+			}
+			live[v] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		lo := g.Float64() * 80
+		got := ix.TopK(lo, lo+25, 15)
+		want := rangeOracle(live, lo, lo+25, 15)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d results, want %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Weight != want[i] {
+				t.Fatalf("round %d item %d: %v, want %v", round, i, got[i].Weight, want[i])
+			}
+		}
+	}
+	if ix.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(live))
+	}
+}
+
+func TestRangeIndexValidation(t *testing.T) {
+	dup := []PointItem1[int]{{Pos: 1, Weight: 5}, {Pos: 2, Weight: 5}}
+	if _, err := NewRangeIndex(dup); err == nil {
+		t.Fatal("duplicate weights accepted")
+	}
+	ix, _ := NewRangeIndex([]PointItem1[int]{{Pos: 1, Weight: 1}}, WithReduction(WorstCase))
+	if err := ix.Insert(PointItem1[int]{Pos: 2, Weight: 2}); err == nil {
+		t.Fatal("static index accepted Insert")
+	}
+}
+
+func TestItemsSnapshotRoundTrip(t *testing.T) {
+	g := wrand.New(34)
+	items := genRangeItems(g, 300)
+	ix, err := NewRangeIndex(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ix.Insert(PointItem1[int]{Pos: 50, Weight: 9e6, Data: 777})
+	_, _ = ix.Delete(items[0].Weight)
+
+	snap := ix.Items()
+	if len(snap) != ix.Len() {
+		t.Fatalf("snapshot has %d items, index %d", len(snap), ix.Len())
+	}
+	// Rebuild from the snapshot: queries must agree.
+	rebuilt, err := NewRangeIndex(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		lo := g.Float64() * 90
+		a := ix.TopK(lo, lo+20, 10)
+		b := rebuilt.TopK(lo, lo+20, 10)
+		if len(a) != len(b) {
+			t.Fatalf("rebuilt disagrees: %d vs %d results", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Weight != b[i].Weight || a[i].Data != b[i].Data {
+				t.Fatalf("rebuilt item %d differs: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package topk is a library of top-k indexing structures built from the
+// general reductions of Rahul and Tao, "Efficient Top-k Indexing via
+// General Reductions" (PODS 2016).
+//
+// Given a set of weighted elements and a family of predicates, a top-k
+// query asks for the k heaviest elements satisfying a predicate. The
+// paper shows that a structure for *prioritized reporting* (all elements
+// satisfying q with weight ≥ τ) — optionally together with one for *max
+// reporting* (the single heaviest) — can be converted, black-box, into a
+// top-k structure:
+//
+//   - Reduction WorstCase (Theorem 1): prioritized only; static; at most
+//     an O(log_B n) slowdown over the prioritized query cost.
+//   - Reduction Expected (Theorem 2): prioritized + max; no asymptotic
+//     slowdown in expectation; supports updates.
+//   - Reduction BinarySearch: the earlier Rahul–Janardan reduction the
+//     paper improves on (binary search over the weight threshold), kept
+//     as a baseline.
+//   - Reduction FullScan: no index at all; the ground-truth oracle.
+//
+// The package ships ready-made indexes for the five problems the paper
+// instantiates: interval stabbing (NewIntervalIndex), 2D point enclosure
+// (NewEnclosureIndex), 3D dominance (NewDominanceIndex), 2D halfplane and
+// d-dimensional halfspace reporting (NewHalfplaneIndex, NewHalfspaceIndex),
+// and circular range reporting (NewCircularIndex).
+//
+// All index reads run against a simulated external-memory machine and
+// report I/O counts through Stats, so the paper's I/O bounds can be
+// observed directly; wall-clock performance is measured by the package's
+// benchmarks.
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/core"
+	"topk/internal/em"
+)
+
+// Reduction selects how an index answers top-k queries.
+type Reduction int
+
+const (
+	// Expected is the paper's Theorem 2 reduction (prioritized + max
+	// structures, no expected slowdown). The default.
+	Expected Reduction = iota
+	// WorstCase is the paper's Theorem 1 reduction (prioritized structure
+	// only, O(log_B n) worst-case slowdown, static).
+	WorstCase
+	// BinarySearch is the prior-work Rahul–Janardan reduction: binary
+	// search on the weight threshold, costing an extra log n factor on
+	// both terms. Kept as the comparison baseline.
+	BinarySearch
+	// FullScan answers queries by scanning all elements; the oracle.
+	FullScan
+)
+
+// String returns the reduction's name.
+func (r Reduction) String() string {
+	switch r {
+	case Expected:
+		return "Expected"
+	case WorstCase:
+		return "WorstCase"
+	case BinarySearch:
+		return "BinarySearch"
+	case FullScan:
+		return "FullScan"
+	}
+	return fmt.Sprintf("Reduction(%d)", int(r))
+}
+
+// Options configures an index. Use the With… helpers.
+type Options struct {
+	reduction Reduction
+	blockSize int
+	memBlocks int
+	seed      uint64
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithReduction selects the reduction (default Expected).
+func WithReduction(r Reduction) Option { return func(o *Options) { o.reduction = r } }
+
+// WithBlockSize sets the simulated EM block size B in words (default 64,
+// the paper's minimum).
+func WithBlockSize(b int) Option { return func(o *Options) { o.blockSize = b } }
+
+// WithMemBlocks sets the simulated memory size in block frames (default 8;
+// the model requires at least 2).
+func WithMemBlocks(m int) Option { return func(o *Options) { o.memBlocks = m } }
+
+// WithSeed seeds the randomized parts of the structures (sampling in both
+// reductions). Identical seeds and inputs produce identical structures.
+func WithSeed(s uint64) Option { return func(o *Options) { o.seed = s } }
+
+func applyOptions(opts []Option) Options {
+	o := Options{reduction: Expected, blockSize: 64, memBlocks: 8, seed: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o Options) newTracker() *em.Tracker {
+	return em.NewTracker(em.Config{B: o.blockSize, MemBlocks: o.memBlocks})
+}
+
+// Stats is a point-in-time snapshot of an index's simulated I/O activity
+// and space usage.
+type Stats struct {
+	// Reads and Writes are block I/Os since construction or the last
+	// ResetStats; Hits are cache hits (free in the EM model).
+	Reads, Writes, Hits int64
+	// Blocks is the current space usage in disk blocks.
+	Blocks int64
+	// Reduction is the reduction answering this index's queries.
+	Reduction Reduction
+}
+
+// IOs returns Reads + Writes, the EM model's cost metric.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+func statsOf(t *em.Tracker, r Reduction) Stats {
+	s := t.Stats()
+	return Stats{Reads: s.Reads, Writes: s.Writes, Hits: s.Hits, Blocks: s.Blocks, Reduction: r}
+}
+
+// buildTopK wires factories into the selected reduction.
+func buildTopK[Q, V any](
+	items []core.Item[V],
+	match core.MatchFunc[Q, V],
+	pf core.PrioritizedFactory[Q, V],
+	mf core.MaxFactory[Q, V],
+	lambda float64,
+	o Options,
+	tracker *em.Tracker,
+) (core.TopK[Q, V], error) {
+	switch o.reduction {
+	case WorstCase:
+		return core.NewWorstCase(items, match, pf, core.WorstCaseOptions{
+			B: o.blockSize, Lambda: lambda, Seed: o.seed, Tracker: tracker,
+		})
+	case Expected:
+		return core.NewExpected(items, match, pf, mf, core.ExpectedOptions{
+			B: o.blockSize, Seed: o.seed, Tracker: tracker,
+		})
+	case BinarySearch:
+		return core.NewBaseline(items, pf, tracker)
+	case FullScan:
+		return core.NewScan(items, match, tracker), nil
+	}
+	return nil, fmt.Errorf("topk: unknown reduction %v", o.reduction)
+}
+
+// prioritizedOf extracts the prioritized structure living inside a
+// reduction-built top-k structure, so the facade can answer ReportAbove
+// and Max queries without constructing duplicate black boxes.
+func prioritizedOf[Q, V any](t core.TopK[Q, V]) core.Prioritized[Q, V] {
+	switch s := t.(type) {
+	case interface{ Prioritized() core.Prioritized[Q, V] }:
+		return s.Prioritized()
+	case core.Prioritized[Q, V]: // the FullScan oracle is its own
+		return s
+	}
+	return nil
+}
+
+// maxOfTopK answers a max query through any top-k structure (k = 1).
+func maxOfTopK[Q, V any](t core.TopK[Q, V], q Q) (core.Item[V], bool) {
+	res := t.TopK(q, 1)
+	if len(res) == 0 {
+		return core.Item[V]{}, false
+	}
+	return res[0], true
+}
