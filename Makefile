@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench experiments validate examples fmt vet clean
+.PHONY: all build test race fuzz bench bench-parallel experiments validate examples fmt vet clean ci
 
 all: build vet test
 
@@ -33,7 +33,12 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate the EXPERIMENTS.md tables (E1-E23).
+# Parallel batch-query throughput: the BenchmarkParallel* sweep over
+# worker counts (see also `-exp E24` of cmd/topk-bench).
+bench-parallel:
+	$(GO) test -bench 'BenchmarkParallel' -benchtime 20x .
+
+# Regenerate the EXPERIMENTS.md tables (E1-E24).
 experiments:
 	$(GO) run ./cmd/topk-bench -seed 42
 
@@ -49,3 +54,6 @@ examples:
 
 clean:
 	$(GO) clean ./...
+
+# What CI runs (.github/workflows/ci.yml), runnable locally.
+ci: build vet test race

@@ -1,0 +1,120 @@
+package topk
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"topk/internal/em"
+)
+
+// This file implements the concurrent batch-query API shared by every
+// index. An index is split into an immutable structure (blocks, core-sets,
+// samples — everything built at construction time) and per-query mutable
+// state: each query in a batch runs inside its own em.Tracker query view,
+// a private cold LRU cache plus private counters, so any number of
+// read-only queries can execute in parallel without corrupting the I/O
+// accounting that validates the paper's Theorem 1/2 bounds. On completion
+// each view's counters are merged into the index-wide Stats atomically.
+//
+// Because every view starts from a cold cache, a query's I/O cost is a
+// deterministic function of the query alone: QueryBatch reports the same
+// per-query Stats whether parallelism is 1 or 64. Batches must not run
+// concurrently with Insert or Delete on the same index.
+
+// QueryStats are the simulated I/O counters of a single query, measured
+// from a cold private cache (the paper's worst-case accounting).
+type QueryStats struct {
+	Reads  int64 // block reads that missed the query's private cache
+	Writes int64 // block writes
+	Hits   int64 // touches served by the query's private cache (free)
+}
+
+// IOs returns Reads + Writes, the EM model's cost metric.
+func (s QueryStats) IOs() int64 { return s.Reads + s.Writes }
+
+// BatchResult pairs one query's answer with that query's own I/O cost.
+type BatchResult[R any] struct {
+	Items []R
+	Stats QueryStats
+}
+
+// Span is a 1D query range [Lo, Hi] for RangeIndex.QueryBatch.
+type Span struct {
+	Lo, Hi float64
+}
+
+// BoxQuery is an axis-aligned box [Lo, Hi] for OrthoIndex.QueryBatch.
+type BoxQuery struct {
+	Lo, Hi []float64
+}
+
+// BallQuery is a center/radius ball for CircularIndex.QueryBatch.
+type BallQuery struct {
+	Center []float64
+	Radius float64
+}
+
+// CornerQuery is a dominance corner (X, Y, Z) for
+// DominanceIndex.QueryBatch.
+type CornerQuery struct {
+	X, Y, Z float64
+}
+
+// PointQuery is a 2D point for EnclosureIndex.QueryBatch.
+type PointQuery struct {
+	X, Y float64
+}
+
+// HalfplaneQuery is the halfplane {(x, y) : A·x + B·y ≥ C} for
+// HalfplaneIndex.QueryBatch.
+type HalfplaneQuery struct {
+	A, B, C float64
+}
+
+// HalfspaceQuery is the halfspace {x : A·x ≥ C} for
+// HalfspaceIndex.QueryBatch.
+type HalfspaceQuery struct {
+	A []float64
+	C float64
+}
+
+// runBatch answers qs[i] via one(qs[i]) on a bounded pool of `parallelism`
+// worker goroutines, wrapping each call in an em.Tracker query view so the
+// result carries that query's own cold-cache I/O stats. parallelism <= 0
+// means GOMAXPROCS. Results are positionally aligned with qs.
+func runBatch[Q, R any](tr *em.Tracker, qs []Q, parallelism int, one func(Q) []R) []BatchResult[R] {
+	if len(qs) == 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(qs) {
+		parallelism = len(qs)
+	}
+	out := make([]BatchResult[R], len(qs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				v := tr.BeginQuery()
+				items := one(qs[i])
+				st := v.End()
+				out[i] = BatchResult[R]{
+					Items: items,
+					Stats: QueryStats{Reads: st.Reads, Writes: st.Writes, Hits: st.Hits},
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -98,3 +98,13 @@ func (ix *CircularIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.r
 
 // ResetStats zeroes the I/O counters.
 func (ix *CircularIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// QueryBatch answers one top-k ball query per BallQuery on a bounded pool
+// of `parallelism` worker goroutines (GOMAXPROCS when <= 0). Each query
+// runs in its own cold tracker view, so per-query Stats are independent
+// of parallelism; see IntervalIndex.QueryBatch for the full contract.
+func (ix *CircularIndex[T]) QueryBatch(qs []BallQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
+	return runBatch(ix.tracker, qs, parallelism, func(q BallQuery) []PointItemN[T] {
+		return ix.TopK(q.Center, q.Radius, k)
+	})
+}

@@ -1,0 +1,416 @@
+package topk
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+// The tests in this file exercise the concurrency contract: an index's
+// structure is immutable after construction, so any number of read-only
+// queries — direct TopK calls from raw goroutines, or QueryBatch workers —
+// may run in parallel. They assert three properties across all five paper
+// problems (plus 1D ranges):
+//
+//  1. correctness: parallel results match the FullScan oracle;
+//  2. determinism: per-query Stats are identical at parallelism 1 and 8,
+//     because every query runs against its own cold private cache;
+//  3. conservation: the index-wide Stats() delta across a batch equals
+//     the sum of the per-query deltas.
+
+// weightsOf projects any result slice to its weight sequence.
+func weightsOf[R any](items []R, weight func(R) float64) []float64 {
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = weight(it)
+	}
+	return out
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBatchInvariants runs the determinism and conservation checks shared
+// by every problem-specific stress test. run must execute the whole batch
+// with the given parallelism and return one weight slice per query; stats
+// must return the index-wide Stats.
+func checkBatchInvariants[R any](
+	t *testing.T,
+	name string,
+	stats func() Stats,
+	run func(parallelism int) []BatchResult[R],
+	weight func(R) float64,
+	oracle [][]float64,
+) {
+	t.Helper()
+
+	before := stats()
+	serial := run(1)
+	mid := stats()
+	parallel := run(8)
+	after := stats()
+
+	if len(serial) != len(oracle) || len(parallel) != len(oracle) {
+		t.Fatalf("%s: got %d/%d batch results, want %d", name, len(serial), len(parallel), len(oracle))
+	}
+	var serialSum, parallelSum int64
+	for i := range oracle {
+		sw := weightsOf(serial[i].Items, weight)
+		pw := weightsOf(parallel[i].Items, weight)
+		if !sameFloats(sw, oracle[i]) {
+			t.Fatalf("%s query %d: serial weights %v, oracle %v", name, i, sw, oracle[i])
+		}
+		if !sameFloats(pw, oracle[i]) {
+			t.Fatalf("%s query %d: parallel weights %v, oracle %v", name, i, pw, oracle[i])
+		}
+		if serial[i].Stats != parallel[i].Stats {
+			t.Fatalf("%s query %d: stats differ across parallelism: serial %+v, parallel %+v",
+				name, i, serial[i].Stats, parallel[i].Stats)
+		}
+		serialSum += serial[i].Stats.IOs()
+		parallelSum += parallel[i].Stats.IOs()
+	}
+	if d := mid.IOs() - before.IOs(); d != serialSum {
+		t.Fatalf("%s: serial batch moved index IOs by %d, per-query sum %d", name, d, serialSum)
+	}
+	if d := after.IOs() - mid.IOs(); d != parallelSum {
+		t.Fatalf("%s: parallel batch moved index IOs by %d, per-query sum %d", name, d, parallelSum)
+	}
+}
+
+// stressDirect hammers query, an arbitrary closure over direct TopK calls,
+// from workers goroutines and checks every result against want.
+func stressDirect(t *testing.T, name string, workers, iters int, nq int, query func(i int) []float64, want [][]float64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (w + it) % nq
+				if got := query(i); !sameFloats(got, want[i]) {
+					select {
+					case errs <- name:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if n, ok := <-errs; ok {
+		t.Fatalf("%s: concurrent direct queries diverged from serial results", n)
+	}
+}
+
+func TestConcurrentIntervalQueries(t *testing.T) {
+	g := wrand.New(101)
+	items := genIntervalItems(g, 800)
+	ix, err := NewIntervalIndex(items, WithReduction(Expected), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k = 40, 10
+	xs := make([]float64, nq)
+	oracle := make([][]float64, nq)
+	for i := range xs {
+		xs[i] = g.Float64() * 120
+		oracle[i] = intervalOracle(items, xs[i], k)
+		if oracle[i] == nil {
+			oracle[i] = []float64{}
+		}
+	}
+	checkBatchInvariants(t, "interval", ix.Stats,
+		func(p int) []BatchResult[IntervalItem[int]] { return ix.QueryBatch(xs, k, p) },
+		func(it IntervalItem[int]) float64 { return it.Weight },
+		oracle)
+	stressDirect(t, "interval", 8, 60, nq, func(i int) []float64 {
+		return weightsOf(ix.TopK(xs[i], k), func(it IntervalItem[int]) float64 { return it.Weight })
+	}, oracle)
+}
+
+func TestConcurrentRangeQueries(t *testing.T) {
+	g := wrand.New(102)
+	n := 700
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItem1[int], n)
+	for i := range items {
+		items[i] = PointItem1[int]{Pos: g.Float64() * 100, Weight: ws[i], Data: i}
+	}
+	ix, err := NewRangeIndex(items, WithReduction(WorstCase), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k = 40, 8
+	spans := make([]Span, nq)
+	oracle := make([][]float64, nq)
+	for i := range spans {
+		lo := g.Float64() * 100
+		spans[i] = Span{Lo: lo, Hi: lo + g.Float64()*30}
+		var in []float64
+		for _, it := range items {
+			if spans[i].Lo <= it.Pos && it.Pos <= spans[i].Hi {
+				in = append(in, it.Weight)
+			}
+		}
+		oracle[i] = topWeights(in, k)
+	}
+	checkBatchInvariants(t, "range", ix.Stats,
+		func(p int) []BatchResult[PointItem1[int]] { return ix.QueryBatch(spans, k, p) },
+		func(it PointItem1[int]) float64 { return it.Weight },
+		oracle)
+	stressDirect(t, "range", 8, 60, nq, func(i int) []float64 {
+		return weightsOf(ix.TopK(spans[i].Lo, spans[i].Hi, k), func(it PointItem1[int]) float64 { return it.Weight })
+	}, oracle)
+}
+
+func TestConcurrentDominanceQueries(t *testing.T) {
+	g := wrand.New(103)
+	items := genDomItems(g, 600)
+	ix, err := NewDominanceIndex(items, WithReduction(Expected), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k = 30, 8
+	qs := make([]CornerQuery, nq)
+	oracle := make([][]float64, nq)
+	for i := range qs {
+		qs[i] = CornerQuery{X: g.Float64() * 110, Y: g.Float64() * 110, Z: g.Float64() * 110}
+		var in []float64
+		for _, it := range items {
+			if it.X <= qs[i].X && it.Y <= qs[i].Y && it.Z <= qs[i].Z {
+				in = append(in, it.Weight)
+			}
+		}
+		oracle[i] = topWeights(in, k)
+	}
+	checkBatchInvariants(t, "dominance", ix.Stats,
+		func(p int) []BatchResult[DominanceItem[string]] { return ix.QueryBatch(qs, k, p) },
+		func(it DominanceItem[string]) float64 { return it.Weight },
+		oracle)
+	stressDirect(t, "dominance", 8, 40, nq, func(i int) []float64 {
+		return weightsOf(ix.TopK(qs[i].X, qs[i].Y, qs[i].Z, k), func(it DominanceItem[string]) float64 { return it.Weight })
+	}, oracle)
+}
+
+func TestConcurrentEnclosureQueries(t *testing.T) {
+	g := wrand.New(104)
+	n := 500
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]RectItem[int], n)
+	for i := range items {
+		x1, y1 := g.Float64()*100, g.Float64()*100
+		items[i] = RectItem[int]{
+			X1: x1, X2: x1 + g.ExpFloat64()*12,
+			Y1: y1, Y2: y1 + g.ExpFloat64()*12,
+			Weight: ws[i], Data: i,
+		}
+	}
+	ix, err := NewEnclosureIndex(items, WithReduction(WorstCase), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k = 30, 6
+	qs := make([]PointQuery, nq)
+	oracle := make([][]float64, nq)
+	for i := range qs {
+		qs[i] = PointQuery{X: g.Float64() * 120, Y: g.Float64() * 120}
+		var in []float64
+		for _, it := range items {
+			if it.X1 <= qs[i].X && qs[i].X <= it.X2 && it.Y1 <= qs[i].Y && qs[i].Y <= it.Y2 {
+				in = append(in, it.Weight)
+			}
+		}
+		oracle[i] = topWeights(in, k)
+	}
+	checkBatchInvariants(t, "enclosure", ix.Stats,
+		func(p int) []BatchResult[RectItem[int]] { return ix.QueryBatch(qs, k, p) },
+		func(it RectItem[int]) float64 { return it.Weight },
+		oracle)
+	stressDirect(t, "enclosure", 8, 40, nq, func(i int) []float64 {
+		return weightsOf(ix.TopK(qs[i].X, qs[i].Y, k), func(it RectItem[int]) float64 { return it.Weight })
+	}, oracle)
+}
+
+func TestConcurrentHalfplaneQueries(t *testing.T) {
+	g := wrand.New(105)
+	n := 500
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItem2[int], n)
+	for i := range items {
+		items[i] = PointItem2[int]{X: g.NormFloat64() * 10, Y: g.NormFloat64() * 10, Weight: ws[i], Data: i}
+	}
+	ix, err := NewHalfplaneIndex(items, WithReduction(Expected), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k = 30, 6
+	qs := make([]HalfplaneQuery, nq)
+	oracle := make([][]float64, nq)
+	for i := range qs {
+		theta := g.Float64() * 2 * math.Pi
+		qs[i] = HalfplaneQuery{A: math.Cos(theta), B: math.Sin(theta), C: g.NormFloat64() * 8}
+		var in []float64
+		for _, it := range items {
+			if qs[i].A*it.X+qs[i].B*it.Y >= qs[i].C {
+				in = append(in, it.Weight)
+			}
+		}
+		oracle[i] = topWeights(in, k)
+	}
+	checkBatchInvariants(t, "halfplane", ix.Stats,
+		func(p int) []BatchResult[PointItem2[int]] { return ix.QueryBatch(qs, k, p) },
+		func(it PointItem2[int]) float64 { return it.Weight },
+		oracle)
+	stressDirect(t, "halfplane", 8, 40, nq, func(i int) []float64 {
+		return weightsOf(ix.TopK(qs[i].A, qs[i].B, qs[i].C, k), func(it PointItem2[int]) float64 { return it.Weight })
+	}, oracle)
+}
+
+func TestConcurrentCircularQueries(t *testing.T) {
+	g := wrand.New(106)
+	const n, d = 400, 2
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItemN[int], n)
+	for i := range items {
+		items[i] = PointItemN[int]{
+			Coords: []float64{g.NormFloat64() * 10, g.NormFloat64() * 10},
+			Weight: ws[i], Data: i,
+		}
+	}
+	ix, err := NewCircularIndex(items, d, WithReduction(WorstCase), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k = 25, 6
+	qs := make([]BallQuery, nq)
+	oracle := make([][]float64, nq)
+	for i := range qs {
+		qs[i] = BallQuery{
+			Center: []float64{g.NormFloat64() * 10, g.NormFloat64() * 10},
+			Radius: 3 + g.Float64()*12,
+		}
+		var in []float64
+		for _, it := range items {
+			dx, dy := it.Coords[0]-qs[i].Center[0], it.Coords[1]-qs[i].Center[1]
+			if dx*dx+dy*dy <= qs[i].Radius*qs[i].Radius {
+				in = append(in, it.Weight)
+			}
+		}
+		oracle[i] = topWeights(in, k)
+	}
+	checkBatchInvariants(t, "circular", ix.Stats,
+		func(p int) []BatchResult[PointItemN[int]] { return ix.QueryBatch(qs, k, p) },
+		func(it PointItemN[int]) float64 { return it.Weight },
+		oracle)
+	stressDirect(t, "circular", 8, 40, nq, func(i int) []float64 {
+		return weightsOf(ix.TopK(qs[i].Center, qs[i].Radius, k), func(it PointItemN[int]) float64 { return it.Weight })
+	}, oracle)
+}
+
+func TestConcurrentOrthoQueries(t *testing.T) {
+	g := wrand.New(107)
+	const n, d = 400, 3
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItemN[int], n)
+	for i := range items {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = g.Float64() * 100
+		}
+		items[i] = PointItemN[int]{Coords: c, Weight: ws[i], Data: i}
+	}
+	ix, err := NewOrthoIndex(items, d, WithReduction(Expected), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k = 25, 6
+	qs := make([]BoxQuery, nq)
+	oracle := make([][]float64, nq)
+	for i := range qs {
+		lo, hi := make([]float64, d), make([]float64, d)
+		for j := 0; j < d; j++ {
+			lo[j] = g.Float64() * 70
+			hi[j] = lo[j] + 10 + g.Float64()*30
+		}
+		qs[i] = BoxQuery{Lo: lo, Hi: hi}
+		var in []float64
+		for _, it := range items {
+			inside := true
+			for j := 0; j < d; j++ {
+				if it.Coords[j] < lo[j] || it.Coords[j] > hi[j] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				in = append(in, it.Weight)
+			}
+		}
+		oracle[i] = topWeights(in, k)
+	}
+	checkBatchInvariants(t, "ortho", ix.Stats,
+		func(p int) []BatchResult[PointItemN[int]] {
+			res, err := ix.QueryBatch(qs, k, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+		func(it PointItemN[int]) float64 { return it.Weight },
+		oracle)
+}
+
+func TestOrthoQueryBatchRejectsBadBox(t *testing.T) {
+	g := wrand.New(108)
+	ws := g.UniqueFloats(10, 1e6)
+	items := make([]PointItemN[int], 10)
+	for i := range items {
+		items[i] = PointItemN[int]{Coords: []float64{g.Float64(), g.Float64()}, Weight: ws[i], Data: i}
+	}
+	ix, err := NewOrthoIndex(items, 2, WithReduction(FullScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []BoxQuery{
+		{Lo: []float64{0, 0}, Hi: []float64{1, 1}},
+		{Lo: []float64{1, 1}, Hi: []float64{0, 0}}, // inverted
+	}
+	if _, err := ix.QueryBatch(qs, 3, 2); err == nil {
+		t.Fatal("inverted box accepted")
+	}
+	qs[1] = BoxQuery{Lo: []float64{0}, Hi: []float64{1}} // wrong dimension
+	if _, err := ix.QueryBatch(qs, 3, 2); err == nil {
+		t.Fatal("wrong-dimension box accepted")
+	}
+}
+
+// topWeights sorts weights descending and truncates to k, normalizing nil
+// to an empty slice so oracle comparisons are shape-stable.
+func topWeights(ws []float64, k int) []float64 {
+	out := append([]float64{}, ws...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

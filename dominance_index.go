@@ -96,3 +96,14 @@ func (ix *DominanceIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.
 
 // ResetStats zeroes the I/O counters.
 func (ix *DominanceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// QueryBatch answers one top-k dominance query per CornerQuery on a
+// bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
+// Each query runs in its own cold tracker view, so per-query Stats are
+// independent of parallelism; see IntervalIndex.QueryBatch for the full
+// contract.
+func (ix *DominanceIndex[T]) QueryBatch(qs []CornerQuery, k int, parallelism int) []BatchResult[DominanceItem[T]] {
+	return runBatch(ix.tracker, qs, parallelism, func(q CornerQuery) []DominanceItem[T] {
+		return ix.TopK(q.X, q.Y, q.Z, k)
+	})
+}

@@ -103,3 +103,14 @@ func (ix *EnclosureIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.
 
 // ResetStats zeroes the I/O counters.
 func (ix *EnclosureIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// QueryBatch answers one top-k enclosure query per PointQuery on a
+// bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
+// Each query runs in its own cold tracker view, so per-query Stats are
+// independent of parallelism; see IntervalIndex.QueryBatch for the full
+// contract.
+func (ix *EnclosureIndex[T]) QueryBatch(qs []PointQuery, k int, parallelism int) []BatchResult[RectItem[T]] {
+	return runBatch(ix.tracker, qs, parallelism, func(q PointQuery) []RectItem[T] {
+		return ix.TopK(q.X, q.Y, k)
+	})
+}

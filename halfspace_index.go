@@ -187,3 +187,25 @@ func (ix *HalfspaceIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.
 
 // ResetStats zeroes the I/O counters.
 func (ix *HalfspaceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// QueryBatch answers one top-k halfplane query per HalfplaneQuery on a
+// bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
+// Each query runs in its own cold tracker view, so per-query Stats are
+// independent of parallelism; see IntervalIndex.QueryBatch for the full
+// contract.
+func (ix *HalfplaneIndex[T]) QueryBatch(qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
+	return runBatch(ix.tracker, qs, parallelism, func(q HalfplaneQuery) []PointItem2[T] {
+		return ix.TopK(q.A, q.B, q.C, k)
+	})
+}
+
+// QueryBatch answers one top-k halfspace query per HalfspaceQuery on a
+// bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
+// Each query runs in its own cold tracker view, so per-query Stats are
+// independent of parallelism; see IntervalIndex.QueryBatch for the full
+// contract.
+func (ix *HalfspaceIndex[T]) QueryBatch(qs []HalfspaceQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
+	return runBatch(ix.tracker, qs, parallelism, func(q HalfspaceQuery) []PointItemN[T] {
+		return ix.TopK(q.A, q.C, k)
+	})
+}

@@ -55,6 +55,7 @@ var experiments = map[string]struct {
 	"E21": {"Ablation: Theorem 1's top-f constant (FScale)", runE21},
 	"E22": {"Ablation: Corollary 1's lifting trick vs a direct ball predicate", runE22},
 	"E23": {"§1.2 reverse reduction: prioritized reporting from a top-k structure", runE23},
+	"E24": {"Concurrent query serving: batch throughput vs workers, I/O invariance", runE24},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"topk"
+)
+
+// E24 — concurrent query serving. The indexes split into an immutable
+// structure and per-query tracker views, so QueryBatch can answer a batch
+// on any number of workers. Two properties are on display: wall-clock
+// throughput may scale with the worker count (on a multi-core host), and
+// the simulated per-query I/O cost must not move at all, because every
+// query runs against its own cold private cache.
+func runE24(w io.Writer, cfg Config) error {
+	n := 1 << 15
+	nq := 512
+	if cfg.Quick {
+		n = 1 << 12
+		nq = 64
+	}
+	const k = 16
+
+	src := Intervals(cfg.Seed+24, n, 15)
+	items := make([]topk.IntervalItem[int], len(src))
+	for i, it := range src {
+		items[i] = topk.IntervalItem[int]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: i}
+	}
+	ix, err := topk.NewIntervalIndex(items, topk.WithReduction(topk.Expected), topk.WithSeed(cfg.Seed))
+	if err != nil {
+		return err
+	}
+	qs := StabPoints(cfg.Seed+240, nq)
+
+	t := newTable("workers", "wall ms", "queries/sec", "speedup", "ios/query", "ios identical")
+	var base time.Duration
+	var baseIOs int64
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		start := time.Now()
+		res := ix.QueryBatch(qs, k, workers)
+		wall := time.Since(start)
+		var ios int64
+		for _, r := range res {
+			ios += r.Stats.IOs()
+		}
+		if workers == 1 {
+			base, baseIOs = wall, ios
+		}
+		t.row(workers,
+			float64(wall.Milliseconds()),
+			float64(nq)/wall.Seconds(),
+			float64(base)/float64(wall),
+			float64(ios)/float64(nq),
+			boolCell(ios == baseIOs))
+	}
+	t.write(w)
+	note(w, "GOMAXPROCS=%d. Per-query I/Os are charged against a cold private cache, so the ios/query column is invariant in the worker count by construction; wall-clock speedup is bounded by the host's core count.", runtime.GOMAXPROCS(0))
+	return nil
+}
+
+func boolCell(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "NO"
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"topk/internal/em"
 	"topk/internal/xsort"
@@ -26,7 +27,7 @@ type Baseline[Q, V any] struct {
 	pri     Prioritized[Q, V]
 	weights []float64 // all weights, descending: weights[r-1] has rank r
 	tracker *em.Tracker
-	probes  int64
+	probes  atomic.Int64 // atomic: queries may run concurrently
 }
 
 // NewBaseline builds the binary-search reduction over the given
@@ -51,7 +52,7 @@ func NewBaseline[Q, V any](
 
 // Probes returns the number of cost-monitored prioritized probes issued so
 // far (≈ log₂ n per query), an experiment instrumentation hook.
-func (b *Baseline[Q, V]) Probes() int64 { return b.probes }
+func (b *Baseline[Q, V]) Probes() int64 { return b.probes.Load() }
 
 // Prioritized exposes the underlying prioritized structure on D.
 func (b *Baseline[Q, V]) Prioritized() Prioritized[Q, V] { return b.pri }
@@ -70,7 +71,7 @@ func (b *Baseline[Q, V]) TopK(q Q, k int) []Item[V] {
 	}
 	// atLeastK(r) is monotone nondecreasing in r (lower τ ⇒ more results).
 	atLeastK := func(r int) bool {
-		b.probes++
+		b.probes.Add(1)
 		if b.tracker != nil {
 			b.tracker.ScanCost(1) // the rank→weight array probe
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"topk/internal/em"
 )
@@ -40,9 +41,10 @@ type CountingBaseline[Q, V any] struct {
 	tracker *em.Tracker
 	root    *cbNode[Q, V]
 	n       int
-	// CountQueries instruments the number of counting probes
-	// (~log₂ n per top-k query).
-	CountQueries int64
+	// countQueries instruments the number of counting probes
+	// (~log₂ n per top-k query); atomic because queries may run
+	// concurrently.
+	countQueries atomic.Int64
 }
 
 type cbNode[Q, V any] struct {
@@ -95,6 +97,9 @@ func (c *CountingBaseline[Q, V]) build(
 // N returns the number of indexed items.
 func (c *CountingBaseline[Q, V]) N() int { return c.n }
 
+// CountQueries returns the number of counting probes issued so far.
+func (c *CountingBaseline[Q, V]) CountQueries() int64 { return c.countQueries.Load() }
+
 // TopK answers a top-k query, weight-descending.
 func (c *CountingBaseline[Q, V]) TopK(q Q, k int) []Item[V] {
 	if k <= 0 || c.root == nil {
@@ -123,9 +128,9 @@ func (c *CountingBaseline[Q, V]) collect(nd *cbNode[Q, V], q Q, k int, out *[]It
 		})
 		return added
 	}
-	c.CountQueries++
+	c.countQueries.Add(2) // this probe plus the heavy child's
 	got := 0
-	if nd.heavy.count(q, &c.CountQueries) >= k {
+	if nd.heavy.cnt.Count(q) >= k {
 		// The (possibly over-approximate) count promises enough heavy
 		// items; on a shortfall, fall through to the lighter child.
 		got = c.collect(nd.heavy, q, k, out)
@@ -141,9 +146,4 @@ func (c *CountingBaseline[Q, V]) collect(nd *cbNode[Q, V], q Q, k int, out *[]It
 		got += c.collect(nd.light, q, k-got, out)
 	}
 	return got
-}
-
-func (nd *cbNode[Q, V]) count(q Q, probes *int64) int {
-	*probes++
-	return nd.cnt.Count(q)
 }

@@ -73,7 +73,7 @@ func TestCountingBaselineProbesLogarithmic(t *testing.T) {
 		lo := g.Float64() * 90
 		cb.TopK(span{lo, lo + 10}, 10)
 	}
-	perQuery := float64(cb.CountQueries) / queries
+	perQuery := float64(cb.CountQueries()) / queries
 	// The descent issues ~2 counting probes per level over ~13 levels
 	// plus shortfall detours; anything near n would mean a broken walk.
 	if perQuery > 80 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"topk/internal/em"
 )
 
@@ -36,8 +38,9 @@ type MaxFromEmptiness[Q, V any] struct {
 	tracker *em.Tracker
 	root    *meNode[Q, V]
 	n       int
-	// EmptinessQueries counts NonEmpty probes, ~2 log₂ n per MaxItem.
-	EmptinessQueries int64
+	// emptinessQueries counts NonEmpty probes, ~2 log₂ n per MaxItem;
+	// atomic because queries may run concurrently.
+	emptinessQueries atomic.Int64
 }
 
 type meNode[Q, V any] struct {
@@ -96,8 +99,13 @@ func (m *MaxFromEmptiness[Q, V]) MaxItem(q Q) (Item[V], bool) {
 }
 
 func (m *MaxFromEmptiness[Q, V]) probe(nd *meNode[Q, V], q Q) bool {
-	m.EmptinessQueries++
+	m.emptinessQueries.Add(1)
 	return nd.empt.NonEmpty(q)
+}
+
+// EmptinessQueries returns the number of NonEmpty probes issued so far.
+func (m *MaxFromEmptiness[Q, V]) EmptinessQueries() int64 {
+	return m.emptinessQueries.Load()
 }
 
 // N returns the number of indexed items.

@@ -56,7 +56,7 @@ func TestMaxFromEmptinessProbeCount(t *testing.T) {
 		lo := g.Float64() * 90
 		m.MaxItem(span{lo, lo + 10})
 	}
-	perQuery := float64(m.EmptinessQueries) / queries
+	perQuery := float64(m.EmptinessQueries()) / queries
 	if perQuery > 2*12+3 {
 		t.Errorf("%.1f emptiness probes per query; want ≤ ~2 log n", perQuery)
 	}

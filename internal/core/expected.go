@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"topk/internal/em"
 	"topk/internal/wrand"
@@ -106,8 +107,23 @@ type Expected[Q, V any] struct {
 	posByW   map[float64]int // weight -> index in items
 	nAtBuild int
 
-	rng   *wrand.RNG
-	stats ExpectedStats
+	rng *wrand.RNG
+
+	// stats holds the build/update-time fields of ExpectedStats; they are
+	// only touched under the caller's exclusive-update contract. The
+	// query-path counters live in qstats as atomics so that concurrent
+	// read-only queries stay data-race-free.
+	stats  ExpectedStats
+	qstats expQueryCounters
+}
+
+// expQueryCounters are the query-path instrumentation counters, atomic
+// because any number of TopK calls may run concurrently.
+type expQueryCounters struct {
+	queries    atomic.Int64
+	rounds     atomic.Int64
+	naiveScans atomic.Int64
+	roundHist  [16]atomic.Int64
 }
 
 type expLevel[Q, V any] struct {
@@ -229,8 +245,17 @@ func (e *Expected[Q, V]) kMin(n int) float64 {
 // N returns the number of live items.
 func (e *Expected[Q, V]) N() int { return len(e.items) }
 
-// Stats returns instrumentation counters.
-func (e *Expected[Q, V]) Stats() ExpectedStats { return e.stats }
+// Stats returns a snapshot of the instrumentation counters.
+func (e *Expected[Q, V]) Stats() ExpectedStats {
+	st := e.stats
+	st.Queries = e.qstats.queries.Load()
+	st.Rounds = e.qstats.rounds.Load()
+	st.NaiveScans = e.qstats.naiveScans.Load()
+	for i := range st.RoundHist {
+		st.RoundHist[i] = e.qstats.roundHist[i].Load()
+	}
+	return st
+}
 
 // Prioritized exposes the reduction's internal prioritized structure on D
 // (kept up to date by the dynamic path), so callers can answer prioritized
@@ -247,7 +272,7 @@ func (e *Expected[Q, V]) Items() []Item[V] {
 // TopK answers a top-k query by the round algorithm of Section 4. The
 // result is weight-descending with min(k, |q(D)|) items.
 func (e *Expected[Q, V]) TopK(q Q, k int) []Item[V] {
-	e.stats.Queries++
+	e.qstats.queries.Add(1)
 	n := len(e.items)
 	if k <= 0 || n == 0 {
 		return nil
@@ -263,7 +288,7 @@ func (e *Expected[Q, V]) TopK(q Q, k int) []Item[V] {
 	// k beyond the ladder top (or no ladder at all): scan D naively in
 	// O(n/B) = O(k/B).
 	if len(e.levels) == 0 || float64(kq) > e.levels[len(e.levels)-1].k {
-		e.stats.NaiveScans++
+		e.qstats.naiveScans.Add(1)
 		return e.scanTopK(q, k)
 	}
 
@@ -313,18 +338,18 @@ func (e *Expected[Q, V]) TopK(q Q, k int) []Item[V] {
 	}
 
 	// Step 6(b): ladder exhausted; read the whole D.
-	e.stats.NaiveScans++
+	e.qstats.naiveScans.Add(1)
 	e.finishRounds(rounds)
 	return e.scanTopK(q, k)
 }
 
 func (e *Expected[Q, V]) finishRounds(r int) {
-	e.stats.Rounds += int64(r)
+	e.qstats.rounds.Add(int64(r))
 	idx := r - 1
-	if idx >= len(e.stats.RoundHist) {
-		idx = len(e.stats.RoundHist) - 1
+	if idx >= len(e.qstats.roundHist) {
+		idx = len(e.qstats.roundHist) - 1
 	}
-	e.stats.RoundHist[idx]++
+	e.qstats.roundHist[idx].Add(1)
 }
 
 func (e *Expected[Q, V]) scanTopK(q Q, k int) []Item[V] {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"topk/internal/em"
 	"topk/internal/wrand"
@@ -103,7 +104,20 @@ type WorstCase[Q, V any] struct {
 	// ladder[i] is the top-f chain on the core-set R[i+1] with
 	// K = 2^i · f (paper's i = index+1).
 	ladder []*topfChain[Q, V]
+
+	// stats holds the build-time fields of WorstCaseStats; the query-path
+	// counters live in qstats as atomics so that concurrent read-only
+	// queries stay data-race-free.
 	stats  WorstCaseStats
+	qstats wcQueryCounters
+}
+
+// wcQueryCounters are the query-path instrumentation counters, atomic
+// because any number of TopK calls may run concurrently.
+type wcQueryCounters struct {
+	queries    atomic.Int64
+	fallbacks  atomic.Int64
+	chainScans atomic.Int64
 }
 
 // topfChain is the nested-core-set structure answering top-f queries
@@ -196,8 +210,14 @@ func (w *WorstCase[Q, V]) N() int { return len(w.items) }
 // F returns the small/large-k threshold f = 12λB·Q_pri(n).
 func (w *WorstCase[Q, V]) F() int { return w.f }
 
-// Stats returns instrumentation counters.
-func (w *WorstCase[Q, V]) Stats() WorstCaseStats { return w.stats }
+// Stats returns a snapshot of the instrumentation counters.
+func (w *WorstCase[Q, V]) Stats() WorstCaseStats {
+	st := w.stats
+	st.Queries = w.qstats.queries.Load()
+	st.Fallbacks = w.qstats.fallbacks.Load()
+	st.ChainScans = w.qstats.chainScans.Load()
+	return st
+}
 
 // Prioritized exposes the structure's prioritized black box on D (the
 // chain's level 0), so callers can answer prioritized queries without
@@ -207,7 +227,7 @@ func (w *WorstCase[Q, V]) Prioritized() Prioritized[Q, V] { return w.chain.level
 // TopK answers a top-k query (§3.2). The result is weight-descending with
 // min(k, |q(D)|) items.
 func (w *WorstCase[Q, V]) TopK(q Q, k int) []Item[V] {
-	w.stats.Queries++
+	w.qstats.queries.Add(1)
 	if k <= 0 || len(w.items) == 0 {
 		return nil
 	}
@@ -260,7 +280,7 @@ func (w *WorstCase[Q, V]) largeK(q Q, k int) []Item[V] {
 	r := pivotRank(n, w.opts.Lambda)
 	top := chain.topF(q)
 	if len(top) < r {
-		w.stats.Fallbacks++
+		w.qstats.fallbacks.Add(1)
 		return w.exhaustive(priD, q, k)
 	}
 	pivot := top[r-1].Weight
@@ -268,7 +288,7 @@ func (w *WorstCase[Q, V]) largeK(q Q, k int) []Item[V] {
 	if cnt < k {
 		// The pivot landed above rank k in q(D) (sample failure): the
 		// harvested set may miss part of the answer.
-		w.stats.Fallbacks++
+		w.qstats.fallbacks.Add(1)
 		return w.exhaustive(priD, q, k)
 	}
 	return got
@@ -285,7 +305,7 @@ func (c *topfChain[Q, V]) query(q Q, j int) []Item[V] {
 	lvl := c.levels[j]
 	// Base case: scan the bottom core-set.
 	if j == len(c.levels)-1 {
-		w.stats.ChainScans++
+		w.qstats.chainScans.Add(1)
 		w.chargeScan(len(lvl.items))
 		var hit []Item[V]
 		for _, it := range lvl.items {
@@ -310,13 +330,13 @@ func (c *topfChain[Q, V]) query(q Q, j int) []Item[V] {
 	}
 	sub := c.query(q, j+1)
 	if len(sub) < r {
-		w.stats.Fallbacks++
+		w.qstats.fallbacks.Add(1)
 		return w.exhaustive(lvl.pri, q, c.f)
 	}
 	pivot := sub[r-1].Weight
 	got, cnt := w.harvest(lvl.pri, q, pivot, c.f)
 	if cnt < c.f {
-		w.stats.Fallbacks++
+		w.qstats.fallbacks.Add(1)
 		return w.exhaustive(lvl.pri, q, c.f)
 	}
 	return got

@@ -25,7 +25,6 @@ type Prioritized struct {
 	tracker *em.Tracker
 	byW     []core.Item[Pt3] // weight-descending
 	root    *wnode
-	visited int64 // canonical/segment nodes touched by the last query
 }
 
 const leafCut = 16 // below this, scan linearly instead of subdividing
@@ -219,14 +218,16 @@ func queryX(nd *xnode, cnt int, q Pt3, emit func(core.Item[Pt3]) bool, visited *
 
 // ReportAbove implements core.Prioritized[Pt3, Pt3].
 func (p *Prioritized) ReportAbove(q Pt3, tau float64, emit func(core.Item[Pt3]) bool) {
-	p.visited = 0
+	// visited is a per-query local (not a receiver field) so that any
+	// number of ReportAbove calls can run concurrently on one structure.
+	var visited int64
 	emitted := 0
 	defer func() {
 		if p.tracker != nil {
 			// Segment-tree visits attributable to emission (≈ 2 per
 			// reported leaf) are paid by the packed output scan; only the
 			// residual search nodes pay path cost.
-			search := int(p.visited) - 2*emitted
+			search := int(visited) - 2*emitted
 			if search < 0 {
 				search = 0
 			}
@@ -236,19 +237,19 @@ func (p *Prioritized) ReportAbove(q Pt3, tau float64, emit func(core.Item[Pt3]) 
 	}()
 	// {w ≥ τ} is the prefix of byW before the first weight < τ.
 	cnt := sort.Search(len(p.byW), func(i int) bool { return p.byW[i].Weight < tau })
-	p.visited += int64(log2ceil(len(p.byW)) + 1)
+	visited += int64(log2ceil(len(p.byW)) + 1)
 	wrapped := func(it core.Item[Pt3]) bool {
 		emitted++
 		return emit(it)
 	}
-	p.queryW(p.root, cnt, q, wrapped)
+	p.queryW(p.root, cnt, q, wrapped, &visited)
 }
 
-func (p *Prioritized) queryW(nd *wnode, cnt int, q Pt3, emit func(core.Item[Pt3]) bool) bool {
+func (p *Prioritized) queryW(nd *wnode, cnt int, q Pt3, emit func(core.Item[Pt3]) bool, visited *int64) bool {
 	if nd == nil || cnt <= 0 {
 		return true
 	}
-	p.visited++
+	*visited++
 	if nd.rep == nil { // leaf: partial scan of the weight-prefix
 		limit := min(cnt, len(nd.items))
 		for _, it := range nd.items[:limit] {
@@ -261,19 +262,17 @@ func (p *Prioritized) queryW(nd *wnode, cnt int, q Pt3, emit func(core.Item[Pt3]
 		return true
 	}
 	if cnt >= len(nd.items) {
-		return nd.rep.query(q, emit, p.visited_())
+		return nd.rep.query(q, emit, visited)
 	}
 	lsize := len(nd.left.items)
 	if cnt <= lsize {
-		return p.queryW(nd.left, cnt, q, emit)
+		return p.queryW(nd.left, cnt, q, emit, visited)
 	}
-	if !p.queryW(nd.left, lsize, q, emit) {
+	if !p.queryW(nd.left, lsize, q, emit, visited) {
 		return false
 	}
-	return p.queryW(nd.right, cnt-lsize, q, emit)
+	return p.queryW(nd.right, cnt-lsize, q, emit, visited)
 }
-
-func (p *Prioritized) visited_() *int64 { return &p.visited }
 
 // N returns the number of indexed points.
 func (p *Prioritized) N() int { return len(p.byW) }

@@ -14,9 +14,25 @@
 // counts the misses. This measures precisely the quantity the paper's
 // theorems bound, while keeping the structures themselves ordinary Go
 // values that tests can inspect.
+//
+// # Concurrency
+//
+// A Tracker separates the immutable machine description (Config, the block
+// allocation ledger) from the mutable I/O accounting. Builds and updates
+// must be serialized by the caller, but read-only queries may run
+// concurrently: each query goroutine calls BeginQuery to obtain a private
+// QueryView — its own cold LRU cache and counters — and charges issued by
+// that goroutine are routed to the view until End merges them into the
+// tracker-wide totals with atomic adds. Charges made with no active view
+// go to the shared cache (mutex-guarded) and shared counters (atomic), so
+// single-goroutine use keeps its exact previous semantics.
 package em
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // BlockID identifies one logical disk block. The zero value is invalid.
 type BlockID uint64
@@ -68,13 +84,26 @@ func (s Stats) Sub(t Stats) Stats {
 }
 
 // Tracker charges I/Os for block touches on one simulated EM machine.
-// A Tracker is not safe for concurrent use; each index owns its own.
+//
+// Structure builds and updates must not run concurrently with anything else
+// on the same tracker, but read-only queries may: wrap each query in
+// BeginQuery/End to give it a private QueryView, or rely on the shared
+// path, which is itself safe (mutex-guarded cache, atomic counters) at the
+// price of queries sharing one cache. See the package comment.
 type Tracker struct {
-	cfg    Config
-	next   BlockID
-	stats  Stats
-	cache  *lruCache
-	frozen bool
+	cfg Config
+
+	next   atomic.Uint64 // next BlockID to hand out
+	blocks atomic.Int64
+	reads  atomic.Int64
+	writes atomic.Int64
+	hits   atomic.Int64
+
+	mu    sync.Mutex // guards cache, the shared frame set
+	cache *lruCache
+
+	views  sync.Map     // goroutine id (uint64) -> *QueryView
+	nviews atomic.Int32 // active-view count; zero means the fast path
 }
 
 // NewTracker builds a tracker for the given machine configuration.
@@ -84,7 +113,9 @@ func NewTracker(cfg Config) *Tracker {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	return &Tracker{cfg: cfg, next: 1, cache: newLRUCache(cfg.MemBlocks)}
+	t := &Tracker{cfg: cfg, cache: newLRUCache(cfg.MemBlocks)}
+	t.next.Store(1)
+	return t
 }
 
 // B returns the block size in words.
@@ -93,29 +124,49 @@ func (t *Tracker) B() int { return t.cfg.B }
 // Config returns the machine configuration.
 func (t *Tracker) Config() Config { return t.cfg }
 
-// Stats returns a snapshot of the counters.
-func (t *Tracker) Stats() Stats { return t.stats }
-
-// ResetCounters zeroes the I/O counters (reads, writes, hits) but keeps the
-// allocation count and cache contents, so that build cost and query cost
-// can be measured separately.
-func (t *Tracker) ResetCounters() {
-	t.stats.Reads, t.stats.Writes, t.stats.Hits = 0, 0, 0
+// Stats returns a snapshot of the tracker-wide counters. Charges held by
+// in-flight QueryViews are not included until their End merges them.
+func (t *Tracker) Stats() Stats {
+	return Stats{
+		Reads:  t.reads.Load(),
+		Writes: t.writes.Load(),
+		Hits:   t.hits.Load(),
+		Blocks: t.blocks.Load(),
+	}
 }
 
-// DropCache evicts every cached block, forcing subsequent touches to pay
-// full I/O cost. Queries measured from a cold cache reflect the paper's
-// worst-case accounting.
-func (t *Tracker) DropCache() { t.cache.clear() }
+// ResetCounters zeroes the tracker-wide I/O counters (reads, writes, hits)
+// but keeps the allocation count and cache contents, so that build cost and
+// query cost can be measured separately. It must not race with in-flight
+// queries.
+func (t *Tracker) ResetCounters() {
+	t.reads.Store(0)
+	t.writes.Store(0)
+	t.hits.Store(0)
+}
+
+// DropCache evicts every block from the shared cache, forcing subsequent
+// shared-path touches to pay full I/O cost. Queries measured from a cold
+// cache reflect the paper's worst-case accounting. (QueryViews always start
+// cold and are unaffected.)
+func (t *Tracker) DropCache() {
+	t.mu.Lock()
+	t.cache.clear()
+	t.mu.Unlock()
+}
 
 // Alloc reserves one new block and returns its ID. Allocation itself
 // charges one write I/O (the block must reach disk at least once).
+// Allocation mutates the structure, so it panics inside a read-only
+// query view.
 func (t *Tracker) Alloc() BlockID {
-	id := t.next
-	t.next++
-	t.stats.Blocks++
-	t.stats.Writes++
+	t.checkMutable("Alloc")
+	id := BlockID(t.next.Add(1) - 1)
+	t.blocks.Add(1)
+	t.writes.Add(1)
+	t.mu.Lock()
 	t.cache.touch(id)
+	t.mu.Unlock()
 	return id
 }
 
@@ -125,10 +176,10 @@ func (t *Tracker) AllocRun(n int) BlockID {
 	if n <= 0 {
 		panic("em: AllocRun with n <= 0")
 	}
-	id := t.next
-	t.next += BlockID(n)
-	t.stats.Blocks += int64(n)
-	t.stats.Writes += int64(n)
+	t.checkMutable("AllocRun")
+	id := BlockID(t.next.Add(uint64(n)) - uint64(n))
+	t.blocks.Add(int64(n))
+	t.writes.Add(int64(n))
 	return id
 }
 
@@ -137,8 +188,11 @@ func (t *Tracker) Free(id BlockID) {
 	if id == 0 {
 		return
 	}
-	t.stats.Blocks--
+	t.checkMutable("Free")
+	t.blocks.Add(-1)
+	t.mu.Lock()
 	t.cache.evict(id)
+	t.mu.Unlock()
 }
 
 // FreeRun releases n consecutive blocks starting at id.
@@ -148,17 +202,33 @@ func (t *Tracker) FreeRun(id BlockID, n int) {
 	}
 }
 
+// checkMutable panics if the calling goroutine is inside a read-only query
+// view: queries must not change the allocation ledger, and the panic turns
+// a silent accounting corruption into an immediate test failure.
+func (t *Tracker) checkMutable(op string) {
+	if t.currentView() != nil {
+		panic("em: " + op + " inside a read-only query view")
+	}
+}
+
 // Read charges for reading one block: a cache hit is free, a miss costs one
 // I/O and makes the block resident.
 func (t *Tracker) Read(id BlockID) {
 	if id == 0 {
 		panic("em: read of invalid block 0")
 	}
-	if t.cache.touch(id) {
-		t.stats.Hits++
+	if v := t.currentView(); v != nil {
+		v.read(id)
 		return
 	}
-	t.stats.Reads++
+	t.mu.Lock()
+	hit := t.cache.touch(id)
+	t.mu.Unlock()
+	if hit {
+		t.hits.Add(1)
+	} else {
+		t.reads.Add(1)
+	}
 }
 
 // Write charges one write I/O for block id and makes it resident.
@@ -166,8 +236,14 @@ func (t *Tracker) Write(id BlockID) {
 	if id == 0 {
 		panic("em: write of invalid block 0")
 	}
+	if v := t.currentView(); v != nil {
+		v.write(id)
+		return
+	}
+	t.mu.Lock()
 	t.cache.touch(id)
-	t.stats.Writes++
+	t.mu.Unlock()
+	t.writes.Add(1)
 }
 
 // ReadRun charges for a sequential scan of n consecutive blocks starting at
@@ -177,13 +253,17 @@ func (t *Tracker) ReadRun(id BlockID, n int) {
 	if n <= 0 {
 		return
 	}
+	if v := t.currentView(); v != nil {
+		v.readRun(id, n)
+		return
+	}
 	if n <= t.cfg.MemBlocks {
 		for i := 0; i < n; i++ {
 			t.Read(id + BlockID(i))
 		}
 		return
 	}
-	t.stats.Reads += int64(n)
+	t.reads.Add(int64(n))
 }
 
 // PathCost charges the I/Os of walking `nodes` nodes of a bounded-degree
@@ -195,11 +275,22 @@ func (t *Tracker) PathCost(nodes int) {
 	if nodes <= 0 {
 		return
 	}
+	n := pathReads(nodes, t.cfg.B)
+	if v := t.currentView(); v != nil {
+		v.reads += n
+		return
+	}
+	t.reads.Add(n)
+}
+
+// pathReads is the blocked-layout cost formula shared by the tracker and
+// its query views.
+func pathReads(nodes, b int) int64 {
 	per := 1
-	for b := t.cfg.B; b > 1; b >>= 1 {
+	for ; b > 1; b >>= 1 {
 		per++
 	}
-	t.stats.Reads += int64((nodes + per - 1) / per)
+	return int64((nodes + per - 1) / per)
 }
 
 // ScanCost charges the I/Os of scanning nItems items packed B-per-block:
@@ -210,7 +301,24 @@ func (t *Tracker) ScanCost(nItems int) {
 	if nItems <= 0 {
 		return
 	}
-	t.stats.Reads += int64((nItems + t.cfg.B - 1) / t.cfg.B)
+	n := int64((nItems + t.cfg.B - 1) / t.cfg.B)
+	if v := t.currentView(); v != nil {
+		v.reads += n
+		return
+	}
+	t.reads.Add(n)
+}
+
+// currentView returns the calling goroutine's active view, or nil. The
+// common no-views case costs one atomic load.
+func (t *Tracker) currentView() *QueryView {
+	if t.nviews.Load() == 0 {
+		return nil
+	}
+	if v, ok := t.views.Load(goid()); ok {
+		return v.(*QueryView)
+	}
+	return nil
 }
 
 // BlocksFor returns how many blocks are needed to store nItems items of

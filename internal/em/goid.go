@@ -1,0 +1,46 @@
+package em
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+)
+
+// goidBufs pools the small buffers used to read the stack-trace header.
+var goidBufs = sync.Pool{
+	New: func() any { b := make([]byte, 64); return &b },
+}
+
+// goid returns the runtime ID of the calling goroutine, parsed from the
+// first stack-trace line ("goroutine 123 [running]:"). The runtime exposes
+// no public accessor; this is the standard portable technique. Goroutine
+// IDs are never reused, so a finished query can never alias a later one.
+// The parse only runs on tracker paths while at least one QueryView is
+// active — the idle fast path is a single atomic load.
+func goid() uint64 {
+	bp := goidBufs.Get().(*[]byte)
+	n := runtime.Stack(*bp, false)
+	id := parseGoid((*bp)[:n])
+	goidBufs.Put(bp)
+	return id
+}
+
+var goroutinePrefix = []byte("goroutine ")
+
+func parseGoid(b []byte) uint64 {
+	if !bytes.HasPrefix(b, goroutinePrefix) {
+		panic("em: unexpected runtime.Stack header: " + string(b))
+	}
+	b = b[len(goroutinePrefix):]
+	var id uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	if id == 0 {
+		panic("em: could not parse goroutine id from stack header")
+	}
+	return id
+}

@@ -1,0 +1,99 @@
+package em
+
+// A QueryView is a per-query window onto a Tracker: it shares the tracker's
+// machine configuration and immutable block layout but owns a private,
+// initially cold LRU cache and private I/O counters. Obtain one with
+// Tracker.BeginQuery at the start of a read-only query and release it with
+// End, which merges the counters into the tracker-wide totals atomically
+// and returns the query's own Stats delta.
+//
+// While the view is active, every charge issued by the registering
+// goroutine (Read, Write, ReadRun, PathCost, ScanCost) is routed to the
+// view. Because the private cache starts cold and is never shared, a
+// query's I/O count is a deterministic function of the query alone —
+// identical whether queries run serially or in parallel — which is what
+// lets concurrent measurements still validate the paper's cold-cache
+// bounds.
+//
+// Charges are routed by goroutine identity, so the goroutine that calls
+// BeginQuery must be the one executing the query, the query must not spawn
+// internal goroutines, and End must be called from that same goroutine.
+// Allocation (Alloc, AllocRun, Free, FreeRun) mutates the structure and
+// panics while a view is active on the calling goroutine.
+type QueryView struct {
+	t     *Tracker
+	gid   uint64
+	cache *lruCache
+
+	reads, writes, hits int64
+
+	ended bool
+}
+
+// BeginQuery registers a fresh, cold QueryView for the calling goroutine
+// and returns it. Charges from this goroutine are routed to the view until
+// End is called. It panics if this goroutine already holds an active view
+// on this tracker: queries do not nest.
+func (t *Tracker) BeginQuery() *QueryView {
+	gid := goid()
+	v := &QueryView{t: t, gid: gid, cache: newLRUCache(t.cfg.MemBlocks)}
+	if _, loaded := t.views.LoadOrStore(gid, v); loaded {
+		panic("em: BeginQuery: a query view is already active on this goroutine")
+	}
+	t.nviews.Add(1)
+	return v
+}
+
+// Stats returns the view's counters so far. Blocks reports the tracker-wide
+// allocation level: space is shared, and read-only queries never allocate.
+func (v *QueryView) Stats() Stats {
+	return Stats{
+		Reads:  v.reads,
+		Writes: v.writes,
+		Hits:   v.hits,
+		Blocks: v.t.blocks.Load(),
+	}
+}
+
+// End deregisters the view, merges its counters into the tracker-wide
+// totals with atomic adds, and returns the view's final Stats. Calling End
+// again is a no-op that returns the same Stats, so it is safe to defer.
+func (v *QueryView) End() Stats {
+	st := v.Stats()
+	if v.ended {
+		return st
+	}
+	v.ended = true
+	v.t.views.Delete(v.gid)
+	v.t.nviews.Add(-1)
+	v.t.reads.Add(v.reads)
+	v.t.writes.Add(v.writes)
+	v.t.hits.Add(v.hits)
+	return st
+}
+
+// read charges one block read against the private cache.
+func (v *QueryView) read(id BlockID) {
+	if v.cache.touch(id) {
+		v.hits++
+	} else {
+		v.reads++
+	}
+}
+
+// write charges one block write and makes the block resident privately.
+func (v *QueryView) write(id BlockID) {
+	v.cache.touch(id)
+	v.writes++
+}
+
+// readRun mirrors Tracker.ReadRun against the private cache.
+func (v *QueryView) readRun(id BlockID, n int) {
+	if n <= v.t.cfg.MemBlocks {
+		for i := 0; i < n; i++ {
+			v.read(id + BlockID(i))
+		}
+		return
+	}
+	v.reads += int64(n)
+}

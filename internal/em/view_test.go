@@ -1,0 +1,156 @@
+package em
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueryViewIsolationAndMerge(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	id := tr.Alloc()
+	tr.ResetCounters()
+	tr.DropCache()
+
+	v := tr.BeginQuery()
+	tr.Read(id)
+	tr.Read(id) // second touch hits the view's private cache
+	tr.ScanCost(tr.B())
+	if got := tr.Stats(); got.Reads != 0 || got.Hits != 0 {
+		t.Fatalf("in-flight view leaked into tracker stats: %+v", got)
+	}
+	st := v.End()
+	if st.Reads != 2 || st.Hits != 1 || st.Writes != 0 {
+		t.Fatalf("view stats = %+v, want Reads=2 Hits=1 Writes=0", st)
+	}
+	if got := tr.Stats(); got.Reads != 2 || got.Hits != 1 {
+		t.Fatalf("merged tracker stats = %+v, want Reads=2 Hits=1", got)
+	}
+	if again := v.End(); again != st {
+		t.Fatalf("second End returned %+v, want %+v", again, st)
+	}
+}
+
+func TestQueryViewStartsCold(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	id := tr.Alloc()
+	tr.ResetCounters()
+
+	// The shared cache is warm (Alloc touched id), but a view must not be.
+	v := tr.BeginQuery()
+	tr.Read(id)
+	if st := v.End(); st.Reads != 1 || st.Hits != 0 {
+		t.Fatalf("view stats = %+v, want one cold read", st)
+	}
+	// The shared path still sees its warm cache.
+	tr.ResetCounters()
+	tr.Read(id)
+	if got := tr.Stats(); got.Hits != 1 || got.Reads != 0 {
+		t.Fatalf("shared stats = %+v, want one hit", got)
+	}
+}
+
+func TestQueryViewRoutesByGoroutine(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	id := tr.Alloc()
+	tr.ResetCounters()
+	tr.DropCache()
+
+	// A view on another goroutine must not capture this goroutine's charges.
+	started := make(chan *QueryView)
+	release := make(chan struct{})
+	done := make(chan Stats)
+	go func() {
+		v := tr.BeginQuery()
+		started <- v
+		<-release
+		done <- v.End()
+	}()
+	<-started
+	tr.Read(id) // charged to the shared path, not the other goroutine's view
+	close(release)
+	st := <-done
+	if st.Reads != 0 || st.Hits != 0 {
+		t.Fatalf("idle view accumulated %+v", st)
+	}
+	if got := tr.Stats(); got.Reads != 1 {
+		t.Fatalf("shared stats = %+v, want Reads=1", got)
+	}
+}
+
+func TestQueryViewDeterministicUnderConcurrency(t *testing.T) {
+	tr := NewTracker(Config{B: 8, MemBlocks: 2})
+	base := tr.AllocRun(16)
+	tr.ResetCounters()
+
+	query := func() Stats {
+		v := tr.BeginQuery()
+		for i := 0; i < 16; i++ {
+			tr.Read(base + BlockID(i%4))
+		}
+		tr.PathCost(9)
+		tr.ScanCost(20)
+		return v.End()
+	}
+
+	want := query()
+	const workers = 8
+	got := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = query()
+		}(w)
+	}
+	wg.Wait()
+	sum := Stats{}
+	for w, st := range got {
+		if st.Reads != want.Reads || st.Writes != want.Writes || st.Hits != want.Hits {
+			t.Fatalf("worker %d stats %+v differ from serial %+v", w, st, want)
+		}
+		sum.Reads += st.Reads
+		sum.Writes += st.Writes
+		sum.Hits += st.Hits
+	}
+	total := tr.Stats()
+	if total.Reads != sum.Reads+want.Reads || total.Hits != sum.Hits+want.Hits {
+		t.Fatalf("merged totals %+v != sum of per-query deltas %+v (+ serial %+v)", total, sum, want)
+	}
+}
+
+func TestBeginQueryDoesNotNest(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	v := tr.BeginQuery()
+	defer v.End()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested BeginQuery did not panic")
+		}
+	}()
+	tr.BeginQuery()
+}
+
+func TestAllocPanicsInsideView(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	v := tr.BeginQuery()
+	defer v.End()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc inside a query view did not panic")
+		}
+	}()
+	tr.Alloc()
+}
+
+func TestGoidStableAndDistinct(t *testing.T) {
+	a, b := goid(), goid()
+	if a != b {
+		t.Fatalf("goid not stable on one goroutine: %d vs %d", a, b)
+	}
+	ch := make(chan uint64)
+	go func() { ch <- goid() }()
+	if other := <-ch; other == a {
+		t.Fatalf("distinct goroutines returned the same id %d", a)
+	}
+}

@@ -342,14 +342,20 @@ func TestKDTreeSublinearVisits(t *testing.T) {
 	g := wrand.New(8)
 	visitsAt := func(n int) float64 {
 		items := genPointsN(g, n, 4)
-		kd, _ := NewKDTree(items, 4, nil)
+		// B=2 makes PathCost charge ~visited/2 reads, a faithful proxy for
+		// the node-visit count (no longer a readable field since queries
+		// keep their scratch state on the stack).
+		tr := em.NewTracker(em.Config{B: 2, MemBlocks: 2})
+		kd, _ := NewKDTree(items, 4, tr)
+		tr.ResetCounters()
 		var total int64
 		const queries = 30
 		for i := 0; i < queries; i++ {
 			q := randHalfspace(g, 4)
 			q.C = math.Abs(q.C) + 25 // far halfspace: few/no results, pure search cost
+			before := tr.Stats().Reads
 			kd.ReportAbove(q, math.Inf(1), func(core.Item[PtN]) bool { return true })
-			total += kd.visited
+			total += tr.Stats().Reads - before
 		}
 		return float64(total) / queries
 	}

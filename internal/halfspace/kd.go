@@ -83,7 +83,6 @@ type KDTree struct {
 	n       int
 	root    *kdnode
 	tracker *em.Tracker
-	visited int64
 }
 
 type kdnode struct {
@@ -169,14 +168,15 @@ func (t *KDTree) ReportAbove(q Halfspace, tau float64, emit func(core.Item[PtN])
 // ReportAboveBox answers a prioritized query for any box-classifiable
 // predicate region (halfspaces, orthogonal boxes, balls, ...).
 func (t *KDTree) ReportAboveBox(q BoxQuery, tau float64, emit func(core.Item[PtN]) bool) {
-	t.visited = 0
+	// visited is a per-query local so concurrent queries never share state.
+	var visited int64
 	emitted := 0
 	defer func() {
 		if t.tracker != nil {
 			// Visits attributable to emission (fully-inside subtrees) are
 			// paid by the packed output scan; the residual frontier pays
 			// the tree-walk cost.
-			search := int(t.visited) - 2*emitted
+			search := int(visited) - 2*emitted
 			if search < 0 {
 				search = 0
 			}
@@ -188,47 +188,47 @@ func (t *KDTree) ReportAboveBox(q BoxQuery, tau float64, emit func(core.Item[PtN
 		emitted++
 		return emit(it)
 	}
-	t.report(t.root, q, tau, wrapped)
+	t.report(t.root, q, tau, wrapped, &visited)
 }
 
-func (t *KDTree) report(nd *kdnode, q BoxQuery, tau float64, emit func(core.Item[PtN]) bool) bool {
+func (t *KDTree) report(nd *kdnode, q BoxQuery, tau float64, emit func(core.Item[PtN]) bool, visited *int64) bool {
 	if nd == nil || nd.maxW < tau {
 		return true
 	}
-	t.visited++
+	*visited++
 	inside, outside := q.ClassifyBox(nd.lo, nd.hi)
 	if outside {
 		return true // box entirely outside
 	}
 	if inside {
-		return t.reportSubtree(nd, tau, emit) // box entirely inside
+		return t.reportSubtree(nd, tau, emit, visited) // box entirely inside
 	}
 	if nd.item.Weight >= tau && q.ContainsPoint(nd.item.Value.C) {
 		if !emit(nd.item) {
 			return false
 		}
 	}
-	if !t.report(nd.left, q, tau, emit) {
+	if !t.report(nd.left, q, tau, emit, visited) {
 		return false
 	}
-	return t.report(nd.right, q, tau, emit)
+	return t.report(nd.right, q, tau, emit, visited)
 }
 
 // reportSubtree emits everything with weight ≥ tau, geometry-free.
-func (t *KDTree) reportSubtree(nd *kdnode, tau float64, emit func(core.Item[PtN]) bool) bool {
+func (t *KDTree) reportSubtree(nd *kdnode, tau float64, emit func(core.Item[PtN]) bool, visited *int64) bool {
 	if nd == nil || nd.maxW < tau {
 		return true
 	}
-	t.visited++
+	*visited++
 	if nd.item.Weight >= tau {
 		if !emit(nd.item) {
 			return false
 		}
 	}
-	if !t.reportSubtree(nd.left, tau, emit) {
+	if !t.reportSubtree(nd.left, tau, emit, visited) {
 		return false
 	}
-	return t.reportSubtree(nd.right, tau, emit)
+	return t.reportSubtree(nd.right, tau, emit, visited)
 }
 
 // MaxItem implements core.Max[Halfspace, PtN] by branch-and-bound on the
@@ -239,28 +239,28 @@ func (t *KDTree) MaxItem(q Halfspace) (core.Item[PtN], bool) {
 
 // MaxItemBox answers a max query for any box-classifiable predicate.
 func (t *KDTree) MaxItemBox(q BoxQuery) (core.Item[PtN], bool) {
-	t.visited = 0
+	var visited int64
 	best := core.Item[PtN]{Weight: math.Inf(-1)}
 	found := false
-	t.maxSearch(t.root, q, &best, &found)
+	t.maxSearch(t.root, q, &best, &found, &visited)
 	if t.tracker != nil {
-		t.tracker.PathCost(int(t.visited))
+		t.tracker.PathCost(int(visited))
 	}
 	return best, found
 }
 
-func (t *KDTree) maxSearch(nd *kdnode, q BoxQuery, best *core.Item[PtN], found *bool) {
+func (t *KDTree) maxSearch(nd *kdnode, q BoxQuery, best *core.Item[PtN], found *bool, visited *int64) {
 	if nd == nil || nd.maxW <= best.Weight {
 		return
 	}
-	t.visited++
+	*visited++
 	inside, outside := q.ClassifyBox(nd.lo, nd.hi)
 	if outside {
 		return
 	}
 	if inside {
 		// Entire box inside: the subtree's max-weight item wins.
-		it := t.findMaxW(nd)
+		it := t.findMaxW(nd, visited)
 		if it.Weight > best.Weight {
 			*best, *found = it, true
 		}
@@ -274,13 +274,13 @@ func (t *KDTree) maxSearch(nd *kdnode, q BoxQuery, best *core.Item[PtN], found *
 	if b != nil && (a == nil || b.maxW > a.maxW) {
 		a, b = b, a
 	}
-	t.maxSearch(a, q, best, found)
-	t.maxSearch(b, q, best, found)
+	t.maxSearch(a, q, best, found, visited)
+	t.maxSearch(b, q, best, found, visited)
 }
 
-func (t *KDTree) findMaxW(nd *kdnode) core.Item[PtN] {
+func (t *KDTree) findMaxW(nd *kdnode, visited *int64) core.Item[PtN] {
 	for {
-		t.visited++
+		*visited++
 		if nd.item.Weight == nd.maxW {
 			return nd.item
 		}

@@ -198,9 +198,9 @@ func (t *Tree[V]) Len() int { return len(t.loc) }
 // ReportAbove implements core.Prioritized: emit every item containing q
 // with weight ≥ tau.
 func (t *Tree[V]) ReportAbove(q float64, tau float64, emit func(core.Item[V]) bool) {
-	emitted, pathNodes, treapVisits, restScanned := 0, 0, int64(0), 0
+	emitted, pathNodes, restScanned := 0, 0, 0
 	defer func() {
-		t.chargeQuery(pathNodes, treapVisits, restScanned, emitted)
+		t.chargeQuery(pathNodes, restScanned, emitted)
 	}()
 
 	visit := func(k treap.Key, v V) bool {
@@ -221,28 +221,17 @@ func (t *Tree[V]) ReportAbove(q float64, tau float64, emit func(core.Item[V]) bo
 		}
 		switch {
 		case q < nd.center:
-			v0 := nd.byLo.Visited()
-			ok := nd.byLo.PrefixReportAbove(q, tau, visit)
-			treapVisits += nd.byLo.Visited() - v0
-			if !ok {
+			if !nd.byLo.PrefixReportAbove(q, tau, visit) {
 				return
 			}
 			nd = nd.left
 		case q > nd.center:
-			v0 := nd.byHi.Visited()
-			ok := nd.byHi.SuffixReportAbove(q, tau, visit)
-			treapVisits += nd.byHi.Visited() - v0
-			if !ok {
+			if !nd.byHi.SuffixReportAbove(q, tau, visit) {
 				return
 			}
 			nd = nd.right
 		default: // q == center: every item at this node contains q
-			v0 := nd.byLo.Visited()
-			ok := nd.byLo.PrefixReportAbove(math.Inf(1), tau, visit)
-			treapVisits += nd.byLo.Visited() - v0
-			if !ok {
-				return
-			}
+			nd.byLo.PrefixReportAbove(math.Inf(1), tau, visit)
 			return
 		}
 	}
@@ -252,7 +241,7 @@ func (t *Tree[V]) ReportAbove(q float64, tau float64, emit func(core.Item[V]) bo
 func (t *Tree[V]) MaxItem(q float64) (core.Item[V], bool) {
 	best := core.Item[V]{Weight: math.Inf(-1)}
 	found := false
-	pathNodes, treapVisits, restScanned := 0, int64(0), 0
+	pathNodes, restScanned := 0, 0
 
 	nd := t.root
 	for nd != nil {
@@ -268,32 +257,26 @@ func (t *Tree[V]) MaxItem(q float64) (core.Item[V], bool) {
 		var ok bool
 		switch {
 		case q < nd.center:
-			v0 := nd.byLo.Visited()
 			k, v, ok = nd.byLo.PrefixMax(q)
-			treapVisits += nd.byLo.Visited() - v0
 			if ok && k.W > best.Weight {
 				best, found = core.Item[V]{Value: v, Weight: k.W}, true
 			}
 			nd = nd.left
 		case q > nd.center:
-			v0 := nd.byHi.Visited()
 			k, v, ok = nd.byHi.SuffixMax(q)
-			treapVisits += nd.byHi.Visited() - v0
 			if ok && k.W > best.Weight {
 				best, found = core.Item[V]{Value: v, Weight: k.W}, true
 			}
 			nd = nd.right
 		default:
-			v0 := nd.byLo.Visited()
 			k, v, ok = nd.byLo.PrefixMax(math.Inf(1))
-			treapVisits += nd.byLo.Visited() - v0
 			if ok && k.W > best.Weight {
 				best, found = core.Item[V]{Value: v, Weight: k.W}, true
 			}
 			nd = nil
 		}
 	}
-	t.chargeQuery(pathNodes, treapVisits, restScanned, 0)
+	t.chargeQuery(pathNodes, restScanned, 0)
 	return best, found
 }
 
@@ -406,15 +389,14 @@ func (t *Tree[V]) collect() []core.Item[V] {
 	return items
 }
 
-func (t *Tree[V]) chargeQuery(pathNodes int, treapVisits int64, restScanned, emitted int) {
+func (t *Tree[V]) chargeQuery(pathNodes, restScanned, emitted int) {
 	if t.tracker == nil {
 		return
 	}
 	// Charge the contract of the cited black box: one skeleton descent
 	// (O(log_B n) after blocking) plus the O(t/B) output term. The treap
-	// visits are the RAM work realizing that contract; see the package
+	// walks are the RAM work realizing that contract; see the package
 	// comment.
-	_ = treapVisits
 	t.tracker.PathCost(pathNodes)
 	t.tracker.ScanCost(restScanned + emitted)
 }

@@ -45,11 +45,12 @@ type node[V any] struct {
 }
 
 // Tree is a max-weight-augmented treap. The zero value is an empty tree.
+//
+// Queries never mutate the tree (their I/O accounting is charged by the
+// callers, who know the blocked layout), so any number of them may run
+// concurrently; Insert and Delete require exclusive access.
 type Tree[V any] struct {
 	root *node[V]
-	// Visited counts nodes touched by queries since the last ResetVisited;
-	// the EM layer converts it into block charges.
-	visited int64
 }
 
 // hashPrio derives a node priority from the key bits (splitmix64 finisher).
@@ -169,7 +170,6 @@ func (t *Tree[V]) Delete(k Key) bool {
 func (t *Tree[V]) Get(k Key) (v V, ok bool) {
 	n := t.root
 	for n != nil {
-		t.visited++
 		switch {
 		case k.Less(n.key):
 			n = n.left
@@ -181,14 +181,6 @@ func (t *Tree[V]) Get(k Key) (v V, ok bool) {
 	}
 	return v, false
 }
-
-// Visited returns the number of nodes touched by queries since the last
-// ResetVisited (search-path and pruned-subtree-root touches; emitted
-// entries are counted separately by callers).
-func (t *Tree[V]) Visited() int64 { return t.visited }
-
-// ResetVisited zeroes the visit counter.
-func (t *Tree[V]) ResetVisited() { t.visited = 0 }
 
 // PrefixReportAbove calls visit for every entry with key.K ≤ x and weight
 // ≥ tau, in unspecified order, stopping early if visit returns false. It
@@ -206,7 +198,6 @@ func (t *Tree[V]) reportDir(n *node[V], x, tau float64, visit func(Key, V) bool,
 	if n == nil {
 		return true
 	}
-	t.visited++
 	if n.maxW < tau {
 		return true
 	}
@@ -237,7 +228,6 @@ func (t *Tree[V]) reportAll(n *node[V], tau float64, visit func(Key, V) bool) bo
 	if n == nil {
 		return true
 	}
-	t.visited++
 	if n.maxW < tau {
 		return true
 	}
@@ -261,7 +251,6 @@ func (t *Tree[V]) rangeReport(n *node[V], lo, hi, tau float64, visit func(Key, V
 	if n == nil {
 		return true
 	}
-	t.visited++
 	if n.maxW < tau {
 		return true
 	}
@@ -290,7 +279,6 @@ func (t *Tree[V]) RangeMax(lo, hi float64) (k Key, v V, ok bool) {
 		if n == nil || n.maxW <= best {
 			return
 		}
-		t.visited++
 		switch {
 		case n.key.K < lo:
 			walk(n.right)
@@ -323,7 +311,6 @@ func (t *Tree[V]) RangeCount(lo, hi float64) int {
 func (t *Tree[V]) countLess(n *node[V], x float64, orEqual bool) int {
 	total := 0
 	for n != nil {
-		t.visited++
 		in := n.key.K < x || (orEqual && n.key.K == x)
 		if in {
 			total++
@@ -367,7 +354,6 @@ func (t *Tree[V]) maxDir(x float64, prefix bool) (k Key, v V, ok bool) {
 	bestW := math.Inf(-1)
 	n := t.root
 	for n != nil {
-		t.visited++
 		inRange := (prefix && n.key.K <= x) || (!prefix && n.key.K >= x)
 		if inRange {
 			full, straddle := n.left, n.right
@@ -401,7 +387,6 @@ func (t *Tree[V]) maxDir(x float64, prefix bool) (k Key, v V, ok bool) {
 // findMaxW descends to the node realizing the subtree's max weight.
 func (t *Tree[V]) findMaxW(n *node[V]) *node[V] {
 	for {
-		t.visited++
 		if n.key.W == n.maxW {
 			return n
 		}

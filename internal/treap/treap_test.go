@@ -3,6 +3,7 @@ package treap
 import (
 	"math"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -274,16 +275,29 @@ func TestQuickInsertDeleteOracle(t *testing.T) {
 	}
 }
 
-func TestVisitedCounter(t *testing.T) {
+func TestConcurrentQueries(t *testing.T) {
 	g := wrand.New(16)
 	tr, _ := buildRandom(g, 1000)
-	tr.ResetVisited()
-	tr.PrefixMax(50)
-	if tr.Visited() == 0 {
-		t.Fatal("PrefixMax touched no nodes according to the counter")
+	wantK, _, wantOK := tr.PrefixMax(50)
+	wantCount := tr.RangeCount(10, 60)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k, _, ok := tr.PrefixMax(50)
+				if ok != wantOK || k != wantK {
+					t.Errorf("concurrent PrefixMax = %v,%v want %v,%v", k, ok, wantK, wantOK)
+					return
+				}
+				if c := tr.RangeCount(10, 60); c != wantCount {
+					t.Errorf("concurrent RangeCount = %d want %d", c, wantCount)
+					return
+				}
+			}
+		}()
 	}
-	tr.ResetVisited()
-	if tr.Visited() != 0 {
-		t.Fatal("ResetVisited did not zero the counter")
-	}
+	wg.Wait()
 }

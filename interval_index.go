@@ -175,3 +175,17 @@ func (ix *IntervalIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.r
 
 // ResetStats zeroes the I/O counters (space is preserved).
 func (ix *IntervalIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// QueryBatch answers one top-k stabbing query per element of xs on a
+// bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0),
+// returning results positionally aligned with xs. Each query runs in its
+// own tracker view — a private cold cache and counters — so its Stats are
+// the same as a serial cold-cache run regardless of parallelism; the
+// merged totals appear in Stats() once the batch returns. Batches may run
+// concurrently with each other and with single queries, but not with
+// Insert or Delete.
+func (ix *IntervalIndex[T]) QueryBatch(xs []float64, k int, parallelism int) []BatchResult[IntervalItem[T]] {
+	return runBatch(ix.tracker, xs, parallelism, func(x float64) []IntervalItem[T] {
+		return ix.TopK(x, k)
+	})
+}

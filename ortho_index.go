@@ -114,3 +114,27 @@ func (ix *OrthoIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.redu
 
 // ResetStats zeroes the I/O counters.
 func (ix *OrthoIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// QueryBatch answers one top-k box query per BoxQuery on a bounded pool
+// of `parallelism` worker goroutines (GOMAXPROCS when <= 0). All boxes
+// are validated up front; a malformed box fails the whole batch before
+// any query runs. Each query runs in its own cold tracker view, so
+// per-query Stats are independent of parallelism; see
+// IntervalIndex.QueryBatch for the full contract.
+func (ix *OrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]BatchResult[PointItemN[T]], error) {
+	for i, q := range qs {
+		if _, err := orthorange.NewBox(q.Lo, q.Hi); err != nil {
+			return nil, fmt.Errorf("topk: batch query %d: %w", i, err)
+		}
+		if len(q.Lo) != ix.d {
+			return nil, fmt.Errorf("topk: batch query %d: box has %d coordinates in dimension %d", i, len(q.Lo), ix.d)
+		}
+	}
+	return runBatch(ix.tracker, qs, parallelism, func(q BoxQuery) []PointItemN[T] {
+		res, err := ix.TopK(q.Lo, q.Hi, k)
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		return res
+	}), nil
+}

@@ -1,0 +1,113 @@
+// Parallel batch-query benchmarks (the E24 experiment). Each one answers a
+// fixed query set through QueryBatch at several worker counts, reporting
+// wall-clock queries/sec and the summed per-query I/Os — which must not
+// move with the worker count, since every query runs against its own cold
+// private cache. The full sweep table is produced by cmd/topk-bench -exp
+// E24; EXPERIMENTS.md records it.
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// benchBatch runs one QueryBatch closure across the worker-count sweep,
+// checking I/O invariance and reporting qps and ios/query.
+func benchBatch[R any](b *testing.B, nq int, run func(parallelism int) []BatchResult[R]) {
+	baseline := int64(-1)
+	for _, w := range parallelWorkerCounts {
+		w := w
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			var ios int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ios = 0
+				for _, r := range run(w) {
+					ios += r.Stats.IOs()
+				}
+			}
+			b.StopTimer()
+			if baseline < 0 {
+				baseline = ios
+			} else if ios != baseline {
+				b.Fatalf("batch I/Os changed with parallelism: %d workers cost %d, serial cost %d", w, ios, baseline)
+			}
+			b.ReportMetric(float64(nq)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			b.ReportMetric(float64(ios)/float64(nq), "ios/query")
+		})
+	}
+}
+
+// BenchmarkParallelIntervalBatch: stabbing top-k under the Expected
+// reduction, the headline Theorem 2 path.
+func BenchmarkParallelIntervalBatch(b *testing.B) {
+	ix, err := NewIntervalIndex(genFacadeIntervals(1<<15), WithReduction(Expected), WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := wrand.New(benchSeed + 24)
+	const nq = 256
+	xs := make([]float64, nq)
+	for i := range xs {
+		xs[i] = g.Float64() * 100
+	}
+	benchBatch(b, nq, func(p int) []BatchResult[IntervalItem[int]] {
+		return ix.QueryBatch(xs, 16, p)
+	})
+}
+
+// BenchmarkParallelHalfplaneBatch: halfplane top-k under the WorstCase
+// reduction, the Theorem 1 path over the layers-of-maxima black box.
+func BenchmarkParallelHalfplaneBatch(b *testing.B) {
+	g := wrand.New(benchSeed)
+	const n = 1 << 13
+	ws := g.UniqueFloats(n, 1e9)
+	items := make([]PointItem2[int], n)
+	for i := range items {
+		items[i] = PointItem2[int]{X: g.NormFloat64() * 10, Y: g.NormFloat64() * 10, Weight: ws[i]}
+	}
+	ix, err := NewHalfplaneIndex(items, WithReduction(WorstCase), WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nq = 128
+	qs := make([]HalfplaneQuery, nq)
+	for i := range qs {
+		th := g.Float64() * 2 * math.Pi
+		qs[i] = HalfplaneQuery{A: math.Cos(th), B: math.Sin(th), C: g.NormFloat64() * 8}
+	}
+	benchBatch(b, nq, func(p int) []BatchResult[PointItem2[int]] {
+		return ix.QueryBatch(qs, 10, p)
+	})
+}
+
+// BenchmarkParallelDominanceBatch: 3D dominance top-k on the hotel
+// workload (Theorem 6).
+func BenchmarkParallelDominanceBatch(b *testing.B) {
+	g := wrand.New(benchSeed)
+	const n = 1 << 13
+	ws := g.UniqueFloats(n, 1e9)
+	items := make([]DominanceItem[int], n)
+	for i := range items {
+		items[i] = DominanceItem[int]{
+			X: 40 + g.ExpFloat64()*120, Y: g.ExpFloat64() * 8, Z: g.Float64() * 10,
+			Weight: ws[i],
+		}
+	}
+	ix, err := NewDominanceIndex(items, WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nq = 128
+	qs := make([]CornerQuery, nq)
+	for i := range qs {
+		qs[i] = CornerQuery{X: 80 + g.Float64()*300, Y: 2 + g.Float64()*12, Z: 2 + g.Float64()*8}
+	}
+	benchBatch(b, nq, func(p int) []BatchResult[DominanceItem[int]] {
+		return ix.QueryBatch(qs, 10, p)
+	})
+}

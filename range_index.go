@@ -177,3 +177,14 @@ func (ix *RangeIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.redu
 
 // ResetStats zeroes the I/O counters.
 func (ix *RangeIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+
+// QueryBatch answers one top-k range query per Span on a bounded pool of
+// `parallelism` worker goroutines (GOMAXPROCS when <= 0). Each query runs
+// in its own cold tracker view, so per-query Stats are independent of
+// parallelism; see IntervalIndex.QueryBatch for the full contract. Must
+// not run concurrently with Insert or Delete.
+func (ix *RangeIndex[T]) QueryBatch(spans []Span, k int, parallelism int) []BatchResult[PointItem1[T]] {
+	return runBatch(ix.tracker, spans, parallelism, func(s Span) []PointItem1[T] {
+		return ix.TopK(s.Lo, s.Hi, k)
+	})
+}

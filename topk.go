@@ -27,7 +27,21 @@
 // All index reads run against a simulated external-memory machine and
 // report I/O counts through Stats, so the paper's I/O bounds can be
 // observed directly; wall-clock performance is measured by the package's
-// benchmarks.
+// benchmarks. PAPER_MAP.md maps each reduction, lemma by lemma, to the
+// code implementing it: its §3 section covers Theorem 1 (WorstCase) and
+// its §4 section covers Theorem 2 (Expected).
+//
+// # Concurrency
+//
+// An index is an immutable structure plus per-query state. After
+// construction, any number of goroutines may call the read-only methods
+// (TopK, Max, ReportAbove, Count, Stats) concurrently; each QueryBatch
+// query additionally runs inside its own external-memory tracker view — a
+// private cold cache and private counters — so the per-query Stats in a
+// BatchResult are deterministic and independent of the parallelism, and
+// are merged atomically into the index-wide Stats when the query ends.
+// Insert and Delete require exclusive access: they must not run
+// concurrently with each other or with any read.
 package topk
 
 import (
