@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-parallel experiments validate examples fmt vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel experiments validate examples fmt vet clean ci
 
 all: build vet test
 
@@ -29,6 +29,23 @@ fuzz:
 	$(GO) test -fuzz FuzzMapOps -fuzztime 10s ./internal/btree/
 	$(GO) test -fuzz FuzzPersistence -fuzztime 10s ./internal/pstree/
 	$(GO) test -fuzz FuzzTreeOps -fuzztime 10s ./internal/interval/
+	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 10s -run '^$$' .
+	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 10s -run '^$$' .
+
+# Brief fuzz pass over just the dynamization oracle-diff targets: cheap
+# enough for every CI run, still long enough to shake out op-sequence bugs.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 5s -run '^$$' .
+	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 5s -run '^$$' .
+
+# Coverage floors on the packages whose correctness the test pyramid leans
+# on: the dynamization overlay and the reduction framework.
+cover:
+	@for pkg in ./internal/dynamic ./internal/core; do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		echo "$$pkg coverage: $$pct%"; \
+		awk -v p="$$pct" 'BEGIN { exit !(p >= 70) }' || { echo "FAIL: $$pkg coverage $$pct% is below the 70% floor"; exit 1; }; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -38,7 +55,7 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchtime 20x .
 
-# Regenerate the EXPERIMENTS.md tables (E1-E24).
+# Regenerate the EXPERIMENTS.md tables (E1-E25).
 experiments:
 	$(GO) run ./cmd/topk-bench -seed 42
 
@@ -56,4 +73,4 @@ clean:
 	$(GO) clean ./...
 
 # What CI runs (.github/workflows/ci.yml), runnable locally.
-ci: build vet test race
+ci: build vet test race cover fuzz-smoke

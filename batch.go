@@ -83,6 +83,11 @@ type HalfspaceQuery struct {
 // worker goroutines, wrapping each call in an em.Tracker query view so the
 // result carries that query's own cold-cache I/O stats. parallelism <= 0
 // means GOMAXPROCS. Results are positionally aligned with qs.
+//
+// A panic inside one(q) does not wedge the pool: the panicking worker ends
+// its view, the remaining workers drain, and the first panic value is
+// re-raised on the calling goroutine once all workers have exited. Workers
+// stop claiming new queries after a panic, so later results may be zero.
 func runBatch[Q, R any](tr *em.Tracker, qs []Q, parallelism int, one func(Q) []R) []BatchResult[R] {
 	if len(qs) == 0 {
 		return nil
@@ -94,27 +99,51 @@ func runBatch[Q, R any](tr *em.Tracker, qs []Q, parallelism int, one func(Q) []R
 		parallelism = len(qs)
 	}
 	out := make([]BatchResult[R], len(qs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		aborted  atomic.Bool
+		panicked atomic.Pointer[any]
+	)
+	runOne := func(i int) {
+		v := tr.BeginQuery()
+		done := false
+		defer func() {
+			if !done {
+				// one(qs[i]) panicked: release the view so the tracker's
+				// goroutine routing table doesn't leak, record the first
+				// panic, and stop the pool from claiming further queries.
+				v.End()
+				if r := recover(); r != nil {
+					aborted.Store(true)
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}
+		}()
+		items := one(qs[i])
+		st := v.End()
+		out[i] = BatchResult[R]{
+			Items: items,
+			Stats: QueryStats{Reads: st.Reads, Writes: st.Writes, Hits: st.Hits},
+		}
+		done = true
+	}
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !aborted.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(qs) {
 					return
 				}
-				v := tr.BeginQuery()
-				items := one(qs[i])
-				st := v.End()
-				out[i] = BatchResult[R]{
-					Items: items,
-					Stats: QueryStats{Reads: st.Reads, Writes: st.Writes, Hits: st.Hits},
-				}
+				runOne(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
 	return out
 }

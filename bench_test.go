@@ -533,3 +533,30 @@ func BenchmarkE23_PrioritizedFromTopK(b *testing.B) {
 		adapted.ReportAbove(g.Float64()*100, tau, func(core.Item[interval.Interval]) bool { return true })
 	}
 }
+
+// BenchmarkE25_OverlayInsert: one insert through the logarithmic-method
+// dynamization overlay (WithUpdates), amortized over tail flushes and
+// level merges.
+func BenchmarkE25_OverlayInsert(b *testing.B) {
+	g := wrand.New(benchSeed + 25)
+	items := make([]IntervalItem[int], 1<<13)
+	for i := range items {
+		lo := g.Float64() * 100
+		items[i] = IntervalItem[int]{Lo: lo, Hi: lo + g.ExpFloat64()*10, Weight: float64(i + 1)}
+	}
+	ix, err := NewIntervalIndex(items, WithReduction(WorstCase), WithUpdates(), WithSeed(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix.ResetStats()
+	w := float64(len(items))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := g.Float64() * 100
+		w++
+		if err := ix.Insert(IntervalItem[int]{Lo: lo, Hi: lo + g.ExpFloat64()*10, Weight: w}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportIOs(b, ix.Stats())
+}

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 
 	"topk/internal/circular"
 	"topk/internal/core"
@@ -18,12 +19,15 @@ type CircularIndex[T any] struct {
 	d       int
 	tracker *em.Tracker
 	topk    core.TopK[circular.Ball, halfspace.PtN]
+	dyn     updatableTopK[circular.Ball, halfspace.PtN] // non-nil when built with WithUpdates
 	pri     core.Prioritized[circular.Ball, halfspace.PtN]
 	data    map[float64]T
 	n       int
 }
 
-// NewCircularIndex builds a static index over d-dimensional items.
+// NewCircularIndex builds an index over d-dimensional items. With
+// WithUpdates the index additionally supports Insert and Delete through
+// the logarithmic-method overlay.
 func NewCircularIndex[T any](items []PointItemN[T], d int, opts ...Option) (*CircularIndex[T], error) {
 	if d < 1 {
 		return nil, fmt.Errorf("topk: dimension %d", d)
@@ -44,16 +48,28 @@ func NewCircularIndex[T any](items []PointItemN[T], d int, opts ...Option) (*Cir
 		data[it.Weight] = it.Data
 	}
 
-	t, err := buildTopK(cores, circular.Match,
-		circular.NewPrioritizedFactory(d, tracker),
-		circular.NewMaxFactory(d, tracker),
-		circular.Lambda(d), o, tracker)
-	if err != nil {
-		return nil, err
+	ix := &CircularIndex[T]{opts: o, d: d, tracker: tracker, data: data, n: len(items)}
+	if o.updates {
+		dyn, err := newOverlay(cores, circular.Match,
+			circular.NewPrioritizedFactory(d, tracker),
+			circular.NewMaxFactory(d, tracker),
+			circular.Lambda(d), o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	} else {
+		t, err := buildTopK(cores, circular.Match,
+			circular.NewPrioritizedFactory(d, tracker),
+			circular.NewMaxFactory(d, tracker),
+			circular.Lambda(d), o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk = t
 	}
-	return &CircularIndex[T]{
-		opts: o, d: d, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
-	}, nil
+	ix.pri = prioritizedOf(ix.topk)
+	return ix, nil
 }
 
 // Len returns the number of indexed points.
@@ -91,6 +107,49 @@ func (ix *CircularIndex[T]) Max(center []float64, r float64) (PointItemN[T], boo
 		return PointItemN[T]{}, false
 	}
 	return ix.wrap(it), true
+}
+
+// Insert adds a point. Only indexes built with WithUpdates support
+// updates; others return an error.
+func (ix *CircularIndex[T]) Insert(item PointItemN[T]) error {
+	if ix.dyn == nil {
+		return errStatic(ix.opts.reduction)
+	}
+	if len(item.Coords) != ix.d {
+		return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(item.Coords), ix.d)
+	}
+	for _, c := range item.Coords {
+		if math.IsNaN(c) {
+			return fmt.Errorf("topk: NaN coordinate")
+		}
+	}
+	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
+		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
+	}
+	if _, dup := ix.data[item.Weight]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
+	}
+	ci := core.Item[halfspace.PtN]{Value: circular.Lift(item.Coords), Weight: item.Weight}
+	if err := ix.dyn.Insert(ci); err != nil {
+		return err
+	}
+	ix.data[item.Weight] = item.Data
+	ix.n++
+	return nil
+}
+
+// Delete removes the point with the given weight, reporting whether it
+// was present. Only indexes built with WithUpdates support updates.
+func (ix *CircularIndex[T]) Delete(weight float64) (bool, error) {
+	if ix.dyn == nil {
+		return false, errStatic(ix.opts.reduction)
+	}
+	if !ix.dyn.DeleteWeight(weight) {
+		return false, nil
+	}
+	delete(ix.data, weight)
+	ix.n--
+	return true, nil
 }
 
 // Stats returns the index's simulated I/O counters and space usage.

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 
 	"topk/internal/core"
 	"topk/internal/dominance"
@@ -24,12 +25,15 @@ type DominanceIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
 	topk    core.TopK[dominance.Pt3, dominance.Pt3]
+	dyn     updatableTopK[dominance.Pt3, dominance.Pt3] // non-nil when built with WithUpdates
 	pri     core.Prioritized[dominance.Pt3, dominance.Pt3]
 	data    map[float64]T
 	n       int
 }
 
-// NewDominanceIndex builds a static index over items (weights distinct).
+// NewDominanceIndex builds an index over items (weights distinct). With
+// WithUpdates the index additionally supports Insert and Delete through
+// the logarithmic-method overlay.
 func NewDominanceIndex[T any](items []DominanceItem[T], opts ...Option) (*DominanceIndex[T], error) {
 	o := applyOptions(opts)
 	tracker := o.newTracker()
@@ -44,16 +48,28 @@ func NewDominanceIndex[T any](items []DominanceItem[T], opts ...Option) (*Domina
 		data[it.Weight] = it.Data
 	}
 
-	t, err := buildTopK(cores, dominance.Match,
-		dominance.NewPrioritizedFactory(tracker),
-		dominance.NewMaxFactory(tracker),
-		dominance.Lambda, o, tracker)
-	if err != nil {
-		return nil, err
+	ix := &DominanceIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
+	if o.updates {
+		dyn, err := newOverlay(cores, dominance.Match,
+			dominance.NewPrioritizedFactory(tracker),
+			dominance.NewMaxFactory(tracker),
+			dominance.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	} else {
+		t, err := buildTopK(cores, dominance.Match,
+			dominance.NewPrioritizedFactory(tracker),
+			dominance.NewMaxFactory(tracker),
+			dominance.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk = t
 	}
-	return &DominanceIndex[T]{
-		opts: o, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
-	}, nil
+	ix.pri = prioritizedOf(ix.topk)
+	return ix, nil
 }
 
 // Len returns the number of indexed points.
@@ -89,6 +105,44 @@ func (ix *DominanceIndex[T]) Max(x, y, z float64) (DominanceItem[T], bool) {
 		return DominanceItem[T]{}, false
 	}
 	return ix.wrap(it), true
+}
+
+// Insert adds a point. Only indexes built with WithUpdates support
+// updates; others return an error.
+func (ix *DominanceIndex[T]) Insert(item DominanceItem[T]) error {
+	if ix.dyn == nil {
+		return errStatic(ix.opts.reduction)
+	}
+	if math.IsNaN(item.X) || math.IsNaN(item.Y) || math.IsNaN(item.Z) {
+		return fmt.Errorf("topk: NaN coordinate in (%v, %v, %v)", item.X, item.Y, item.Z)
+	}
+	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
+		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
+	}
+	if _, dup := ix.data[item.Weight]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
+	}
+	ci := core.Item[dominance.Pt3]{Value: dominance.Pt3{X: item.X, Y: item.Y, Z: item.Z}, Weight: item.Weight}
+	if err := ix.dyn.Insert(ci); err != nil {
+		return err
+	}
+	ix.data[item.Weight] = item.Data
+	ix.n++
+	return nil
+}
+
+// Delete removes the point with the given weight, reporting whether it
+// was present. Only indexes built with WithUpdates support updates.
+func (ix *DominanceIndex[T]) Delete(weight float64) (bool, error) {
+	if ix.dyn == nil {
+		return false, errStatic(ix.opts.reduction)
+	}
+	if !ix.dyn.DeleteWeight(weight) {
+		return false, nil
+	}
+	delete(ix.data, weight)
+	ix.n--
+	return true, nil
 }
 
 // Stats returns the index's simulated I/O counters and space usage.

@@ -1,0 +1,592 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+// Churn-oracle stress suite: every updatable index is driven through long
+// random Insert/Delete/Query interleavings against a mutable brute-force
+// oracle. Serial queries are checked after every mutation step; periodic
+// QueryBatch checks additionally assert the PR-1 invariants (oracle match
+// at parallelism 1 and 8, identical per-query stats, I/O conservation)
+// through checkBatchInvariants. Reductions are deliberately mixed across
+// problems so the overlay is exercised over WorstCase, BinarySearch and
+// static-Expected substructures, alongside Theorem 2's native dynamic
+// path on the range index.
+
+const churnOps = 10000
+
+func churnSize(t *testing.T) int {
+	if testing.Short() {
+		return 1500
+	}
+	return churnOps
+}
+
+// churnProblem adapts one index type to the generic churn driver. insert
+// draws random geometry internally and must record it for the oracle.
+type churnProblem struct {
+	insert func(w float64) error
+	del    func(w float64) (bool, error)
+	query  func(k int) (got, want []float64)
+	batch  func(k int)
+	length func() int
+}
+
+func runChurn(t *testing.T, seed uint64, ops int, p churnProblem) {
+	t.Helper()
+	g := wrand.New(seed)
+	var live []float64
+	w := 0.0
+	n := 0
+	for i := 0; i < ops; i++ {
+		switch r := g.Float64(); {
+		case r < 0.5: // insert
+			w += 1 + g.Float64()
+			if err := p.insert(w); err != nil {
+				t.Fatalf("op %d: insert weight %v: %v", i, w, err)
+			}
+			live = append(live, w)
+			n++
+		case r < 0.75 && len(live) > 0: // delete a random live item
+			j := g.IntN(len(live))
+			dw := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ok, err := p.del(dw)
+			if err != nil {
+				t.Fatalf("op %d: delete weight %v: %v", i, dw, err)
+			}
+			if !ok {
+				t.Fatalf("op %d: delete weight %v: not found", i, dw)
+			}
+			n--
+		default: // serial query vs oracle
+			k := 1 + g.IntN(8)
+			got, want := p.query(k)
+			if !sameFloats(got, want) {
+				t.Fatalf("op %d: k=%d: got %v, oracle %v", i, k, got, want)
+			}
+		}
+		if p.length() != n {
+			t.Fatalf("op %d: Len() = %d, oracle has %d", i, p.length(), n)
+		}
+		if (i+1)%2500 == 0 {
+			p.batch(1 + g.IntN(8))
+		}
+	}
+	p.batch(10)
+}
+
+func TestChurnInterval(t *testing.T) {
+	g := wrand.New(201)
+	ix, err := NewIntervalIndex([]IntervalItem[int]{}, WithReduction(WorstCase), WithUpdates(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := map[float64][2]float64{}
+	oracleFor := func(x float64, k int) []float64 {
+		var in []float64
+		for w, s := range geo {
+			if s[0] <= x && x <= s[1] {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	runChurn(t, 1201, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			lo := g.Float64() * 100
+			hi := lo + g.ExpFloat64()*10
+			if err := ix.Insert(IntervalItem[int]{Lo: lo, Hi: hi, Weight: w}); err != nil {
+				return err
+			}
+			geo[w] = [2]float64{lo, hi}
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(geo, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			x := g.Float64() * 120
+			got := weightsOf(ix.TopK(x, k), func(it IntervalItem[int]) float64 { return it.Weight })
+			return got, oracleFor(x, k)
+		},
+		batch: func(k int) {
+			const nq = 12
+			xs := make([]float64, nq)
+			oracle := make([][]float64, nq)
+			for i := range xs {
+				xs[i] = g.Float64() * 120
+				oracle[i] = oracleFor(xs[i], k)
+			}
+			checkBatchInvariants(t, "churn-interval", ix.Stats,
+				func(p int) []BatchResult[IntervalItem[int]] { return ix.QueryBatch(xs, k, p) },
+				func(it IntervalItem[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+func TestChurnRange(t *testing.T) {
+	// Default reduction (Expected) → Theorem 2's native dynamic path.
+	g := wrand.New(202)
+	ix, err := NewRangeIndex([]PointItem1[int]{}, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[float64]float64{}
+	oracleFor := func(s Span, k int) []float64 {
+		var in []float64
+		for w, p := range pos {
+			if s.Lo <= p && p <= s.Hi {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	newSpan := func() Span {
+		lo := g.Float64() * 100
+		return Span{Lo: lo, Hi: lo + g.Float64()*30}
+	}
+	runChurn(t, 1202, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			p := g.Float64() * 100
+			if err := ix.Insert(PointItem1[int]{Pos: p, Weight: w}); err != nil {
+				return err
+			}
+			pos[w] = p
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(pos, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			s := newSpan()
+			got := weightsOf(ix.TopK(s.Lo, s.Hi, k), func(it PointItem1[int]) float64 { return it.Weight })
+			return got, oracleFor(s, k)
+		},
+		batch: func(k int) {
+			const nq = 12
+			spans := make([]Span, nq)
+			oracle := make([][]float64, nq)
+			for i := range spans {
+				spans[i] = newSpan()
+				oracle[i] = oracleFor(spans[i], k)
+			}
+			checkBatchInvariants(t, "churn-range", ix.Stats,
+				func(p int) []BatchResult[PointItem1[int]] { return ix.QueryBatch(spans, k, p) },
+				func(it PointItem1[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+func TestChurnDominance(t *testing.T) {
+	// Overlay over the statically built Expected reduction.
+	g := wrand.New(203)
+	ix, err := NewDominanceIndex([]DominanceItem[int]{}, WithReduction(Expected), WithUpdates(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[float64][3]float64{}
+	oracleFor := func(q CornerQuery, k int) []float64 {
+		var in []float64
+		for w, p := range pts {
+			if p[0] <= q.X && p[1] <= q.Y && p[2] <= q.Z {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	newQ := func() CornerQuery {
+		return CornerQuery{X: g.Float64() * 110, Y: g.Float64() * 110, Z: g.Float64() * 110}
+	}
+	runChurn(t, 1203, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			p := [3]float64{g.Float64() * 100, g.Float64() * 100, g.Float64() * 100}
+			if err := ix.Insert(DominanceItem[int]{X: p[0], Y: p[1], Z: p[2], Weight: w}); err != nil {
+				return err
+			}
+			pts[w] = p
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(pts, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			q := newQ()
+			got := weightsOf(ix.TopK(q.X, q.Y, q.Z, k), func(it DominanceItem[int]) float64 { return it.Weight })
+			return got, oracleFor(q, k)
+		},
+		batch: func(k int) {
+			const nq = 10
+			qs := make([]CornerQuery, nq)
+			oracle := make([][]float64, nq)
+			for i := range qs {
+				qs[i] = newQ()
+				oracle[i] = oracleFor(qs[i], k)
+			}
+			checkBatchInvariants(t, "churn-dominance", ix.Stats,
+				func(p int) []BatchResult[DominanceItem[int]] { return ix.QueryBatch(qs, k, p) },
+				func(it DominanceItem[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+func TestChurnEnclosure(t *testing.T) {
+	g := wrand.New(204)
+	ix, err := NewEnclosureIndex([]RectItem[int]{}, WithReduction(BinarySearch), WithUpdates(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := map[float64][4]float64{}
+	oracleFor := func(q PointQuery, k int) []float64 {
+		var in []float64
+		for w, r := range rects {
+			if r[0] <= q.X && q.X <= r[1] && r[2] <= q.Y && q.Y <= r[3] {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	newQ := func() PointQuery { return PointQuery{X: g.Float64() * 120, Y: g.Float64() * 120} }
+	runChurn(t, 1204, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			x1, y1 := g.Float64()*100, g.Float64()*100
+			r := [4]float64{x1, x1 + g.ExpFloat64()*12, y1, y1 + g.ExpFloat64()*12}
+			if err := ix.Insert(RectItem[int]{X1: r[0], X2: r[1], Y1: r[2], Y2: r[3], Weight: w}); err != nil {
+				return err
+			}
+			rects[w] = r
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(rects, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			q := newQ()
+			got := weightsOf(ix.TopK(q.X, q.Y, k), func(it RectItem[int]) float64 { return it.Weight })
+			return got, oracleFor(q, k)
+		},
+		batch: func(k int) {
+			const nq = 10
+			qs := make([]PointQuery, nq)
+			oracle := make([][]float64, nq)
+			for i := range qs {
+				qs[i] = newQ()
+				oracle[i] = oracleFor(qs[i], k)
+			}
+			checkBatchInvariants(t, "churn-enclosure", ix.Stats,
+				func(p int) []BatchResult[RectItem[int]] { return ix.QueryBatch(qs, k, p) },
+				func(it RectItem[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+func TestChurnHalfplane(t *testing.T) {
+	g := wrand.New(205)
+	ix, err := NewHalfplaneIndex([]PointItem2[int]{}, WithReduction(WorstCase), WithUpdates(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[float64][2]float64{}
+	oracleFor := func(q HalfplaneQuery, k int) []float64 {
+		var in []float64
+		for w, p := range pts {
+			if q.A*p[0]+q.B*p[1] >= q.C {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	newQ := func() HalfplaneQuery {
+		theta := g.Float64() * 2 * math.Pi
+		return HalfplaneQuery{A: math.Cos(theta), B: math.Sin(theta), C: g.NormFloat64() * 8}
+	}
+	runChurn(t, 1205, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			p := [2]float64{g.NormFloat64() * 10, g.NormFloat64() * 10}
+			if err := ix.Insert(PointItem2[int]{X: p[0], Y: p[1], Weight: w}); err != nil {
+				return err
+			}
+			pts[w] = p
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(pts, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			q := newQ()
+			got := weightsOf(ix.TopK(q.A, q.B, q.C, k), func(it PointItem2[int]) float64 { return it.Weight })
+			return got, oracleFor(q, k)
+		},
+		batch: func(k int) {
+			const nq = 10
+			qs := make([]HalfplaneQuery, nq)
+			oracle := make([][]float64, nq)
+			for i := range qs {
+				qs[i] = newQ()
+				oracle[i] = oracleFor(qs[i], k)
+			}
+			checkBatchInvariants(t, "churn-halfplane", ix.Stats,
+				func(p int) []BatchResult[PointItem2[int]] { return ix.QueryBatch(qs, k, p) },
+				func(it PointItem2[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+func TestChurnHalfspace(t *testing.T) {
+	g := wrand.New(206)
+	const d = 4
+	ix, err := NewHalfspaceIndex([]PointItemN[int]{}, d, WithReduction(Expected), WithUpdates(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[float64][]float64{}
+	dot := func(a, p []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * p[i]
+		}
+		return s
+	}
+	oracleFor := func(q HalfspaceQuery, k int) []float64 {
+		var in []float64
+		for w, p := range pts {
+			if dot(q.A, p) >= q.C {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	newQ := func() HalfspaceQuery {
+		a := make([]float64, d)
+		for i := range a {
+			a[i] = g.NormFloat64()
+		}
+		return HalfspaceQuery{A: a, C: g.NormFloat64() * 8}
+	}
+	runChurn(t, 1206, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			p := make([]float64, d)
+			for i := range p {
+				p[i] = g.NormFloat64() * 10
+			}
+			if err := ix.Insert(PointItemN[int]{Coords: p, Weight: w}); err != nil {
+				return err
+			}
+			pts[w] = p
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(pts, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			q := newQ()
+			got := weightsOf(ix.TopK(q.A, q.C, k), func(it PointItemN[int]) float64 { return it.Weight })
+			return got, oracleFor(q, k)
+		},
+		batch: func(k int) {
+			const nq = 8
+			qs := make([]HalfspaceQuery, nq)
+			oracle := make([][]float64, nq)
+			for i := range qs {
+				qs[i] = newQ()
+				oracle[i] = oracleFor(qs[i], k)
+			}
+			checkBatchInvariants(t, "churn-halfspace", ix.Stats,
+				func(p int) []BatchResult[PointItemN[int]] { return ix.QueryBatch(qs, k, p) },
+				func(it PointItemN[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+func TestChurnCircular(t *testing.T) {
+	g := wrand.New(207)
+	const d = 2
+	ix, err := NewCircularIndex([]PointItemN[int]{}, d, WithReduction(WorstCase), WithUpdates(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[float64][2]float64{}
+	oracleFor := func(q BallQuery, k int) []float64 {
+		var in []float64
+		for w, p := range pts {
+			dx, dy := p[0]-q.Center[0], p[1]-q.Center[1]
+			if dx*dx+dy*dy <= q.Radius*q.Radius {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	newQ := func() BallQuery {
+		return BallQuery{
+			Center: []float64{g.NormFloat64() * 10, g.NormFloat64() * 10},
+			Radius: 3 + g.Float64()*12,
+		}
+	}
+	runChurn(t, 1207, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			p := [2]float64{g.NormFloat64() * 10, g.NormFloat64() * 10}
+			if err := ix.Insert(PointItemN[int]{Coords: p[:], Weight: w}); err != nil {
+				return err
+			}
+			pts[w] = p
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(pts, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			q := newQ()
+			got := weightsOf(ix.TopK(q.Center, q.Radius, k), func(it PointItemN[int]) float64 { return it.Weight })
+			return got, oracleFor(q, k)
+		},
+		batch: func(k int) {
+			const nq = 8
+			qs := make([]BallQuery, nq)
+			oracle := make([][]float64, nq)
+			for i := range qs {
+				qs[i] = newQ()
+				oracle[i] = oracleFor(qs[i], k)
+			}
+			checkBatchInvariants(t, "churn-circular", ix.Stats,
+				func(p int) []BatchResult[PointItemN[int]] { return ix.QueryBatch(qs, k, p) },
+				func(it PointItemN[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+func TestChurnOrtho(t *testing.T) {
+	g := wrand.New(208)
+	const d = 2
+	ix, err := NewOrthoIndex([]PointItemN[int]{}, d, WithReduction(BinarySearch), WithUpdates(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[float64][2]float64{}
+	oracleFor := func(q BoxQuery, k int) []float64 {
+		var in []float64
+		for w, p := range pts {
+			if q.Lo[0] <= p[0] && p[0] <= q.Hi[0] && q.Lo[1] <= p[1] && p[1] <= q.Hi[1] {
+				in = append(in, w)
+			}
+		}
+		return topWeights(in, k)
+	}
+	newQ := func() BoxQuery {
+		lo := []float64{g.Float64() * 70, g.Float64() * 70}
+		return BoxQuery{Lo: lo, Hi: []float64{lo[0] + 10 + g.Float64()*30, lo[1] + 10 + g.Float64()*30}}
+	}
+	runChurn(t, 1208, churnSize(t), churnProblem{
+		insert: func(w float64) error {
+			p := [2]float64{g.Float64() * 100, g.Float64() * 100}
+			if err := ix.Insert(PointItemN[int]{Coords: p[:], Weight: w}); err != nil {
+				return err
+			}
+			pts[w] = p
+			return nil
+		},
+		del: func(w float64) (bool, error) {
+			delete(pts, w)
+			return ix.Delete(w)
+		},
+		query: func(k int) ([]float64, []float64) {
+			q := newQ()
+			res, err := ix.TopK(q.Lo, q.Hi, k)
+			if err != nil {
+				t.Fatalf("ortho TopK: %v", err)
+			}
+			got := weightsOf(res, func(it PointItemN[int]) float64 { return it.Weight })
+			return got, oracleFor(q, k)
+		},
+		batch: func(k int) {
+			const nq = 8
+			qs := make([]BoxQuery, nq)
+			oracle := make([][]float64, nq)
+			for i := range qs {
+				qs[i] = newQ()
+				oracle[i] = oracleFor(qs[i], k)
+			}
+			checkBatchInvariants(t, "churn-ortho", ix.Stats,
+				func(p int) []BatchResult[PointItemN[int]] {
+					res, err := ix.QueryBatch(qs, k, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				},
+				func(it PointItemN[int]) float64 { return it.Weight }, oracle)
+		},
+		length: ix.Len,
+	})
+}
+
+// TestStaticIndexRejectsUpdates pins the static contract: without
+// WithUpdates (and outside the Expected-native interval/range paths),
+// Insert and Delete fail loudly instead of corrupting the structure.
+func TestStaticIndexRejectsUpdates(t *testing.T) {
+	g := wrand.New(209)
+	ws := g.UniqueFloats(20, 1e6)
+	items := make([]DominanceItem[int], 20)
+	for i := range items {
+		items[i] = DominanceItem[int]{X: g.Float64(), Y: g.Float64(), Z: g.Float64(), Weight: ws[i]}
+	}
+	ix, err := NewDominanceIndex(items, WithReduction(WorstCase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(DominanceItem[int]{X: 1, Y: 1, Z: 1, Weight: -1}); err == nil {
+		t.Fatal("static dominance index accepted Insert")
+	}
+	if _, err := ix.Delete(ws[0]); err == nil {
+		t.Fatal("static dominance index accepted Delete")
+	}
+	if got := ix.TopK(2, 2, 2, 25); len(got) != 20 {
+		t.Fatalf("index damaged by rejected updates: %d items", len(got))
+	}
+}
+
+// TestUpdatableInsertValidation pins the facade-level argument checks on
+// the overlay path.
+func TestUpdatableInsertValidation(t *testing.T) {
+	ix, err := NewIntervalIndex([]IntervalItem[int]{{Lo: 0, Hi: 1, Weight: 5}},
+		WithReduction(WorstCase), WithUpdates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []IntervalItem[int]{
+		{Lo: 2, Hi: 1, Weight: 1},           // inverted
+		{Lo: math.NaN(), Hi: 1, Weight: 2},  // NaN endpoint
+		{Lo: 0, Hi: 1, Weight: math.NaN()},  // NaN weight
+		{Lo: 0, Hi: 1, Weight: math.Inf(1)}, // infinite weight
+		{Lo: 0, Hi: 1, Weight: 5},           // duplicate
+	}
+	for i, it := range bad {
+		if err := ix.Insert(it); err == nil {
+			t.Fatalf("bad item %d accepted: %+v", i, it)
+		}
+	}
+	if ok, err := ix.Delete(99); err != nil || ok {
+		t.Fatalf("Delete(absent) = (%v, %v)", ok, err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len() = %d after rejected updates", ix.Len())
+	}
+}

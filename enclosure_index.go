@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 
 	"topk/internal/core"
 	"topk/internal/em"
@@ -24,13 +25,15 @@ type EnclosureIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
 	topk    core.TopK[enclosure.Pt2, enclosure.Rect]
+	dyn     updatableTopK[enclosure.Pt2, enclosure.Rect] // non-nil when built with WithUpdates
 	pri     core.Prioritized[enclosure.Pt2, enclosure.Rect]
 	data    map[float64]T
 	n       int
 }
 
-// NewEnclosureIndex builds a static index over items (weights distinct,
-// rectangles well-formed).
+// NewEnclosureIndex builds an index over items (weights distinct,
+// rectangles well-formed). With WithUpdates the index additionally
+// supports Insert and Delete through the logarithmic-method overlay.
 func NewEnclosureIndex[T any](items []RectItem[T], opts ...Option) (*EnclosureIndex[T], error) {
 	o := applyOptions(opts)
 	tracker := o.newTracker()
@@ -48,16 +51,28 @@ func NewEnclosureIndex[T any](items []RectItem[T], opts ...Option) (*EnclosureIn
 		data[it.Weight] = it.Data
 	}
 
-	t, err := buildTopK(cores, enclosure.Match,
-		enclosure.NewPrioritizedFactory(tracker),
-		enclosure.NewMaxFactory(tracker),
-		enclosure.Lambda, o, tracker)
-	if err != nil {
-		return nil, err
+	ix := &EnclosureIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
+	if o.updates {
+		dyn, err := newOverlay(cores, enclosure.Match,
+			enclosure.NewPrioritizedFactory(tracker),
+			enclosure.NewMaxFactory(tracker),
+			enclosure.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	} else {
+		t, err := buildTopK(cores, enclosure.Match,
+			enclosure.NewPrioritizedFactory(tracker),
+			enclosure.NewMaxFactory(tracker),
+			enclosure.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk = t
 	}
-	return &EnclosureIndex[T]{
-		opts: o, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
-	}, nil
+	ix.pri = prioritizedOf(ix.topk)
+	return ix, nil
 }
 
 // Len returns the number of indexed rectangles.
@@ -96,6 +111,48 @@ func (ix *EnclosureIndex[T]) Max(x, y float64) (RectItem[T], bool) {
 		return RectItem[T]{}, false
 	}
 	return ix.wrap(it), true
+}
+
+// Insert adds a rectangle. Only indexes built with WithUpdates support
+// updates; others return an error.
+func (ix *EnclosureIndex[T]) Insert(item RectItem[T]) error {
+	if ix.dyn == nil {
+		return errStatic(ix.opts.reduction)
+	}
+	if item.X1 > item.X2 || item.Y1 > item.Y2 ||
+		math.IsNaN(item.X1) || math.IsNaN(item.X2) || math.IsNaN(item.Y1) || math.IsNaN(item.Y2) {
+		return fmt.Errorf("topk: malformed rectangle [%v, %v] × [%v, %v]", item.X1, item.X2, item.Y1, item.Y2)
+	}
+	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
+		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
+	}
+	if _, dup := ix.data[item.Weight]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
+	}
+	ci := core.Item[enclosure.Rect]{
+		Value:  enclosure.Rect{X1: item.X1, X2: item.X2, Y1: item.Y1, Y2: item.Y2},
+		Weight: item.Weight,
+	}
+	if err := ix.dyn.Insert(ci); err != nil {
+		return err
+	}
+	ix.data[item.Weight] = item.Data
+	ix.n++
+	return nil
+}
+
+// Delete removes the rectangle with the given weight, reporting whether
+// it was present. Only indexes built with WithUpdates support updates.
+func (ix *EnclosureIndex[T]) Delete(weight float64) (bool, error) {
+	if ix.dyn == nil {
+		return false, errStatic(ix.opts.reduction)
+	}
+	if !ix.dyn.DeleteWeight(weight) {
+		return false, nil
+	}
+	delete(ix.data, weight)
+	ix.n--
+	return true, nil
 }
 
 // Stats returns the index's simulated I/O counters and space usage.

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 
 	"topk/internal/core"
 	"topk/internal/em"
@@ -22,12 +23,15 @@ type HalfplaneIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
 	topk    core.TopK[halfspace.Halfplane, halfspace.Pt2]
+	dyn     updatableTopK[halfspace.Halfplane, halfspace.Pt2] // non-nil when built with WithUpdates
 	pri     core.Prioritized[halfspace.Halfplane, halfspace.Pt2]
 	data    map[float64]T
 	n       int
 }
 
-// NewHalfplaneIndex builds a static index over items (weights distinct).
+// NewHalfplaneIndex builds an index over items (weights distinct). With
+// WithUpdates the index additionally supports Insert and Delete through
+// the logarithmic-method overlay.
 func NewHalfplaneIndex[T any](items []PointItem2[T], opts ...Option) (*HalfplaneIndex[T], error) {
 	o := applyOptions(opts)
 	tracker := o.newTracker()
@@ -42,16 +46,28 @@ func NewHalfplaneIndex[T any](items []PointItem2[T], opts ...Option) (*Halfplane
 		data[it.Weight] = it.Data
 	}
 
-	t, err := buildTopK(cores, halfspace.Match,
-		halfspace.NewPrioritizedFactory(tracker),
-		halfspace.NewMaxFactory(tracker),
-		halfspace.Lambda, o, tracker)
-	if err != nil {
-		return nil, err
+	ix := &HalfplaneIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
+	if o.updates {
+		dyn, err := newOverlay(cores, halfspace.Match,
+			halfspace.NewPrioritizedFactory(tracker),
+			halfspace.NewMaxFactory(tracker),
+			halfspace.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	} else {
+		t, err := buildTopK(cores, halfspace.Match,
+			halfspace.NewPrioritizedFactory(tracker),
+			halfspace.NewMaxFactory(tracker),
+			halfspace.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk = t
 	}
-	return &HalfplaneIndex[T]{
-		opts: o, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
-	}, nil
+	ix.pri = prioritizedOf(ix.topk)
+	return ix, nil
 }
 
 // Len returns the number of indexed points.
@@ -87,6 +103,44 @@ func (ix *HalfplaneIndex[T]) Max(a, b, c float64) (PointItem2[T], bool) {
 	return ix.wrap(it), true
 }
 
+// Insert adds a point. Only indexes built with WithUpdates support
+// updates; others return an error.
+func (ix *HalfplaneIndex[T]) Insert(item PointItem2[T]) error {
+	if ix.dyn == nil {
+		return errStatic(ix.opts.reduction)
+	}
+	if math.IsNaN(item.X) || math.IsNaN(item.Y) {
+		return fmt.Errorf("topk: NaN coordinate in (%v, %v)", item.X, item.Y)
+	}
+	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
+		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
+	}
+	if _, dup := ix.data[item.Weight]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
+	}
+	ci := core.Item[halfspace.Pt2]{Value: halfspace.Pt2{X: item.X, Y: item.Y}, Weight: item.Weight}
+	if err := ix.dyn.Insert(ci); err != nil {
+		return err
+	}
+	ix.data[item.Weight] = item.Data
+	ix.n++
+	return nil
+}
+
+// Delete removes the point with the given weight, reporting whether it
+// was present. Only indexes built with WithUpdates support updates.
+func (ix *HalfplaneIndex[T]) Delete(weight float64) (bool, error) {
+	if ix.dyn == nil {
+		return false, errStatic(ix.opts.reduction)
+	}
+	if !ix.dyn.DeleteWeight(weight) {
+		return false, nil
+	}
+	delete(ix.data, weight)
+	ix.n--
+	return true, nil
+}
+
 // Stats returns the index's simulated I/O counters and space usage.
 func (ix *HalfplaneIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
 
@@ -108,12 +162,15 @@ type HalfspaceIndex[T any] struct {
 	d       int
 	tracker *em.Tracker
 	topk    core.TopK[halfspace.Halfspace, halfspace.PtN]
+	dyn     updatableTopK[halfspace.Halfspace, halfspace.PtN] // non-nil when built with WithUpdates
 	pri     core.Prioritized[halfspace.Halfspace, halfspace.PtN]
 	data    map[float64]T
 	n       int
 }
 
-// NewHalfspaceIndex builds a static index over d-dimensional items.
+// NewHalfspaceIndex builds an index over d-dimensional items. With
+// WithUpdates the index additionally supports Insert and Delete through
+// the logarithmic-method overlay.
 func NewHalfspaceIndex[T any](items []PointItemN[T], d int, opts ...Option) (*HalfspaceIndex[T], error) {
 	if d < 1 {
 		return nil, fmt.Errorf("topk: dimension %d", d)
@@ -134,16 +191,28 @@ func NewHalfspaceIndex[T any](items []PointItemN[T], d int, opts ...Option) (*Ha
 		data[it.Weight] = it.Data
 	}
 
-	t, err := buildTopK(cores, halfspace.MatchN,
-		halfspace.NewKDPrioritizedFactory(d, tracker),
-		halfspace.NewKDMaxFactory(d, tracker),
-		halfspace.LambdaN(d), o, tracker)
-	if err != nil {
-		return nil, err
+	ix := &HalfspaceIndex[T]{opts: o, d: d, tracker: tracker, data: data, n: len(items)}
+	if o.updates {
+		dyn, err := newOverlay(cores, halfspace.MatchN,
+			halfspace.NewKDPrioritizedFactory(d, tracker),
+			halfspace.NewKDMaxFactory(d, tracker),
+			halfspace.LambdaN(d), o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	} else {
+		t, err := buildTopK(cores, halfspace.MatchN,
+			halfspace.NewKDPrioritizedFactory(d, tracker),
+			halfspace.NewKDMaxFactory(d, tracker),
+			halfspace.LambdaN(d), o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk = t
 	}
-	return &HalfspaceIndex[T]{
-		opts: o, d: d, tracker: tracker, topk: t, pri: prioritizedOf(t), data: data, n: len(items),
-	}, nil
+	ix.pri = prioritizedOf(ix.topk)
+	return ix, nil
 }
 
 // Len returns the number of indexed points.
@@ -180,6 +249,50 @@ func (ix *HalfspaceIndex[T]) Max(a []float64, c float64) (PointItemN[T], bool) {
 		return PointItemN[T]{}, false
 	}
 	return ix.wrap(it), true
+}
+
+// Insert adds a point. Only indexes built with WithUpdates support
+// updates; others return an error.
+func (ix *HalfspaceIndex[T]) Insert(item PointItemN[T]) error {
+	if ix.dyn == nil {
+		return errStatic(ix.opts.reduction)
+	}
+	if len(item.Coords) != ix.d {
+		return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(item.Coords), ix.d)
+	}
+	for _, c := range item.Coords {
+		if math.IsNaN(c) {
+			return fmt.Errorf("topk: NaN coordinate")
+		}
+	}
+	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
+		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
+	}
+	if _, dup := ix.data[item.Weight]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
+	}
+	coords := append([]float64(nil), item.Coords...)
+	ci := core.Item[halfspace.PtN]{Value: halfspace.PtN{C: coords}, Weight: item.Weight}
+	if err := ix.dyn.Insert(ci); err != nil {
+		return err
+	}
+	ix.data[item.Weight] = item.Data
+	ix.n++
+	return nil
+}
+
+// Delete removes the point with the given weight, reporting whether it
+// was present. Only indexes built with WithUpdates support updates.
+func (ix *HalfspaceIndex[T]) Delete(weight float64) (bool, error) {
+	if ix.dyn == nil {
+		return false, errStatic(ix.opts.reduction)
+	}
+	if !ix.dyn.DeleteWeight(weight) {
+		return false, nil
+	}
+	delete(ix.data, weight)
+	ix.n--
+	return true, nil
 }
 
 // Stats returns the index's simulated I/O counters and space usage.

@@ -1,7 +1,7 @@
 // Package bench implements the experiment harness: the paper has no
 // experimental evaluation (it is a PODS theory paper), so every theorem
 // and lemma becomes an experiment that measures the claimed complexity
-// shape. DESIGN.md §5 is the authoritative index (E1–E22); each experiment
+// shape. DESIGN.md §5 is the authoritative index (E1–E25); each experiment
 // here regenerates one row-set recorded in EXPERIMENTS.md.
 //
 // Experiments print self-describing tables to an io.Writer and are shared
@@ -56,6 +56,7 @@ var experiments = map[string]struct {
 	"E22": {"Ablation: Corollary 1's lifting trick vs a direct ball predicate", runE22},
 	"E23": {"§1.2 reverse reduction: prioritized reporting from a top-k structure", runE23},
 	"E24": {"Concurrent query serving: batch throughput vs workers, I/O invariance", runE24},
+	"E25": {"Dynamization overlay: amortized insert bound, update/query mix sweep", runE25},
 }
 
 // IDs returns the experiment identifiers in order.

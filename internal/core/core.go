@@ -144,6 +144,20 @@ func CollectAll[Q, V any](p Prioritized[Q, V], q Q, tau float64) []Item[V] {
 	return items
 }
 
+// PrioritizedOf extracts the prioritized structure living inside a
+// reduction-built top-k structure, so callers can answer prioritized
+// queries without constructing duplicate black boxes. It returns nil when
+// the structure exposes none.
+func PrioritizedOf[Q, V any](t TopK[Q, V]) Prioritized[Q, V] {
+	switch s := t.(type) {
+	case interface{ Prioritized() Prioritized[Q, V] }:
+		return s.Prioritized()
+	case Prioritized[Q, V]: // the FullScan oracle is its own
+		return s
+	}
+	return nil
+}
+
 // TopKOf performs k-selection on a batch of candidate items and returns the
 // k heaviest, weight-descending. It is the paper's "k-selection" primitive,
 // costing O(|items|/B) I/Os in EM (charged by callers via ScanCost).

@@ -1,0 +1,488 @@
+// Package dynamic turns the repository's static top-k structures into
+// fully dynamic ones with the logarithmic method (Bentley & Saxe), used
+// here exactly in the spirit of the paper: as one more black-box
+// reduction. The overlay never looks inside a substructure — it only
+// needs a Builder that constructs a static top-k structure over an
+// arbitrary subset of the input, which every reduction constructor in
+// this repository already is.
+//
+// Layout. The live set is partitioned into
+//
+//   - a mutable tail of at most TailCap recently inserted items, kept
+//     unindexed and scanned at O(TailCap/B) I/Os per query, and
+//   - O(log(n/TailCap)) static substructures ("levels"), level j holding
+//     at most TailCap·2^(j+1) items.
+//
+// Insert appends to the tail; when the tail fills, it is merged into the
+// ladder carry-style: the batch absorbs every occupied level it passes and
+// settles in the first empty level large enough to hold it. Each item is
+// therefore rebuilt O(log n) times over any insertion sequence, so the
+// amortized insert cost is O(log(n/TailCap) · Build(n)/n) I/Os — the
+// classic logarithmic-method bound, with no asymptotic penalty on top of
+// the underlying reduction's build.
+//
+// Delete marks the weight in its level's tombstone set (weights identify
+// items uniquely under the paper's distinct-weights assumption); a level
+// that becomes entirely dead is discarded outright, and when tombstones
+// exceed DeadFrac of all baked-in items a global rebuild compacts
+// everything into one fresh substructure, keeping the dead fraction — and
+// hence the query overhead — bounded. Both costs are amortized against
+// the deletes that caused them.
+//
+// Query merges candidates: level j is asked for its top-(k + dead_j)
+// items, which must contain that level's k heaviest live matches; the
+// tail is scanned; tombstoned candidates are dropped and a k-selection
+// finishes. The query path mutates nothing, so queries inherit the
+// concurrency contract of the static structures: any number may run in
+// parallel (including through em.Tracker query views), and per-query I/O
+// stats are deterministic regardless of parallelism.
+//
+// All substructure build I/Os are charged to the Options.Tracker by the
+// builders themselves, and a discarded substructure's blocks are returned
+// via Tracker.ReleaseBlocks, so the tracker's counters directly measure
+// the amortized update cost and live space (experiment E25).
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"topk/internal/core"
+	"topk/internal/em"
+)
+
+// Builder constructs one static top-k substructure over a subset of the
+// input. The overlay owns the slice it passes and never mutates it after
+// the call. Builders are invoked during New, Insert and DeleteWeight —
+// never on the query path.
+type Builder[Q, V any] func(items []core.Item[V]) (core.TopK[Q, V], error)
+
+// Options configures the overlay.
+type Options struct {
+	// Tracker, when non-nil, is charged the overlay's own scan costs
+	// (tail scans, candidate k-selection) and has substructure blocks
+	// released on discard. Substructure builds and queries charge it
+	// through the builders' own closures.
+	Tracker *em.Tracker
+	// TailCap is the insert-buffer capacity; reaching it triggers a merge
+	// into the level ladder. Default 64 (one block of the paper's minimum
+	// block size).
+	TailCap int
+	// DeadFrac triggers a global rebuild when tombstones exceed this
+	// fraction of all items baked into substructures. Default 0.5.
+	DeadFrac float64
+}
+
+func (o *Options) fill() {
+	if o.TailCap <= 0 {
+		o.TailCap = 64
+	}
+	if o.DeadFrac <= 0 || o.DeadFrac >= 1 {
+		o.DeadFrac = 0.5
+	}
+}
+
+// Stats is a snapshot of the overlay's shape and update activity.
+type Stats struct {
+	Levels     int // occupied levels
+	Live       int // live items (levels minus tombstones, plus tail)
+	Tail       int // items in the mutable tail
+	Tombstones int // dead items still baked into substructures
+
+	Inserts, Deletes int64
+	Flushes          int64 // tail merges into the ladder
+	Rebuilds         int64 // global compactions
+	// BuiltItems counts items passed through substructure builds since
+	// construction (including the initial build); BuiltItems/Inserts is
+	// the measured rebuild amplification behind the amortized bound.
+	BuiltItems int64
+}
+
+// level is one static substructure plus its delete bookkeeping.
+type level[Q, V any] struct {
+	sub    core.TopK[Q, V]
+	pri    core.Prioritized[Q, V] // may be nil; scan fallback then applies
+	items  []core.Item[V]         // exactly what sub was built over
+	dead   map[float64]struct{}   // tombstoned weights among items
+	blocks int64                  // tracker blocks attributed to sub
+}
+
+func (l *level[Q, V]) live() int { return len(l.items) - len(l.dead) }
+
+// Overlay is the dynamized top-k structure. It implements core.TopK,
+// core.Prioritized and the facade's updatable surface (Insert,
+// DeleteWeight, Items). Updates require exclusive access; queries may run
+// concurrently with each other.
+type Overlay[Q, V any] struct {
+	match core.MatchFunc[Q, V]
+	build Builder[Q, V]
+	opts  Options
+
+	levels  []*level[Q, V] // slot j: nil or ≤ TailCap·2^(j+1) items
+	tail    []core.Item[V]
+	tailPos map[float64]int // weight -> index in tail
+	where   map[float64]int // live weight -> occupied level index
+
+	builtTotal int // Σ len(level.items)
+	deadTotal  int // Σ len(level.dead)
+
+	stats Stats
+}
+
+// New builds an overlay over the initial items (weights finite and
+// distinct), placed as a single substructure like a static build.
+func New[Q, V any](
+	items []core.Item[V],
+	match core.MatchFunc[Q, V],
+	build Builder[Q, V],
+	opts Options,
+) (*Overlay[Q, V], error) {
+	opts.fill()
+	if err := core.ValidateWeights(items); err != nil {
+		return nil, err
+	}
+	o := &Overlay[Q, V]{
+		match: match, build: build, opts: opts,
+		tailPos: make(map[float64]int), where: make(map[float64]int),
+	}
+	if len(items) > 0 {
+		batch := make([]core.Item[V], len(items))
+		copy(batch, items)
+		j := 0
+		for len(batch) > o.capOf(j) {
+			j++
+		}
+		if err := o.buildAt(j, batch); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// capOf is level j's capacity, TailCap·2^(j+1).
+func (o *Overlay[Q, V]) capOf(j int) int {
+	if j >= 40 {
+		return math.MaxInt / 2
+	}
+	return o.opts.TailCap << uint(j+1)
+}
+
+// N returns the number of live items.
+func (o *Overlay[Q, V]) N() int { return o.builtTotal - o.deadTotal + len(o.tail) }
+
+// Stats returns a snapshot of the overlay's instrumentation.
+func (o *Overlay[Q, V]) Stats() Stats {
+	st := o.stats
+	for _, lvl := range o.levels {
+		if lvl != nil {
+			st.Levels++
+		}
+	}
+	st.Live, st.Tail, st.Tombstones = o.N(), len(o.tail), o.deadTotal
+	return st
+}
+
+// Items returns a snapshot of the live items in unspecified order.
+func (o *Overlay[Q, V]) Items() []core.Item[V] {
+	out := make([]core.Item[V], 0, o.N())
+	for _, lvl := range o.levels {
+		if lvl != nil {
+			out = appendLive(out, lvl)
+		}
+	}
+	return append(out, o.tail...)
+}
+
+// contains reports whether weight w is live anywhere in the overlay.
+func (o *Overlay[Q, V]) contains(w float64) bool {
+	if _, ok := o.tailPos[w]; ok {
+		return true
+	}
+	_, ok := o.where[w]
+	return ok
+}
+
+// Insert adds an item: O(1) tail append, plus the amortized merge cost
+// when the tail fills.
+func (o *Overlay[Q, V]) Insert(it core.Item[V]) error {
+	if math.IsNaN(it.Weight) || math.IsInf(it.Weight, 0) {
+		return fmt.Errorf("dynamic: non-finite weight %v", it.Weight)
+	}
+	if o.contains(it.Weight) {
+		return fmt.Errorf("dynamic: duplicate weight %v", it.Weight)
+	}
+	o.tailPos[it.Weight] = len(o.tail)
+	o.tail = append(o.tail, it)
+	o.stats.Inserts++
+	if len(o.tail) >= o.opts.TailCap {
+		o.flushTail()
+	}
+	return nil
+}
+
+// DeleteWeight removes the item with the given weight and reports whether
+// it was present: O(1) for tail items, a tombstone mark (plus amortized
+// compaction) for baked-in ones.
+func (o *Overlay[Q, V]) DeleteWeight(w float64) bool {
+	if pos, ok := o.tailPos[w]; ok {
+		last := len(o.tail) - 1
+		moved := o.tail[last]
+		o.tail[pos] = moved
+		o.tail = o.tail[:last]
+		if moved.Weight != w {
+			o.tailPos[moved.Weight] = pos
+		}
+		delete(o.tailPos, w)
+		o.stats.Deletes++
+		return true
+	}
+	j, ok := o.where[w]
+	if !ok {
+		return false
+	}
+	lvl := o.levels[j]
+	lvl.dead[w] = struct{}{}
+	delete(o.where, w)
+	o.deadTotal++
+	o.stats.Deletes++
+	switch {
+	case lvl.live() == 0:
+		o.discard(j)
+	case float64(o.deadTotal) >= o.opts.DeadFrac*float64(o.builtTotal) && o.builtTotal > o.opts.TailCap:
+		o.rebuildAll()
+	}
+	return true
+}
+
+// flushTail merges the tail into the ladder carry-style: the batch absorbs
+// every occupied level it passes and settles in the first empty slot that
+// can hold it.
+func (o *Overlay[Q, V]) flushTail() {
+	batch := make([]core.Item[V], len(o.tail))
+	copy(batch, o.tail)
+	o.tail = o.tail[:0]
+	clear(o.tailPos)
+	o.stats.Flushes++
+
+	j := 0
+	for {
+		if j == len(o.levels) {
+			o.levels = append(o.levels, nil)
+		}
+		if lvl := o.levels[j]; lvl != nil {
+			batch = appendLive(batch, lvl)
+			o.discard(j)
+			j++
+			continue
+		}
+		if len(batch) <= o.capOf(j) {
+			break
+		}
+		j++
+	}
+	if err := o.buildAt(j, batch); err != nil {
+		// Builders fail only on invalid item sets, and every item here was
+		// validated on entry; a failure is an invariant violation.
+		panic(fmt.Sprintf("dynamic: merge rebuild failed: %v", err))
+	}
+}
+
+// rebuildAll compacts every live item (levels and tail) into one fresh
+// substructure, clearing all tombstones.
+func (o *Overlay[Q, V]) rebuildAll() {
+	o.stats.Rebuilds++
+	batch := make([]core.Item[V], 0, o.N())
+	for j, lvl := range o.levels {
+		if lvl != nil {
+			batch = appendLive(batch, lvl)
+			o.discard(j)
+		}
+	}
+	batch = append(batch, o.tail...)
+	o.tail = o.tail[:0]
+	clear(o.tailPos)
+	o.levels = o.levels[:0]
+	if len(batch) == 0 {
+		return
+	}
+	j := 0
+	for len(batch) > o.capOf(j) {
+		j++
+	}
+	if err := o.buildAt(j, batch); err != nil {
+		panic(fmt.Sprintf("dynamic: global rebuild failed: %v", err))
+	}
+}
+
+// buildAt constructs a substructure over batch and installs it at level j,
+// attributing the tracker blocks it allocated for release on discard.
+func (o *Overlay[Q, V]) buildAt(j int, batch []core.Item[V]) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	for j >= len(o.levels) {
+		o.levels = append(o.levels, nil)
+	}
+	var before int64
+	if o.opts.Tracker != nil {
+		before = o.opts.Tracker.Stats().Blocks
+	}
+	sub, err := o.build(batch)
+	if err != nil {
+		return err
+	}
+	lvl := &level[Q, V]{
+		sub: sub, pri: core.PrioritizedOf(sub),
+		items: batch, dead: make(map[float64]struct{}),
+	}
+	if o.opts.Tracker != nil {
+		lvl.blocks = o.opts.Tracker.Stats().Blocks - before
+	}
+	o.levels[j] = lvl
+	for _, it := range batch {
+		o.where[it.Weight] = j
+	}
+	o.builtTotal += len(batch)
+	o.stats.BuiltItems += int64(len(batch))
+	return nil
+}
+
+// discard drops level j, releasing its space and bookkeeping.
+func (o *Overlay[Q, V]) discard(j int) {
+	lvl := o.levels[j]
+	o.levels[j] = nil
+	o.builtTotal -= len(lvl.items)
+	o.deadTotal -= len(lvl.dead)
+	for _, it := range lvl.items {
+		if _, gone := lvl.dead[it.Weight]; !gone {
+			delete(o.where, it.Weight)
+		}
+	}
+	if o.opts.Tracker != nil {
+		o.opts.Tracker.ReleaseBlocks(lvl.blocks)
+	}
+}
+
+// single returns the only occupied level, if exactly one exists.
+func (o *Overlay[Q, V]) single() (*level[Q, V], bool) {
+	var found *level[Q, V]
+	for _, lvl := range o.levels {
+		if lvl == nil {
+			continue
+		}
+		if found != nil {
+			return nil, false
+		}
+		found = lvl
+	}
+	return found, found != nil
+}
+
+// TopK answers a top-k query by merging per-level candidate sets with the
+// tail and tombstone-filtering: level j contributes its top-(k + dead_j)
+// matches, which necessarily include its k heaviest live ones. The result
+// is weight-descending with min(k, |q(D)|) items. Read-only.
+func (o *Overlay[Q, V]) TopK(q Q, k int) []core.Item[V] {
+	if k <= 0 {
+		return nil
+	}
+	// Fast path: one substructure, no tail, no tombstones — the static
+	// shape; the substructure's own answer is the overlay's.
+	if lvl, only := o.single(); only && len(o.tail) == 0 && len(lvl.dead) == 0 {
+		return lvl.sub.TopK(q, k)
+	}
+	var cand []core.Item[V]
+	for _, lvl := range o.levels {
+		if lvl == nil {
+			continue
+		}
+		for _, it := range lvl.sub.TopK(q, k+len(lvl.dead)) {
+			if _, gone := lvl.dead[it.Weight]; !gone {
+				cand = append(cand, it)
+			}
+		}
+	}
+	if len(o.tail) > 0 {
+		o.charge(len(o.tail))
+		for _, it := range o.tail {
+			if o.match(q, it.Value) {
+				cand = append(cand, it)
+			}
+		}
+	}
+	o.charge(len(cand)) // final k-selection over the merged candidates
+	return core.TopKOf(cand, k)
+}
+
+// ReportAbove streams every live item satisfying q with weight ≥ tau,
+// level by level then the tail, filtering tombstones; emit returning false
+// stops the whole traversal. Read-only. This makes the overlay its own
+// prioritized structure, so facades can serve ReportAbove without a second
+// black box.
+func (o *Overlay[Q, V]) ReportAbove(q Q, tau float64, emit func(core.Item[V]) bool) {
+	stopped := false
+	for _, lvl := range o.levels {
+		if lvl == nil || stopped {
+			continue
+		}
+		if lvl.pri != nil {
+			lvl.pri.ReportAbove(q, tau, func(it core.Item[V]) bool {
+				if _, gone := lvl.dead[it.Weight]; gone {
+					return true
+				}
+				if !emit(it) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			continue
+		}
+		o.charge(len(lvl.items))
+		for _, it := range lvl.items {
+			if stopped {
+				break
+			}
+			if it.Weight < tau || !o.match(q, it.Value) {
+				continue
+			}
+			if _, gone := lvl.dead[it.Weight]; gone {
+				continue
+			}
+			if !emit(it) {
+				stopped = true
+			}
+		}
+	}
+	if stopped || len(o.tail) == 0 {
+		return
+	}
+	o.charge(len(o.tail))
+	for _, it := range o.tail {
+		if it.Weight >= tau && o.match(q, it.Value) {
+			if !emit(it) {
+				return
+			}
+		}
+	}
+}
+
+// Prioritized exposes the overlay's merged prioritized view (itself).
+func (o *Overlay[Q, V]) Prioritized() core.Prioritized[Q, V] { return o }
+
+// charge bills an O(n/B) scan to the tracker, if any.
+func (o *Overlay[Q, V]) charge(nItems int) {
+	if o.opts.Tracker != nil {
+		o.opts.Tracker.ScanCost(nItems)
+	}
+}
+
+// appendLive appends lvl's non-tombstoned items to dst.
+func appendLive[Q, V any](dst []core.Item[V], lvl *level[Q, V]) []core.Item[V] {
+	for _, it := range lvl.items {
+		if _, gone := lvl.dead[it.Weight]; !gone {
+			dst = append(dst, it)
+		}
+	}
+	return dst
+}

@@ -202,6 +202,19 @@ func (t *Tracker) FreeRun(id BlockID, n int) {
 	}
 }
 
+// ReleaseBlocks returns n blocks to the model's free space without naming
+// their IDs — the bulk-discard path used when an entire substructure is
+// thrown away (e.g. a merge of the dynamization overlay). Space accounting
+// only; no I/O is charged, and any stale cache entries for the discarded
+// blocks simply age out of the LRU (block IDs are never reused).
+func (t *Tracker) ReleaseBlocks(n int64) {
+	if n <= 0 {
+		return
+	}
+	t.checkMutable("ReleaseBlocks")
+	t.blocks.Add(-n)
+}
+
 // checkMutable panics if the calling goroutine is inside a read-only query
 // view: queries must not change the allocation ledger, and the panic turns
 // a silent accounting corruption into an immediate test failure.

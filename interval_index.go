@@ -25,7 +25,7 @@ type IntervalIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
 	topk    core.TopK[float64, interval.Interval]
-	dyn     *core.Expected[float64, interval.Interval] // non-nil when updatable
+	dyn     updatableTopK[float64, interval.Interval] // non-nil when updatable
 	pri     core.Prioritized[float64, interval.Interval]
 	src     []IntervalItem[T] // retained for Items() on static reductions
 	data    map[float64]T
@@ -58,8 +58,11 @@ func NewIntervalIndex[T any](items []IntervalItem[T], opts ...Option) (*Interval
 	match := interval.Match[interval.Interval]
 
 	// The Expected reduction is built in its dynamic form so the index is
-	// updatable; the other reductions are static.
-	if o.reduction == Expected {
+	// updatable (Theorem 2's native update path); any other reduction
+	// becomes updatable through the logarithmic-method overlay when
+	// WithUpdates is set, and is static otherwise.
+	switch {
+	case o.reduction == Expected:
 		dyn, err := core.NewDynamicExpected(cores, match,
 			interval.NewDynamicPrioritizedFactory[interval.Interval](tracker),
 			interval.NewDynamicMaxFactory[interval.Interval](tracker),
@@ -68,7 +71,13 @@ func NewIntervalIndex[T any](items []IntervalItem[T], opts ...Option) (*Interval
 			return nil, err
 		}
 		ix.topk, ix.dyn = dyn, dyn
-	} else {
+	case o.updates:
+		dyn, err := newOverlay(cores, match, pf, mf, interval.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	default:
 		t, err := buildTopK(cores, match, pf, mf, interval.Lambda, o, tracker)
 		if err != nil {
 			return nil, err
@@ -114,12 +123,13 @@ func (ix *IntervalIndex[T]) Max(x float64) (IntervalItem[T], bool) {
 	return IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]}, true
 }
 
-// Insert adds an interval. Only indexes built with the Expected reduction
-// support updates (Theorem 2's dynamic path); other reductions return an
-// error.
+// Insert adds an interval. Indexes built with the Expected reduction
+// update through Theorem 2's dynamic path; any other reduction updates
+// through the logarithmic overlay when built with WithUpdates, and returns
+// an error otherwise.
 func (ix *IntervalIndex[T]) Insert(item IntervalItem[T]) error {
 	if ix.dyn == nil {
-		return fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+		return errStatic(ix.opts.reduction)
 	}
 	if item.Lo > item.Hi || math.IsNaN(item.Lo) || math.IsNaN(item.Hi) {
 		return fmt.Errorf("topk: malformed interval [%v, %v]", item.Lo, item.Hi)
@@ -140,10 +150,10 @@ func (ix *IntervalIndex[T]) Insert(item IntervalItem[T]) error {
 }
 
 // Delete removes the interval with the given weight, reporting whether it
-// was present. Only Expected-reduction indexes support updates.
+// was present. See Insert for which builds are updatable.
 func (ix *IntervalIndex[T]) Delete(weight float64) (bool, error) {
 	if ix.dyn == nil {
-		return false, fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+		return false, errStatic(ix.opts.reduction)
 	}
 	if !ix.dyn.DeleteWeight(weight) {
 		return false, nil

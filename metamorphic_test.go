@@ -1,0 +1,186 @@
+package topk
+
+import (
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+// Metamorphic tests: properties that must hold between *related* runs of
+// the same index, without reference to an oracle.
+//
+//  1. prefix: top-k(q, k) is exactly the first k items of top-k(q, k+1);
+//  2. shuffle invariance: the answer set is a function of the item *set*,
+//     not the construction or insertion order;
+//  3. delete/reinsert invariance: deleting items and inserting them back
+//     restores every query answer;
+//  4. determinism: identical seeds and inputs give identical answers and
+//     identical per-query I/O stats.
+
+// metaItems is a fixed random interval workload shared by the tests.
+func metaItems(g *wrand.RNG, n int) []IntervalItem[int] {
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]IntervalItem[int], n)
+	for i := range items {
+		lo := g.Float64() * 100
+		items[i] = IntervalItem[int]{Lo: lo, Hi: lo + g.ExpFloat64()*10, Weight: ws[i], Data: i}
+	}
+	return items
+}
+
+func metaQueries(g *wrand.RNG, n int) []float64 {
+	qs := make([]float64, n)
+	for i := range qs {
+		qs[i] = g.Float64() * 120
+	}
+	return qs
+}
+
+func intervalWeights(res []IntervalItem[int]) []float64 {
+	return weightsOf(res, func(it IntervalItem[int]) float64 { return it.Weight })
+}
+
+// buildMeta builds one updatable interval index: half the items at
+// construction, half through Insert, so the metamorphic properties cover
+// the overlay's levels and tail, not just the initial static build.
+func buildMeta(t *testing.T, items []IntervalItem[int], opts ...Option) *IntervalIndex[int] {
+	t.Helper()
+	half := len(items) / 2
+	ix, err := NewIntervalIndex(items[:half], opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[half:] {
+		if err := ix.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func TestMetamorphicPrefix(t *testing.T) {
+	g := wrand.New(301)
+	items := metaItems(g, 600)
+	for _, r := range []Reduction{WorstCase, Expected, BinarySearch} {
+		ix := buildMeta(t, items, WithReduction(r), WithUpdates(), WithSeed(9))
+		for _, x := range metaQueries(g, 25) {
+			for k := 1; k <= 12; k++ {
+				small := intervalWeights(ix.TopK(x, k))
+				big := intervalWeights(ix.TopK(x, k+1))
+				if len(big) > k+1 || len(small) > k {
+					t.Fatalf("%v: overlong answer: |k|=%d |k+1|=%d", r, len(small), len(big))
+				}
+				limit := len(big)
+				if limit > k {
+					limit = k
+				}
+				if !sameFloats(small, big[:limit]) {
+					t.Fatalf("%v x=%v k=%d: top-k %v not a prefix of top-(k+1) %v", r, x, k, small, big)
+				}
+			}
+		}
+	}
+}
+
+func TestMetamorphicShuffleInvariance(t *testing.T) {
+	g := wrand.New(302)
+	items := metaItems(g, 500)
+	qs := metaQueries(g, 30)
+	const k = 7
+
+	base := buildMeta(t, items, WithReduction(WorstCase), WithUpdates(), WithSeed(9))
+	want := make([][]float64, len(qs))
+	for i, x := range qs {
+		want[i] = intervalWeights(base.TopK(x, k))
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		shuffled := append([]IntervalItem[int](nil), items...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := g.IntN(i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		ix := buildMeta(t, shuffled, WithReduction(WorstCase), WithUpdates(), WithSeed(uint64(trial)))
+		for i, x := range qs {
+			if got := intervalWeights(ix.TopK(x, k)); !sameFloats(got, want[i]) {
+				t.Fatalf("trial %d query %v: shuffled build answers %v, original %v", trial, x, got, want[i])
+			}
+		}
+	}
+}
+
+func TestMetamorphicDeleteReinsert(t *testing.T) {
+	g := wrand.New(303)
+	items := metaItems(g, 500)
+	qs := metaQueries(g, 30)
+	const k = 7
+
+	ix := buildMeta(t, items, WithReduction(Expected), WithUpdates(), WithSeed(9))
+	want := make([][]float64, len(qs))
+	for i, x := range qs {
+		want[i] = intervalWeights(ix.TopK(x, k))
+	}
+
+	// Remove a random third of the items, check they are really gone, then
+	// put them back; every answer must be restored exactly.
+	removed := map[int]IntervalItem[int]{}
+	for len(removed) < len(items)/3 {
+		j := g.IntN(len(items))
+		if _, dup := removed[j]; dup {
+			continue
+		}
+		removed[j] = items[j]
+		if ok, err := ix.Delete(items[j].Weight); err != nil || !ok {
+			t.Fatalf("delete weight %v: (%v, %v)", items[j].Weight, ok, err)
+		}
+	}
+	for i, x := range qs {
+		for _, w := range intervalWeights(ix.TopK(x, k)) {
+			for _, it := range removed {
+				if w == it.Weight {
+					t.Fatalf("query %d: deleted weight %v still reported", i, w)
+				}
+			}
+		}
+	}
+	for _, it := range removed {
+		if err := ix.Insert(it); err != nil {
+			t.Fatalf("reinsert weight %v: %v", it.Weight, err)
+		}
+	}
+	for i, x := range qs {
+		if got := intervalWeights(ix.TopK(x, k)); !sameFloats(got, want[i]) {
+			t.Fatalf("query %v: after delete+reinsert got %v, want %v", x, got, want[i])
+		}
+	}
+	if ix.Len() != len(items) {
+		t.Fatalf("Len() = %d, want %d", ix.Len(), len(items))
+	}
+}
+
+func TestMetamorphicDeterminism(t *testing.T) {
+	g := wrand.New(304)
+	items := metaItems(g, 400)
+	qs := metaQueries(g, 20)
+	const k = 6
+
+	build := func() *IntervalIndex[int] {
+		return buildMeta(t, items, WithReduction(Expected), WithUpdates(), WithSeed(42))
+	}
+	a, b := build(), build()
+	resA := a.QueryBatch(qs, k, 4)
+	resB := b.QueryBatch(qs, k, 1)
+	for i := range qs {
+		wa, wb := intervalWeights(resA[i].Items), intervalWeights(resB[i].Items)
+		if !sameFloats(wa, wb) {
+			t.Fatalf("query %d: twin builds disagree: %v vs %v", i, wa, wb)
+		}
+		if resA[i].Stats != resB[i].Stats {
+			t.Fatalf("query %d: twin builds report different per-query stats: %+v vs %+v",
+				i, resA[i].Stats, resB[i].Stats)
+		}
+	}
+	if sa, sb := a.Stats(), b.Stats(); sa.Blocks != sb.Blocks {
+		t.Fatalf("twin builds occupy different space: %d vs %d blocks", sa.Blocks, sb.Blocks)
+	}
+}

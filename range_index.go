@@ -24,7 +24,7 @@ type RangeIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
 	topk    core.TopK[rangerep.Span, float64]
-	dyn     *core.Expected[rangerep.Span, float64]
+	dyn     updatableTopK[rangerep.Span, float64]
 	pri     core.Prioritized[rangerep.Span, float64]
 	src     []PointItem1[T] // retained for Items() on static reductions
 	data    map[float64]T
@@ -47,7 +47,8 @@ func NewRangeIndex[T any](items []PointItem1[T], opts ...Option) (*RangeIndex[T]
 	}
 
 	ix := &RangeIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
-	if o.reduction == Expected {
+	switch {
+	case o.reduction == Expected:
 		dyn, err := core.NewDynamicExpected(cores, rangerep.Match,
 			rangerep.NewDynamicPrioritizedFactory(tracker),
 			rangerep.NewDynamicMaxFactory(tracker),
@@ -56,7 +57,16 @@ func NewRangeIndex[T any](items []PointItem1[T], opts ...Option) (*RangeIndex[T]
 			return nil, err
 		}
 		ix.topk, ix.dyn = dyn, dyn
-	} else {
+	case o.updates:
+		dyn, err := newOverlay(cores, rangerep.Match,
+			rangerep.NewPrioritizedFactory(tracker),
+			rangerep.NewMaxFactory(tracker),
+			rangerep.Lambda, o, tracker)
+		if err != nil {
+			return nil, err
+		}
+		ix.topk, ix.dyn = dyn, dyn
+	default:
 		t, err := buildTopK(cores, rangerep.Match,
 			rangerep.NewPrioritizedFactory(tracker),
 			rangerep.NewMaxFactory(tracker),
@@ -120,10 +130,11 @@ func (ix *RangeIndex[T]) Count(lo, hi float64) int {
 	return n
 }
 
-// Insert adds a point (Expected reduction only).
+// Insert adds a point (Expected reduction, or any reduction built with
+// WithUpdates).
 func (ix *RangeIndex[T]) Insert(item PointItem1[T]) error {
 	if ix.dyn == nil {
-		return fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+		return errStatic(ix.opts.reduction)
 	}
 	if math.IsNaN(item.Pos) {
 		return fmt.Errorf("topk: NaN position")
@@ -143,11 +154,11 @@ func (ix *RangeIndex[T]) Insert(item PointItem1[T]) error {
 	return nil
 }
 
-// Delete removes the point with the given weight (Expected reduction
-// only), reporting whether it was present.
+// Delete removes the point with the given weight, reporting whether it
+// was present. See Insert for which builds are updatable.
 func (ix *RangeIndex[T]) Delete(weight float64) (bool, error) {
 	if ix.dyn == nil {
-		return false, fmt.Errorf("topk: %v index is static; build with WithReduction(Expected) for updates", ix.opts.reduction)
+		return false, errStatic(ix.opts.reduction)
 	}
 	if !ix.dyn.DeleteWeight(weight) {
 		return false, nil

@@ -48,6 +48,7 @@ import (
 	"fmt"
 
 	"topk/internal/core"
+	"topk/internal/dynamic"
 	"topk/internal/em"
 )
 
@@ -90,6 +91,7 @@ type Options struct {
 	blockSize int
 	memBlocks int
 	seed      uint64
+	updates   bool
 }
 
 // Option mutates Options.
@@ -109,6 +111,15 @@ func WithMemBlocks(m int) Option { return func(o *Options) { o.memBlocks = m } }
 // WithSeed seeds the randomized parts of the structures (sampling in both
 // reductions). Identical seeds and inputs produce identical structures.
 func WithSeed(s uint64) Option { return func(o *Options) { o.seed = s } }
+
+// WithUpdates makes the index dynamic under any reduction: the reduction's
+// static structure is wrapped in a logarithmic-method overlay
+// (internal/dynamic) of O(log n) geometrically sized substructures, giving
+// Insert and Delete at an amortized O(log n · Build(n)/n) I/O cost while
+// queries pay only a tombstone-filtered candidate merge. The interval and
+// range indexes under the Expected reduction are already dynamic through
+// Theorem 2's native update path and ignore this option.
+func WithUpdates() Option { return func(o *Options) { o.updates = true } }
 
 func applyOptions(opts []Option) Options {
 	o := Options{reduction: Expected, blockSize: 64, memBlocks: 8, seed: 1}
@@ -169,17 +180,45 @@ func buildTopK[Q, V any](
 	return nil, fmt.Errorf("topk: unknown reduction %v", o.reduction)
 }
 
+// updatableTopK is the common surface of the two dynamic engines a facade
+// can sit on: Theorem 2's native dynamic reduction (*core.Expected) and
+// the logarithmic-method overlay (*dynamic.Overlay).
+type updatableTopK[Q, V any] interface {
+	core.TopK[Q, V]
+	Insert(core.Item[V]) error
+	DeleteWeight(w float64) bool
+	Items() []core.Item[V]
+}
+
+// newOverlay dynamizes a static reduction with the logarithmic-method
+// overlay: every substructure is built by the ordinary reduction
+// constructor for the selected reduction, sharing the index tracker so
+// merge and rebuild I/Os show up in Stats.
+func newOverlay[Q, V any](
+	items []core.Item[V],
+	match core.MatchFunc[Q, V],
+	pf core.PrioritizedFactory[Q, V],
+	mf core.MaxFactory[Q, V],
+	lambda float64,
+	o Options,
+	tracker *em.Tracker,
+) (*dynamic.Overlay[Q, V], error) {
+	return dynamic.New(items, match, func(sub []core.Item[V]) (core.TopK[Q, V], error) {
+		return buildTopK(sub, match, pf, mf, lambda, o, tracker)
+	}, dynamic.Options{Tracker: tracker, TailCap: o.blockSize})
+}
+
+// errStatic is the shared "index is static" error for Insert/Delete on an
+// index built without an update path.
+func errStatic(r Reduction) error {
+	return fmt.Errorf("topk: %v index is static; build with WithUpdates() for updates", r)
+}
+
 // prioritizedOf extracts the prioritized structure living inside a
 // reduction-built top-k structure, so the facade can answer ReportAbove
 // and Max queries without constructing duplicate black boxes.
 func prioritizedOf[Q, V any](t core.TopK[Q, V]) core.Prioritized[Q, V] {
-	switch s := t.(type) {
-	case interface{ Prioritized() core.Prioritized[Q, V] }:
-		return s.Prioritized()
-	case core.Prioritized[Q, V]: // the FullScan oracle is its own
-		return s
-	}
-	return nil
+	return core.PrioritizedOf(t)
 }
 
 // maxOfTopK answers a max query through any top-k structure (k = 1).
