@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel experiments validate examples fmt vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel experiments validate examples serve-smoke fmt vet clean ci
 
 all: build vet test
 
@@ -55,9 +55,29 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchtime 20x .
 
-# Regenerate the EXPERIMENTS.md tables (E1-E25).
+# Regenerate the EXPERIMENTS.md tables (E1-E26).
 experiments:
 	$(GO) run ./cmd/topk-bench -seed 42
+
+# End-to-end smoke of the serving surface: start topk-serve, poll
+# /healthz, answer a /query batch, and assert /metrics exposes populated
+# histograms. Needs curl; cleans up the server on every exit path.
+serve-smoke:
+	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
+	@/tmp/topk-serve -addr 127.0.0.1:18099 -n 5000 -slow-ios 1 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18099/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:18099/healthz | grep -q ok || { echo "FAIL: /healthz"; exit 1; }; \
+	curl -sf -X POST http://127.0.0.1:18099/query -d '{"queries":[10,50,90],"k":5}' | grep -q '"ios"' \
+		|| { echo "FAIL: /query"; exit 1; }; \
+	metrics=$$(curl -sf http://127.0.0.1:18099/metrics); \
+	echo "$$metrics" | grep -q 'topk_query_ios_bucket{' || { echo "FAIL: no topk_query_ios_bucket in /metrics"; exit 1; }; \
+	count=$$(echo "$$metrics" | sed -n 's/^topk_query_ios_count{index="interval"} //p'); \
+	[ "$$count" = "3" ] || { echo "FAIL: topk_query_ios_count = $$count, want 3"; exit 1; }; \
+	curl -sf http://127.0.0.1:18099/debug/slow | grep -q 'slow query' || { echo "FAIL: /debug/slow empty"; exit 1; }; \
+	echo "serve-smoke: ok"
 
 validate:
 	$(GO) run ./cmd/topk-validate
@@ -72,5 +92,6 @@ examples:
 clean:
 	$(GO) clean ./...
 
-# What CI runs (.github/workflows/ci.yml), runnable locally.
-ci: build vet test race cover fuzz-smoke
+# What CI runs (.github/workflows/ci.yml), runnable locally. CI
+# additionally runs staticcheck, which is not vendored here.
+ci: build vet test race cover fuzz-smoke serve-smoke

@@ -1,9 +1,11 @@
 package topk
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"topk/internal/em"
 )
@@ -24,19 +26,40 @@ import (
 
 // QueryStats are the simulated I/O counters of a single query, measured
 // from a cold private cache (the paper's worst-case accounting).
+//
+// Hits are block touches absorbed by the cache; they are free in the EM
+// model and therefore excluded from IOs(). The invariant is
+// IOs() == Reads + Writes, always — never Reads + Writes + Hits.
 type QueryStats struct {
 	Reads  int64 // block reads that missed the query's private cache
 	Writes int64 // block writes
 	Hits   int64 // touches served by the query's private cache (free)
 }
 
-// IOs returns Reads + Writes, the EM model's cost metric.
+// IOs returns Reads + Writes, the EM model's cost metric. Hits are not
+// included: a cache hit costs nothing under the model.
 func (s QueryStats) IOs() int64 { return s.Reads + s.Writes }
 
+// HitRate returns the fraction of block touches served by the cache,
+// Hits / (Hits + Reads), or 0 when the query touched no blocks. Writes
+// are excluded: every write is charged regardless of residency.
+func (s QueryStats) HitRate() float64 {
+	total := s.Hits + s.Reads
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // BatchResult pairs one query's answer with that query's own I/O cost.
+// Trace is the query's phase-span trace, populated only on indexes built
+// with WithTracing; its depth-0 spans partition Stats exactly (the sum of
+// their Reads/Writes/Hits equals the query's — the residual, if any,
+// appears as an "em.unattributed" event).
 type BatchResult[R any] struct {
 	Items []R
 	Stats QueryStats
+	Trace []TraceEvent
 }
 
 // Span is a 1D query range [Lo, Hi] for RangeIndex.QueryBatch.
@@ -88,7 +111,7 @@ type HalfspaceQuery struct {
 // its view, the remaining workers drain, and the first panic value is
 // re-raised on the calling goroutine once all workers have exited. Workers
 // stop claiming new queries after a panic, so later results may be zero.
-func runBatch[Q, R any](tr *em.Tracker, qs []Q, parallelism int, one func(Q) []R) []BatchResult[R] {
+func runBatch[Q, R any](tr *em.Tracker, ob *indexObs, qs []Q, parallelism int, one func(Q) []R) []BatchResult[R] {
 	if len(qs) == 0 {
 		return nil
 	}
@@ -106,6 +129,10 @@ func runBatch[Q, R any](tr *em.Tracker, qs []Q, parallelism int, one func(Q) []R
 		panicked atomic.Pointer[any]
 	)
 	runOne := func(i int) {
+		var t0 time.Time
+		if ob != nil {
+			t0 = time.Now()
+		}
 		v := tr.BeginQuery()
 		done := false
 		defer func() {
@@ -125,6 +152,14 @@ func runBatch[Q, R any](tr *em.Tracker, qs []Q, parallelism int, one func(Q) []R
 		out[i] = BatchResult[R]{
 			Items: items,
 			Stats: QueryStats{Reads: st.Reads, Writes: st.Writes, Hits: st.Hits},
+		}
+		if ob != nil {
+			trace := v.Trace()
+			if ob.wantTrace() {
+				out[i].Trace = toPublicTrace(trace)
+			}
+			ob.observeBatch(time.Since(t0), st, trace,
+				func() string { return fmt.Sprintf("%+v", qs[i]) })
 		}
 		done = true
 	}

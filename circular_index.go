@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/circular"
@@ -18,6 +19,7 @@ type CircularIndex[T any] struct {
 	opts    Options
 	d       int
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[circular.Ball, halfspace.PtN]
 	dyn     updatableTopK[circular.Ball, halfspace.PtN] // non-nil when built with WithUpdates
 	pri     core.Prioritized[circular.Ball, halfspace.PtN]
@@ -69,6 +71,8 @@ func NewCircularIndex[T any](items []PointItemN[T], d int, opts ...Option) (*Cir
 		ix.topk = t
 	}
 	ix.pri = prioritizedOf(ix.topk)
+	ix.ob = newIndexObs("circular", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -85,7 +89,9 @@ func (ix *CircularIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
 // TopK returns the k heaviest points within distance r of center,
 // heaviest first.
 func (ix *CircularIndex[T]) TopK(center []float64, r float64, k int) []PointItemN[T] {
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(circular.Ball{Center: center, R: r}, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("ball c=%v r=%v k=%d", center, r, k) })
 	out := make([]PointItemN[T], len(res))
 	for i, it := range res {
 		out[i] = ix.wrap(it)
@@ -135,6 +141,7 @@ func (ix *CircularIndex[T]) Insert(item PointItemN[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -149,6 +156,7 @@ func (ix *CircularIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -163,7 +171,11 @@ func (ix *CircularIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // runs in its own cold tracker view, so per-query Stats are independent
 // of parallelism; see IntervalIndex.QueryBatch for the full contract.
 func (ix *CircularIndex[T]) QueryBatch(qs []BallQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
-	return runBatch(ix.tracker, qs, parallelism, func(q BallQuery) []PointItemN[T] {
+	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q BallQuery) []PointItemN[T] {
 		return ix.TopK(q.Center, q.Radius, k)
 	})
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *CircularIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

@@ -9,6 +9,8 @@
 //	topk-bench -quick          # ~8x smaller sweeps
 //	topk-bench -list           # list experiment IDs and titles
 //	topk-bench -seed 7         # change the workload seed
+//	topk-bench -metrics -      # Prometheus snapshot of a reference workload to stdout
+//	topk-bench -metrics m.prom # ... or to a file
 package main
 
 import (
@@ -23,12 +25,31 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		quick = flag.Bool("quick", false, "run reduced sweeps")
-		seed  = flag.Uint64("seed", 42, "workload seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "run reduced sweeps")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		metrics = flag.String("metrics", "", "run an instrumented reference workload and write its Prometheus snapshot to this file (\"-\" = stdout), then exit")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		out := os.Stdout
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topk-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.MetricsSnapshot(out, bench.Config{Seed: *seed, Quick: *quick}); err != nil {
+			fmt.Fprintf(os.Stderr, "topk-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {

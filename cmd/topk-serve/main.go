@@ -1,0 +1,285 @@
+// Command topk-serve exposes a live top-k index over HTTP: a /query
+// endpoint backed by the concurrent QueryBatch path, a Prometheus
+// /metrics endpoint, expvar and pprof debug surfaces, and a slow-query
+// ring buffer at /debug/slow. It exists so the paper's I/O accounting
+// can be watched from standard observability tooling while a workload
+// runs.
+//
+// Usage:
+//
+//	topk-serve                       # interval index, n=20000, :8080
+//	topk-serve -problem range -n 5e4
+//	topk-serve -slow-ios 200         # log queries costing >= 200 I/Os
+//
+// Endpoints:
+//
+//	GET  /metrics      Prometheus text exposition
+//	POST /query        {"queries":[...], "k":10} -> per-query answers + I/O stats
+//	GET  /debug/slow   recent slow-query traces (plain text)
+//	GET  /debug/vars   expvar JSON
+//	GET  /debug/pprof  net/http/pprof profiles
+//	GET  /healthz      liveness
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"topk"
+	"topk/internal/bench"
+)
+
+// server is the problem-independent part of the HTTP surface: every
+// problem adapter plugs in as a queryFunc plus a WriteMetrics.
+type server struct {
+	problem string
+	n       int
+	metrics func(io.Writer) error
+	query   func(qs []json.RawMessage, k, parallelism int) (any, error)
+	slow    *ringWriter
+	started time.Time
+}
+
+// queryRequest is the /query body. Queries are problem-shaped:
+// interval: [x, ...]; range: [[lo, hi], ...].
+type queryRequest struct {
+	Queries     []json.RawMessage `json:"queries"`
+	K           int               `json:"k"`
+	Parallelism int               `json:"parallelism"`
+}
+
+// queryResult is one query's slice of the /query response.
+type queryResult struct {
+	Items []resultItem `json:"items"`
+	Reads int64        `json:"reads"`
+	Wri   int64        `json:"writes"`
+	Hits  int64        `json:"hits"`
+	IOs   int64        `json:"ios"`
+}
+
+type resultItem struct {
+	Weight float64 `json:"weight"`
+	Label  string  `json:"label,omitempty"`
+}
+
+// ringWriter retains the last few slow-query entries for /debug/slow.
+// It is handed to WithSlowQueryLog as the io.Writer.
+type ringWriter struct {
+	mu      sync.Mutex
+	entries []string
+	next    int
+}
+
+func newRingWriter(keep int) *ringWriter {
+	return &ringWriter{entries: make([]string, 0, keep)}
+}
+
+func (r *ringWriter) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := string(p)
+	if len(r.entries) < cap(r.entries) {
+		r.entries = append(r.entries, e)
+	} else {
+		r.entries[r.next] = e
+		r.next = (r.next + 1) % cap(r.entries)
+	}
+	return len(p), nil
+}
+
+func (r *ringWriter) dump(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < len(r.entries); i++ {
+		io.WriteString(w, r.entries[(r.next+i)%len(r.entries)])
+	}
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		problem     = flag.String("problem", "interval", "problem to serve: interval | range")
+		n           = flag.Int("n", 20000, "number of indexed items")
+		seed        = flag.Uint64("seed", 42, "workload seed")
+		slowIOs     = flag.Int64("slow-ios", 500, "slow-query I/O threshold (0 disables)")
+		parallelism = flag.Int("parallelism", 0, "default /query parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	slow := newRingWriter(64)
+	srv, err := buildServer(*problem, *n, *seed, *slowIOs, *parallelism, slow)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topk-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	expvar.NewString("topk_problem").Set(*problem)
+	expvar.NewInt("topk_items").Set(int64(*n))
+
+	http.HandleFunc("/metrics", srv.handleMetrics)
+	http.HandleFunc("/query", srv.handleQuery)
+	http.HandleFunc("/debug/slow", srv.handleSlow)
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// /debug/vars (expvar) and /debug/pprof are registered by their
+	// packages' imports on the default mux.
+
+	log.Printf("topk-serve: %s index over %d items on %s (slow-ios=%d)",
+		*problem, *n, *addr, *slowIOs)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}
+
+// buildServer constructs the selected problem's index with full
+// observability and returns the HTTP adapter around it.
+func buildServer(problem string, n int, seed uint64, slowIOs int64, parallelism int, slow *ringWriter) (*server, error) {
+	opts := []topk.Option{topk.WithSeed(seed), topk.WithTracing(), topk.WithMetrics()}
+	if slowIOs > 0 {
+		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs))
+	}
+	s := &server{problem: problem, n: n, slow: slow, started: time.Now()}
+
+	switch problem {
+	case "interval":
+		src := bench.Intervals(seed, n, 8)
+		items := make([]topk.IntervalItem[int], len(src))
+		for i, it := range src {
+			items[i] = topk.IntervalItem[int]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: i}
+		}
+		ix, err := topk.NewIntervalIndex(items, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics = ix.WriteMetrics
+		s.query = func(raw []json.RawMessage, k, p int) (any, error) {
+			xs := make([]float64, len(raw))
+			for i, r := range raw {
+				if err := json.Unmarshal(r, &xs[i]); err != nil {
+					return nil, fmt.Errorf("query %d: want a stabbing point (number): %w", i, err)
+				}
+			}
+			if p == 0 {
+				p = parallelism
+			}
+			res := ix.QueryBatch(xs, k, p)
+			out := make([]queryResult, len(res))
+			for i, r := range res {
+				out[i] = toResult(r.Stats, len(r.Items))
+				for _, it := range r.Items {
+					out[i].Items = append(out[i].Items, resultItem{
+						Weight: it.Weight,
+						Label:  fmt.Sprintf("[%.3f, %.3f]", it.Lo, it.Hi),
+					})
+				}
+			}
+			return out, nil
+		}
+	case "range":
+		ws := bench.Intervals(seed, n, 8) // reuse interval gen for distinct weights
+		items := make([]topk.PointItem1[int], len(ws))
+		for i, it := range ws {
+			items[i] = topk.PointItem1[int]{Pos: it.Value.Lo, Weight: it.Weight, Data: i}
+		}
+		ix, err := topk.NewRangeIndex(items, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics = ix.WriteMetrics
+		s.query = func(raw []json.RawMessage, k, p int) (any, error) {
+			spans := make([]topk.Span, len(raw))
+			for i, r := range raw {
+				var pair [2]float64
+				if err := json.Unmarshal(r, &pair); err != nil {
+					return nil, fmt.Errorf("query %d: want [lo, hi]: %w", i, err)
+				}
+				spans[i] = topk.Span{Lo: pair[0], Hi: pair[1]}
+			}
+			if p == 0 {
+				p = parallelism
+			}
+			res := ix.QueryBatch(spans, k, p)
+			out := make([]queryResult, len(res))
+			for i, r := range res {
+				out[i] = toResult(r.Stats, len(r.Items))
+				for _, it := range r.Items {
+					out[i].Items = append(out[i].Items, resultItem{
+						Weight: it.Weight,
+						Label:  fmt.Sprintf("%.3f", it.Pos),
+					})
+				}
+			}
+			return out, nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown problem %q (want interval or range)", problem)
+	}
+	return s, nil
+}
+
+func toResult(st topk.QueryStats, nItems int) queryResult {
+	return queryResult{
+		Items: make([]resultItem, 0, nItems),
+		Reads: st.Reads, Wri: st.Writes, Hits: st.Hits, IOs: st.IOs(),
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > 10000 {
+		http.Error(w, "need 1..10000 queries", http.StatusBadRequest)
+		return
+	}
+	if req.K <= 0 || req.K > 1000 {
+		http.Error(w, "need 1 <= k <= 1000", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	out, err := s.query(req.Queries, req.K, req.Parallelism)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"problem": s.problem,
+		"k":       req.K,
+		"elapsed": time.Since(start).String(),
+		"results": out,
+	})
+}
+
+func (s *server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	s.slow.dump(&b)
+	if b.Len() == 0 {
+		fmt.Fprintln(w, "no slow queries recorded")
+		return
+	}
+	io.WriteString(w, b.String())
+}

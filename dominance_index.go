@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
@@ -24,6 +25,7 @@ type DominanceItem[T any] struct {
 type DominanceIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[dominance.Pt3, dominance.Pt3]
 	dyn     updatableTopK[dominance.Pt3, dominance.Pt3] // non-nil when built with WithUpdates
 	pri     core.Prioritized[dominance.Pt3, dominance.Pt3]
@@ -69,6 +71,8 @@ func NewDominanceIndex[T any](items []DominanceItem[T], opts ...Option) (*Domina
 		ix.topk = t
 	}
 	ix.pri = prioritizedOf(ix.topk)
+	ix.ob = newIndexObs("dominance", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -82,7 +86,9 @@ func (ix *DominanceIndex[T]) wrap(it core.Item[dominance.Pt3]) DominanceItem[T] 
 // TopK returns the k heaviest points dominated by (x, y, z), heaviest
 // first.
 func (ix *DominanceIndex[T]) TopK(x, y, z float64, k int) []DominanceItem[T] {
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(dominance.Pt3{X: x, Y: y, Z: z}, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("dominate (%v,%v,%v) k=%d", x, y, z, k) })
 	out := make([]DominanceItem[T], len(res))
 	for i, it := range res {
 		out[i] = ix.wrap(it)
@@ -128,6 +134,7 @@ func (ix *DominanceIndex[T]) Insert(item DominanceItem[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -142,6 +149,7 @@ func (ix *DominanceIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -157,7 +165,11 @@ func (ix *DominanceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *DominanceIndex[T]) QueryBatch(qs []CornerQuery, k int, parallelism int) []BatchResult[DominanceItem[T]] {
-	return runBatch(ix.tracker, qs, parallelism, func(q CornerQuery) []DominanceItem[T] {
+	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q CornerQuery) []DominanceItem[T] {
 		return ix.TopK(q.X, q.Y, q.Z, k)
 	})
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *DominanceIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

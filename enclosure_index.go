@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
@@ -24,6 +25,7 @@ type RectItem[T any] struct {
 type EnclosureIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[enclosure.Pt2, enclosure.Rect]
 	dyn     updatableTopK[enclosure.Pt2, enclosure.Rect] // non-nil when built with WithUpdates
 	pri     core.Prioritized[enclosure.Pt2, enclosure.Rect]
@@ -72,6 +74,8 @@ func NewEnclosureIndex[T any](items []RectItem[T], opts ...Option) (*EnclosureIn
 		ix.topk = t
 	}
 	ix.pri = prioritizedOf(ix.topk)
+	ix.ob = newIndexObs("enclosure", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -88,7 +92,9 @@ func (ix *EnclosureIndex[T]) wrap(it core.Item[enclosure.Rect]) RectItem[T] {
 // TopK returns the k heaviest rectangles containing (x, y), heaviest
 // first.
 func (ix *EnclosureIndex[T]) TopK(x, y float64, k int) []RectItem[T] {
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(enclosure.Pt2{X: x, Y: y}, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("enclose (%v,%v) k=%d", x, y, k) })
 	out := make([]RectItem[T], len(res))
 	for i, it := range res {
 		out[i] = ix.wrap(it)
@@ -138,6 +144,7 @@ func (ix *EnclosureIndex[T]) Insert(item RectItem[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -152,6 +159,7 @@ func (ix *EnclosureIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -167,7 +175,11 @@ func (ix *EnclosureIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *EnclosureIndex[T]) QueryBatch(qs []PointQuery, k int, parallelism int) []BatchResult[RectItem[T]] {
-	return runBatch(ix.tracker, qs, parallelism, func(q PointQuery) []RectItem[T] {
+	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q PointQuery) []RectItem[T] {
 		return ix.TopK(q.X, q.Y, k)
 	})
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *EnclosureIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
@@ -22,6 +23,7 @@ type PointItem2[T any] struct {
 type HalfplaneIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[halfspace.Halfplane, halfspace.Pt2]
 	dyn     updatableTopK[halfspace.Halfplane, halfspace.Pt2] // non-nil when built with WithUpdates
 	pri     core.Prioritized[halfspace.Halfplane, halfspace.Pt2]
@@ -67,6 +69,8 @@ func NewHalfplaneIndex[T any](items []PointItem2[T], opts ...Option) (*Halfplane
 		ix.topk = t
 	}
 	ix.pri = prioritizedOf(ix.topk)
+	ix.ob = newIndexObs("halfplane", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -79,7 +83,9 @@ func (ix *HalfplaneIndex[T]) wrap(it core.Item[halfspace.Pt2]) PointItem2[T] {
 
 // TopK returns the k heaviest points with a·x + b·y ≥ c, heaviest first.
 func (ix *HalfplaneIndex[T]) TopK(a, b, c float64, k int) []PointItem2[T] {
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(halfspace.Halfplane{A: a, B: b, C: c}, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("halfplane %v·x+%v·y≥%v k=%d", a, b, c, k) })
 	out := make([]PointItem2[T], len(res))
 	for i, it := range res {
 		out[i] = ix.wrap(it)
@@ -124,6 +130,7 @@ func (ix *HalfplaneIndex[T]) Insert(item PointItem2[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -138,6 +145,7 @@ func (ix *HalfplaneIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -161,6 +169,7 @@ type HalfspaceIndex[T any] struct {
 	opts    Options
 	d       int
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[halfspace.Halfspace, halfspace.PtN]
 	dyn     updatableTopK[halfspace.Halfspace, halfspace.PtN] // non-nil when built with WithUpdates
 	pri     core.Prioritized[halfspace.Halfspace, halfspace.PtN]
@@ -212,6 +221,8 @@ func NewHalfspaceIndex[T any](items []PointItemN[T], d int, opts ...Option) (*Ha
 		ix.topk = t
 	}
 	ix.pri = prioritizedOf(ix.topk)
+	ix.ob = newIndexObs("halfspace", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -227,7 +238,9 @@ func (ix *HalfspaceIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
 
 // TopK returns the k heaviest points with a·x ≥ c, heaviest first.
 func (ix *HalfspaceIndex[T]) TopK(a []float64, c float64, k int) []PointItemN[T] {
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(halfspace.Halfspace{A: a, C: c}, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("halfspace a=%v c=%v k=%d", a, c, k) })
 	out := make([]PointItemN[T], len(res))
 	for i, it := range res {
 		out[i] = ix.wrap(it)
@@ -278,6 +291,7 @@ func (ix *HalfspaceIndex[T]) Insert(item PointItemN[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -292,6 +306,7 @@ func (ix *HalfspaceIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -307,10 +322,14 @@ func (ix *HalfspaceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *HalfplaneIndex[T]) QueryBatch(qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
-	return runBatch(ix.tracker, qs, parallelism, func(q HalfplaneQuery) []PointItem2[T] {
+	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q HalfplaneQuery) []PointItem2[T] {
 		return ix.TopK(q.A, q.B, q.C, k)
 	})
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *HalfplaneIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }
 
 // QueryBatch answers one top-k halfspace query per HalfspaceQuery on a
 // bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
@@ -318,7 +337,11 @@ func (ix *HalfplaneIndex[T]) QueryBatch(qs []HalfplaneQuery, k int, parallelism 
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *HalfspaceIndex[T]) QueryBatch(qs []HalfspaceQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
-	return runBatch(ix.tracker, qs, parallelism, func(q HalfspaceQuery) []PointItemN[T] {
+	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q HalfspaceQuery) []PointItemN[T] {
 		return ix.TopK(q.A, q.C, k)
 	})
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *HalfspaceIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

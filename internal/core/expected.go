@@ -220,6 +220,8 @@ func (e *Expected[Q, V]) build(
 
 func (e *Expected[Q, V]) rebuild() {
 	e.stats.Rebuilds++
+	sp := e.opts.Tracker.BeginSpan()
+	defer e.opts.Tracker.EndSpan(sp, PhaseT2Rebuild, -1, int64(len(e.items)))
 	e.build(
 		func(d []Item[V]) Prioritized[Q, V] {
 			dp := e.newPri(d)
@@ -270,13 +272,16 @@ func (e *Expected[Q, V]) Items() []Item[V] {
 }
 
 // TopK answers a top-k query by the round algorithm of Section 4. The
-// result is weight-descending with min(k, |q(D)|) items.
+// result is weight-descending with min(k, |q(D)|) items. When the tracker
+// has a trace sink, each round, probe, max lookup and harvest is emitted
+// as a span carrying its I/O delta (phases.go).
 func (e *Expected[Q, V]) TopK(q Q, k int) []Item[V] {
 	e.qstats.queries.Add(1)
 	n := len(e.items)
 	if k <= 0 || n == 0 {
 		return nil
 	}
+	tr := e.opts.Tracker
 
 	// Queries with k < B·Q_max(n) are treated as top-(B·Q_max(n)) and
 	// finished with k-selection.
@@ -289,7 +294,10 @@ func (e *Expected[Q, V]) TopK(q Q, k int) []Item[V] {
 	// O(n/B) = O(k/B).
 	if len(e.levels) == 0 || float64(kq) > e.levels[len(e.levels)-1].k {
 		e.qstats.naiveScans.Add(1)
-		return e.scanTopK(q, k)
+		sp := tr.BeginSpan()
+		res := e.scanTopK(q, k)
+		tr.EndSpan(sp, PhaseT2Scan, -1, int64(n))
+		return res
 	}
 
 	// Smallest rung i with K_i ≥ kq.
@@ -303,36 +311,47 @@ func (e *Expected[Q, V]) TopK(q Q, k int) []Item[V] {
 		rounds++
 		lvl := &e.levels[j]
 		cap4K := int(4 * lvl.k)
+		rsp := tr.BeginSpan()
 
 		// Step 1: if |q(D)| ≤ 4K_j the cost-monitored query solves it.
+		sp := tr.BeginSpan()
 		cand, complete := CollectAtMost(e.pri, q, math.Inf(-1), cap4K)
+		tr.EndSpan(sp, probePhase(complete), j, int64(len(cand)))
 		if complete {
 			e.chargeScan(len(cand))
+			tr.EndSpan(rsp, PhaseT2RoundDirect, j, int64(rounds))
 			e.finishRounds(rounds)
 			return TopKOf(cand, k)
 		}
 
 		// Step 2: heaviest sampled element in q(R_j).
 		tau := math.Inf(-1)
+		sp = tr.BeginSpan()
 		if it, ok := lvl.max.MaxItem(q); ok {
 			tau = it.Weight
 		}
+		tr.EndSpan(sp, PhaseT2Max, j, 0)
 		if math.IsInf(tau, -1) {
 			// Empty q(R_j): the τ = −∞ probe would repeat step 1's
 			// capped query and fail; skip straight to the next round.
+			tr.EndSpan(rsp, PhaseT2RoundEmpty, j, int64(rounds))
 			continue
 		}
 
 		// Step 3: cost-monitored harvest above τ.
+		sp = tr.BeginSpan()
 		s, complete := CollectAtMost(e.pri, q, tau, cap4K)
+		tr.EndSpan(sp, harvestPhase(complete), j, int64(len(s)))
 
 		// Step 4: failure tests.
 		if !complete || len(s) <= int(lvl.k) {
+			tr.EndSpan(rsp, PhaseT2RoundFail, j, int64(rounds))
 			continue
 		}
 
 		// Step 5: success — k-selection over S.
 		e.chargeScan(len(s))
+		tr.EndSpan(rsp, PhaseT2RoundOK, j, int64(rounds))
 		e.finishRounds(rounds)
 		return TopKOf(s, k)
 	}
@@ -340,7 +359,27 @@ func (e *Expected[Q, V]) TopK(q Q, k int) []Item[V] {
 	// Step 6(b): ladder exhausted; read the whole D.
 	e.qstats.naiveScans.Add(1)
 	e.finishRounds(rounds)
-	return e.scanTopK(q, k)
+	sp := tr.BeginSpan()
+	res := e.scanTopK(q, k)
+	tr.EndSpan(sp, PhaseT2Scan, -1, int64(n))
+	return res
+}
+
+// probePhase / harvestPhase pick the outcome variant of a cost-monitored
+// subquery's phase: complete means the prioritized query terminated by
+// itself; incomplete means the cost monitor aborted it.
+func probePhase(complete bool) string {
+	if complete {
+		return PhaseT2ProbeOK
+	}
+	return PhaseT2ProbeAbort
+}
+
+func harvestPhase(complete bool) string {
+	if complete {
+		return PhaseT2HarvestOK
+	}
+	return PhaseT2HarvestAbort
 }
 
 func (e *Expected[Q, V]) finishRounds(r int) {

@@ -225,7 +225,9 @@ func (w *WorstCase[Q, V]) Stats() WorstCaseStats {
 func (w *WorstCase[Q, V]) Prioritized() Prioritized[Q, V] { return w.chain.levels[0].pri }
 
 // TopK answers a top-k query (§3.2). The result is weight-descending with
-// min(k, |q(D)|) items.
+// min(k, |q(D)|) items. When the tracker has a trace sink, each chain
+// level, probe, harvest and fallback is emitted as a span carrying its
+// I/O delta (phases.go).
 func (w *WorstCase[Q, V]) TopK(q Q, k int) []Item[V] {
 	w.qstats.queries.Add(1)
 	if k <= 0 || len(w.items) == 0 {
@@ -235,7 +237,7 @@ func (w *WorstCase[Q, V]) TopK(q Q, k int) []Item[V] {
 
 	// k ≥ n/2: scan the entire D in O(n/B) = O(k/B) I/Os.
 	if k >= n/2 {
-		return w.scanTopK(q, k)
+		return w.tracedScanTopK(q, k)
 	}
 	// k ≤ f: answer as a top-f query followed by k-selection.
 	if k <= w.f {
@@ -264,11 +266,14 @@ func (w *WorstCase[Q, V]) largeK(q Q, k int) []Item[V] {
 	if bigK < k {
 		// Ladder exhausted (can happen only for k close to n/2 with a
 		// degenerate ladder); scanning is within the O(k/B) budget.
-		return w.scanTopK(q, k)
+		return w.tracedScanTopK(q, k)
 	}
+	tr := w.opts.Tracker
 
 	// If |q(D)| ≤ 4K, a cost-monitored prioritized query solves it.
+	sp := tr.BeginSpan()
 	cand, complete := CollectAtMost(priD, q, math.Inf(-1), 4*bigK)
+	tr.EndSpan(sp, t1ProbePhase(complete), -1, int64(len(cand)))
 	if complete {
 		w.chargeScan(len(cand))
 		return TopKOf(cand, k)
@@ -281,17 +286,42 @@ func (w *WorstCase[Q, V]) largeK(q Q, k int) []Item[V] {
 	top := chain.topF(q)
 	if len(top) < r {
 		w.qstats.fallbacks.Add(1)
-		return w.exhaustive(priD, q, k)
+		return w.tracedExhaustive(priD, q, k)
 	}
 	pivot := top[r-1].Weight
+	sp = tr.BeginSpan()
 	got, cnt := w.harvest(priD, q, pivot, k)
+	tr.EndSpan(sp, PhaseT1Harvest, -1, int64(cnt))
 	if cnt < k {
 		// The pivot landed above rank k in q(D) (sample failure): the
 		// harvested set may miss part of the answer.
 		w.qstats.fallbacks.Add(1)
-		return w.exhaustive(priD, q, k)
+		return w.tracedExhaustive(priD, q, k)
 	}
 	return got
+}
+
+// tracedScanTopK / tracedExhaustive wrap the two repair/fallback paths in
+// their trace spans (no-ops when tracing is off).
+func (w *WorstCase[Q, V]) tracedScanTopK(q Q, k int) []Item[V] {
+	sp := w.opts.Tracker.BeginSpan()
+	res := w.scanTopK(q, k)
+	w.opts.Tracker.EndSpan(sp, PhaseT1Scan, -1, int64(len(w.items)))
+	return res
+}
+
+func (w *WorstCase[Q, V]) tracedExhaustive(p Prioritized[Q, V], q Q, k int) []Item[V] {
+	sp := w.opts.Tracker.BeginSpan()
+	res := w.exhaustive(p, q, k)
+	w.opts.Tracker.EndSpan(sp, PhaseT1Fallback, -1, int64(k))
+	return res
+}
+
+func t1ProbePhase(complete bool) string {
+	if complete {
+		return PhaseT1ProbeOK
+	}
+	return PhaseT1ProbeAbort
 }
 
 // topF answers a top-f query on the chain (the inductive algorithm of
@@ -300,8 +330,20 @@ func (c *topfChain[Q, V]) topF(q Q) []Item[V] {
 	return c.query(q, 0)
 }
 
+// query wraps one level's work in its PhaseT1Level trace span; the
+// level's probe/harvest/fallback spans (and the recursive deeper levels)
+// nest inside it, so a query's depth-0 spans partition its total cost.
 func (c *topfChain[Q, V]) query(q Q, j int) []Item[V] {
 	w := c.owner
+	sp := w.opts.Tracker.BeginSpan()
+	res := c.queryLevel(q, j)
+	w.opts.Tracker.EndSpan(sp, PhaseT1Level, j, int64(len(c.levels[j].items)))
+	return res
+}
+
+func (c *topfChain[Q, V]) queryLevel(q Q, j int) []Item[V] {
+	w := c.owner
+	tr := w.opts.Tracker
 	lvl := c.levels[j]
 	// Base case: scan the bottom core-set.
 	if j == len(c.levels)-1 {
@@ -317,7 +359,9 @@ func (c *topfChain[Q, V]) query(q Q, j int) []Item[V] {
 	}
 
 	// |q(R_j)| ≤ 4f ⇒ the cost-monitored query solves it directly.
+	sp := tr.BeginSpan()
 	cand, complete := CollectAtMost(lvl.pri, q, math.Inf(-1), 4*c.f)
+	tr.EndSpan(sp, t1ProbePhase(complete), j, int64(len(cand)))
 	if complete {
 		w.chargeScan(len(cand))
 		return TopKOf(cand, c.f)
@@ -331,13 +375,15 @@ func (c *topfChain[Q, V]) query(q Q, j int) []Item[V] {
 	sub := c.query(q, j+1)
 	if len(sub) < r {
 		w.qstats.fallbacks.Add(1)
-		return w.exhaustive(lvl.pri, q, c.f)
+		return w.tracedExhaustive(lvl.pri, q, c.f)
 	}
 	pivot := sub[r-1].Weight
+	sp = tr.BeginSpan()
 	got, cnt := w.harvest(lvl.pri, q, pivot, c.f)
+	tr.EndSpan(sp, PhaseT1Harvest, j, int64(cnt))
 	if cnt < c.f {
 		w.qstats.fallbacks.Add(1)
-		return w.exhaustive(lvl.pri, q, c.f)
+		return w.tracedExhaustive(lvl.pri, q, c.f)
 	}
 	return got
 }

@@ -51,6 +51,29 @@ import (
 	"topk/internal/em"
 )
 
+// Trace phase names emitted by the overlay (see em.TraceEvent and
+// DESIGN.md §9). Query-path spans are emitted inside the caller's query
+// view; flush and rebuild spans run on the shared path under the
+// exclusive-update contract.
+const (
+	// PhaseLevel wraps one substructure's top-(k+dead) candidate query
+	// plus tombstone filtering. Level = overlay slot j, Arg = |dead_j|
+	// (the tombstone over-fetch).
+	PhaseLevel = "dyn.level"
+	// PhaseTail is the unindexed tail scan. Arg = |tail|.
+	PhaseTail = "dyn.tail"
+	// PhaseSelect is the final k-selection over the merged candidates.
+	// Arg = |candidates|.
+	PhaseSelect = "dyn.select"
+	// PhaseFlush is a tail merge into the ladder (carry-style), covering
+	// the absorbed levels' discard and the substructure build. Level =
+	// the slot the batch settled in, Arg = batch size.
+	PhaseFlush = "dyn.flush"
+	// PhaseRebuild is the global compaction triggered at DeadFrac.
+	// Arg = live items compacted.
+	PhaseRebuild = "dyn.rebuild"
+)
+
 // Builder constructs one static top-k substructure over a subset of the
 // input. The overlay owns the slice it passes and never mutates it after
 // the call. Builders are invoked during New, Insert and DeleteWeight —
@@ -263,6 +286,8 @@ func (o *Overlay[Q, V]) flushTail() {
 	o.tail = o.tail[:0]
 	clear(o.tailPos)
 	o.stats.Flushes++
+	sp := o.opts.Tracker.BeginSpan()
+	defer func() { o.opts.Tracker.EndSpan(sp, PhaseFlush, -1, int64(len(batch))) }()
 
 	j := 0
 	for {
@@ -291,6 +316,8 @@ func (o *Overlay[Q, V]) flushTail() {
 // substructure, clearing all tombstones.
 func (o *Overlay[Q, V]) rebuildAll() {
 	o.stats.Rebuilds++
+	sp := o.opts.Tracker.BeginSpan()
+	defer func() { o.opts.Tracker.EndSpan(sp, PhaseRebuild, -1, int64(o.N())) }()
 	batch := make([]core.Item[V], 0, o.N())
 	for j, lvl := range o.levels {
 		if lvl != nil {
@@ -391,27 +418,35 @@ func (o *Overlay[Q, V]) TopK(q Q, k int) []core.Item[V] {
 	if lvl, only := o.single(); only && len(o.tail) == 0 && len(lvl.dead) == 0 {
 		return lvl.sub.TopK(q, k)
 	}
+	tr := o.opts.Tracker
 	var cand []core.Item[V]
-	for _, lvl := range o.levels {
+	for j, lvl := range o.levels {
 		if lvl == nil {
 			continue
 		}
+		sp := tr.BeginSpan()
 		for _, it := range lvl.sub.TopK(q, k+len(lvl.dead)) {
 			if _, gone := lvl.dead[it.Weight]; !gone {
 				cand = append(cand, it)
 			}
 		}
+		tr.EndSpan(sp, PhaseLevel, j, int64(len(lvl.dead)))
 	}
 	if len(o.tail) > 0 {
+		sp := tr.BeginSpan()
 		o.charge(len(o.tail))
 		for _, it := range o.tail {
 			if o.match(q, it.Value) {
 				cand = append(cand, it)
 			}
 		}
+		tr.EndSpan(sp, PhaseTail, -1, int64(len(o.tail)))
 	}
+	sp := tr.BeginSpan()
 	o.charge(len(cand)) // final k-selection over the merged candidates
-	return core.TopKOf(cand, k)
+	res := core.TopKOf(cand, k)
+	tr.EndSpan(sp, PhaseSelect, -1, int64(len(cand)))
+	return res
 }
 
 // ReportAbove streams every live item satisfying q with weight ≥ tau,

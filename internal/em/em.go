@@ -104,6 +104,11 @@ type Tracker struct {
 
 	views  sync.Map     // goroutine id (uint64) -> *QueryView
 	nviews atomic.Int32 // active-view count; zero means the fast path
+
+	// sink is the installed trace sink, nil when tracing is off; see
+	// trace.go. spanDepth tracks shared-path span nesting.
+	sink      atomic.Pointer[sinkBox]
+	spanDepth atomic.Int32
 }
 
 // NewTracker builds a tracker for the given machine configuration.
@@ -333,6 +338,11 @@ func (t *Tracker) currentView() *QueryView {
 	}
 	return nil
 }
+
+// InView reports whether the calling goroutine is currently inside a
+// query view (between BeginQuery and End). Observability layers use it
+// to avoid double-accounting a query that the view will already report.
+func (t *Tracker) InView() bool { return t.currentView() != nil }
 
 // BlocksFor returns how many blocks are needed to store nItems items of
 // wordsPerItem words each, packed contiguously.

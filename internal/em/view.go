@@ -27,6 +27,13 @@ type QueryView struct {
 
 	reads, writes, hits int64
 
+	// trace buffers the query's completed spans when a TraceSink is
+	// installed; spanDepth tracks span nesting and spanReads/Writes/Hits
+	// accumulate the depth-0 deltas so End can attribute any residual.
+	trace                           []TraceEvent
+	spanDepth                       int32
+	spanReads, spanWrites, spanHits int64
+
 	ended bool
 }
 
@@ -58,12 +65,31 @@ func (v *QueryView) Stats() Stats {
 // End deregisters the view, merges its counters into the tracker-wide
 // totals with atomic adds, and returns the view's final Stats. Calling End
 // again is a no-op that returns the same Stats, so it is safe to defer.
+//
+// When a TraceSink is installed, End first closes the query's trace: if
+// the depth-0 spans do not account for the view's full counters, a
+// synthetic PhaseUnattributed event covers the difference, so the depth-0
+// deltas of the finished trace always sum exactly to the returned Stats.
+// The trace is then delivered to the sink via QueryTrace and remains
+// readable through Trace.
 func (v *QueryView) End() Stats {
 	st := v.Stats()
 	if v.ended {
 		return st
 	}
 	v.ended = true
+	if box := v.t.sink.Load(); box != nil {
+		r := v.reads - v.spanReads
+		w := v.writes - v.spanWrites
+		h := v.hits - v.spanHits
+		if r != 0 || w != 0 || h != 0 {
+			v.trace = append(v.trace, TraceEvent{
+				Phase: PhaseUnattributed, Level: -1,
+				Reads: r, Writes: w, Hits: h,
+			})
+		}
+		box.s.QueryTrace(v.trace, st)
+	}
 	v.t.views.Delete(v.gid)
 	v.t.nviews.Add(-1)
 	v.t.reads.Add(v.reads)
@@ -71,6 +97,12 @@ func (v *QueryView) End() Stats {
 	v.t.hits.Add(v.hits)
 	return st
 }
+
+// Trace returns the query's buffered span events — populated only while a
+// TraceSink is installed on the tracker, and complete (including the
+// residual PhaseUnattributed event, if any) once End has run. The slice
+// is owned by the view; callers must copy it to retain it.
+func (v *QueryView) Trace() []TraceEvent { return v.trace }
 
 // read charges one block read against the private cache.
 func (v *QueryView) read(id BlockID) {

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+
+	"topk/internal/em"
+)
+
+// QueryMetrics is the standard metric bundle for one index instance.
+// Names match the exposition in DESIGN.md §9; every series carries an
+// {index="..."} label so several indexes can share one Registry.
+type QueryMetrics struct {
+	Queries     *Counter   // topk_queries_total
+	Latency     *Histogram // topk_query_latency_seconds
+	IOs         *Histogram // topk_query_ios
+	Rounds      *Histogram // topk_t2_rounds
+	Hits        *Counter   // topk_cache_hits_total
+	Misses      *Counter   // topk_cache_misses_total
+	Flushes     *Counter   // topk_flushes_total
+	Rebuilds    *Counter   // topk_rebuilds_total
+	SlowQueries *Counter   // topk_slow_queries_total
+	Items       *Gauge     // topk_index_items
+	Levels      *Gauge     // topk_overlay_levels
+}
+
+// NewQueryMetrics registers the standard bundle under the given index
+// label.
+func NewQueryMetrics(r *Registry, index string) *QueryMetrics {
+	l := Label{Key: "index", Value: index}
+	return &QueryMetrics{
+		Queries: r.NewCounter("topk_queries_total",
+			"Top-k queries served.", l),
+		Latency: r.NewHistogram("topk_query_latency_seconds",
+			"Wall-clock latency per top-k query.",
+			ExpBuckets(1e-6, 4, 12), l),
+		IOs: r.NewHistogram("topk_query_ios",
+			"Counted EM I/Os (reads+writes) per top-k query.",
+			ExpBuckets(1, 2, 16), l),
+		Rounds: r.NewHistogram("topk_t2_rounds",
+			"Theorem 2 sampling rounds per query (Lemma 3 predicts a geometric tail).",
+			LinearBuckets(1, 1, 12), l),
+		Hits: r.NewCounter("topk_cache_hits_total",
+			"EM block touches served from the memory cache.", l),
+		Misses: r.NewCounter("topk_cache_misses_total",
+			"EM block touches that cost a read I/O.", l),
+		Flushes: r.NewCounter("topk_flushes_total",
+			"Logarithmic-method tail flushes into the overlay ladder.", l),
+		Rebuilds: r.NewCounter("topk_rebuilds_total",
+			"Full structure rebuilds (overlay compaction or Theorem 2 epoch).", l),
+		SlowQueries: r.NewCounter("topk_slow_queries_total",
+			"Queries whose I/O count crossed the slow-query threshold.", l),
+		Items: r.NewGauge("topk_index_items",
+			"Live items currently indexed.", l),
+		Levels: r.NewGauge("topk_overlay_levels",
+			"Occupied levels in the dynamic overlay ladder (0 for static indexes).", l),
+	}
+}
+
+// Collector adapts an em.TraceSink stream into a QueryMetrics bundle.
+// Shared-path events (flushes, rebuilds) arrive via Event; per-query
+// traces arrive via QueryTrace with the query's exact Stats delta.
+// All updates are atomic, so one Collector serves concurrent queries.
+type Collector struct {
+	M *QueryMetrics
+}
+
+var _ em.TraceSink = (*Collector)(nil)
+
+// Event counts structural maintenance work delivered outside a query
+// view: flushes and rebuilds from inserts/deletes.
+func (c *Collector) Event(ev em.TraceEvent) {
+	switch {
+	case strings.HasSuffix(ev.Phase, ".flush"):
+		c.M.Flushes.Inc()
+	case strings.HasSuffix(ev.Phase, ".rebuild"):
+		c.M.Rebuilds.Inc()
+	}
+}
+
+// QueryTrace observes one finished query: its exact I/O and cache-hit
+// deltas from st, plus the Theorem 2 round count derived from the
+// trace's t2.round.* span events.
+func (c *Collector) QueryTrace(events []em.TraceEvent, st em.Stats) {
+	c.M.Queries.Inc()
+	c.M.IOs.Observe(float64(st.IOs()))
+	c.M.Hits.Add(st.Hits)
+	c.M.Misses.Add(st.Reads)
+	if r := CountRounds(events); r > 0 {
+		c.M.Rounds.Observe(float64(r))
+	}
+	for _, ev := range events {
+		c.Event(ev)
+	}
+}
+
+// CountRounds returns the number of Theorem 2 sampling rounds recorded
+// in a query trace (span phases prefixed "t2.round").
+func CountRounds(events []em.TraceEvent) int {
+	n := 0
+	for _, ev := range events {
+		if strings.HasPrefix(ev.Phase, "t2.round") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Label is one constant name=value pair attached to a metric at
+// registration time (e.g. {"index", "interval"}).
+type Label struct{ Key, Value string }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one registered metric instance: a family member with a
+// concrete label set.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name; HELP/TYPE are emitted
+// once per family.
+type family struct {
+	name, help string
+	kind       metricKind
+	series     []*series
+}
+
+// Registry is a set of named metrics with Prometheus text exposition.
+// Registration is mutex-guarded; the registered metrics themselves are
+// lock-free. The zero value is not usable — call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family // registration order
+	byName   map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds a series, creating its family on first use. It panics on
+// kind mismatches within a family or duplicate (name, labels) series —
+// both are programming errors that would silently corrupt the export.
+func (r *Registry) register(name, help string, kind metricKind, s *series) {
+	if name == "" {
+		panic("obs: metric with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	key := labelKey(s.labels)
+	for _, prev := range f.series {
+		if labelKey(prev.labels) == key {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, key))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, &series{labels: sortLabels(labels), c: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &series{labels: sortLabels(labels), g: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at export time.
+// f must be safe to call concurrently with everything else (read only
+// from atomics).
+func (r *Registry) NewGaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.register(name, help, kindGaugeFunc, &series{labels: sortLabels(labels), gf: f})
+}
+
+// NewHistogram registers and returns a histogram over the given
+// ascending bucket upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, kindHistogram, &series{labels: sortLabels(labels), h: h})
+	return h
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE per family, then one
+// line per series — histograms expand to cumulative _bucket lines plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, s.labels, "", float64(s.c.Value()))
+			case kindGauge:
+				writeSample(&b, f.name, s.labels, "", float64(s.g.Value()))
+			case kindGaugeFunc:
+				writeSample(&b, f.name, s.labels, "", s.gf())
+			case kindHistogram:
+				bounds, cum := s.h.Buckets()
+				for i, ub := range bounds {
+					le := Label{Key: "le", Value: formatFloat(ub)}
+					writeSample(&b, f.name+"_bucket", append(s.labels[:len(s.labels):len(s.labels)], le), "", float64(cum[i]))
+				}
+				inf := Label{Key: "le", Value: "+Inf"}
+				writeSample(&b, f.name+"_bucket", append(s.labels[:len(s.labels):len(s.labels)], inf), "", float64(cum[len(cum)-1]))
+				writeSample(&b, f.name+"_sum", s.labels, "", s.h.Sum())
+				writeSample(&b, f.name+"_count", s.labels, "", float64(s.h.Count()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, suffix string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, with integral values bare.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func sortLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}

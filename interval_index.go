@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
@@ -24,6 +25,7 @@ type IntervalItem[T any] struct {
 type IntervalIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[float64, interval.Interval]
 	dyn     updatableTopK[float64, interval.Interval] // non-nil when updatable
 	pri     core.Prioritized[float64, interval.Interval]
@@ -89,6 +91,11 @@ func NewIntervalIndex[T any](items []IntervalItem[T], opts ...Option) (*Interval
 	// Direct prioritized access shares the reduction's own black box on D
 	// rather than building a duplicate.
 	ix.pri = prioritizedOf(ix.topk)
+
+	// Observability hooks attach after construction so build-time I/Os
+	// don't pollute query metrics.
+	ix.ob = newIndexObs("interval", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -97,7 +104,9 @@ func (ix *IntervalIndex[T]) Len() int { return ix.n }
 
 // TopK returns the k heaviest intervals containing x, heaviest first.
 func (ix *IntervalIndex[T]) TopK(x float64, k int) []IntervalItem[T] {
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(x, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("stab x=%v k=%d", x, k) })
 	out := make([]IntervalItem[T], len(res))
 	for i, it := range res {
 		out[i] = IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]}
@@ -146,6 +155,7 @@ func (ix *IntervalIndex[T]) Insert(item IntervalItem[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -160,6 +170,7 @@ func (ix *IntervalIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -195,7 +206,11 @@ func (ix *IntervalIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // concurrently with each other and with single queries, but not with
 // Insert or Delete.
 func (ix *IntervalIndex[T]) QueryBatch(xs []float64, k int, parallelism int) []BatchResult[IntervalItem[T]] {
-	return runBatch(ix.tracker, xs, parallelism, func(x float64) []IntervalItem[T] {
+	return runBatch(ix.tracker, ix.ob, xs, parallelism, func(x float64) []IntervalItem[T] {
 		return ix.TopK(x, k)
 	})
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *IntervalIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

@@ -1,0 +1,87 @@
+package topk
+
+import (
+	"testing"
+
+	"topk/internal/wrand"
+)
+
+// BenchmarkTraceOverhead measures the observability tax on the query hot
+// path. The "off" case is the guard: with no trace sink installed the
+// span hooks must add zero allocations per query (each BeginSpan is one
+// atomic load), so plain builds pay nothing for the instrumentation
+// compiled into the reductions. Compare off vs on ns/op to see the cost
+// of full tracing+metrics; `make bench` runs both.
+func BenchmarkTraceOverhead(b *testing.B) {
+	g := wrand.New(301)
+	items := genIntervalItems(g, 2000)
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = g.Float64() * 120
+	}
+
+	run := func(b *testing.B, opts ...Option) {
+		base := []Option{WithReduction(Expected), WithSeed(5)}
+		ix, err := NewIntervalIndex(items, append(base, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the shared cache so steady-state queries allocate only
+		// what TopK itself allocates (result slices).
+		for _, x := range xs {
+			ix.TopK(x, 8)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.TopK(xs[i%len(xs)], 8)
+		}
+	}
+
+	var off, on testing.BenchmarkResult
+	b.Run("off", func(b *testing.B) {
+		run(b)
+		off = testing.BenchmarkResult{N: b.N}
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, WithTracing(), WithMetrics())
+		on = testing.BenchmarkResult{N: b.N}
+	})
+	_ = off
+	_ = on
+}
+
+// TestTraceOffZeroAllocOverhead is the CI-enforceable form of the
+// benchmark: a query on a plain build must allocate exactly as many
+// objects as the same query on a fully instrumented build, i.e. the
+// span hooks and metrics collector add zero allocations per query on
+// the shared path (the off path's per-span cost — one atomic load — is
+// pinned separately by internal/em's TestSpanOffPathZeroAlloc).
+func TestTraceOffZeroAllocOverhead(t *testing.T) {
+	g := wrand.New(302)
+	items := genIntervalItems(g, 1000)
+	xs := make([]float64, 16)
+	for i := range xs {
+		xs[i] = g.Float64() * 120
+	}
+	measure := func(opts ...Option) float64 {
+		base := []Option{WithReduction(Expected), WithSeed(5)}
+		ix, err := NewIntervalIndex(items, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs { // warm shared cache
+			ix.TopK(x, 8)
+		}
+		i := 0
+		return testing.AllocsPerRun(200, func() {
+			ix.TopK(xs[i%len(xs)], 8)
+			i++
+		})
+	}
+	plain := measure()
+	traced := measure(WithTracing(), WithMetrics())
+	if traced != plain {
+		t.Fatalf("instrumented TopK allocates %v objects/op, plain %v; observability must add zero", traced, plain)
+	}
+}

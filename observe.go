@@ -1,0 +1,177 @@
+package topk
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"topk/internal/dynamic"
+	"topk/internal/em"
+	"topk/internal/obs"
+)
+
+// This file wires the internal/obs observability layer into the index
+// facades. Enabling it never changes what is measured: spans and the
+// metrics collector only *read* the EM counters, so an instrumented
+// query charges exactly the I/Os an uninstrumented one would (the
+// observer-effect guarantee tested by BenchmarkTraceOverhead).
+
+// TraceEvent is one span from a query's phase trace: a named phase of a
+// reduction's execution together with the EM cost it consumed. It
+// mirrors the internal event type so batch results can carry traces
+// without exposing internal packages.
+type TraceEvent struct {
+	// Phase names the span: "t1.*" (Theorem 1), "t2.*" (Theorem 2),
+	// "dyn.*" (overlay), or "em.unattributed" for cost outside any span.
+	Phase string
+	// Level is the structure level the span ran at, -1 if not leveled.
+	Level int
+	// Arg is a phase-specific size (items probed, candidates merged, …).
+	Arg int64
+	// Depth is the span's nesting depth; depth-0 spans partition the
+	// query's total cost.
+	Depth int
+	// Reads, Writes, Hits are the EM counter deltas inside the span.
+	Reads, Writes, Hits int64
+}
+
+// IOs returns the span's read+write total, the EM cost metric.
+func (e TraceEvent) IOs() int64 { return e.Reads + e.Writes }
+
+func toPublicTrace(events []em.TraceEvent) []TraceEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, len(events))
+	for i, ev := range events {
+		out[i] = TraceEvent{
+			Phase: ev.Phase, Level: ev.Level, Arg: ev.Arg, Depth: ev.Depth,
+			Reads: ev.Reads, Writes: ev.Writes, Hits: ev.Hits,
+		}
+	}
+	return out
+}
+
+// nopSink keeps span recording alive when tracing is requested without
+// metrics: installing any sink makes query views buffer their traces.
+type nopSink struct{}
+
+func (nopSink) Event(em.TraceEvent)                  {}
+func (nopSink) QueryTrace([]em.TraceEvent, em.Stats) {}
+
+// indexObs is one facade's observability state; a nil *indexObs is the
+// fully-disabled fast path (every method nil-checks).
+type indexObs struct {
+	name    string
+	tracker *em.Tracker
+	reg     *obs.Registry
+	qm      *obs.QueryMetrics
+	slow    *obs.SlowQueryLog
+	tracing bool
+}
+
+// newIndexObs builds the observability state for one index and installs
+// the trace sink on its tracker. Returns nil when nothing was enabled.
+func newIndexObs(name string, o Options, tracker *em.Tracker) *indexObs {
+	if !o.tracing && !o.metrics && o.slowMin <= 0 {
+		return nil
+	}
+	ob := &indexObs{name: name, tracker: tracker, tracing: o.tracing}
+	var sink em.TraceSink = nopSink{}
+	if o.metrics {
+		ob.reg = obs.NewRegistry()
+		ob.qm = obs.NewQueryMetrics(ob.reg, name)
+		sink = &obs.Collector{M: ob.qm}
+	}
+	if o.slowMin > 0 {
+		ob.slow = obs.NewSlowQueryLog(o.slowW, o.slowMin, 64)
+	}
+	tracker.SetTraceSink(sink)
+	return ob
+}
+
+// start snapshots the clock and shared counters ahead of a single
+// (non-batch) query. Inside a query view it returns a zero time so done
+// no-ops: the view's end already reports that query exactly, and the
+// batch path adds its own latency/slow-log accounting.
+func (ob *indexObs) start() (time.Time, em.Stats) {
+	if ob == nil || ob.tracker.InView() {
+		return time.Time{}, em.Stats{}
+	}
+	return time.Now(), ob.tracker.Stats()
+}
+
+// done accounts a single shared-path query: counter deltas against the
+// shared tracker (approximate if shared-path queries overlap; QueryBatch
+// gives exact per-query numbers). desc is only invoked when a slow-query
+// entry actually fires.
+func (ob *indexObs) done(t0 time.Time, before em.Stats, desc func() string) {
+	if ob == nil || t0.IsZero() {
+		return
+	}
+	d := time.Since(t0)
+	delta := ob.tracker.Stats().Sub(before)
+	if ob.qm != nil {
+		ob.qm.Queries.Inc()
+		ob.qm.Latency.Observe(d.Seconds())
+		ob.qm.IOs.Observe(float64(delta.IOs()))
+		ob.qm.Hits.Add(delta.Hits)
+		ob.qm.Misses.Add(delta.Reads)
+	}
+	ob.observeSlow(d, delta, nil, desc)
+}
+
+// observeBatch accounts one finished batch query. Its I/O, hit, and
+// round metrics were already recorded exactly by the collector when the
+// query view ended, so only latency and the slow log remain.
+func (ob *indexObs) observeBatch(d time.Duration, st em.Stats, trace []em.TraceEvent, desc func() string) {
+	if ob == nil {
+		return
+	}
+	if ob.qm != nil {
+		ob.qm.Latency.Observe(d.Seconds())
+	}
+	ob.observeSlow(d, st, trace, desc)
+}
+
+func (ob *indexObs) observeSlow(d time.Duration, st em.Stats, trace []em.TraceEvent, desc func() string) {
+	if ob == nil || ob.slow == nil || st.IOs() < ob.slow.MinIOs() {
+		return
+	}
+	if ob.qm != nil {
+		ob.qm.SlowQueries.Inc()
+	}
+	ob.slow.Record(ob.name, desc(), d, st, trace)
+}
+
+// observeShape refreshes the structural gauges after construction,
+// Insert, or Delete. dyn is the facade's updatable engine (may be nil or
+// a non-overlay engine; only the logarithmic overlay reports levels).
+func (ob *indexObs) observeShape(n int, dyn any) {
+	if ob == nil || ob.qm == nil {
+		return
+	}
+	ob.qm.Items.Set(int64(n))
+	if o, ok := dyn.(interface{ Stats() dynamic.Stats }); ok {
+		ob.qm.Levels.Set(int64(o.Stats().Levels))
+	}
+}
+
+// wantTrace reports whether batch results should carry public traces.
+func (ob *indexObs) wantTrace() bool { return ob != nil && ob.tracing }
+
+// writeMetrics renders the index's metrics in Prometheus text format.
+func (ob *indexObs) writeMetrics(w io.Writer) error {
+	if ob == nil || ob.reg == nil {
+		return fmt.Errorf("topk: metrics not enabled; build the index with WithMetrics()")
+	}
+	return ob.reg.WritePrometheus(w)
+}
+
+// slowLog exposes the slow-query ring buffer (nil when not enabled).
+func (ob *indexObs) slowLog() *obs.SlowQueryLog {
+	if ob == nil {
+		return nil
+	}
+	return ob.slow
+}

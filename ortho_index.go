@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
@@ -18,6 +19,7 @@ type OrthoIndex[T any] struct {
 	opts    Options
 	d       int
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[orthorange.Box, halfspace.PtN]
 	dyn     updatableTopK[orthorange.Box, halfspace.PtN] // non-nil when built with WithUpdates
 	pri     core.Prioritized[orthorange.Box, halfspace.PtN]
@@ -69,6 +71,8 @@ func NewOrthoIndex[T any](items []PointItemN[T], d int, opts ...Option) (*OrthoI
 		ix.topk = t
 	}
 	ix.pri = prioritizedOf(ix.topk)
+	ix.ob = newIndexObs("ortho", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -92,7 +96,9 @@ func (ix *OrthoIndex[T]) TopK(lo, hi []float64, k int) ([]PointItemN[T], error) 
 	if len(lo) != ix.d {
 		return nil, fmt.Errorf("topk: box has %d coordinates in dimension %d", len(lo), ix.d)
 	}
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(q, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("box lo=%v hi=%v k=%d", lo, hi, k) })
 	out := make([]PointItemN[T], len(res))
 	for i, it := range res {
 		out[i] = ix.wrap(it)
@@ -152,6 +158,7 @@ func (ix *OrthoIndex[T]) Insert(item PointItemN[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -166,6 +173,7 @@ func (ix *OrthoIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -190,7 +198,7 @@ func (ix *OrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]Ba
 			return nil, fmt.Errorf("topk: batch query %d: box has %d coordinates in dimension %d", i, len(q.Lo), ix.d)
 		}
 	}
-	return runBatch(ix.tracker, qs, parallelism, func(q BoxQuery) []PointItemN[T] {
+	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q BoxQuery) []PointItemN[T] {
 		res, err := ix.TopK(q.Lo, q.Hi, k)
 		if err != nil {
 			panic(err) // unreachable: validated above
@@ -198,3 +206,7 @@ func (ix *OrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]Ba
 		return res
 	}), nil
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *OrthoIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
@@ -23,6 +24,7 @@ type PointItem1[T any] struct {
 type RangeIndex[T any] struct {
 	opts    Options
 	tracker *em.Tracker
+	ob      *indexObs // nil when observability is off
 	topk    core.TopK[rangerep.Span, float64]
 	dyn     updatableTopK[rangerep.Span, float64]
 	pri     core.Prioritized[rangerep.Span, float64]
@@ -78,6 +80,8 @@ func NewRangeIndex[T any](items []PointItem1[T], opts ...Option) (*RangeIndex[T]
 		ix.src = append([]PointItem1[T](nil), items...)
 	}
 	ix.pri = prioritizedOf(ix.topk)
+	ix.ob = newIndexObs("range", o, tracker)
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return ix, nil
 }
 
@@ -90,7 +94,9 @@ func (ix *RangeIndex[T]) wrap(it core.Item[float64]) PointItem1[T] {
 
 // TopK returns the k heaviest points in [lo, hi], heaviest first.
 func (ix *RangeIndex[T]) TopK(lo, hi float64, k int) []PointItem1[T] {
+	t0, before := ix.ob.start()
 	res := ix.topk.TopK(rangerep.Span{Lo: lo, Hi: hi}, k)
+	ix.ob.done(t0, before, func() string { return fmt.Sprintf("range [%v,%v] k=%d", lo, hi, k) })
 	out := make([]PointItem1[T], len(res))
 	for i, it := range res {
 		out[i] = ix.wrap(it)
@@ -151,6 +157,7 @@ func (ix *RangeIndex[T]) Insert(item PointItem1[T]) error {
 	}
 	ix.data[item.Weight] = item.Data
 	ix.n++
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return nil
 }
 
@@ -165,6 +172,7 @@ func (ix *RangeIndex[T]) Delete(weight float64) (bool, error) {
 	}
 	delete(ix.data, weight)
 	ix.n--
+	ix.ob.observeShape(ix.n, ix.dyn)
 	return true, nil
 }
 
@@ -195,7 +203,11 @@ func (ix *RangeIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // parallelism; see IntervalIndex.QueryBatch for the full contract. Must
 // not run concurrently with Insert or Delete.
 func (ix *RangeIndex[T]) QueryBatch(spans []Span, k int, parallelism int) []BatchResult[PointItem1[T]] {
-	return runBatch(ix.tracker, spans, parallelism, func(s Span) []PointItem1[T] {
+	return runBatch(ix.tracker, ix.ob, spans, parallelism, func(s Span) []PointItem1[T] {
 		return ix.TopK(s.Lo, s.Hi, k)
 	})
 }
+
+// WriteMetrics renders the index's metrics registry in Prometheus text
+// exposition format. It errors unless the index was built WithMetrics.
+func (ix *RangeIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

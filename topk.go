@@ -46,6 +46,7 @@ package topk
 
 import (
 	"fmt"
+	"io"
 
 	"topk/internal/core"
 	"topk/internal/dynamic"
@@ -92,6 +93,10 @@ type Options struct {
 	memBlocks int
 	seed      uint64
 	updates   bool
+	tracing   bool
+	metrics   bool
+	slowW     io.Writer
+	slowMin   int64
 }
 
 // Option mutates Options.
@@ -120,6 +125,27 @@ func WithSeed(s uint64) Option { return func(o *Options) { o.seed = s } }
 // range indexes under the Expected reduction are already dynamic through
 // Theorem 2's native update path and ignore this option.
 func WithUpdates() Option { return func(o *Options) { o.updates = true } }
+
+// WithTracing enables per-query phase traces: every QueryBatch result
+// carries the query's span events (Trace on BatchResult), each naming a
+// reduction phase with its exact EM I/O deltas. Tracing only reads the
+// I/O counters, so enabling it never changes a query's measured cost;
+// with tracing off the hooks compile down to a single atomic load.
+func WithTracing() Option { return func(o *Options) { o.tracing = true } }
+
+// WithMetrics enables the index's metrics registry: atomic counters and
+// histograms (queries, latency, I/Os per query, Theorem 2 rounds per
+// query, cache hits, overlay shape, flush/rebuild totals), exported in
+// Prometheus text format through the index's WriteMetrics method.
+func WithMetrics() Option { return func(o *Options) { o.metrics = true } }
+
+// WithSlowQueryLog logs every query that costs at least minIOs simulated
+// I/Os: a summary line plus the query's full phase trace, written to w
+// (nil keeps entries only in an in-memory ring readable via the serving
+// surface). Implies per-query tracing on the batch path.
+func WithSlowQueryLog(w io.Writer, minIOs int64) Option {
+	return func(o *Options) { o.slowW = w; o.slowMin = minIOs }
+}
 
 func applyOptions(opts []Option) Options {
 	o := Options{reduction: Expected, blockSize: 64, memBlocks: 8, seed: 1}
