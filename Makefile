@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel experiments validate examples serve-smoke fmt vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel experiments validate examples serve-smoke fmt fmt-check vet clean ci
 
 all: build vet test
 
@@ -15,6 +15,14 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# Fail if any file is not gofmt-clean (CI gate; `make fmt` fixes).
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "FAIL: not gofmt-clean:"; echo "$$files"; exit 1; \
+	fi; \
+	echo "fmt-check: ok"
 
 test:
 	$(GO) test ./...
@@ -39,9 +47,10 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 5s -run '^$$' .
 
 # Coverage floors on the packages whose correctness the test pyramid leans
-# on: the dynamization overlay and the reduction framework.
+# on: the dynamization overlay, the reduction framework, and the root
+# package holding the problem-descriptor engine and registry.
 cover:
-	@for pkg in ./internal/dynamic ./internal/core; do \
+	@for pkg in ./internal/dynamic ./internal/core .; do \
 		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		echo "$$pkg coverage: $$pct%"; \
 		awk -v p="$$pct" 'BEGIN { exit !(p >= 70) }' || { echo "FAIL: $$pkg coverage $$pct% is below the 70% floor"; exit 1; }; \
@@ -55,7 +64,7 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchtime 20x .
 
-# Regenerate the EXPERIMENTS.md tables (E1-E26).
+# Regenerate the EXPERIMENTS.md tables (E1-E27).
 experiments:
 	$(GO) run ./cmd/topk-bench -seed 42
 
@@ -77,6 +86,17 @@ serve-smoke:
 	count=$$(echo "$$metrics" | sed -n 's/^topk_query_ios_count{index="interval"} //p'); \
 	[ "$$count" = "3" ] || { echo "FAIL: topk_query_ios_count = $$count, want 3"; exit 1; }; \
 	curl -sf http://127.0.0.1:18099/debug/slow | grep -q 'slow query' || { echo "FAIL: /debug/slow empty"; exit 1; }; \
+	curl -sf http://127.0.0.1:18099/problems | grep -q '"halfspace"' || { echo "FAIL: /problems missing registry entries"; exit 1; }; \
+	echo "serve-smoke: interval ok"
+	@/tmp/topk-serve -addr 127.0.0.1:18100 -problem dominance -n 5000 -slow-ios 1 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18100/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf -X POST http://127.0.0.1:18100/query -d '{"queries":[[50,50,50],[90,90,90]],"k":5}' | grep -q '"ios"' \
+		|| { echo "FAIL: /query (dominance)"; exit 1; }; \
+	count=$$(curl -sf http://127.0.0.1:18100/metrics | sed -n 's/^topk_query_ios_count{index="dominance"} //p'); \
+	[ "$$count" = "2" ] || { echo "FAIL: dominance topk_query_ios_count = $$count, want 2"; exit 1; }; \
 	echo "serve-smoke: ok"
 
 validate:
@@ -94,4 +114,4 @@ clean:
 
 # What CI runs (.github/workflows/ci.yml), runnable locally. CI
 # additionally runs staticcheck, which is not vendored here.
-ci: build vet test race cover fuzz-smoke serve-smoke
+ci: build vet fmt-check test race cover fuzz-smoke serve-smoke

@@ -2,7 +2,6 @@ package topk
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"topk/internal/circular"
@@ -11,20 +10,52 @@ import (
 	"topk/internal/halfspace"
 )
 
+// circularProblem is the engine descriptor for top-k circular range
+// reporting in dimension d. Items are lifted to ℝ^(d+1) on the way into
+// the core structures and unlifted on the way out.
+func circularProblem[T any](d int) problem[circular.Ball, halfspace.PtN, PointItemN[T]] {
+	return problem[circular.Ball, halfspace.PtN, PointItemN[T]]{
+		name:   "circular",
+		match:  circular.Match,
+		lambda: circular.Lambda(d),
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[circular.Ball, halfspace.PtN] {
+			return circular.NewPrioritizedFactory(d, tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[circular.Ball, halfspace.PtN] {
+			return circular.NewMaxFactory(d, tr)
+		},
+		validate: func(it PointItemN[T]) error {
+			if len(it.Coords) != d {
+				return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(it.Coords), d)
+			}
+			for _, c := range it.Coords {
+				if math.IsNaN(c) {
+					return fmt.Errorf("topk: NaN coordinate")
+				}
+			}
+			return nil
+		},
+		weight: func(it PointItemN[T]) float64 { return it.Weight },
+		toCore: func(it PointItemN[T]) core.Item[halfspace.PtN] {
+			return core.Item[halfspace.PtN]{Value: circular.Lift(it.Coords), Weight: it.Weight}
+		},
+		fromCore: func(ci core.Item[halfspace.PtN], st PointItemN[T]) PointItemN[T] {
+			st.Coords, st.Weight = circular.Unlift(ci.Value), ci.Weight
+			return st
+		},
+		describe: func(q circular.Ball, k int) string {
+			return fmt.Sprintf("ball c=%v r=%v k=%d", q.Center, q.R, k)
+		},
+	}
+}
+
 // CircularIndex answers top-k circular range queries (the paper's
 // Corollary 1): given a center and radius, return the k heaviest points
 // within the ball. Internally the points are lifted to ℝ^(d+1) and served
 // by a halfspace structure (the standard lifting trick).
 type CircularIndex[T any] struct {
-	opts    Options
-	d       int
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[circular.Ball, halfspace.PtN]
-	dyn     updatableTopK[circular.Ball, halfspace.PtN] // non-nil when built with WithUpdates
-	pri     core.Prioritized[circular.Ball, halfspace.PtN]
-	data    map[float64]T
-	n       int
+	d int
+	facade[circular.Ball, halfspace.PtN, PointItemN[T]]
 }
 
 // NewCircularIndex builds an index over d-dimensional items. With
@@ -34,148 +65,40 @@ func NewCircularIndex[T any](items []PointItemN[T], d int, opts ...Option) (*Cir
 	if d < 1 {
 		return nil, fmt.Errorf("topk: dimension %d", d)
 	}
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[halfspace.PtN], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		if len(it.Coords) != d {
-			return nil, fmt.Errorf("topk: item %d has %d coordinates in dimension %d", i, len(it.Coords), d)
-		}
-		cores[i] = core.Item[halfspace.PtN]{Value: circular.Lift(it.Coords), Weight: it.Weight}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(circularProblem[T](d), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &CircularIndex[T]{opts: o, d: d, tracker: tracker, data: data, n: len(items)}
-	if o.updates {
-		dyn, err := newOverlay(cores, circular.Match,
-			circular.NewPrioritizedFactory(d, tracker),
-			circular.NewMaxFactory(d, tracker),
-			circular.Lambda(d), o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	} else {
-		t, err := buildTopK(cores, circular.Match,
-			circular.NewPrioritizedFactory(d, tracker),
-			circular.NewMaxFactory(d, tracker),
-			circular.Lambda(d), o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-	}
-	ix.pri = prioritizedOf(ix.topk)
-	ix.ob = newIndexObs("circular", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
+	return &CircularIndex[T]{d: d, facade: newFacade(eng)}, nil
 }
-
-// Len returns the number of indexed points.
-func (ix *CircularIndex[T]) Len() int { return ix.n }
 
 // Dim returns the index dimension (of the original, unlifted points).
 func (ix *CircularIndex[T]) Dim() int { return ix.d }
 
-func (ix *CircularIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
-	return PointItemN[T]{Coords: circular.Unlift(it.Value), Weight: it.Weight, Data: ix.data[it.Weight]}
-}
-
 // TopK returns the k heaviest points within distance r of center,
 // heaviest first.
 func (ix *CircularIndex[T]) TopK(center []float64, r float64, k int) []PointItemN[T] {
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(circular.Ball{Center: center, R: r}, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("ball c=%v r=%v k=%d", center, r, k) })
-	out := make([]PointItemN[T], len(res))
-	for i, it := range res {
-		out[i] = ix.wrap(it)
-	}
-	return out
+	return ix.eng.TopK(circular.Ball{Center: center, R: r}, k)
 }
 
 // ReportAbove streams every point within the ball with weight ≥ tau.
 func (ix *CircularIndex[T]) ReportAbove(center []float64, r, tau float64, visit func(PointItemN[T]) bool) {
-	ix.pri.ReportAbove(circular.Ball{Center: center, R: r}, tau, func(it core.Item[halfspace.PtN]) bool {
-		return visit(ix.wrap(it))
-	})
+	ix.eng.ReportAbove(circular.Ball{Center: center, R: r}, tau, visit)
 }
 
 // Max returns the heaviest point within the ball (a top-1 query).
 func (ix *CircularIndex[T]) Max(center []float64, r float64) (PointItemN[T], bool) {
-	it, ok := maxOfTopK(ix.topk, circular.Ball{Center: center, R: r})
-	if !ok {
-		return PointItemN[T]{}, false
-	}
-	return ix.wrap(it), true
+	return ix.eng.Max(circular.Ball{Center: center, R: r})
 }
-
-// Insert adds a point. Only indexes built with WithUpdates support
-// updates; others return an error.
-func (ix *CircularIndex[T]) Insert(item PointItemN[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
-	}
-	if len(item.Coords) != ix.d {
-		return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(item.Coords), ix.d)
-	}
-	for _, c := range item.Coords {
-		if math.IsNaN(c) {
-			return fmt.Errorf("topk: NaN coordinate")
-		}
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	ci := core.Item[halfspace.PtN]{Value: circular.Lift(item.Coords), Weight: item.Weight}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
-}
-
-// Delete removes the point with the given weight, reporting whether it
-// was present. Only indexes built with WithUpdates support updates.
-func (ix *CircularIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *CircularIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters.
-func (ix *CircularIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 
 // QueryBatch answers one top-k ball query per BallQuery on a bounded pool
 // of `parallelism` worker goroutines (GOMAXPROCS when <= 0). Each query
 // runs in its own cold tracker view, so per-query Stats are independent
 // of parallelism; see IntervalIndex.QueryBatch for the full contract.
 func (ix *CircularIndex[T]) QueryBatch(qs []BallQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
-	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q BallQuery) []PointItemN[T] {
-		return ix.TopK(q.Center, q.Radius, k)
-	})
+	balls := make([]circular.Ball, len(qs))
+	for i, q := range qs {
+		balls[i] = circular.Ball{Center: q.Center, R: q.Radius}
+	}
+	return ix.eng.QueryBatch(balls, k, parallelism)
 }
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *CircularIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

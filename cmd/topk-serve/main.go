@@ -5,15 +5,19 @@
 // can be watched from standard observability tooling while a workload
 // runs.
 //
+// Every problem in the library's registry can be served; there is no
+// per-problem code here. GET /problems lists what is available.
+//
 // Usage:
 //
 //	topk-serve                       # interval index, n=20000, :8080
-//	topk-serve -problem range -n 5e4
+//	topk-serve -problem dominance -n 5e4
 //	topk-serve -slow-ios 200         # log queries costing >= 200 I/Os
 //
 // Endpoints:
 //
 //	GET  /metrics      Prometheus text exposition
+//	GET  /problems     registered problems, query shapes, update support
 //	POST /query        {"queries":[...], "k":10} -> per-query answers + I/O stats
 //	GET  /debug/slow   recent slow-query traces (plain text)
 //	GET  /debug/vars   expvar JSON
@@ -36,22 +40,21 @@ import (
 	"time"
 
 	"topk"
-	"topk/internal/bench"
 )
 
-// server is the problem-independent part of the HTTP surface: every
-// problem adapter plugs in as a queryFunc plus a WriteMetrics.
+// server is the HTTP surface around one Served index from the problem
+// registry.
 type server struct {
-	problem string
-	n       int
-	metrics func(io.Writer) error
-	query   func(qs []json.RawMessage, k, parallelism int) (any, error)
-	slow    *ringWriter
-	started time.Time
+	problem     string
+	n           int
+	parallelism int
+	ix          topk.Served
+	slow        *ringWriter
+	started     time.Time
 }
 
-// queryRequest is the /query body. Queries are problem-shaped:
-// interval: [x, ...]; range: [[lo, hi], ...].
+// queryRequest is the /query body. Queries are problem-shaped; see
+// GET /problems for each problem's wire shape.
 type queryRequest struct {
 	Queries     []json.RawMessage `json:"queries"`
 	K           int               `json:"k"`
@@ -108,7 +111,7 @@ func (r *ringWriter) dump(w io.Writer) {
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		problem     = flag.String("problem", "interval", "problem to serve: interval | range")
+		problem     = flag.String("problem", "interval", "problem to serve: "+strings.Join(topk.ProblemNames(), " | "))
 		n           = flag.Int("n", 20000, "number of indexed items")
 		seed        = flag.Uint64("seed", 42, "workload seed")
 		slowIOs     = flag.Int64("slow-ios", 500, "slow-query I/O threshold (0 disables)")
@@ -127,6 +130,7 @@ func main() {
 	expvar.NewInt("topk_items").Set(int64(*n))
 
 	http.HandleFunc("/metrics", srv.handleMetrics)
+	http.HandleFunc("/problems", handleProblems)
 	http.HandleFunc("/query", srv.handleQuery)
 	http.HandleFunc("/debug/slow", srv.handleSlow)
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -140,102 +144,57 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, nil))
 }
 
-// buildServer constructs the selected problem's index with full
-// observability and returns the HTTP adapter around it.
+// buildServer constructs the selected problem's index from the registry
+// with full observability and returns the HTTP adapter around it.
 func buildServer(problem string, n int, seed uint64, slowIOs int64, parallelism int, slow *ringWriter) (*server, error) {
+	spec, ok := topk.ProblemByName(problem)
+	if !ok {
+		return nil, fmt.Errorf("unknown problem %q (want one of: %s)", problem, strings.Join(topk.ProblemNames(), ", "))
+	}
 	opts := []topk.Option{topk.WithSeed(seed), topk.WithTracing(), topk.WithMetrics()}
 	if slowIOs > 0 {
 		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs))
 	}
-	s := &server{problem: problem, n: n, slow: slow, started: time.Now()}
-
-	switch problem {
-	case "interval":
-		src := bench.Intervals(seed, n, 8)
-		items := make([]topk.IntervalItem[int], len(src))
-		for i, it := range src {
-			items[i] = topk.IntervalItem[int]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: i}
-		}
-		ix, err := topk.NewIntervalIndex(items, opts...)
-		if err != nil {
-			return nil, err
-		}
-		s.metrics = ix.WriteMetrics
-		s.query = func(raw []json.RawMessage, k, p int) (any, error) {
-			xs := make([]float64, len(raw))
-			for i, r := range raw {
-				if err := json.Unmarshal(r, &xs[i]); err != nil {
-					return nil, fmt.Errorf("query %d: want a stabbing point (number): %w", i, err)
-				}
-			}
-			if p == 0 {
-				p = parallelism
-			}
-			res := ix.QueryBatch(xs, k, p)
-			out := make([]queryResult, len(res))
-			for i, r := range res {
-				out[i] = toResult(r.Stats, len(r.Items))
-				for _, it := range r.Items {
-					out[i].Items = append(out[i].Items, resultItem{
-						Weight: it.Weight,
-						Label:  fmt.Sprintf("[%.3f, %.3f]", it.Lo, it.Hi),
-					})
-				}
-			}
-			return out, nil
-		}
-	case "range":
-		ws := bench.Intervals(seed, n, 8) // reuse interval gen for distinct weights
-		items := make([]topk.PointItem1[int], len(ws))
-		for i, it := range ws {
-			items[i] = topk.PointItem1[int]{Pos: it.Value.Lo, Weight: it.Weight, Data: i}
-		}
-		ix, err := topk.NewRangeIndex(items, opts...)
-		if err != nil {
-			return nil, err
-		}
-		s.metrics = ix.WriteMetrics
-		s.query = func(raw []json.RawMessage, k, p int) (any, error) {
-			spans := make([]topk.Span, len(raw))
-			for i, r := range raw {
-				var pair [2]float64
-				if err := json.Unmarshal(r, &pair); err != nil {
-					return nil, fmt.Errorf("query %d: want [lo, hi]: %w", i, err)
-				}
-				spans[i] = topk.Span{Lo: pair[0], Hi: pair[1]}
-			}
-			if p == 0 {
-				p = parallelism
-			}
-			res := ix.QueryBatch(spans, k, p)
-			out := make([]queryResult, len(res))
-			for i, r := range res {
-				out[i] = toResult(r.Stats, len(r.Items))
-				for _, it := range r.Items {
-					out[i].Items = append(out[i].Items, resultItem{
-						Weight: it.Weight,
-						Label:  fmt.Sprintf("%.3f", it.Pos),
-					})
-				}
-			}
-			return out, nil
-		}
-	default:
-		return nil, fmt.Errorf("unknown problem %q (want interval or range)", problem)
+	ix, err := spec.Build(n, seed, opts...)
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	return &server{problem: problem, n: n, parallelism: parallelism, ix: ix, slow: slow, started: time.Now()}, nil
 }
 
-func toResult(st topk.QueryStats, nItems int) queryResult {
-	return queryResult{
-		Items: make([]resultItem, 0, nItems),
-		Reads: st.Reads, Wri: st.Writes, Hits: st.Hits, IOs: st.IOs(),
+// handleProblems lists the registry: every problem any topk-serve binary
+// can host, its JSON query shape, and its update support.
+func handleProblems(w http.ResponseWriter, _ *http.Request) {
+	type problemInfo struct {
+		Name          string   `json:"name"`
+		Dim           int      `json:"dim,omitempty"`
+		QueryShape    string   `json:"query_shape"`
+		Updates       string   `json:"updates"`
+		NativeDynamic bool     `json:"native_dynamic"`
+		Reductions    []string `json:"reductions"`
 	}
+	var reductions []string
+	for _, r := range topk.AllReductions() {
+		reductions = append(reductions, r.String())
+	}
+	var out []problemInfo
+	for _, spec := range topk.RegisteredProblems() {
+		out = append(out, problemInfo{
+			Name:          spec.Name,
+			Dim:           spec.Dim,
+			QueryShape:    spec.QueryShape,
+			Updates:       spec.Updatable(),
+			NativeDynamic: spec.NativeDynamic,
+			Reductions:    reductions,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"problems": out})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.metrics(w); err != nil {
+	if err := s.ix.WriteMetrics(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -258,11 +217,30 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need 1 <= k <= 1000", http.StatusBadRequest)
 		return
 	}
+	qs := make([]any, len(req.Queries))
+	for i, raw := range req.Queries {
+		q, err := s.ix.DecodeQuery(raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("query %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		qs[i] = q
+	}
+	p := req.Parallelism
+	if p == 0 {
+		p = s.parallelism
+	}
 	start := time.Now()
-	out, err := s.query(req.Queries, req.K, req.Parallelism)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	res := s.ix.QueryBatch(qs, req.K, p)
+	out := make([]queryResult, len(res))
+	for i, r := range res {
+		out[i] = queryResult{
+			Items: make([]resultItem, 0, len(r.Items)),
+			Reads: r.Stats.Reads, Wri: r.Stats.Writes, Hits: r.Stats.Hits, IOs: r.Stats.IOs(),
+		}
+		for _, it := range r.Items {
+			out[i].Items = append(out[i].Items, resultItem{Weight: it.Weight, Label: it.Label})
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{

@@ -1,0 +1,242 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// This file is the registry-driven conformance suite: every contract here
+// is asserted for every registered problem by iterating
+// RegisteredProblems(), so a ninth problem is covered the moment its
+// ProblemSpec is added — no per-problem test copies to maintain.
+
+const (
+	confN     = 300 // items per conformance build
+	confSeed  = 7   // workload seed
+	confQSeed = 99  // query seed
+)
+
+func servedWeights(items []ServedItem) []float64 {
+	ws := make([]float64, len(items))
+	for i, it := range items {
+		ws[i] = it.Weight
+	}
+	return ws
+}
+
+func weightSet(items []ServedItem) map[float64]bool {
+	s := make(map[float64]bool, len(items))
+	for _, it := range items {
+		s[it.Weight] = true
+	}
+	return s
+}
+
+// TestConformanceQueries checks, for every problem × reduction, that the
+// reduction's answers agree with the FullScan oracle: TopK is the
+// oracle's k-prefix, Max is TopK with k = 1, and ReportAbove returns
+// exactly the oracle items at or above the threshold.
+func TestConformanceQueries(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for _, r := range AllReductions() {
+			t.Run(fmt.Sprintf("%s/%v", spec.Name, r), func(t *testing.T) {
+				sv, err := spec.Build(confN, confSeed, WithReduction(r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sv.Len() != confN {
+					t.Fatalf("Len() = %d, want %d", sv.Len(), confN)
+				}
+				for qi, q := range sv.GenQueries(10, confQSeed) {
+					oracle := sv.Oracle(q)
+					for _, k := range []int{1, 3, 10, confN} {
+						got := servedWeights(sv.TopK(q, k))
+						want := servedWeights(oracle)
+						if k < len(want) {
+							want = want[:k]
+						}
+						if len(got) != len(want) {
+							t.Fatalf("q%d k=%d: got %d items, want %d", qi, k, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("q%d k=%d item %d: weight %v, want %v", qi, k, i, got[i], want[i])
+							}
+						}
+					}
+
+					// Max ≡ TopK(·, 1).
+					m, ok := sv.Max(q)
+					if ok != (len(oracle) > 0) {
+						t.Fatalf("q%d: Max ok=%v with %d matching items", qi, ok, len(oracle))
+					}
+					if ok && m.Weight != oracle[0].Weight {
+						t.Fatalf("q%d: Max = %v, want %v", qi, m.Weight, oracle[0].Weight)
+					}
+
+					// ReportAbove at a threshold cut from the oracle list, at
+					// -Inf (everything), and above the maximum (nothing).
+					taus := []float64{math.Inf(-1), math.Inf(1)}
+					if len(oracle) > 0 {
+						taus = append(taus, oracle[(len(oracle)-1)/2].Weight)
+					}
+					for _, tau := range taus {
+						got := weightSet(sv.ReportAbove(q, tau))
+						want := 0
+						for _, it := range oracle {
+							if it.Weight >= tau {
+								want++
+								if !got[it.Weight] {
+									t.Fatalf("q%d tau=%v: weight %v missing from ReportAbove", qi, tau, it.Weight)
+								}
+							}
+						}
+						if len(got) != want {
+							t.Fatalf("q%d tau=%v: ReportAbove returned %d items, want %d", qi, tau, len(got), want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceBatchMatchesSerial checks, for every problem, that
+// QueryBatch returns identical per-query answers and identical per-query
+// cold-cache I/O stats at parallelism 1 and parallelism 4 — the
+// determinism contract the concurrent serving path is built on.
+func TestConformanceBatchMatchesSerial(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		t.Run(spec.Name, func(t *testing.T) {
+			sv, err := spec.Build(confN, confSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := sv.GenQueries(12, confQSeed)
+			serial := sv.QueryBatch(qs, 5, 1)
+			parallel := sv.QueryBatch(qs, 5, 4)
+			for i := range qs {
+				a, b := serial[i], parallel[i]
+				if a.Stats != b.Stats {
+					t.Fatalf("q%d: stats %+v (serial) != %+v (parallel)", i, a.Stats, b.Stats)
+				}
+				if len(a.Items) != len(b.Items) {
+					t.Fatalf("q%d: %d items (serial) != %d (parallel)", i, len(a.Items), len(b.Items))
+				}
+				for j := range a.Items {
+					if a.Items[j].Weight != b.Items[j].Weight {
+						t.Fatalf("q%d item %d: %v (serial) != %v (parallel)", i, j, a.Items[j].Weight, b.Items[j].Weight)
+					}
+				}
+				// Per-query stats also match a dedicated single-query run.
+				single := sv.QueryBatch(qs[i:i+1], 5, 1)
+				if single[0].Stats != a.Stats {
+					t.Fatalf("q%d: stats %+v (single) != %+v (batch)", i, single[0].Stats, a.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceStaticUpdateContract checks, for every problem ×
+// reduction, that an index built without WithUpdates rejects Insert and
+// Delete with an error — except on the native-dynamic Expected path,
+// where updates must succeed and be visible to queries.
+func TestConformanceStaticUpdateContract(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for _, r := range AllReductions() {
+			t.Run(fmt.Sprintf("%s/%v", spec.Name, r), func(t *testing.T) {
+				sv, err := spec.Build(50, confSeed, WithReduction(r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if spec.NativeDynamic && r == Expected {
+					w, err := sv.InsertFresh(11)
+					if err != nil {
+						t.Fatalf("native-dynamic Insert: %v", err)
+					}
+					if sv.Len() != 51 {
+						t.Fatalf("Len() = %d after Insert", sv.Len())
+					}
+					ok, err := sv.Delete(w)
+					if err != nil || !ok {
+						t.Fatalf("Delete(%v) = (%v, %v)", w, ok, err)
+					}
+					return
+				}
+				if _, err := sv.InsertFresh(11); err == nil {
+					t.Fatal("static index accepted Insert")
+				}
+				if _, err := sv.Delete(1); err == nil {
+					t.Fatal("static index accepted Delete")
+				}
+				// Rejected updates must not damage the structure.
+				q := sv.GenQueries(1, confQSeed)[0]
+				if got, want := len(sv.TopK(q, 50)), len(sv.Oracle(q)); got != want {
+					t.Fatalf("index damaged by rejected updates: %d items, want %d", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceUpdatableContract checks every problem's overlay path:
+// with WithUpdates, fresh inserts land and are queryable, invalid inserts
+// and duplicate weights are rejected without damage, and Delete of an
+// absent weight reports (false, nil).
+func TestConformanceUpdatableContract(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		t.Run(spec.Name, func(t *testing.T) {
+			sv, err := spec.Build(50, confSeed, WithReduction(WorstCase), WithUpdates())
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := sv.InsertFresh(23)
+			if err != nil {
+				t.Fatalf("InsertFresh: %v", err)
+			}
+			if sv.Len() != 51 {
+				t.Fatalf("Len() = %d after Insert", sv.Len())
+			}
+			if err := sv.InsertInvalid(); err == nil {
+				t.Fatal("invalid item accepted by Insert")
+			}
+			if ok, err := sv.Delete(w - 1e12); err != nil || ok {
+				t.Fatalf("Delete(absent) = (%v, %v)", ok, err)
+			}
+			if ok, err := sv.Delete(w); err != nil || !ok {
+				t.Fatalf("Delete(%v) = (%v, %v)", w, ok, err)
+			}
+			if sv.Len() != 50 {
+				t.Fatalf("Len() = %d after Delete", sv.Len())
+			}
+		})
+	}
+}
+
+// TestConformanceValidationSymmetry is the regression test for the
+// constructor/Insert validation asymmetry: for every problem, the
+// constructor must reject exactly the malformed items Insert rejects —
+// both paths run the engine's single validation gate.
+func TestConformanceValidationSymmetry(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, r := range AllReductions() {
+				if err := spec.BuildInvalid(WithReduction(r)); err == nil {
+					t.Fatalf("%v: constructor accepted an item Insert rejects", r)
+				}
+			}
+			sv, err := spec.Build(20, confSeed, WithUpdates())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sv.InsertInvalid(); err == nil {
+				t.Fatal("Insert accepted the malformed item")
+			}
+			if sv.Len() != 20 {
+				t.Fatalf("Len() = %d after rejected updates", sv.Len())
+			}
+		})
+	}
+}

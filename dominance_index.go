@@ -2,7 +2,6 @@ package topk
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"topk/internal/core"
@@ -19,145 +18,72 @@ type DominanceItem[T any] struct {
 	Data    T
 }
 
+// dominanceProblem is the engine descriptor for top-k 3D dominance.
+func dominanceProblem[T any]() problem[dominance.Pt3, dominance.Pt3, DominanceItem[T]] {
+	return problem[dominance.Pt3, dominance.Pt3, DominanceItem[T]]{
+		name:   "dominance",
+		match:  dominance.Match,
+		lambda: dominance.Lambda,
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[dominance.Pt3, dominance.Pt3] {
+			return dominance.NewPrioritizedFactory(tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[dominance.Pt3, dominance.Pt3] {
+			return dominance.NewMaxFactory(tr)
+		},
+		validate: func(it DominanceItem[T]) error {
+			if math.IsNaN(it.X) || math.IsNaN(it.Y) || math.IsNaN(it.Z) {
+				return fmt.Errorf("topk: NaN coordinate in (%v, %v, %v)", it.X, it.Y, it.Z)
+			}
+			return nil
+		},
+		weight: func(it DominanceItem[T]) float64 { return it.Weight },
+		toCore: func(it DominanceItem[T]) core.Item[dominance.Pt3] {
+			return core.Item[dominance.Pt3]{Value: dominance.Pt3{X: it.X, Y: it.Y, Z: it.Z}, Weight: it.Weight}
+		},
+		fromCore: func(ci core.Item[dominance.Pt3], st DominanceItem[T]) DominanceItem[T] {
+			st.X, st.Y, st.Z, st.Weight = ci.Value.X, ci.Value.Y, ci.Value.Z, ci.Weight
+			return st
+		},
+		describe: func(q dominance.Pt3, k int) string {
+			return fmt.Sprintf("dominate (%v,%v,%v) k=%d", q.X, q.Y, q.Z, k)
+		},
+	}
+}
+
 // DominanceIndex answers top-k 3D dominance queries (the paper's
 // Theorem 6): given a corner (x, y, z), return the k heaviest points p
 // with p.X ≤ x, p.Y ≤ y and p.Z ≤ z.
 type DominanceIndex[T any] struct {
-	opts    Options
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[dominance.Pt3, dominance.Pt3]
-	dyn     updatableTopK[dominance.Pt3, dominance.Pt3] // non-nil when built with WithUpdates
-	pri     core.Prioritized[dominance.Pt3, dominance.Pt3]
-	data    map[float64]T
-	n       int
+	facade[dominance.Pt3, dominance.Pt3, DominanceItem[T]]
 }
 
 // NewDominanceIndex builds an index over items (weights distinct). With
 // WithUpdates the index additionally supports Insert and Delete through
 // the logarithmic-method overlay.
 func NewDominanceIndex[T any](items []DominanceItem[T], opts ...Option) (*DominanceIndex[T], error) {
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[dominance.Pt3], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		cores[i] = core.Item[dominance.Pt3]{Value: dominance.Pt3{X: it.X, Y: it.Y, Z: it.Z}, Weight: it.Weight}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(dominanceProblem[T](), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &DominanceIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
-	if o.updates {
-		dyn, err := newOverlay(cores, dominance.Match,
-			dominance.NewPrioritizedFactory(tracker),
-			dominance.NewMaxFactory(tracker),
-			dominance.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	} else {
-		t, err := buildTopK(cores, dominance.Match,
-			dominance.NewPrioritizedFactory(tracker),
-			dominance.NewMaxFactory(tracker),
-			dominance.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-	}
-	ix.pri = prioritizedOf(ix.topk)
-	ix.ob = newIndexObs("dominance", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
-}
-
-// Len returns the number of indexed points.
-func (ix *DominanceIndex[T]) Len() int { return ix.n }
-
-func (ix *DominanceIndex[T]) wrap(it core.Item[dominance.Pt3]) DominanceItem[T] {
-	return DominanceItem[T]{X: it.Value.X, Y: it.Value.Y, Z: it.Value.Z, Weight: it.Weight, Data: ix.data[it.Weight]}
+	return &DominanceIndex[T]{newFacade(eng)}, nil
 }
 
 // TopK returns the k heaviest points dominated by (x, y, z), heaviest
 // first.
 func (ix *DominanceIndex[T]) TopK(x, y, z float64, k int) []DominanceItem[T] {
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(dominance.Pt3{X: x, Y: y, Z: z}, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("dominate (%v,%v,%v) k=%d", x, y, z, k) })
-	out := make([]DominanceItem[T], len(res))
-	for i, it := range res {
-		out[i] = ix.wrap(it)
-	}
-	return out
+	return ix.eng.TopK(dominance.Pt3{X: x, Y: y, Z: z}, k)
 }
 
 // ReportAbove streams every point dominated by (x, y, z) with weight ≥
 // tau; return false from visit to stop early.
 func (ix *DominanceIndex[T]) ReportAbove(x, y, z, tau float64, visit func(DominanceItem[T]) bool) {
-	ix.pri.ReportAbove(dominance.Pt3{X: x, Y: y, Z: z}, tau, func(it core.Item[dominance.Pt3]) bool {
-		return visit(ix.wrap(it))
-	})
+	ix.eng.ReportAbove(dominance.Pt3{X: x, Y: y, Z: z}, tau, visit)
 }
 
 // Max returns the heaviest point dominated by (x, y, z) (a top-1 query).
 func (ix *DominanceIndex[T]) Max(x, y, z float64) (DominanceItem[T], bool) {
-	it, ok := maxOfTopK(ix.topk, dominance.Pt3{X: x, Y: y, Z: z})
-	if !ok {
-		return DominanceItem[T]{}, false
-	}
-	return ix.wrap(it), true
+	return ix.eng.Max(dominance.Pt3{X: x, Y: y, Z: z})
 }
-
-// Insert adds a point. Only indexes built with WithUpdates support
-// updates; others return an error.
-func (ix *DominanceIndex[T]) Insert(item DominanceItem[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
-	}
-	if math.IsNaN(item.X) || math.IsNaN(item.Y) || math.IsNaN(item.Z) {
-		return fmt.Errorf("topk: NaN coordinate in (%v, %v, %v)", item.X, item.Y, item.Z)
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	ci := core.Item[dominance.Pt3]{Value: dominance.Pt3{X: item.X, Y: item.Y, Z: item.Z}, Weight: item.Weight}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
-}
-
-// Delete removes the point with the given weight, reporting whether it
-// was present. Only indexes built with WithUpdates support updates.
-func (ix *DominanceIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *DominanceIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters.
-func (ix *DominanceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 
 // QueryBatch answers one top-k dominance query per CornerQuery on a
 // bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
@@ -165,11 +91,9 @@ func (ix *DominanceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *DominanceIndex[T]) QueryBatch(qs []CornerQuery, k int, parallelism int) []BatchResult[DominanceItem[T]] {
-	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q CornerQuery) []DominanceItem[T] {
-		return ix.TopK(q.X, q.Y, q.Z, k)
-	})
+	corners := make([]dominance.Pt3, len(qs))
+	for i, q := range qs {
+		corners[i] = dominance.Pt3{X: q.X, Y: q.Y, Z: q.Z}
+	}
+	return ix.eng.QueryBatch(corners, k, parallelism)
 }
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *DominanceIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

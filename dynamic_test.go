@@ -538,55 +538,6 @@ func TestChurnOrtho(t *testing.T) {
 	})
 }
 
-// TestStaticIndexRejectsUpdates pins the static contract: without
-// WithUpdates (and outside the Expected-native interval/range paths),
-// Insert and Delete fail loudly instead of corrupting the structure.
-func TestStaticIndexRejectsUpdates(t *testing.T) {
-	g := wrand.New(209)
-	ws := g.UniqueFloats(20, 1e6)
-	items := make([]DominanceItem[int], 20)
-	for i := range items {
-		items[i] = DominanceItem[int]{X: g.Float64(), Y: g.Float64(), Z: g.Float64(), Weight: ws[i]}
-	}
-	ix, err := NewDominanceIndex(items, WithReduction(WorstCase))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := ix.Insert(DominanceItem[int]{X: 1, Y: 1, Z: 1, Weight: -1}); err == nil {
-		t.Fatal("static dominance index accepted Insert")
-	}
-	if _, err := ix.Delete(ws[0]); err == nil {
-		t.Fatal("static dominance index accepted Delete")
-	}
-	if got := ix.TopK(2, 2, 2, 25); len(got) != 20 {
-		t.Fatalf("index damaged by rejected updates: %d items", len(got))
-	}
-}
-
-// TestUpdatableInsertValidation pins the facade-level argument checks on
-// the overlay path.
-func TestUpdatableInsertValidation(t *testing.T) {
-	ix, err := NewIntervalIndex([]IntervalItem[int]{{Lo: 0, Hi: 1, Weight: 5}},
-		WithReduction(WorstCase), WithUpdates())
-	if err != nil {
-		t.Fatal(err)
-	}
-	bad := []IntervalItem[int]{
-		{Lo: 2, Hi: 1, Weight: 1},           // inverted
-		{Lo: math.NaN(), Hi: 1, Weight: 2},  // NaN endpoint
-		{Lo: 0, Hi: 1, Weight: math.NaN()},  // NaN weight
-		{Lo: 0, Hi: 1, Weight: math.Inf(1)}, // infinite weight
-		{Lo: 0, Hi: 1, Weight: 5},           // duplicate
-	}
-	for i, it := range bad {
-		if err := ix.Insert(it); err == nil {
-			t.Fatalf("bad item %d accepted: %+v", i, it)
-		}
-	}
-	if ok, err := ix.Delete(99); err != nil || ok {
-		t.Fatalf("Delete(absent) = (%v, %v)", ok, err)
-	}
-	if ix.Len() != 1 {
-		t.Fatalf("Len() = %d after rejected updates", ix.Len())
-	}
-}
+// The static Insert/Delete error contract and the Insert validation
+// checks are covered for every registered problem by the registry-driven
+// suite in conformance_test.go.

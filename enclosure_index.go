@@ -2,7 +2,6 @@ package topk
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"topk/internal/core"
@@ -19,155 +18,77 @@ type RectItem[T any] struct {
 	Data           T
 }
 
+// enclosureProblem is the engine descriptor for top-k 2D point enclosure.
+func enclosureProblem[T any]() problem[enclosure.Pt2, enclosure.Rect, RectItem[T]] {
+	return problem[enclosure.Pt2, enclosure.Rect, RectItem[T]]{
+		name:   "enclosure",
+		match:  enclosure.Match,
+		lambda: enclosure.Lambda,
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[enclosure.Pt2, enclosure.Rect] {
+			return enclosure.NewPrioritizedFactory(tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[enclosure.Pt2, enclosure.Rect] {
+			return enclosure.NewMaxFactory(tr)
+		},
+		validate: func(it RectItem[T]) error {
+			if it.X1 > it.X2 || it.Y1 > it.Y2 ||
+				math.IsNaN(it.X1) || math.IsNaN(it.X2) || math.IsNaN(it.Y1) || math.IsNaN(it.Y2) {
+				return fmt.Errorf("topk: malformed rectangle [%v, %v] × [%v, %v]", it.X1, it.X2, it.Y1, it.Y2)
+			}
+			return nil
+		},
+		weight: func(it RectItem[T]) float64 { return it.Weight },
+		toCore: func(it RectItem[T]) core.Item[enclosure.Rect] {
+			return core.Item[enclosure.Rect]{
+				Value:  enclosure.Rect{X1: it.X1, X2: it.X2, Y1: it.Y1, Y2: it.Y2},
+				Weight: it.Weight,
+			}
+		},
+		fromCore: func(ci core.Item[enclosure.Rect], st RectItem[T]) RectItem[T] {
+			st.X1, st.X2, st.Y1, st.Y2 = ci.Value.X1, ci.Value.X2, ci.Value.Y1, ci.Value.Y2
+			st.Weight = ci.Weight
+			return st
+		},
+		describe: func(q enclosure.Pt2, k int) string {
+			return fmt.Sprintf("enclose (%v,%v) k=%d", q.X, q.Y, k)
+		},
+	}
+}
+
 // EnclosureIndex answers top-k 2D point-enclosure queries (the paper's
 // Theorem 5): given a point (x, y), return the k heaviest rectangles
 // containing it.
 type EnclosureIndex[T any] struct {
-	opts    Options
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[enclosure.Pt2, enclosure.Rect]
-	dyn     updatableTopK[enclosure.Pt2, enclosure.Rect] // non-nil when built with WithUpdates
-	pri     core.Prioritized[enclosure.Pt2, enclosure.Rect]
-	data    map[float64]T
-	n       int
+	facade[enclosure.Pt2, enclosure.Rect, RectItem[T]]
 }
 
 // NewEnclosureIndex builds an index over items (weights distinct,
 // rectangles well-formed). With WithUpdates the index additionally
 // supports Insert and Delete through the logarithmic-method overlay.
 func NewEnclosureIndex[T any](items []RectItem[T], opts ...Option) (*EnclosureIndex[T], error) {
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[enclosure.Rect], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		cores[i] = core.Item[enclosure.Rect]{
-			Value:  enclosure.Rect{X1: it.X1, X2: it.X2, Y1: it.Y1, Y2: it.Y2},
-			Weight: it.Weight,
-		}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(enclosureProblem[T](), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &EnclosureIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
-	if o.updates {
-		dyn, err := newOverlay(cores, enclosure.Match,
-			enclosure.NewPrioritizedFactory(tracker),
-			enclosure.NewMaxFactory(tracker),
-			enclosure.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	} else {
-		t, err := buildTopK(cores, enclosure.Match,
-			enclosure.NewPrioritizedFactory(tracker),
-			enclosure.NewMaxFactory(tracker),
-			enclosure.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-	}
-	ix.pri = prioritizedOf(ix.topk)
-	ix.ob = newIndexObs("enclosure", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
-}
-
-// Len returns the number of indexed rectangles.
-func (ix *EnclosureIndex[T]) Len() int { return ix.n }
-
-func (ix *EnclosureIndex[T]) wrap(it core.Item[enclosure.Rect]) RectItem[T] {
-	return RectItem[T]{
-		X1: it.Value.X1, X2: it.Value.X2, Y1: it.Value.Y1, Y2: it.Value.Y2,
-		Weight: it.Weight, Data: ix.data[it.Weight],
-	}
+	return &EnclosureIndex[T]{newFacade(eng)}, nil
 }
 
 // TopK returns the k heaviest rectangles containing (x, y), heaviest
 // first.
 func (ix *EnclosureIndex[T]) TopK(x, y float64, k int) []RectItem[T] {
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(enclosure.Pt2{X: x, Y: y}, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("enclose (%v,%v) k=%d", x, y, k) })
-	out := make([]RectItem[T], len(res))
-	for i, it := range res {
-		out[i] = ix.wrap(it)
-	}
-	return out
+	return ix.eng.TopK(enclosure.Pt2{X: x, Y: y}, k)
 }
 
 // ReportAbove streams every rectangle containing (x, y) with weight ≥
 // tau; return false from visit to stop early.
 func (ix *EnclosureIndex[T]) ReportAbove(x, y, tau float64, visit func(RectItem[T]) bool) {
-	ix.pri.ReportAbove(enclosure.Pt2{X: x, Y: y}, tau, func(it core.Item[enclosure.Rect]) bool {
-		return visit(ix.wrap(it))
-	})
+	ix.eng.ReportAbove(enclosure.Pt2{X: x, Y: y}, tau, visit)
 }
 
 // Max returns the heaviest rectangle containing (x, y) (a top-1 query).
 func (ix *EnclosureIndex[T]) Max(x, y float64) (RectItem[T], bool) {
-	it, ok := maxOfTopK(ix.topk, enclosure.Pt2{X: x, Y: y})
-	if !ok {
-		return RectItem[T]{}, false
-	}
-	return ix.wrap(it), true
+	return ix.eng.Max(enclosure.Pt2{X: x, Y: y})
 }
-
-// Insert adds a rectangle. Only indexes built with WithUpdates support
-// updates; others return an error.
-func (ix *EnclosureIndex[T]) Insert(item RectItem[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
-	}
-	if item.X1 > item.X2 || item.Y1 > item.Y2 ||
-		math.IsNaN(item.X1) || math.IsNaN(item.X2) || math.IsNaN(item.Y1) || math.IsNaN(item.Y2) {
-		return fmt.Errorf("topk: malformed rectangle [%v, %v] × [%v, %v]", item.X1, item.X2, item.Y1, item.Y2)
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	ci := core.Item[enclosure.Rect]{
-		Value:  enclosure.Rect{X1: item.X1, X2: item.X2, Y1: item.Y1, Y2: item.Y2},
-		Weight: item.Weight,
-	}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
-}
-
-// Delete removes the rectangle with the given weight, reporting whether
-// it was present. Only indexes built with WithUpdates support updates.
-func (ix *EnclosureIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *EnclosureIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters.
-func (ix *EnclosureIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 
 // QueryBatch answers one top-k enclosure query per PointQuery on a
 // bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
@@ -175,11 +96,9 @@ func (ix *EnclosureIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *EnclosureIndex[T]) QueryBatch(qs []PointQuery, k int, parallelism int) []BatchResult[RectItem[T]] {
-	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q PointQuery) []RectItem[T] {
-		return ix.TopK(q.X, q.Y, k)
-	})
+	pts := make([]enclosure.Pt2, len(qs))
+	for i, q := range qs {
+		pts[i] = enclosure.Pt2{X: q.X, Y: q.Y}
+	}
+	return ix.eng.QueryBatch(pts, k, parallelism)
 }
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *EnclosureIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

@@ -2,7 +2,6 @@ package topk
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"topk/internal/core"
@@ -17,143 +16,84 @@ type PointItem2[T any] struct {
 	Data   T
 }
 
+// halfplaneProblem is the engine descriptor for top-k 2D halfspace
+// reporting.
+func halfplaneProblem[T any]() problem[halfspace.Halfplane, halfspace.Pt2, PointItem2[T]] {
+	return problem[halfspace.Halfplane, halfspace.Pt2, PointItem2[T]]{
+		name:   "halfplane",
+		match:  halfspace.Match,
+		lambda: halfspace.Lambda,
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[halfspace.Halfplane, halfspace.Pt2] {
+			return halfspace.NewPrioritizedFactory(tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[halfspace.Halfplane, halfspace.Pt2] {
+			return halfspace.NewMaxFactory(tr)
+		},
+		validate: func(it PointItem2[T]) error {
+			if math.IsNaN(it.X) || math.IsNaN(it.Y) {
+				return fmt.Errorf("topk: NaN coordinate in (%v, %v)", it.X, it.Y)
+			}
+			return nil
+		},
+		weight: func(it PointItem2[T]) float64 { return it.Weight },
+		toCore: func(it PointItem2[T]) core.Item[halfspace.Pt2] {
+			return core.Item[halfspace.Pt2]{Value: halfspace.Pt2{X: it.X, Y: it.Y}, Weight: it.Weight}
+		},
+		fromCore: func(ci core.Item[halfspace.Pt2], st PointItem2[T]) PointItem2[T] {
+			st.X, st.Y, st.Weight = ci.Value.X, ci.Value.Y, ci.Weight
+			return st
+		},
+		describe: func(q halfspace.Halfplane, k int) string {
+			return fmt.Sprintf("halfplane %v·x+%v·y≥%v k=%d", q.A, q.B, q.C, k)
+		},
+	}
+}
+
 // HalfplaneIndex answers top-k 2D halfspace queries (the paper's
 // Theorem 3, d = 2): given a halfplane {a·x + b·y ≥ c}, return the k
 // heaviest points inside it.
 type HalfplaneIndex[T any] struct {
-	opts    Options
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[halfspace.Halfplane, halfspace.Pt2]
-	dyn     updatableTopK[halfspace.Halfplane, halfspace.Pt2] // non-nil when built with WithUpdates
-	pri     core.Prioritized[halfspace.Halfplane, halfspace.Pt2]
-	data    map[float64]T
-	n       int
+	facade[halfspace.Halfplane, halfspace.Pt2, PointItem2[T]]
 }
 
 // NewHalfplaneIndex builds an index over items (weights distinct). With
 // WithUpdates the index additionally supports Insert and Delete through
 // the logarithmic-method overlay.
 func NewHalfplaneIndex[T any](items []PointItem2[T], opts ...Option) (*HalfplaneIndex[T], error) {
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[halfspace.Pt2], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		cores[i] = core.Item[halfspace.Pt2]{Value: halfspace.Pt2{X: it.X, Y: it.Y}, Weight: it.Weight}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(halfplaneProblem[T](), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &HalfplaneIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
-	if o.updates {
-		dyn, err := newOverlay(cores, halfspace.Match,
-			halfspace.NewPrioritizedFactory(tracker),
-			halfspace.NewMaxFactory(tracker),
-			halfspace.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	} else {
-		t, err := buildTopK(cores, halfspace.Match,
-			halfspace.NewPrioritizedFactory(tracker),
-			halfspace.NewMaxFactory(tracker),
-			halfspace.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-	}
-	ix.pri = prioritizedOf(ix.topk)
-	ix.ob = newIndexObs("halfplane", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
-}
-
-// Len returns the number of indexed points.
-func (ix *HalfplaneIndex[T]) Len() int { return ix.n }
-
-func (ix *HalfplaneIndex[T]) wrap(it core.Item[halfspace.Pt2]) PointItem2[T] {
-	return PointItem2[T]{X: it.Value.X, Y: it.Value.Y, Weight: it.Weight, Data: ix.data[it.Weight]}
+	return &HalfplaneIndex[T]{newFacade(eng)}, nil
 }
 
 // TopK returns the k heaviest points with a·x + b·y ≥ c, heaviest first.
 func (ix *HalfplaneIndex[T]) TopK(a, b, c float64, k int) []PointItem2[T] {
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(halfspace.Halfplane{A: a, B: b, C: c}, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("halfplane %v·x+%v·y≥%v k=%d", a, b, c, k) })
-	out := make([]PointItem2[T], len(res))
-	for i, it := range res {
-		out[i] = ix.wrap(it)
-	}
-	return out
+	return ix.eng.TopK(halfspace.Halfplane{A: a, B: b, C: c}, k)
 }
 
 // ReportAbove streams every point in the halfplane with weight ≥ tau.
 func (ix *HalfplaneIndex[T]) ReportAbove(a, b, c, tau float64, visit func(PointItem2[T]) bool) {
-	ix.pri.ReportAbove(halfspace.Halfplane{A: a, B: b, C: c}, tau, func(it core.Item[halfspace.Pt2]) bool {
-		return visit(ix.wrap(it))
-	})
+	ix.eng.ReportAbove(halfspace.Halfplane{A: a, B: b, C: c}, tau, visit)
 }
 
 // Max returns the heaviest point in the halfplane (a top-1 query).
 func (ix *HalfplaneIndex[T]) Max(a, b, c float64) (PointItem2[T], bool) {
-	it, ok := maxOfTopK(ix.topk, halfspace.Halfplane{A: a, B: b, C: c})
-	if !ok {
-		return PointItem2[T]{}, false
-	}
-	return ix.wrap(it), true
+	return ix.eng.Max(halfspace.Halfplane{A: a, B: b, C: c})
 }
 
-// Insert adds a point. Only indexes built with WithUpdates support
-// updates; others return an error.
-func (ix *HalfplaneIndex[T]) Insert(item PointItem2[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
+// QueryBatch answers one top-k halfplane query per HalfplaneQuery on a
+// bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
+// Each query runs in its own cold tracker view, so per-query Stats are
+// independent of parallelism; see IntervalIndex.QueryBatch for the full
+// contract.
+func (ix *HalfplaneIndex[T]) QueryBatch(qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
+	hps := make([]halfspace.Halfplane, len(qs))
+	for i, q := range qs {
+		hps[i] = halfspace.Halfplane{A: q.A, B: q.B, C: q.C}
 	}
-	if math.IsNaN(item.X) || math.IsNaN(item.Y) {
-		return fmt.Errorf("topk: NaN coordinate in (%v, %v)", item.X, item.Y)
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	ci := core.Item[halfspace.Pt2]{Value: halfspace.Pt2{X: item.X, Y: item.Y}, Weight: item.Weight}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
+	return ix.eng.QueryBatch(hps, k, parallelism)
 }
-
-// Delete removes the point with the given weight, reporting whether it
-// was present. Only indexes built with WithUpdates support updates.
-func (ix *HalfplaneIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *HalfplaneIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters.
-func (ix *HalfplaneIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 
 // PointItemN is one weighted point in ℝ^d with a payload.
 type PointItemN[T any] struct {
@@ -162,19 +102,51 @@ type PointItemN[T any] struct {
 	Data   T
 }
 
+// halfspaceProblem is the engine descriptor for top-k halfspace reporting
+// in dimension d.
+func halfspaceProblem[T any](d int) problem[halfspace.Halfspace, halfspace.PtN, PointItemN[T]] {
+	return problem[halfspace.Halfspace, halfspace.PtN, PointItemN[T]]{
+		name:   "halfspace",
+		match:  halfspace.MatchN,
+		lambda: halfspace.LambdaN(d),
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[halfspace.Halfspace, halfspace.PtN] {
+			return halfspace.NewKDPrioritizedFactory(d, tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[halfspace.Halfspace, halfspace.PtN] {
+			return halfspace.NewKDMaxFactory(d, tr)
+		},
+		validate: func(it PointItemN[T]) error {
+			if len(it.Coords) != d {
+				return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(it.Coords), d)
+			}
+			for _, c := range it.Coords {
+				if math.IsNaN(c) {
+					return fmt.Errorf("topk: NaN coordinate")
+				}
+			}
+			return nil
+		},
+		weight: func(it PointItemN[T]) float64 { return it.Weight },
+		toCore: func(it PointItemN[T]) core.Item[halfspace.PtN] {
+			coords := append([]float64(nil), it.Coords...)
+			return core.Item[halfspace.PtN]{Value: halfspace.PtN{C: coords}, Weight: it.Weight}
+		},
+		fromCore: func(ci core.Item[halfspace.PtN], st PointItemN[T]) PointItemN[T] {
+			st.Coords, st.Weight = ci.Value.C, ci.Weight
+			return st
+		},
+		describe: func(q halfspace.Halfspace, k int) string {
+			return fmt.Sprintf("halfspace a=%v c=%v k=%d", q.A, q.C, k)
+		},
+	}
+}
+
 // HalfspaceIndex answers top-k halfspace queries in fixed dimension d ≥ 3
 // (the paper's Theorem 3, d ≥ 4): given {x : a·x ≥ c}, return the k
 // heaviest points inside.
 type HalfspaceIndex[T any] struct {
-	opts    Options
-	d       int
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[halfspace.Halfspace, halfspace.PtN]
-	dyn     updatableTopK[halfspace.Halfspace, halfspace.PtN] // non-nil when built with WithUpdates
-	pri     core.Prioritized[halfspace.Halfspace, halfspace.PtN]
-	data    map[float64]T
-	n       int
+	d int
+	facade[halfspace.Halfspace, halfspace.PtN, PointItemN[T]]
 }
 
 // NewHalfspaceIndex builds an index over d-dimensional items. With
@@ -184,152 +156,30 @@ func NewHalfspaceIndex[T any](items []PointItemN[T], d int, opts ...Option) (*Ha
 	if d < 1 {
 		return nil, fmt.Errorf("topk: dimension %d", d)
 	}
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[halfspace.PtN], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		if len(it.Coords) != d {
-			return nil, fmt.Errorf("topk: item %d has %d coordinates in dimension %d", i, len(it.Coords), d)
-		}
-		cores[i] = core.Item[halfspace.PtN]{Value: halfspace.PtN{C: it.Coords}, Weight: it.Weight}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(halfspaceProblem[T](d), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &HalfspaceIndex[T]{opts: o, d: d, tracker: tracker, data: data, n: len(items)}
-	if o.updates {
-		dyn, err := newOverlay(cores, halfspace.MatchN,
-			halfspace.NewKDPrioritizedFactory(d, tracker),
-			halfspace.NewKDMaxFactory(d, tracker),
-			halfspace.LambdaN(d), o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	} else {
-		t, err := buildTopK(cores, halfspace.MatchN,
-			halfspace.NewKDPrioritizedFactory(d, tracker),
-			halfspace.NewKDMaxFactory(d, tracker),
-			halfspace.LambdaN(d), o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-	}
-	ix.pri = prioritizedOf(ix.topk)
-	ix.ob = newIndexObs("halfspace", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
+	return &HalfspaceIndex[T]{d: d, facade: newFacade(eng)}, nil
 }
-
-// Len returns the number of indexed points.
-func (ix *HalfspaceIndex[T]) Len() int { return ix.n }
 
 // Dim returns the index dimension.
 func (ix *HalfspaceIndex[T]) Dim() int { return ix.d }
 
-func (ix *HalfspaceIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
-	return PointItemN[T]{Coords: it.Value.C, Weight: it.Weight, Data: ix.data[it.Weight]}
-}
-
 // TopK returns the k heaviest points with a·x ≥ c, heaviest first.
 func (ix *HalfspaceIndex[T]) TopK(a []float64, c float64, k int) []PointItemN[T] {
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(halfspace.Halfspace{A: a, C: c}, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("halfspace a=%v c=%v k=%d", a, c, k) })
-	out := make([]PointItemN[T], len(res))
-	for i, it := range res {
-		out[i] = ix.wrap(it)
-	}
-	return out
+	return ix.eng.TopK(halfspace.Halfspace{A: a, C: c}, k)
 }
 
 // ReportAbove streams every point in the halfspace with weight ≥ tau.
 func (ix *HalfspaceIndex[T]) ReportAbove(a []float64, c, tau float64, visit func(PointItemN[T]) bool) {
-	ix.pri.ReportAbove(halfspace.Halfspace{A: a, C: c}, tau, func(it core.Item[halfspace.PtN]) bool {
-		return visit(ix.wrap(it))
-	})
+	ix.eng.ReportAbove(halfspace.Halfspace{A: a, C: c}, tau, visit)
 }
 
 // Max returns the heaviest point in the halfspace (a top-1 query).
 func (ix *HalfspaceIndex[T]) Max(a []float64, c float64) (PointItemN[T], bool) {
-	it, ok := maxOfTopK(ix.topk, halfspace.Halfspace{A: a, C: c})
-	if !ok {
-		return PointItemN[T]{}, false
-	}
-	return ix.wrap(it), true
+	return ix.eng.Max(halfspace.Halfspace{A: a, C: c})
 }
-
-// Insert adds a point. Only indexes built with WithUpdates support
-// updates; others return an error.
-func (ix *HalfspaceIndex[T]) Insert(item PointItemN[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
-	}
-	if len(item.Coords) != ix.d {
-		return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(item.Coords), ix.d)
-	}
-	for _, c := range item.Coords {
-		if math.IsNaN(c) {
-			return fmt.Errorf("topk: NaN coordinate")
-		}
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	coords := append([]float64(nil), item.Coords...)
-	ci := core.Item[halfspace.PtN]{Value: halfspace.PtN{C: coords}, Weight: item.Weight}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
-}
-
-// Delete removes the point with the given weight, reporting whether it
-// was present. Only indexes built with WithUpdates support updates.
-func (ix *HalfspaceIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *HalfspaceIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters.
-func (ix *HalfspaceIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
-
-// QueryBatch answers one top-k halfplane query per HalfplaneQuery on a
-// bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
-// Each query runs in its own cold tracker view, so per-query Stats are
-// independent of parallelism; see IntervalIndex.QueryBatch for the full
-// contract.
-func (ix *HalfplaneIndex[T]) QueryBatch(qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
-	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q HalfplaneQuery) []PointItem2[T] {
-		return ix.TopK(q.A, q.B, q.C, k)
-	})
-}
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *HalfplaneIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }
 
 // QueryBatch answers one top-k halfspace query per HalfspaceQuery on a
 // bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0).
@@ -337,11 +187,9 @@ func (ix *HalfplaneIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writ
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *HalfspaceIndex[T]) QueryBatch(qs []HalfspaceQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
-	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q HalfspaceQuery) []PointItemN[T] {
-		return ix.TopK(q.A, q.C, k)
-	})
+	hss := make([]halfspace.Halfspace, len(qs))
+	for i, q := range qs {
+		hss[i] = halfspace.Halfspace{A: q.A, C: q.C}
+	}
+	return ix.eng.QueryBatch(hss, k, parallelism)
 }
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *HalfspaceIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"io"
+
+	"topk"
+)
+
+// E27 — registry sweep. The problem registry (topk.RegisteredProblems)
+// type-erases every shipped problem behind one Served interface; this
+// experiment drives the whole catalogue through it — every problem ×
+// every reduction from a single loop — and cross-checks each answer
+// against the in-memory oracle. It is the benchmark-side proof of the
+// engine refactor's claim: adding a ninth problem to the registry adds a
+// row-set here with no bench changes.
+func runE27(w io.Writer, cfg Config) error {
+	n := 4096
+	nq := 48
+	if cfg.Quick {
+		n = 512
+		nq = 12
+	}
+	const k = 16
+
+	t := newTable("problem", "reduction", "ios/query", "hits/query", "items/query", "oracle ok")
+	for _, spec := range topk.RegisteredProblems() {
+		for _, r := range topk.AllReductions() {
+			ix, err := spec.Build(n, cfg.Seed+27, topk.WithReduction(r), topk.WithSeed(cfg.Seed))
+			if err != nil {
+				return err
+			}
+			qs := ix.GenQueries(nq, cfg.Seed+270)
+			res := ix.QueryBatch(qs, k, 0)
+			var ios, hits, items int64
+			ok := true
+			for i, q := range qs {
+				ios += res[i].Stats.IOs()
+				hits += res[i].Stats.Hits
+				items += int64(len(res[i].Items))
+				oracle := ix.Oracle(q)
+				if len(oracle) > k {
+					oracle = oracle[:k]
+				}
+				if len(res[i].Items) != len(oracle) {
+					ok = false
+					continue
+				}
+				for j := range oracle {
+					if res[i].Items[j].Weight != oracle[j].Weight {
+						ok = false
+					}
+				}
+			}
+			t.row(spec.Name, r.String(),
+				float64(ios)/float64(nq),
+				float64(hits)/float64(nq),
+				float64(items)/float64(nq),
+				boolCell(ok))
+		}
+	}
+	t.write(w)
+	note(w, "n=%d items per problem, %d queries, k=%d, registry workloads. Every row is produced by the same generic loop over topk.RegisteredProblems(); the oracle column re-answers each query by full scan outside the EM model. FullScan rows are the oracle answering itself and double as the baseline I/O ceiling.", n, nq, k)
+	return nil
+}

@@ -2,7 +2,6 @@ package topk
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"topk/internal/core"
@@ -17,185 +16,78 @@ type IntervalItem[T any] struct {
 	Data   T
 }
 
+// intervalProblem is the engine descriptor for top-k interval stabbing.
+func intervalProblem[T any]() problem[float64, interval.Interval, IntervalItem[T]] {
+	return problem[float64, interval.Interval, IntervalItem[T]]{
+		name:   "interval",
+		match:  interval.Match[interval.Interval],
+		lambda: interval.Lambda,
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[float64, interval.Interval] {
+			return interval.NewPrioritizedFactory[interval.Interval](tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[float64, interval.Interval] {
+			return interval.NewMaxFactory[interval.Interval](tr)
+		},
+		dynPri: func(tr *em.Tracker) core.DynamicPrioritizedFactory[float64, interval.Interval] {
+			return interval.NewDynamicPrioritizedFactory[interval.Interval](tr)
+		},
+		dynMax: func(tr *em.Tracker) core.DynamicMaxFactory[float64, interval.Interval] {
+			return interval.NewDynamicMaxFactory[interval.Interval](tr)
+		},
+		validate: func(it IntervalItem[T]) error {
+			if it.Lo > it.Hi || math.IsNaN(it.Lo) || math.IsNaN(it.Hi) {
+				return fmt.Errorf("topk: malformed interval [%v, %v]", it.Lo, it.Hi)
+			}
+			return nil
+		},
+		weight: func(it IntervalItem[T]) float64 { return it.Weight },
+		toCore: func(it IntervalItem[T]) core.Item[interval.Interval] {
+			return core.Item[interval.Interval]{Value: interval.Interval{Lo: it.Lo, Hi: it.Hi}, Weight: it.Weight}
+		},
+		fromCore: func(ci core.Item[interval.Interval], st IntervalItem[T]) IntervalItem[T] {
+			st.Lo, st.Hi, st.Weight = ci.Value.Lo, ci.Value.Hi, ci.Weight
+			return st
+		},
+		describe: func(q float64, k int) string { return fmt.Sprintf("stab x=%v k=%d", q, k) },
+	}
+}
+
 // IntervalIndex answers top-k interval-stabbing queries (the paper's
 // Theorem 4): given a point x and an integer k, return the k heaviest
 // intervals containing x. With the Expected reduction the index is
 // dynamic: Insert and Delete are supported at O(log_B n) amortized
 // expected I/Os.
 type IntervalIndex[T any] struct {
-	opts    Options
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[float64, interval.Interval]
-	dyn     updatableTopK[float64, interval.Interval] // non-nil when updatable
-	pri     core.Prioritized[float64, interval.Interval]
-	src     []IntervalItem[T] // retained for Items() on static reductions
-	data    map[float64]T
-	n       int
+	facade[float64, interval.Interval, IntervalItem[T]]
 }
 
 // NewIntervalIndex builds an index over items. Weights must be distinct
 // and intervals well-formed (Lo ≤ Hi).
 func NewIntervalIndex[T any](items []IntervalItem[T], opts ...Option) (*IntervalIndex[T], error) {
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[interval.Interval], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		cores[i] = core.Item[interval.Interval]{
-			Value:  interval.Interval{Lo: it.Lo, Hi: it.Hi},
-			Weight: it.Weight,
-		}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(intervalProblem[T](), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &IntervalIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
-
-	pf := interval.NewPrioritizedFactory[interval.Interval](tracker)
-	mf := interval.NewMaxFactory[interval.Interval](tracker)
-	match := interval.Match[interval.Interval]
-
-	// The Expected reduction is built in its dynamic form so the index is
-	// updatable (Theorem 2's native update path); any other reduction
-	// becomes updatable through the logarithmic-method overlay when
-	// WithUpdates is set, and is static otherwise.
-	switch {
-	case o.reduction == Expected:
-		dyn, err := core.NewDynamicExpected(cores, match,
-			interval.NewDynamicPrioritizedFactory[interval.Interval](tracker),
-			interval.NewDynamicMaxFactory[interval.Interval](tracker),
-			core.ExpectedOptions{B: o.blockSize, Seed: o.seed, Tracker: tracker})
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	case o.updates:
-		dyn, err := newOverlay(cores, match, pf, mf, interval.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	default:
-		t, err := buildTopK(cores, match, pf, mf, interval.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-		ix.src = append([]IntervalItem[T](nil), items...)
-	}
-
-	// Direct prioritized access shares the reduction's own black box on D
-	// rather than building a duplicate.
-	ix.pri = prioritizedOf(ix.topk)
-
-	// Observability hooks attach after construction so build-time I/Os
-	// don't pollute query metrics.
-	ix.ob = newIndexObs("interval", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
+	return &IntervalIndex[T]{newFacade(eng)}, nil
 }
-
-// Len returns the number of live intervals.
-func (ix *IntervalIndex[T]) Len() int { return ix.n }
 
 // TopK returns the k heaviest intervals containing x, heaviest first.
-func (ix *IntervalIndex[T]) TopK(x float64, k int) []IntervalItem[T] {
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(x, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("stab x=%v k=%d", x, k) })
-	out := make([]IntervalItem[T], len(res))
-	for i, it := range res {
-		out[i] = IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]}
-	}
-	return out
-}
+func (ix *IntervalIndex[T]) TopK(x float64, k int) []IntervalItem[T] { return ix.eng.TopK(x, k) }
 
 // ReportAbove streams every interval containing x with weight ≥ tau (in
 // unspecified order); return false from visit to stop early. This is the
 // underlying prioritized query.
 func (ix *IntervalIndex[T]) ReportAbove(x, tau float64, visit func(IntervalItem[T]) bool) {
-	ix.pri.ReportAbove(x, tau, func(it core.Item[interval.Interval]) bool {
-		return visit(IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]})
-	})
+	ix.eng.ReportAbove(x, tau, visit)
 }
 
 // Max returns the heaviest interval containing x (a top-1 query).
-func (ix *IntervalIndex[T]) Max(x float64) (IntervalItem[T], bool) {
-	it, ok := maxOfTopK(ix.topk, x)
-	if !ok {
-		return IntervalItem[T]{}, false
-	}
-	return IntervalItem[T]{Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight]}, true
-}
-
-// Insert adds an interval. Indexes built with the Expected reduction
-// update through Theorem 2's dynamic path; any other reduction updates
-// through the logarithmic overlay when built with WithUpdates, and returns
-// an error otherwise.
-func (ix *IntervalIndex[T]) Insert(item IntervalItem[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
-	}
-	if item.Lo > item.Hi || math.IsNaN(item.Lo) || math.IsNaN(item.Hi) {
-		return fmt.Errorf("topk: malformed interval [%v, %v]", item.Lo, item.Hi)
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	ci := core.Item[interval.Interval]{Value: interval.Interval{Lo: item.Lo, Hi: item.Hi}, Weight: item.Weight}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
-}
-
-// Delete removes the interval with the given weight, reporting whether it
-// was present. See Insert for which builds are updatable.
-func (ix *IntervalIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
+func (ix *IntervalIndex[T]) Max(x float64) (IntervalItem[T], bool) { return ix.eng.Max(x) }
 
 // Items returns a snapshot of the live intervals in unspecified order —
 // the full state needed to persist and rebuild the index (construction is
 // deterministic given the same items, options, and seed).
-func (ix *IntervalIndex[T]) Items() []IntervalItem[T] {
-	if ix.dyn == nil {
-		return append([]IntervalItem[T](nil), ix.src...)
-	}
-	live := ix.dyn.Items()
-	out := make([]IntervalItem[T], 0, len(live))
-	for _, it := range live {
-		out = append(out, IntervalItem[T]{
-			Lo: it.Value.Lo, Hi: it.Value.Hi, Weight: it.Weight, Data: ix.data[it.Weight],
-		})
-	}
-	return out
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *IntervalIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters (space is preserved).
-func (ix *IntervalIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+func (ix *IntervalIndex[T]) Items() []IntervalItem[T] { return ix.eng.Items() }
 
 // QueryBatch answers one top-k stabbing query per element of xs on a
 // bounded pool of `parallelism` worker goroutines (GOMAXPROCS when <= 0),
@@ -206,11 +98,5 @@ func (ix *IntervalIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // concurrently with each other and with single queries, but not with
 // Insert or Delete.
 func (ix *IntervalIndex[T]) QueryBatch(xs []float64, k int, parallelism int) []BatchResult[IntervalItem[T]] {
-	return runBatch(ix.tracker, ix.ob, xs, parallelism, func(x float64) []IntervalItem[T] {
-		return ix.TopK(x, k)
-	})
+	return ix.eng.QueryBatch(xs, k, parallelism)
 }
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *IntervalIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

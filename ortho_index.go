@@ -2,7 +2,6 @@ package topk
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"topk/internal/core"
@@ -11,20 +10,52 @@ import (
 	"topk/internal/orthorange"
 )
 
+// orthoProblem is the engine descriptor for top-k orthogonal range
+// reporting in dimension d.
+func orthoProblem[T any](d int) problem[orthorange.Box, halfspace.PtN, PointItemN[T]] {
+	return problem[orthorange.Box, halfspace.PtN, PointItemN[T]]{
+		name:   "ortho",
+		match:  orthorange.Match,
+		lambda: orthorange.Lambda(d),
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[orthorange.Box, halfspace.PtN] {
+			return orthorange.NewPrioritizedFactory(d, tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[orthorange.Box, halfspace.PtN] {
+			return orthorange.NewMaxFactory(d, tr)
+		},
+		validate: func(it PointItemN[T]) error {
+			if len(it.Coords) != d {
+				return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(it.Coords), d)
+			}
+			for _, c := range it.Coords {
+				if math.IsNaN(c) {
+					return fmt.Errorf("topk: NaN coordinate")
+				}
+			}
+			return nil
+		},
+		weight: func(it PointItemN[T]) float64 { return it.Weight },
+		toCore: func(it PointItemN[T]) core.Item[halfspace.PtN] {
+			coords := append([]float64(nil), it.Coords...)
+			return core.Item[halfspace.PtN]{Value: halfspace.PtN{C: coords}, Weight: it.Weight}
+		},
+		fromCore: func(ci core.Item[halfspace.PtN], st PointItemN[T]) PointItemN[T] {
+			st.Coords, st.Weight = ci.Value.C, ci.Weight
+			return st
+		},
+		describe: func(q orthorange.Box, k int) string {
+			return fmt.Sprintf("box lo=%v hi=%v k=%d", q.Lo, q.Hi, k)
+		},
+	}
+}
+
 // OrthoIndex answers top-k orthogonal range queries in fixed dimension d:
 // given an axis-parallel box, return the k heaviest points inside. The 2D
 // case is the companion problem of Rahul & Tao's PODS'15 paper (this
 // paper's §2 survey).
 type OrthoIndex[T any] struct {
-	opts    Options
-	d       int
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[orthorange.Box, halfspace.PtN]
-	dyn     updatableTopK[orthorange.Box, halfspace.PtN] // non-nil when built with WithUpdates
-	pri     core.Prioritized[orthorange.Box, halfspace.PtN]
-	data    map[float64]T
-	n       int
+	d int
+	facade[orthorange.Box, halfspace.PtN, PointItemN[T]]
 }
 
 // NewOrthoIndex builds an index over d-dimensional items. With
@@ -34,76 +65,35 @@ func NewOrthoIndex[T any](items []PointItemN[T], d int, opts ...Option) (*OrthoI
 	if d < 1 {
 		return nil, fmt.Errorf("topk: dimension %d", d)
 	}
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[halfspace.PtN], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		if len(it.Coords) != d {
-			return nil, fmt.Errorf("topk: item %d has %d coordinates in dimension %d", i, len(it.Coords), d)
-		}
-		cores[i] = core.Item[halfspace.PtN]{Value: halfspace.PtN{C: it.Coords}, Weight: it.Weight}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(orthoProblem[T](d), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &OrthoIndex[T]{opts: o, d: d, tracker: tracker, data: data, n: len(items)}
-	if o.updates {
-		dyn, err := newOverlay(cores, orthorange.Match,
-			orthorange.NewPrioritizedFactory(d, tracker),
-			orthorange.NewMaxFactory(d, tracker),
-			orthorange.Lambda(d), o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	} else {
-		t, err := buildTopK(cores, orthorange.Match,
-			orthorange.NewPrioritizedFactory(d, tracker),
-			orthorange.NewMaxFactory(d, tracker),
-			orthorange.Lambda(d), o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-	}
-	ix.pri = prioritizedOf(ix.topk)
-	ix.ob = newIndexObs("ortho", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
+	return &OrthoIndex[T]{d: d, facade: newFacade(eng)}, nil
 }
-
-// Len returns the number of indexed points.
-func (ix *OrthoIndex[T]) Len() int { return ix.n }
 
 // Dim returns the index dimension.
 func (ix *OrthoIndex[T]) Dim() int { return ix.d }
 
-func (ix *OrthoIndex[T]) wrap(it core.Item[halfspace.PtN]) PointItemN[T] {
-	return PointItemN[T]{Coords: it.Value.C, Weight: it.Weight, Data: ix.data[it.Weight]}
+func (ix *OrthoIndex[T]) box(lo, hi []float64) (orthorange.Box, error) {
+	q, err := orthorange.NewBox(lo, hi)
+	if err != nil {
+		return orthorange.Box{}, err
+	}
+	if len(lo) != ix.d {
+		return orthorange.Box{}, fmt.Errorf("topk: box has %d coordinates in dimension %d", len(lo), ix.d)
+	}
+	return q, nil
 }
 
 // TopK returns the k heaviest points inside the box [lo, hi], heaviest
 // first. Malformed boxes (mismatched dimension, lo > hi) return an error.
 func (ix *OrthoIndex[T]) TopK(lo, hi []float64, k int) ([]PointItemN[T], error) {
-	q, err := orthorange.NewBox(lo, hi)
+	q, err := ix.box(lo, hi)
 	if err != nil {
 		return nil, err
 	}
-	if len(lo) != ix.d {
-		return nil, fmt.Errorf("topk: box has %d coordinates in dimension %d", len(lo), ix.d)
-	}
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(q, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("box lo=%v hi=%v k=%d", lo, hi, k) })
-	out := make([]PointItemN[T], len(res))
-	for i, it := range res {
-		out[i] = ix.wrap(it)
-	}
-	return out, nil
+	return ix.eng.TopK(q, k), nil
 }
 
 // ReportAbove streams every point inside the box with weight ≥ tau.
@@ -112,9 +102,7 @@ func (ix *OrthoIndex[T]) ReportAbove(lo, hi []float64, tau float64, visit func(P
 	if err != nil {
 		return err
 	}
-	ix.pri.ReportAbove(q, tau, func(it core.Item[halfspace.PtN]) bool {
-		return visit(ix.wrap(it))
-	})
+	ix.eng.ReportAbove(q, tau, visit)
 	return nil
 }
 
@@ -124,64 +112,9 @@ func (ix *OrthoIndex[T]) Max(lo, hi []float64) (PointItemN[T], bool, error) {
 	if err != nil {
 		return PointItemN[T]{}, false, err
 	}
-	it, ok := maxOfTopK(ix.topk, q)
-	if !ok {
-		return PointItemN[T]{}, false, nil
-	}
-	return ix.wrap(it), true, nil
+	it, ok := ix.eng.Max(q)
+	return it, ok, nil
 }
-
-// Insert adds a point. Only indexes built with WithUpdates support
-// updates; others return an error.
-func (ix *OrthoIndex[T]) Insert(item PointItemN[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
-	}
-	if len(item.Coords) != ix.d {
-		return fmt.Errorf("topk: item has %d coordinates in dimension %d", len(item.Coords), ix.d)
-	}
-	for _, c := range item.Coords {
-		if math.IsNaN(c) {
-			return fmt.Errorf("topk: NaN coordinate")
-		}
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	coords := append([]float64(nil), item.Coords...)
-	ci := core.Item[halfspace.PtN]{Value: halfspace.PtN{C: coords}, Weight: item.Weight}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
-}
-
-// Delete removes the point with the given weight, reporting whether it
-// was present. Only indexes built with WithUpdates support updates.
-func (ix *OrthoIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *OrthoIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters.
-func (ix *OrthoIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 
 // QueryBatch answers one top-k box query per BoxQuery on a bounded pool
 // of `parallelism` worker goroutines (GOMAXPROCS when <= 0). All boxes
@@ -190,23 +123,16 @@ func (ix *OrthoIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // per-query Stats are independent of parallelism; see
 // IntervalIndex.QueryBatch for the full contract.
 func (ix *OrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]BatchResult[PointItemN[T]], error) {
+	boxes := make([]orthorange.Box, len(qs))
 	for i, q := range qs {
-		if _, err := orthorange.NewBox(q.Lo, q.Hi); err != nil {
+		b, err := orthorange.NewBox(q.Lo, q.Hi)
+		if err != nil {
 			return nil, fmt.Errorf("topk: batch query %d: %w", i, err)
 		}
 		if len(q.Lo) != ix.d {
 			return nil, fmt.Errorf("topk: batch query %d: box has %d coordinates in dimension %d", i, len(q.Lo), ix.d)
 		}
+		boxes[i] = b
 	}
-	return runBatch(ix.tracker, ix.ob, qs, parallelism, func(q BoxQuery) []PointItemN[T] {
-		res, err := ix.TopK(q.Lo, q.Hi, k)
-		if err != nil {
-			panic(err) // unreachable: validated above
-		}
-		return res
-	}), nil
+	return ix.eng.QueryBatch(boxes, k, parallelism), nil
 }
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *OrthoIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

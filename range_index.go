@@ -2,7 +2,6 @@ package topk
 
 import (
 	"fmt"
-	"io"
 	"math"
 
 	"topk/internal/core"
@@ -17,107 +16,74 @@ type PointItem1[T any] struct {
 	Data   T
 }
 
+// rangeProblem is the engine descriptor for top-k 1D range reporting.
+func rangeProblem[T any]() problem[rangerep.Span, float64, PointItem1[T]] {
+	return problem[rangerep.Span, float64, PointItem1[T]]{
+		name:   "range",
+		match:  rangerep.Match,
+		lambda: rangerep.Lambda,
+		pri: func(tr *em.Tracker) core.PrioritizedFactory[rangerep.Span, float64] {
+			return rangerep.NewPrioritizedFactory(tr)
+		},
+		max: func(tr *em.Tracker) core.MaxFactory[rangerep.Span, float64] {
+			return rangerep.NewMaxFactory(tr)
+		},
+		dynPri: func(tr *em.Tracker) core.DynamicPrioritizedFactory[rangerep.Span, float64] {
+			return rangerep.NewDynamicPrioritizedFactory(tr)
+		},
+		dynMax: func(tr *em.Tracker) core.DynamicMaxFactory[rangerep.Span, float64] {
+			return rangerep.NewDynamicMaxFactory(tr)
+		},
+		validate: func(it PointItem1[T]) error {
+			if math.IsNaN(it.Pos) {
+				return fmt.Errorf("topk: NaN position")
+			}
+			return nil
+		},
+		weight: func(it PointItem1[T]) float64 { return it.Weight },
+		toCore: func(it PointItem1[T]) core.Item[float64] {
+			return core.Item[float64]{Value: it.Pos, Weight: it.Weight}
+		},
+		fromCore: func(ci core.Item[float64], st PointItem1[T]) PointItem1[T] {
+			st.Pos, st.Weight = ci.Value, ci.Weight
+			return st
+		},
+		describe: func(q rangerep.Span, k int) string {
+			return fmt.Sprintf("range [%v,%v] k=%d", q.Lo, q.Hi, k)
+		},
+	}
+}
+
 // RangeIndex answers top-k 1D range-reporting queries — the most-studied
 // problem of the paper's framework (its Section 2 survey): given a range
 // [lo, hi] and k, return the k heaviest points inside. With the Expected
 // reduction (the default) the index is dynamic.
 type RangeIndex[T any] struct {
-	opts    Options
-	tracker *em.Tracker
-	ob      *indexObs // nil when observability is off
-	topk    core.TopK[rangerep.Span, float64]
-	dyn     updatableTopK[rangerep.Span, float64]
-	pri     core.Prioritized[rangerep.Span, float64]
-	src     []PointItem1[T] // retained for Items() on static reductions
-	data    map[float64]T
-	n       int
+	facade[rangerep.Span, float64, PointItem1[T]]
 }
 
 // NewRangeIndex builds an index over items (weights distinct).
 func NewRangeIndex[T any](items []PointItem1[T], opts ...Option) (*RangeIndex[T], error) {
-	o := applyOptions(opts)
-	tracker := o.newTracker()
-
-	cores := make([]core.Item[float64], len(items))
-	data := make(map[float64]T, len(items))
-	for i, it := range items {
-		cores[i] = core.Item[float64]{Value: it.Pos, Weight: it.Weight}
-		if _, dup := data[it.Weight]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", it.Weight)
-		}
-		data[it.Weight] = it.Data
+	eng, err := newEngine(rangeProblem[T](), items, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	ix := &RangeIndex[T]{opts: o, tracker: tracker, data: data, n: len(items)}
-	switch {
-	case o.reduction == Expected:
-		dyn, err := core.NewDynamicExpected(cores, rangerep.Match,
-			rangerep.NewDynamicPrioritizedFactory(tracker),
-			rangerep.NewDynamicMaxFactory(tracker),
-			core.ExpectedOptions{B: o.blockSize, Seed: o.seed, Tracker: tracker})
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	case o.updates:
-		dyn, err := newOverlay(cores, rangerep.Match,
-			rangerep.NewPrioritizedFactory(tracker),
-			rangerep.NewMaxFactory(tracker),
-			rangerep.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk, ix.dyn = dyn, dyn
-	default:
-		t, err := buildTopK(cores, rangerep.Match,
-			rangerep.NewPrioritizedFactory(tracker),
-			rangerep.NewMaxFactory(tracker),
-			rangerep.Lambda, o, tracker)
-		if err != nil {
-			return nil, err
-		}
-		ix.topk = t
-		ix.src = append([]PointItem1[T](nil), items...)
-	}
-	ix.pri = prioritizedOf(ix.topk)
-	ix.ob = newIndexObs("range", o, tracker)
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return ix, nil
-}
-
-// Len returns the number of live points.
-func (ix *RangeIndex[T]) Len() int { return ix.n }
-
-func (ix *RangeIndex[T]) wrap(it core.Item[float64]) PointItem1[T] {
-	return PointItem1[T]{Pos: it.Value, Weight: it.Weight, Data: ix.data[it.Weight]}
+	return &RangeIndex[T]{newFacade(eng)}, nil
 }
 
 // TopK returns the k heaviest points in [lo, hi], heaviest first.
 func (ix *RangeIndex[T]) TopK(lo, hi float64, k int) []PointItem1[T] {
-	t0, before := ix.ob.start()
-	res := ix.topk.TopK(rangerep.Span{Lo: lo, Hi: hi}, k)
-	ix.ob.done(t0, before, func() string { return fmt.Sprintf("range [%v,%v] k=%d", lo, hi, k) })
-	out := make([]PointItem1[T], len(res))
-	for i, it := range res {
-		out[i] = ix.wrap(it)
-	}
-	return out
+	return ix.eng.TopK(rangerep.Span{Lo: lo, Hi: hi}, k)
 }
 
 // ReportAbove streams every point in [lo, hi] with weight ≥ tau.
 func (ix *RangeIndex[T]) ReportAbove(lo, hi, tau float64, visit func(PointItem1[T]) bool) {
-	ix.pri.ReportAbove(rangerep.Span{Lo: lo, Hi: hi}, tau, func(it core.Item[float64]) bool {
-		return visit(ix.wrap(it))
-	})
+	ix.eng.ReportAbove(rangerep.Span{Lo: lo, Hi: hi}, tau, visit)
 }
 
 // Max returns the heaviest point in [lo, hi] (a top-1 query).
 func (ix *RangeIndex[T]) Max(lo, hi float64) (PointItem1[T], bool) {
-	it, ok := maxOfTopK(ix.topk, rangerep.Span{Lo: lo, Hi: hi})
-	if !ok {
-		return PointItem1[T]{}, false
-	}
-	return ix.wrap(it), true
+	return ix.eng.Max(rangerep.Span{Lo: lo, Hi: hi})
 }
 
 // Count returns the number of points in [lo, hi]: O(log_B n) I/Os when the
@@ -125,77 +91,21 @@ func (ix *RangeIndex[T]) Max(lo, hi float64) (PointItem1[T], bool) {
 // enumeration.
 func (ix *RangeIndex[T]) Count(lo, hi float64) int {
 	q := rangerep.Span{Lo: lo, Hi: hi}
-	if p, ok := ix.pri.(*rangerep.Points); ok {
+	if p, ok := ix.eng.pri.(*rangerep.Points); ok {
 		return p.Count(q)
 	}
 	n := 0
-	ix.pri.ReportAbove(q, math.Inf(-1), func(core.Item[float64]) bool {
+	ix.eng.pri.ReportAbove(q, math.Inf(-1), func(core.Item[float64]) bool {
 		n++
 		return true
 	})
 	return n
 }
 
-// Insert adds a point (Expected reduction, or any reduction built with
-// WithUpdates).
-func (ix *RangeIndex[T]) Insert(item PointItem1[T]) error {
-	if ix.dyn == nil {
-		return errStatic(ix.opts.reduction)
-	}
-	if math.IsNaN(item.Pos) {
-		return fmt.Errorf("topk: NaN position")
-	}
-	if math.IsNaN(item.Weight) || math.IsInf(item.Weight, 0) {
-		return fmt.Errorf("topk: non-finite weight %v", item.Weight)
-	}
-	if _, dup := ix.data[item.Weight]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", item.Weight)
-	}
-	ci := core.Item[float64]{Value: item.Pos, Weight: item.Weight}
-	if err := ix.dyn.Insert(ci); err != nil {
-		return err
-	}
-	ix.data[item.Weight] = item.Data
-	ix.n++
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return nil
-}
-
-// Delete removes the point with the given weight, reporting whether it
-// was present. See Insert for which builds are updatable.
-func (ix *RangeIndex[T]) Delete(weight float64) (bool, error) {
-	if ix.dyn == nil {
-		return false, errStatic(ix.opts.reduction)
-	}
-	if !ix.dyn.DeleteWeight(weight) {
-		return false, nil
-	}
-	delete(ix.data, weight)
-	ix.n--
-	ix.ob.observeShape(ix.n, ix.dyn)
-	return true, nil
-}
-
 // Items returns a snapshot of the live points in unspecified order — the
 // full state needed to persist and rebuild the index (construction is
 // deterministic given the same items, options, and seed).
-func (ix *RangeIndex[T]) Items() []PointItem1[T] {
-	if ix.dyn == nil {
-		return append([]PointItem1[T](nil), ix.src...)
-	}
-	live := ix.dyn.Items()
-	out := make([]PointItem1[T], 0, len(live))
-	for _, it := range live {
-		out = append(out, PointItem1[T]{Pos: it.Value, Weight: it.Weight, Data: ix.data[it.Weight]})
-	}
-	return out
-}
-
-// Stats returns the index's simulated I/O counters and space usage.
-func (ix *RangeIndex[T]) Stats() Stats { return statsOf(ix.tracker, ix.opts.reduction) }
-
-// ResetStats zeroes the I/O counters.
-func (ix *RangeIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
+func (ix *RangeIndex[T]) Items() []PointItem1[T] { return ix.eng.Items() }
 
 // QueryBatch answers one top-k range query per Span on a bounded pool of
 // `parallelism` worker goroutines (GOMAXPROCS when <= 0). Each query runs
@@ -203,11 +113,9 @@ func (ix *RangeIndex[T]) ResetStats() { ix.tracker.ResetCounters() }
 // parallelism; see IntervalIndex.QueryBatch for the full contract. Must
 // not run concurrently with Insert or Delete.
 func (ix *RangeIndex[T]) QueryBatch(spans []Span, k int, parallelism int) []BatchResult[PointItem1[T]] {
-	return runBatch(ix.tracker, ix.ob, spans, parallelism, func(s Span) []PointItem1[T] {
-		return ix.TopK(s.Lo, s.Hi, k)
-	})
+	qs := make([]rangerep.Span, len(spans))
+	for i, s := range spans {
+		qs[i] = rangerep.Span{Lo: s.Lo, Hi: s.Hi}
+	}
+	return ix.eng.QueryBatch(qs, k, parallelism)
 }
-
-// WriteMetrics renders the index's metrics registry in Prometheus text
-// exposition format. It errors unless the index was built WithMetrics.
-func (ix *RangeIndex[T]) WriteMetrics(w io.Writer) error { return ix.ob.writeMetrics(w) }

@@ -1,0 +1,746 @@
+package topk
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"topk/internal/circular"
+	"topk/internal/dominance"
+	"topk/internal/enclosure"
+	"topk/internal/halfspace"
+	"topk/internal/interval"
+	"topk/internal/orthorange"
+	"topk/internal/rangerep"
+	"topk/internal/wrand"
+)
+
+// This file is the problem registry: every shipped problem is described
+// once as a ProblemSpec, and generic consumers — the serving binary
+// (cmd/topk-serve), the benchmark harness (internal/bench), and the
+// conformance suite (conformance_test.go) — iterate RegisteredProblems
+// instead of hand-maintaining per-problem switches. Adding a ninth
+// problem to the library is a descriptor (engine.go), a thin typed
+// facade, and one ProblemSpec here; the serving surface, the registry
+// benchmark, and the conformance tests pick it up with no further edits.
+
+// ServedItem is one query answer in type-erased form: the item's weight
+// (its unique identity across the index) plus a short human rendering of
+// its geometry.
+type ServedItem struct {
+	Weight float64
+	Label  string
+}
+
+// Served is a type-erased view of one built index, sufficient to drive
+// it without knowing its query or item types. Queries are opaque values
+// produced by GenQueries or DecodeQuery; passing a query of the wrong
+// problem's type panics, like any interface misuse.
+type Served interface {
+	// Problem returns the registry name of the problem being served.
+	Problem() string
+	// Len returns the number of live items.
+	Len() int
+	// GenQueries returns m deterministic queries derived from seed.
+	GenQueries(m int, seed uint64) []any
+	// DecodeQuery parses one JSON-shaped query (the /query wire format;
+	// see ProblemSpec.QueryShape for the expected shape).
+	DecodeQuery(raw json.RawMessage) (any, error)
+	// TopK returns the k heaviest items satisfying q, heaviest first.
+	TopK(q any, k int) []ServedItem
+	// Max returns the heaviest item satisfying q (a top-1 query).
+	Max(q any) (ServedItem, bool)
+	// ReportAbove returns every item satisfying q with weight ≥ tau, in
+	// unspecified order.
+	ReportAbove(q any, tau float64) []ServedItem
+	// Oracle returns every live item satisfying q in descending weight
+	// order, computed by an in-memory scan outside the EM model — the
+	// ground truth the reductions are checked against.
+	Oracle(q any) []ServedItem
+	// QueryBatch answers one top-k query per element of qs on the
+	// concurrent batch path (see batch.go for the contract).
+	QueryBatch(qs []any, k, parallelism int) []BatchResult[ServedItem]
+	// InsertFresh inserts a deterministically generated valid item whose
+	// weight collides with no live item, returning the weight used.
+	InsertFresh(seed uint64) (float64, error)
+	// InsertInvalid attempts to insert the problem's canonical malformed
+	// item; a nil error is a validation bug.
+	InsertInvalid() error
+	// Delete removes the item with the given weight, reporting whether it
+	// was present.
+	Delete(weight float64) (bool, error)
+	// Stats returns the index-wide simulated I/O counters.
+	Stats() Stats
+	// ResetStats zeroes the I/O counters.
+	ResetStats()
+	// WriteMetrics renders the index's metrics registry in Prometheus
+	// text format. It errors unless the index was built WithMetrics.
+	WriteMetrics(w io.Writer) error
+}
+
+// ProblemSpec is one registry entry: a problem name plus type-erased
+// constructors that let generic consumers build and drive the problem's
+// index.
+type ProblemSpec struct {
+	// Name is the problem's registry key, matching the index's metrics
+	// label ("interval", "range", "ortho", …).
+	Name string
+	// Dim is the ambient dimension the registry serves the problem in
+	// (0 when the problem has a fixed natural dimension).
+	Dim int
+	// QueryShape documents the JSON wire shape DecodeQuery accepts.
+	QueryShape string
+	// NativeDynamic reports that the Expected reduction updates through
+	// Theorem 2's native path, so the index is updatable even without
+	// WithUpdates.
+	NativeDynamic bool
+	// Build constructs the index over a deterministic n-item workload
+	// derived from seed.
+	Build func(n int, seed uint64, opts ...Option) (Served, error)
+	// BuildInvalid attempts construction over a small workload containing
+	// one malformed item, returning the constructor's error. A nil error
+	// is a constructor/Insert validation asymmetry.
+	BuildInvalid func(opts ...Option) error
+}
+
+// Updatable describes the spec's update support for human listings.
+func (s ProblemSpec) Updatable() string {
+	if s.NativeDynamic {
+		return "native (Expected reduction); overlay via WithUpdates otherwise"
+	}
+	return "overlay via WithUpdates"
+}
+
+// AllReductions lists every reduction, in the order they appear in the
+// paper. Registry consumers iterate it to sweep problem × reduction.
+func AllReductions() []Reduction {
+	return []Reduction{Expected, WorstCase, BinarySearch, FullScan}
+}
+
+// RegisteredProblems returns the specs of every shipped problem, in a
+// stable order.
+func RegisteredProblems() []ProblemSpec {
+	return append([]ProblemSpec(nil), problemRegistry...)
+}
+
+// ProblemByName returns the spec registered under name.
+func ProblemByName(name string) (ProblemSpec, bool) {
+	for _, s := range problemRegistry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ProblemSpec{}, false
+}
+
+// ProblemNames returns the registered problem names, in registry order.
+func ProblemNames() []string {
+	names := make([]string, len(problemRegistry))
+	for i, s := range problemRegistry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// served adapts one engine to the type-erased Served interface. The
+// problem-specific residue is four closures and a canonical invalid item.
+type served[Q, V, It any] struct {
+	eng *engine[Q, V, It]
+	// gen draws one query from the problem's deterministic distribution.
+	gen func(g *wrand.RNG) Q
+	// decode parses the problem's JSON query shape.
+	decode func(raw json.RawMessage) (Q, error)
+	// label renders an item's geometry for ServedItem.
+	label func(It) string
+	// fresh builds a valid item with the given (pre-checked) weight.
+	fresh func(g *wrand.RNG, w float64) It
+	// invalid is an item every validation path must reject.
+	invalid It
+}
+
+func (s *served[Q, V, It]) Problem() string { return s.eng.p.name }
+func (s *served[Q, V, It]) Len() int        { return s.eng.Len() }
+
+func (s *served[Q, V, It]) GenQueries(m int, seed uint64) []any {
+	g := wrand.New(seed)
+	qs := make([]any, m)
+	for i := range qs {
+		qs[i] = s.gen(g)
+	}
+	return qs
+}
+
+func (s *served[Q, V, It]) DecodeQuery(raw json.RawMessage) (any, error) {
+	q, err := s.decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (s *served[Q, V, It]) item(it It) ServedItem {
+	return ServedItem{Weight: s.eng.p.weight(it), Label: s.label(it)}
+}
+
+func (s *served[Q, V, It]) TopK(q any, k int) []ServedItem {
+	res := s.eng.TopK(q.(Q), k)
+	out := make([]ServedItem, len(res))
+	for i, it := range res {
+		out[i] = s.item(it)
+	}
+	return out
+}
+
+func (s *served[Q, V, It]) Max(q any) (ServedItem, bool) {
+	it, ok := s.eng.Max(q.(Q))
+	if !ok {
+		return ServedItem{}, false
+	}
+	return s.item(it), true
+}
+
+func (s *served[Q, V, It]) ReportAbove(q any, tau float64) []ServedItem {
+	var out []ServedItem
+	s.eng.ReportAbove(q.(Q), tau, func(it It) bool {
+		out = append(out, s.item(it))
+		return true
+	})
+	return out
+}
+
+func (s *served[Q, V, It]) Oracle(q any) []ServedItem {
+	qq := q.(Q)
+	var out []ServedItem
+	for _, it := range s.eng.Items() {
+		if s.eng.p.match(qq, s.eng.p.toCore(it).Value) {
+			out = append(out, s.item(it))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out
+}
+
+func (s *served[Q, V, It]) QueryBatch(qs []any, k, parallelism int) []BatchResult[ServedItem] {
+	typed := make([]Q, len(qs))
+	for i, q := range qs {
+		typed[i] = q.(Q)
+	}
+	res := s.eng.QueryBatch(typed, k, parallelism)
+	out := make([]BatchResult[ServedItem], len(res))
+	for i, r := range res {
+		items := make([]ServedItem, len(r.Items))
+		for j, it := range r.Items {
+			items[j] = s.item(it)
+		}
+		out[i] = BatchResult[ServedItem]{Items: items, Stats: r.Stats, Trace: r.Trace}
+	}
+	return out
+}
+
+func (s *served[Q, V, It]) InsertFresh(seed uint64) (float64, error) {
+	g := wrand.New(seed)
+	var w float64
+	for {
+		w = g.Float64() * 1e9
+		if _, used := s.eng.data[w]; !used {
+			break
+		}
+	}
+	return w, s.eng.Insert(s.fresh(g, w))
+}
+
+func (s *served[Q, V, It]) InsertInvalid() error { return s.eng.Insert(s.invalid) }
+
+func (s *served[Q, V, It]) Delete(weight float64) (bool, error) { return s.eng.Delete(weight) }
+
+func (s *served[Q, V, It]) Stats() Stats                   { return s.eng.Stats() }
+func (s *served[Q, V, It]) ResetStats()                    { s.eng.ResetStats() }
+func (s *served[Q, V, It]) WriteMetrics(w io.Writer) error { return s.eng.WriteMetrics(w) }
+
+// ---- registry entries -------------------------------------------------
+//
+// Workloads live on [0, 100] per axis with weights drawn distinct from
+// [0, 1e6); query distributions are chosen so a typical query matches a
+// non-trivial fraction of the items. Everything is a pure function of
+// (n, seed), so twin builds are bit-identical.
+
+const coordScale = 100
+
+func fmtCoords(cs []float64) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%.3f", c)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func decodeFloats(raw json.RawMessage, want int, shape string) ([]float64, error) {
+	var xs []float64
+	if err := json.Unmarshal(raw, &xs); err != nil {
+		return nil, fmt.Errorf("want %s: %w", shape, err)
+	}
+	if len(xs) != want {
+		return nil, fmt.Errorf("want %s, got %d numbers", shape, len(xs))
+	}
+	return xs, nil
+}
+
+func genCoords(g *wrand.RNG, d int) []float64 {
+	cs := make([]float64, d)
+	for i := range cs {
+		cs[i] = g.Float64() * coordScale
+	}
+	return cs
+}
+
+// genPointsN is the shared PointItemN workload for the ortho, circular,
+// and halfspace entries.
+func genPointsN(n, d int, seed uint64) []PointItemN[int] {
+	g := wrand.New(seed)
+	ws := g.UniqueFloats(n, 1e6)
+	items := make([]PointItemN[int], n)
+	for i := range items {
+		items[i] = PointItemN[int]{Coords: genCoords(g, d), Weight: ws[i], Data: i}
+	}
+	return items
+}
+
+var problemRegistry = []ProblemSpec{
+	intervalSpec(),
+	rangeSpec(),
+	orthoSpec(),
+	circularSpec(),
+	dominanceSpec(),
+	enclosureSpec(),
+	halfplaneSpec(),
+	halfspaceSpec(),
+}
+
+func intervalSpec() ProblemSpec {
+	mk := func(n int, seed uint64) []IntervalItem[int] {
+		g := wrand.New(seed)
+		ws := g.UniqueFloats(n, 1e6)
+		items := make([]IntervalItem[int], n)
+		for i := range items {
+			lo := g.Float64() * coordScale
+			items[i] = IntervalItem[int]{Lo: lo, Hi: lo + g.ExpFloat64()*5, Weight: ws[i], Data: i}
+		}
+		return items
+	}
+	adapt := func(ix *IntervalIndex[int]) Served {
+		return &served[float64, interval.Interval, IntervalItem[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) float64 { return g.Float64() * coordScale },
+			decode: func(raw json.RawMessage) (float64, error) {
+				var x float64
+				if err := json.Unmarshal(raw, &x); err != nil {
+					return 0, fmt.Errorf("want a stabbing point (number): %w", err)
+				}
+				return x, nil
+			},
+			label: func(it IntervalItem[int]) string { return fmt.Sprintf("[%.3f, %.3f]", it.Lo, it.Hi) },
+			fresh: func(g *wrand.RNG, w float64) IntervalItem[int] {
+				lo := g.Float64() * coordScale
+				return IntervalItem[int]{Lo: lo, Hi: lo + 1, Weight: w}
+			},
+			invalid: IntervalItem[int]{Lo: 2, Hi: 1, Weight: 0.5},
+		}
+	}
+	return ProblemSpec{
+		Name:          "interval",
+		QueryShape:    "number (stabbing point x)",
+		NativeDynamic: true,
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewIntervalIndex(mk(n, seed), opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := mk(4, 1)
+			items = append(items, IntervalItem[int]{Lo: 2, Hi: 1, Weight: 0.5})
+			_, err := NewIntervalIndex(items, opts...)
+			return err
+		},
+	}
+}
+
+func rangeSpec() ProblemSpec {
+	mk := func(n int, seed uint64) []PointItem1[int] {
+		g := wrand.New(seed)
+		ws := g.UniqueFloats(n, 1e6)
+		items := make([]PointItem1[int], n)
+		for i := range items {
+			items[i] = PointItem1[int]{Pos: g.Float64() * coordScale, Weight: ws[i], Data: i}
+		}
+		return items
+	}
+	adapt := func(ix *RangeIndex[int]) Served {
+		return &served[rangerep.Span, float64, PointItem1[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) rangerep.Span {
+				a, b := g.Float64()*coordScale, g.Float64()*coordScale
+				if a > b {
+					a, b = b, a
+				}
+				return rangerep.Span{Lo: a, Hi: b}
+			},
+			decode: func(raw json.RawMessage) (rangerep.Span, error) {
+				xs, err := decodeFloats(raw, 2, "[lo, hi]")
+				if err != nil {
+					return rangerep.Span{}, err
+				}
+				return rangerep.Span{Lo: xs[0], Hi: xs[1]}, nil
+			},
+			label: func(it PointItem1[int]) string { return fmt.Sprintf("%.3f", it.Pos) },
+			fresh: func(g *wrand.RNG, w float64) PointItem1[int] {
+				return PointItem1[int]{Pos: g.Float64() * coordScale, Weight: w}
+			},
+			invalid: PointItem1[int]{Pos: math.NaN(), Weight: 0.5},
+		}
+	}
+	return ProblemSpec{
+		Name:          "range",
+		QueryShape:    "[lo, hi]",
+		NativeDynamic: true,
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewRangeIndex(mk(n, seed), opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := mk(4, 1)
+			items = append(items, PointItem1[int]{Pos: math.NaN(), Weight: 0.5})
+			_, err := NewRangeIndex(items, opts...)
+			return err
+		},
+	}
+}
+
+func orthoSpec() ProblemSpec {
+	const d = 2
+	adapt := func(ix *OrthoIndex[int]) Served {
+		return &served[orthorange.Box, halfspace.PtN, PointItemN[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) orthorange.Box {
+				lo, hi := make([]float64, d), make([]float64, d)
+				for i := 0; i < d; i++ {
+					a, b := g.Float64()*coordScale, g.Float64()*coordScale
+					if a > b {
+						a, b = b, a
+					}
+					lo[i], hi[i] = a, b
+				}
+				q, _ := orthorange.NewBox(lo, hi)
+				return q
+			},
+			decode: func(raw json.RawMessage) (orthorange.Box, error) {
+				var body struct {
+					Lo []float64 `json:"lo"`
+					Hi []float64 `json:"hi"`
+				}
+				if err := json.Unmarshal(raw, &body); err != nil {
+					return orthorange.Box{}, fmt.Errorf(`want {"lo": [...], "hi": [...]}: %w`, err)
+				}
+				if len(body.Lo) != d || len(body.Hi) != d {
+					return orthorange.Box{}, fmt.Errorf("want %d-dimensional lo and hi", d)
+				}
+				return orthorange.NewBox(body.Lo, body.Hi)
+			},
+			label: func(it PointItemN[int]) string { return fmtCoords(it.Coords) },
+			fresh: func(g *wrand.RNG, w float64) PointItemN[int] {
+				return PointItemN[int]{Coords: genCoords(g, d), Weight: w}
+			},
+			invalid: PointItemN[int]{Coords: []float64{1, math.NaN()}, Weight: 0.5},
+		}
+	}
+	return ProblemSpec{
+		Name:       "ortho",
+		Dim:        d,
+		QueryShape: `{"lo": [x1, x2], "hi": [x1, x2]}`,
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewOrthoIndex(genPointsN(n, d, seed), d, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := genPointsN(4, d, 1)
+			items = append(items, PointItemN[int]{Coords: []float64{1, math.NaN()}, Weight: 0.5})
+			_, err := NewOrthoIndex(items, d, opts...)
+			return err
+		},
+	}
+}
+
+func circularSpec() ProblemSpec {
+	const d = 2
+	adapt := func(ix *CircularIndex[int]) Served {
+		return &served[circular.Ball, halfspace.PtN, PointItemN[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) circular.Ball {
+				return circular.Ball{Center: genCoords(g, d), R: 5 + g.ExpFloat64()*10}
+			},
+			decode: func(raw json.RawMessage) (circular.Ball, error) {
+				var body struct {
+					Center []float64 `json:"center"`
+					Radius float64   `json:"radius"`
+				}
+				if err := json.Unmarshal(raw, &body); err != nil {
+					return circular.Ball{}, fmt.Errorf(`want {"center": [...], "radius": r}: %w`, err)
+				}
+				if len(body.Center) != d {
+					return circular.Ball{}, fmt.Errorf("want a %d-dimensional center", d)
+				}
+				return circular.Ball{Center: body.Center, R: body.Radius}, nil
+			},
+			label: func(it PointItemN[int]) string { return fmtCoords(it.Coords) },
+			fresh: func(g *wrand.RNG, w float64) PointItemN[int] {
+				return PointItemN[int]{Coords: genCoords(g, d), Weight: w}
+			},
+			invalid: PointItemN[int]{Coords: []float64{math.NaN(), 1}, Weight: 0.5},
+		}
+	}
+	return ProblemSpec{
+		Name:       "circular",
+		Dim:        d,
+		QueryShape: `{"center": [x, y], "radius": r}`,
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewCircularIndex(genPointsN(n, d, seed), d, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := genPointsN(4, d, 1)
+			items = append(items, PointItemN[int]{Coords: []float64{math.NaN(), 1}, Weight: 0.5})
+			_, err := NewCircularIndex(items, d, opts...)
+			return err
+		},
+	}
+}
+
+func dominanceSpec() ProblemSpec {
+	mk := func(n int, seed uint64) []DominanceItem[int] {
+		g := wrand.New(seed)
+		ws := g.UniqueFloats(n, 1e6)
+		items := make([]DominanceItem[int], n)
+		for i := range items {
+			items[i] = DominanceItem[int]{
+				X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Z: g.Float64() * coordScale,
+				Weight: ws[i], Data: i,
+			}
+		}
+		return items
+	}
+	adapt := func(ix *DominanceIndex[int]) Served {
+		return &served[dominance.Pt3, dominance.Pt3, DominanceItem[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) dominance.Pt3 {
+				return dominance.Pt3{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Z: g.Float64() * coordScale}
+			},
+			decode: func(raw json.RawMessage) (dominance.Pt3, error) {
+				xs, err := decodeFloats(raw, 3, "[x, y, z]")
+				if err != nil {
+					return dominance.Pt3{}, err
+				}
+				return dominance.Pt3{X: xs[0], Y: xs[1], Z: xs[2]}, nil
+			},
+			label: func(it DominanceItem[int]) string {
+				return fmt.Sprintf("(%.3f, %.3f, %.3f)", it.X, it.Y, it.Z)
+			},
+			fresh: func(g *wrand.RNG, w float64) DominanceItem[int] {
+				return DominanceItem[int]{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Z: g.Float64() * coordScale, Weight: w}
+			},
+			invalid: DominanceItem[int]{X: math.NaN(), Weight: 0.5},
+		}
+	}
+	return ProblemSpec{
+		Name:       "dominance",
+		QueryShape: "[x, y, z] (dominance corner)",
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewDominanceIndex(mk(n, seed), opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := mk(4, 1)
+			items = append(items, DominanceItem[int]{X: math.NaN(), Weight: 0.5})
+			_, err := NewDominanceIndex(items, opts...)
+			return err
+		},
+	}
+}
+
+func enclosureSpec() ProblemSpec {
+	mk := func(n int, seed uint64) []RectItem[int] {
+		g := wrand.New(seed)
+		ws := g.UniqueFloats(n, 1e6)
+		items := make([]RectItem[int], n)
+		for i := range items {
+			x, y := g.Float64()*coordScale, g.Float64()*coordScale
+			items[i] = RectItem[int]{
+				X1: x, X2: x + g.ExpFloat64()*10, Y1: y, Y2: y + g.ExpFloat64()*10,
+				Weight: ws[i], Data: i,
+			}
+		}
+		return items
+	}
+	adapt := func(ix *EnclosureIndex[int]) Served {
+		return &served[enclosure.Pt2, enclosure.Rect, RectItem[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) enclosure.Pt2 {
+				return enclosure.Pt2{X: g.Float64() * coordScale, Y: g.Float64() * coordScale}
+			},
+			decode: func(raw json.RawMessage) (enclosure.Pt2, error) {
+				xs, err := decodeFloats(raw, 2, "[x, y]")
+				if err != nil {
+					return enclosure.Pt2{}, err
+				}
+				return enclosure.Pt2{X: xs[0], Y: xs[1]}, nil
+			},
+			label: func(it RectItem[int]) string {
+				return fmt.Sprintf("[%.3f, %.3f]×[%.3f, %.3f]", it.X1, it.X2, it.Y1, it.Y2)
+			},
+			fresh: func(g *wrand.RNG, w float64) RectItem[int] {
+				x, y := g.Float64()*coordScale, g.Float64()*coordScale
+				return RectItem[int]{X1: x, X2: x + 1, Y1: y, Y2: y + 1, Weight: w}
+			},
+			invalid: RectItem[int]{X1: 2, X2: 1, Y1: 0, Y2: 1, Weight: 0.5},
+		}
+	}
+	return ProblemSpec{
+		Name:       "enclosure",
+		QueryShape: "[x, y] (query point)",
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewEnclosureIndex(mk(n, seed), opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := mk(4, 1)
+			items = append(items, RectItem[int]{X1: 2, X2: 1, Y1: 0, Y2: 1, Weight: 0.5})
+			_, err := NewEnclosureIndex(items, opts...)
+			return err
+		},
+	}
+}
+
+func halfplaneSpec() ProblemSpec {
+	mk := func(n int, seed uint64) []PointItem2[int] {
+		g := wrand.New(seed)
+		ws := g.UniqueFloats(n, 1e6)
+		items := make([]PointItem2[int], n)
+		for i := range items {
+			items[i] = PointItem2[int]{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Weight: ws[i], Data: i}
+		}
+		return items
+	}
+	adapt := func(ix *HalfplaneIndex[int]) Served {
+		return &served[halfspace.Halfplane, halfspace.Pt2, PointItem2[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) halfspace.Halfplane {
+				// A boundary through a uniform point with a normal
+				// direction: roughly half the items match.
+				a, b := g.NormFloat64(), g.NormFloat64()
+				px, py := g.Float64()*coordScale, g.Float64()*coordScale
+				return halfspace.Halfplane{A: a, B: b, C: a*px + b*py}
+			},
+			decode: func(raw json.RawMessage) (halfspace.Halfplane, error) {
+				xs, err := decodeFloats(raw, 3, "[a, b, c] (halfplane a·x + b·y ≥ c)")
+				if err != nil {
+					return halfspace.Halfplane{}, err
+				}
+				return halfspace.Halfplane{A: xs[0], B: xs[1], C: xs[2]}, nil
+			},
+			label: func(it PointItem2[int]) string { return fmt.Sprintf("(%.3f, %.3f)", it.X, it.Y) },
+			fresh: func(g *wrand.RNG, w float64) PointItem2[int] {
+				return PointItem2[int]{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Weight: w}
+			},
+			invalid: PointItem2[int]{X: math.NaN(), Weight: 0.5},
+		}
+	}
+	return ProblemSpec{
+		Name:       "halfplane",
+		QueryShape: "[a, b, c] (halfplane a·x + b·y ≥ c)",
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewHalfplaneIndex(mk(n, seed), opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := mk(4, 1)
+			items = append(items, PointItem2[int]{X: math.NaN(), Weight: 0.5})
+			_, err := NewHalfplaneIndex(items, opts...)
+			return err
+		},
+	}
+}
+
+func halfspaceSpec() ProblemSpec {
+	const d = 3
+	adapt := func(ix *HalfspaceIndex[int]) Served {
+		return &served[halfspace.Halfspace, halfspace.PtN, PointItemN[int]]{
+			eng: ix.eng,
+			gen: func(g *wrand.RNG) halfspace.Halfspace {
+				a := make([]float64, d)
+				c := 0.0
+				for i := range a {
+					a[i] = g.NormFloat64()
+					c += a[i] * g.Float64() * coordScale
+				}
+				return halfspace.Halfspace{A: a, C: c}
+			},
+			decode: func(raw json.RawMessage) (halfspace.Halfspace, error) {
+				var body struct {
+					A []float64 `json:"a"`
+					C float64   `json:"c"`
+				}
+				if err := json.Unmarshal(raw, &body); err != nil {
+					return halfspace.Halfspace{}, fmt.Errorf(`want {"a": [...], "c": c}: %w`, err)
+				}
+				if len(body.A) != d {
+					return halfspace.Halfspace{}, fmt.Errorf("want a %d-dimensional normal a", d)
+				}
+				return halfspace.Halfspace{A: body.A, C: body.C}, nil
+			},
+			label: func(it PointItemN[int]) string { return fmtCoords(it.Coords) },
+			fresh: func(g *wrand.RNG, w float64) PointItemN[int] {
+				return PointItemN[int]{Coords: genCoords(g, d), Weight: w}
+			},
+			invalid: PointItemN[int]{Coords: []float64{1, 2}, Weight: 0.5}, // wrong dimension
+		}
+	}
+	return ProblemSpec{
+		Name:       "halfspace",
+		Dim:        d,
+		QueryShape: `{"a": [a1, a2, a3], "c": c} (halfspace a·x ≥ c)`,
+		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewHalfspaceIndex(genPointsN(n, d, seed), d, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix), nil
+		},
+		BuildInvalid: func(opts ...Option) error {
+			items := genPointsN(4, d, 1)
+			items = append(items, PointItemN[int]{Coords: []float64{1, 2}, Weight: 0.5})
+			_, err := NewHalfspaceIndex(items, d, opts...)
+			return err
+		},
+	}
+}

@@ -48,8 +48,6 @@ import (
 	"fmt"
 	"io"
 
-	"topk/internal/core"
-	"topk/internal/dynamic"
 	"topk/internal/em"
 )
 
@@ -177,81 +175,4 @@ func (s Stats) IOs() int64 { return s.Reads + s.Writes }
 func statsOf(t *em.Tracker, r Reduction) Stats {
 	s := t.Stats()
 	return Stats{Reads: s.Reads, Writes: s.Writes, Hits: s.Hits, Blocks: s.Blocks, Reduction: r}
-}
-
-// buildTopK wires factories into the selected reduction.
-func buildTopK[Q, V any](
-	items []core.Item[V],
-	match core.MatchFunc[Q, V],
-	pf core.PrioritizedFactory[Q, V],
-	mf core.MaxFactory[Q, V],
-	lambda float64,
-	o Options,
-	tracker *em.Tracker,
-) (core.TopK[Q, V], error) {
-	switch o.reduction {
-	case WorstCase:
-		return core.NewWorstCase(items, match, pf, core.WorstCaseOptions{
-			B: o.blockSize, Lambda: lambda, Seed: o.seed, Tracker: tracker,
-		})
-	case Expected:
-		return core.NewExpected(items, match, pf, mf, core.ExpectedOptions{
-			B: o.blockSize, Seed: o.seed, Tracker: tracker,
-		})
-	case BinarySearch:
-		return core.NewBaseline(items, pf, tracker)
-	case FullScan:
-		return core.NewScan(items, match, tracker), nil
-	}
-	return nil, fmt.Errorf("topk: unknown reduction %v", o.reduction)
-}
-
-// updatableTopK is the common surface of the two dynamic engines a facade
-// can sit on: Theorem 2's native dynamic reduction (*core.Expected) and
-// the logarithmic-method overlay (*dynamic.Overlay).
-type updatableTopK[Q, V any] interface {
-	core.TopK[Q, V]
-	Insert(core.Item[V]) error
-	DeleteWeight(w float64) bool
-	Items() []core.Item[V]
-}
-
-// newOverlay dynamizes a static reduction with the logarithmic-method
-// overlay: every substructure is built by the ordinary reduction
-// constructor for the selected reduction, sharing the index tracker so
-// merge and rebuild I/Os show up in Stats.
-func newOverlay[Q, V any](
-	items []core.Item[V],
-	match core.MatchFunc[Q, V],
-	pf core.PrioritizedFactory[Q, V],
-	mf core.MaxFactory[Q, V],
-	lambda float64,
-	o Options,
-	tracker *em.Tracker,
-) (*dynamic.Overlay[Q, V], error) {
-	return dynamic.New(items, match, func(sub []core.Item[V]) (core.TopK[Q, V], error) {
-		return buildTopK(sub, match, pf, mf, lambda, o, tracker)
-	}, dynamic.Options{Tracker: tracker, TailCap: o.blockSize})
-}
-
-// errStatic is the shared "index is static" error for Insert/Delete on an
-// index built without an update path.
-func errStatic(r Reduction) error {
-	return fmt.Errorf("topk: %v index is static; build with WithUpdates() for updates", r)
-}
-
-// prioritizedOf extracts the prioritized structure living inside a
-// reduction-built top-k structure, so the facade can answer ReportAbove
-// and Max queries without constructing duplicate black boxes.
-func prioritizedOf[Q, V any](t core.TopK[Q, V]) core.Prioritized[Q, V] {
-	return core.PrioritizedOf(t)
-}
-
-// maxOfTopK answers a max query through any top-k structure (k = 1).
-func maxOfTopK[Q, V any](t core.TopK[Q, V], q Q) (core.Item[V], bool) {
-	res := t.TopK(q, 1)
-	if len(res) == 0 {
-		return core.Item[V]{}, false
-	}
-	return res[0], true
 }

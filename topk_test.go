@@ -569,7 +569,7 @@ func TestPrioritizedAccessorAllReductions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", r, err)
 		}
-		if ix.pri == nil {
+		if ix.eng.pri == nil {
 			t.Fatalf("%v: no prioritized accessor", r)
 		}
 		x := 50.0
