@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel experiments validate examples serve-smoke fmt fmt-check vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke fmt fmt-check vet clean ci
 
 all: build vet test
 
@@ -39,12 +39,14 @@ fuzz:
 	$(GO) test -fuzz FuzzTreeOps -fuzztime 10s ./internal/interval/
 	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 10s -run '^$$' .
 	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 10s -run '^$$' .
+	$(GO) test -fuzz FuzzShardedInterval -fuzztime 10s -run '^$$' .
 
-# Brief fuzz pass over just the dynamization oracle-diff targets: cheap
-# enough for every CI run, still long enough to shake out op-sequence bugs.
+# Brief fuzz pass over just the oracle-diff targets: cheap enough for
+# every CI run, still long enough to shake out op-sequence bugs.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 5s -run '^$$' .
 	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 5s -run '^$$' .
+	$(GO) test -fuzz FuzzShardedInterval -fuzztime 5s -run '^$$' .
 
 # Coverage floors on the packages whose correctness the test pyramid leans
 # on: the dynamization overlay, the reduction framework, and the root
@@ -64,9 +66,26 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchtime 20x .
 
-# Regenerate the EXPERIMENTS.md tables (E1-E27).
+# Regenerate the EXPERIMENTS.md tables (E1-E28).
 experiments:
 	$(GO) run ./cmd/topk-bench -seed 42
+
+# Regenerate the benchmark-regression baseline for this PR. Commit the
+# result whenever a cost change is intentional; bench-check diffs
+# against the newest checked-in baseline.
+BENCH_BASELINE = BENCH_PR5.json
+bench-json:
+	$(GO) run ./cmd/topk-bench -io-json $(BENCH_BASELINE)
+
+# The CI cost gate: emit a fresh snapshot and diff it against the newest
+# checked-in BENCH_*.json. Deterministic I/O counts must not rise; wall
+# times are report-only (see cmd/benchdiff).
+bench-check:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1); \
+	[ -n "$$base" ] || { echo "FAIL: no BENCH_*.json baseline checked in; run make bench-json"; exit 1; }; \
+	$(GO) run ./cmd/topk-bench -io-json /tmp/topk-bench-current.json; \
+	echo "bench-check: diffing against $$base"; \
+	$(GO) run ./cmd/benchdiff "$$base" /tmp/topk-bench-current.json
 
 # End-to-end smoke of the serving surface: start topk-serve, poll
 # /healthz, answer a /query batch, and assert /metrics exposes populated
@@ -88,15 +107,17 @@ serve-smoke:
 	curl -sf http://127.0.0.1:18099/debug/slow | grep -q 'slow query' || { echo "FAIL: /debug/slow empty"; exit 1; }; \
 	curl -sf http://127.0.0.1:18099/problems | grep -q '"halfspace"' || { echo "FAIL: /problems missing registry entries"; exit 1; }; \
 	echo "serve-smoke: interval ok"
-	@/tmp/topk-serve -addr 127.0.0.1:18100 -problem dominance -n 5000 -slow-ios 1 & \
+	@/tmp/topk-serve -addr 127.0.0.1:18100 -problem dominance -n 5000 -shards 4 -slow-ios 1 & \
 	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18100/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
-	curl -sf -X POST http://127.0.0.1:18100/query -d '{"queries":[[50,50,50],[90,90,90]],"k":5}' | grep -q '"ios"' \
-		|| { echo "FAIL: /query (dominance)"; exit 1; }; \
-	count=$$(curl -sf http://127.0.0.1:18100/metrics | sed -n 's/^topk_query_ios_count{index="dominance"} //p'); \
-	[ "$$count" = "2" ] || { echo "FAIL: dominance topk_query_ios_count = $$count, want 2"; exit 1; }; \
+	curl -sf -X POST http://127.0.0.1:18100/query -d '{"queries":[[50,50,50],[90,90,90]],"k":5}' | grep -q '"shards":4' \
+		|| { echo "FAIL: /query (sharded dominance)"; exit 1; }; \
+	metrics=$$(curl -sf http://127.0.0.1:18100/metrics); \
+	echo "$$metrics" | grep -q 'topk_shards{index="dominance"} 4' || { echo "FAIL: topk_shards gauge"; exit 1; }; \
+	count=$$(echo "$$metrics" | grep -c '^topk_query_ios_count{index="dominance",shard="'); \
+	[ "$$count" = "4" ] || { echo "FAIL: $$count per-shard topk_query_ios_count series, want 4"; exit 1; }; \
 	echo "serve-smoke: ok"
 
 validate:
@@ -113,5 +134,6 @@ clean:
 	$(GO) clean ./...
 
 # What CI runs (.github/workflows/ci.yml), runnable locally. CI
-# additionally runs staticcheck, which is not vendored here.
-ci: build vet fmt-check test race cover fuzz-smoke serve-smoke
+# additionally runs staticcheck and govulncheck, which are not vendored
+# here.
+ci: build vet fmt-check test race cover fuzz-smoke serve-smoke bench-check

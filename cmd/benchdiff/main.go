@@ -1,0 +1,116 @@
+// Command benchdiff compares two benchmark-regression snapshots
+// produced by `topk-bench -io-json` (see internal/bench/regress.go) and
+// enforces the CI cost gate:
+//
+//	benchdiff BASELINE.json CURRENT.json
+//
+// I/O rows are deterministic simulated costs, so the rules are strict:
+// any key present in the baseline must still exist, and its I/O count
+// must not increase. An intended cost change ships with a regenerated
+// baseline (make bench-json writes BENCH_PR<n>.json) in the same PR, so
+// the diff against the new baseline is clean again. Decreases and new
+// keys are reported but pass. Wall rows (ns/op) are machine-dependent
+// and report-only.
+//
+// Exit status: 0 clean, 1 regression, 2 usage or unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"topk/internal/bench"
+)
+
+func load(path string) (*bench.RegressReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.RegressReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != bench.RegressSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, bench.RegressSchema)
+	}
+	return &rep, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err == nil {
+		var cur *bench.RegressReport
+		if cur, err = load(os.Args[2]); err == nil {
+			os.Exit(diff(base, cur))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+func diff(base, cur *bench.RegressReport) int {
+	if base.Seed != cur.Seed || base.N != cur.N || base.NQ != cur.NQ || base.K != cur.K {
+		fmt.Fprintf(os.Stderr, "benchdiff: workload mismatch: baseline (seed=%d n=%d nq=%d k=%d) vs current (seed=%d n=%d nq=%d k=%d)\n",
+			base.Seed, base.N, base.NQ, base.K, cur.Seed, cur.N, cur.NQ, cur.K)
+		return 1
+	}
+
+	curIO := make(map[string]bench.IORow, len(cur.IO))
+	for _, r := range cur.IO {
+		curIO[r.Key] = r
+	}
+	failures := 0
+	for _, b := range base.IO {
+		c, ok := curIO[b.Key]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-44s dropped from current snapshot\n", b.Key)
+			failures++
+		case c.IOs > b.IOs:
+			fmt.Printf("FAIL %-44s I/Os %d -> %d (+%d)\n", b.Key, b.IOs, c.IOs, c.IOs-b.IOs)
+			failures++
+		case c.IOs < b.IOs:
+			fmt.Printf("ok   %-44s I/Os %d -> %d (improved)\n", b.Key, b.IOs, c.IOs)
+		}
+		if ok && c.Items != b.Items {
+			fmt.Printf("FAIL %-44s result items %d -> %d (answer shape changed)\n", b.Key, b.Items, c.Items)
+			failures++
+		}
+		delete(curIO, b.Key)
+	}
+	var added []string
+	for k := range curIO {
+		added = append(added, k)
+	}
+	sort.Strings(added)
+	for _, k := range added {
+		fmt.Printf("new  %-44s I/Os %d (no baseline; passes)\n", k, curIO[k].IOs)
+	}
+
+	baseWall := make(map[string]int64, len(base.Wall))
+	for _, r := range base.Wall {
+		baseWall[r.Key] = r.NsOp
+	}
+	for _, r := range cur.Wall {
+		if b, ok := baseWall[r.Key]; ok && b > 0 {
+			fmt.Printf("info %-44s %d ns/op (baseline %d, %+.1f%%, report-only)\n",
+				r.Key, r.NsOp, b, 100*float64(r.NsOp-b)/float64(b))
+		} else {
+			fmt.Printf("info %-44s %d ns/op (no baseline, report-only)\n", r.Key, r.NsOp)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d regression(s); if intended, regenerate the baseline with `make bench-json` and commit it\n", failures)
+		return 1
+	}
+	fmt.Printf("benchdiff: %d I/O rows clean\n", len(base.IO))
+	return 0
+}

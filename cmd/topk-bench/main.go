@@ -11,6 +11,7 @@
 //	topk-bench -seed 7         # change the workload seed
 //	topk-bench -metrics -      # Prometheus snapshot of a reference workload to stdout
 //	topk-bench -metrics m.prom # ... or to a file
+//	topk-bench -io-json b.json # benchmark-regression snapshot (see cmd/benchdiff)
 package main
 
 import (
@@ -30,8 +31,27 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		metrics = flag.String("metrics", "", "run an instrumented reference workload and write its Prometheus snapshot to this file (\"-\" = stdout), then exit")
+		ioJSON  = flag.String("io-json", "", "run the pinned regression workload and write its JSON snapshot to this file (\"-\" = stdout), then exit")
 	)
 	flag.Parse()
+
+	if *ioJSON != "" {
+		out := os.Stdout
+		if *ioJSON != "-" {
+			f, err := os.Create(*ioJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topk-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteRegressJSON(out, bench.Config{Seed: *seed}); err != nil {
+			fmt.Fprintf(os.Stderr, "topk-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metrics != "" {
 		out := os.Stdout

@@ -47,6 +47,7 @@ import (
 type server struct {
 	problem     string
 	n           int
+	shards      int
 	parallelism int
 	ix          topk.Served
 	slow        *ringWriter
@@ -113,6 +114,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		problem     = flag.String("problem", "interval", "problem to serve: "+strings.Join(topk.ProblemNames(), " | "))
 		n           = flag.Int("n", 20000, "number of indexed items")
+		shards      = flag.Int("shards", 1, "partition the index across this many shards (parallel fan-out/merge)")
 		seed        = flag.Uint64("seed", 42, "workload seed")
 		slowIOs     = flag.Int64("slow-ios", 500, "slow-query I/O threshold (0 disables)")
 		parallelism = flag.Int("parallelism", 0, "default /query parallelism (0 = GOMAXPROCS)")
@@ -120,7 +122,7 @@ func main() {
 	flag.Parse()
 
 	slow := newRingWriter(64)
-	srv, err := buildServer(*problem, *n, *seed, *slowIOs, *parallelism, slow)
+	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, slow)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topk-serve: %v\n", err)
 		os.Exit(1)
@@ -128,6 +130,7 @@ func main() {
 
 	expvar.NewString("topk_problem").Set(*problem)
 	expvar.NewInt("topk_items").Set(int64(*n))
+	expvar.NewInt("topk_shards").Set(int64(srv.ix.Shards()))
 
 	http.HandleFunc("/metrics", srv.handleMetrics)
 	http.HandleFunc("/problems", handleProblems)
@@ -139,14 +142,16 @@ func main() {
 	// /debug/vars (expvar) and /debug/pprof are registered by their
 	// packages' imports on the default mux.
 
-	log.Printf("topk-serve: %s index over %d items on %s (slow-ios=%d)",
-		*problem, *n, *addr, *slowIOs)
+	log.Printf("topk-serve: %s index over %d items in %d shard(s) on %s (slow-ios=%d)",
+		*problem, *n, srv.ix.Shards(), *addr, *slowIOs)
 	log.Fatal(http.ListenAndServe(*addr, nil))
 }
 
 // buildServer constructs the selected problem's index from the registry
-// with full observability and returns the HTTP adapter around it.
-func buildServer(problem string, n int, seed uint64, slowIOs int64, parallelism int, slow *ringWriter) (*server, error) {
+// with full observability and returns the HTTP adapter around it. With
+// shards > 1 the index is partitioned and every query fans out across
+// the shards (metric series then carry a shard label).
+func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, slow *ringWriter) (*server, error) {
 	spec, ok := topk.ProblemByName(problem)
 	if !ok {
 		return nil, fmt.Errorf("unknown problem %q (want one of: %s)", problem, strings.Join(topk.ProblemNames(), ", "))
@@ -155,11 +160,19 @@ func buildServer(problem string, n int, seed uint64, slowIOs int64, parallelism 
 	if slowIOs > 0 {
 		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs))
 	}
-	ix, err := spec.Build(n, seed, opts...)
+	var (
+		ix  topk.Served
+		err error
+	)
+	if shards > 1 {
+		ix, err = spec.BuildSharded(n, shards, seed, opts...)
+	} else {
+		ix, err = spec.Build(n, seed, opts...)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &server{problem: problem, n: n, parallelism: parallelism, ix: ix, slow: slow, started: time.Now()}, nil
+	return &server{problem: problem, n: n, shards: ix.Shards(), parallelism: parallelism, ix: ix, slow: slow, started: time.Now()}, nil
 }
 
 // handleProblems lists the registry: every problem any topk-serve binary
@@ -245,6 +258,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"problem": s.problem,
+		"shards":  s.shards,
 		"k":       req.K,
 		"elapsed": time.Since(start).String(),
 		"results": out,

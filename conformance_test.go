@@ -215,6 +215,203 @@ func TestConformanceUpdatableContract(t *testing.T) {
 	}
 }
 
+// confShardCounts are the partition widths the sharded conformance
+// sweep runs at: the degenerate single shard, the smallest real
+// partition, and one wider than the item count ever divides evenly.
+var confShardCounts = []int{1, 2, 8}
+
+// TestConformanceSharded checks, for every problem × reduction × shard
+// count, that a sharded index is answer-equivalent to a single-engine
+// index over the same items: TopK (at several k), Max, and ReportAbove
+// all agree with the unsharded FullScan oracle — the Lemma 2 merge
+// contract the sharding layer is built on.
+func TestConformanceSharded(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		// The single-engine ground truth, shared across reductions.
+		oracle, err := spec.Build(confN, confSeed, WithReduction(FullScan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range AllReductions() {
+			for _, shards := range confShardCounts {
+				t.Run(fmt.Sprintf("%s/%v/shards=%d", spec.Name, r, shards), func(t *testing.T) {
+					sv, err := spec.BuildSharded(confN, shards, confSeed, WithReduction(r))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if sv.Shards() != shards {
+						t.Fatalf("Shards() = %d, want %d", sv.Shards(), shards)
+					}
+					if sv.Len() != confN {
+						t.Fatalf("Len() = %d, want %d", sv.Len(), confN)
+					}
+					sizes, total := sv.ShardSizes(), 0
+					if len(sizes) != shards {
+						t.Fatalf("ShardSizes() has %d entries, want %d", len(sizes), shards)
+					}
+					for _, s := range sizes {
+						total += s
+					}
+					if total != confN {
+						t.Fatalf("ShardSizes() sums to %d, want %d: %v", total, confN, sizes)
+					}
+					for qi, q := range sv.GenQueries(6, confQSeed) {
+						want := oracle.Oracle(q)
+						for _, k := range []int{1, 5, confN} {
+							got := servedWeights(sv.TopK(q, k))
+							ww := servedWeights(want)
+							if k < len(ww) {
+								ww = ww[:k]
+							}
+							if len(got) != len(ww) {
+								t.Fatalf("q%d k=%d: got %d items, want %d", qi, k, len(got), len(ww))
+							}
+							for i := range got {
+								if got[i] != ww[i] {
+									t.Fatalf("q%d k=%d item %d: weight %v, want %v", qi, k, i, got[i], ww[i])
+								}
+							}
+						}
+						m, ok := sv.Max(q)
+						if ok != (len(want) > 0) {
+							t.Fatalf("q%d: Max ok=%v with %d matching items", qi, ok, len(want))
+						}
+						if ok && m.Weight != want[0].Weight {
+							t.Fatalf("q%d: Max = %v, want %v", qi, m.Weight, want[0].Weight)
+						}
+						if len(want) > 0 {
+							tau := want[(len(want)-1)/2].Weight
+							got := weightSet(sv.ReportAbove(q, tau))
+							n := 0
+							for _, it := range want {
+								if it.Weight >= tau {
+									n++
+									if !got[it.Weight] {
+										t.Fatalf("q%d: weight %v missing from sharded ReportAbove", qi, it.Weight)
+									}
+								}
+							}
+							if len(got) != n {
+								t.Fatalf("q%d: sharded ReportAbove returned %d items, want %d", qi, len(got), n)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceShardedBatch checks that a sharded QueryBatch keeps the
+// serving determinism contract: per-query answers and summed per-shard
+// cold-cache stats are identical at parallelism 1 and 4, and identical
+// to a dedicated single-query batch.
+func TestConformanceShardedBatch(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		t.Run(spec.Name, func(t *testing.T) {
+			sv, err := spec.BuildSharded(confN, 2, confSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := sv.GenQueries(10, confQSeed)
+			serial := sv.QueryBatch(qs, 5, 1)
+			parallel := sv.QueryBatch(qs, 5, 4)
+			for i := range qs {
+				a, b := serial[i], parallel[i]
+				if a.Stats != b.Stats {
+					t.Fatalf("q%d: stats %+v (serial) != %+v (parallel)", i, a.Stats, b.Stats)
+				}
+				if len(a.Items) != len(b.Items) {
+					t.Fatalf("q%d: %d items (serial) != %d (parallel)", i, len(a.Items), len(b.Items))
+				}
+				for j := range a.Items {
+					if a.Items[j].Weight != b.Items[j].Weight {
+						t.Fatalf("q%d item %d: %v (serial) != %v (parallel)", i, j, a.Items[j].Weight, b.Items[j].Weight)
+					}
+				}
+				single := sv.QueryBatch(qs[i:i+1], 5, 1)
+				if single[0].Stats != a.Stats {
+					t.Fatalf("q%d: stats %+v (single) != %+v (batch)", i, single[0].Stats, a.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceShardedUpdates checks update routing on the sharded
+// path: inserts land in exactly one shard (sizes sum to Len), deletes
+// find their owner from any shard, the cross-shard duplicate-weight
+// gate holds, and static reductions still reject updates.
+func TestConformanceShardedUpdates(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		t.Run(spec.Name, func(t *testing.T) {
+			sv, err := spec.BuildSharded(50, 3, confSeed, WithReduction(WorstCase), WithUpdates())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var weights []float64
+			for i := 0; i < 12; i++ {
+				w, err := sv.InsertFresh(uint64(100 + i))
+				if err != nil {
+					t.Fatalf("InsertFresh %d: %v", i, err)
+				}
+				weights = append(weights, w)
+			}
+			if sv.Len() != 62 {
+				t.Fatalf("Len() = %d after 12 inserts", sv.Len())
+			}
+			total := 0
+			for _, s := range sv.ShardSizes() {
+				total += s
+			}
+			if total != 62 {
+				t.Fatalf("ShardSizes() sums to %d, want 62: %v", total, sv.ShardSizes())
+			}
+			if err := sv.InsertInvalid(); err == nil {
+				t.Fatal("sharded Insert accepted the malformed item")
+			}
+			// Every inserted weight must be findable and deletable exactly once.
+			for _, w := range weights {
+				if ok, err := sv.Delete(w); err != nil || !ok {
+					t.Fatalf("Delete(%v) = (%v, %v)", w, ok, err)
+				}
+				if ok, err := sv.Delete(w); err != nil || ok {
+					t.Fatalf("second Delete(%v) = (%v, %v), want (false, nil)", w, ok, err)
+				}
+			}
+			if sv.Len() != 50 {
+				t.Fatalf("Len() = %d after deletes", sv.Len())
+			}
+			// Post-churn answers still match the oracle.
+			q := sv.GenQueries(1, confQSeed)[0]
+			got, want := servedWeights(sv.TopK(q, 50)), servedWeights(sv.Oracle(q))
+			if len(want) > 50 {
+				want = want[:50]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("post-churn TopK: %d items, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("post-churn TopK item %d: %v, want %v", i, got[i], want[i])
+				}
+			}
+
+			// Static reductions reject updates behind any shard count.
+			static, err := spec.BuildSharded(20, 2, confSeed, WithReduction(WorstCase))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := static.InsertFresh(5); err == nil {
+				t.Fatal("static sharded index accepted Insert")
+			}
+			if _, err := static.Delete(1); err == nil {
+				t.Fatal("static sharded index accepted Delete")
+			}
+		})
+	}
+}
+
 // TestConformanceValidationSymmetry is the regression test for the
 // constructor/Insert validation asymmetry: for every problem, the
 // constructor must reject exactly the malformed items Insert rejects —

@@ -114,6 +114,89 @@ func FuzzDynamicInterval(f *testing.F) {
 	})
 }
 
+// FuzzShardedInterval diffs a sharded interval index against an
+// unsharded one over random op sequences: the single engine is the
+// oracle, so any fan-out/merge or update-routing divergence — wrong
+// order, wrong owner, lost item — fails immediately. The second byte
+// picks the shard count and placement policy.
+func FuzzShardedInterval(f *testing.F) {
+	f.Add([]byte{0, 3, 10, 20, 30, 7, 3, 255, 1, 2, 3, 4, 90})
+	f.Add([]byte{1, 8, 200, 100, 50, 25, 12, 6, 3})
+	f.Add([]byte{2, 0, 0, 0, 0, 3, 3, 3, 7, 7, 7, 11, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		r := fuzzReduction(data[0])
+		shards := 1 + int(data[1])%8
+		policy := ShardByWeight
+		if data[1]&0x80 != 0 {
+			policy = ShardRoundRobin
+		}
+		sharded, err := NewShardedIntervalIndex([]IntervalItem[int]{}, shards,
+			WithReduction(r), WithUpdates(), WithSeed(1), WithShardPolicy(policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := NewIntervalIndex([]IntervalItem[int]{},
+			WithReduction(r), WithUpdates(), WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := &fuzzProg{data: data[2:]}
+		var order []float64
+		w := 0.0
+		for {
+			op, ok := prog.next()
+			if !ok {
+				break
+			}
+			switch op % 4 {
+			case 0, 1: // insert
+				a, _ := prog.next()
+				b, _ := prog.next()
+				lo, span := coord(a), coord(b)
+				w++
+				it := IntervalItem[int]{Lo: lo, Hi: lo + span, Weight: w}
+				if err := sharded.Insert(it); err != nil {
+					t.Fatalf("sharded insert %v: %v", w, err)
+				}
+				if err := single.Insert(it); err != nil {
+					t.Fatalf("single insert %v: %v", w, err)
+				}
+				order = append(order, w)
+			case 2: // delete
+				if len(order) == 0 {
+					continue
+				}
+				b, _ := prog.next()
+				i := int(b) % len(order)
+				dw := order[i]
+				order[i] = order[len(order)-1]
+				order = order[:len(order)-1]
+				okA, errA := sharded.Delete(dw)
+				okB, errB := single.Delete(dw)
+				if okA != okB || errA != nil || errB != nil {
+					t.Fatalf("delete %v: sharded (%v, %v), single (%v, %v)", dw, okA, errA, okB, errB)
+				}
+			default: // query
+				a, _ := prog.next()
+				b, _ := prog.next()
+				x := coord(a)
+				k := 1 + int(b)%6
+				got := intervalWeights(sharded.TopK(x, k))
+				want := intervalWeights(single.TopK(x, k))
+				if !sameFloats(got, want) {
+					t.Fatalf("x=%v k=%d shards=%d %v: sharded %v, single %v", x, k, shards, policy, got, want)
+				}
+			}
+			if sharded.Len() != single.Len() {
+				t.Fatalf("Len: sharded %d, single %d", sharded.Len(), single.Len())
+			}
+		}
+	})
+}
+
 func FuzzDynamicDominance(f *testing.F) {
 	f.Add([]byte{0, 5, 6, 7, 3, 50, 60, 70, 255, 40, 40, 40, 2})
 	f.Add([]byte{1, 128, 64, 32, 16, 8, 4, 2, 1})

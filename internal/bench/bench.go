@@ -1,7 +1,7 @@
 // Package bench implements the experiment harness: the paper has no
 // experimental evaluation (it is a PODS theory paper), so every theorem
 // and lemma becomes an experiment that measures the claimed complexity
-// shape. DESIGN.md §5 is the authoritative index (E1–E27); each experiment
+// shape. DESIGN.md §5 is the authoritative index (E1–E28); each experiment
 // here regenerates one row-set recorded in EXPERIMENTS.md.
 //
 // Experiments print self-describing tables to an io.Writer and are shared
@@ -59,6 +59,7 @@ var experiments = map[string]struct {
 	"E25": {"Dynamization overlay: amortized insert bound, update/query mix sweep", runE25},
 	"E26": {"Lemma 3 via tracing: T2 rounds-per-query tail vs the geometric 0.91^(r-1) bound", runE26},
 	"E27": {"Registry sweep: every problem × reduction through the type-erased Served surface", runE27},
+	"E28": {"Sharded serving: build time, batch throughput, and I/O cost vs shard count", runE28},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -8,10 +8,10 @@ import (
 
 func TestIDsCoverAllExperiments(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 27 {
-		t.Fatalf("%d experiments registered, want 27: %v", len(ids), ids)
+	if len(ids) != 28 {
+		t.Fatalf("%d experiments registered, want 28: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E27" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E28" {
 		t.Fatalf("IDs not in numeric order: %v", ids)
 	}
 	for _, id := range ids {

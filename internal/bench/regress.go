@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"topk"
+)
+
+// This file emits the benchmark-regression snapshot the CI gate diffs
+// across PRs (cmd/topk-bench -io-json, compared by cmd/benchdiff
+// against the newest checked-in BENCH_*.json). Two row families:
+//
+//   - io: total simulated I/Os for a pinned query workload, for every
+//     problem × reduction and for sharded builds at several widths.
+//     Per-query EM stats come from cold-cache tracker views, so these
+//     are exact deterministic functions of (workload, seed) — any drift
+//     is a real cost change, and the gate fails on unexplained
+//     increases.
+//   - wall: ns/op for a few hot paths via testing.Benchmark. Wall time
+//     is machine-dependent, so the gate only reports these deltas.
+//
+// The workload shape is pinned (not scaled by -quick): comparing
+// snapshots only makes sense when both sides measured the same thing.
+
+const (
+	// RegressSchema versions the JSON layout; bump on incompatible change.
+	RegressSchema = "topk-bench-io/v1"
+
+	regressN  = 4096
+	regressNQ = 48
+	regressK  = 16
+)
+
+// regressShardWidths are the sharded-build widths measured alongside
+// the single-engine rows.
+var regressShardWidths = []int{2, 8}
+
+// IORow is one deterministic I/O measurement: the workload's total
+// simulated cost on one problem/reduction/shard-width cell.
+type IORow struct {
+	Key   string `json:"key"`   // "problem/Reduction" or "problem/Reduction/shards=S"
+	IOs   int64  `json:"ios"`   // reads+writes over the whole query set
+	Hits  int64  `json:"hits"`  // cache hits (free in the EM model)
+	Items int64  `json:"items"` // total items returned, a result-shape checksum
+}
+
+// WallRow is one wall-clock measurement; ns/op varies by machine, so
+// the gate treats these as report-only.
+type WallRow struct {
+	Key  string `json:"key"`
+	NsOp int64  `json:"ns_op"`
+}
+
+// RegressReport is the machine-readable snapshot checked in as
+// BENCH_*.json and compared by cmd/benchdiff.
+type RegressReport struct {
+	Schema string    `json:"schema"`
+	Seed   uint64    `json:"seed"`
+	N      int       `json:"n"`
+	NQ     int       `json:"nq"`
+	K      int       `json:"k"`
+	IO     []IORow   `json:"io"`
+	Wall   []WallRow `json:"wall"`
+}
+
+// Regress measures the pinned workload and returns the report.
+func Regress(cfg Config) (*RegressReport, error) {
+	rep := &RegressReport{
+		Schema: RegressSchema, Seed: cfg.Seed,
+		N: regressN, NQ: regressNQ, K: regressK,
+	}
+
+	measure := func(key string, ix topk.Served) {
+		qs := ix.GenQueries(regressNQ, cfg.Seed+270)
+		res := ix.QueryBatch(qs, regressK, 0)
+		row := IORow{Key: key}
+		for _, r := range res {
+			row.IOs += r.Stats.IOs()
+			row.Hits += r.Stats.Hits
+			row.Items += int64(len(r.Items))
+		}
+		rep.IO = append(rep.IO, row)
+	}
+
+	for _, spec := range topk.RegisteredProblems() {
+		for _, r := range topk.AllReductions() {
+			ix, err := spec.Build(regressN, cfg.Seed+27, topk.WithReduction(r), topk.WithSeed(cfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", spec.Name, r, err)
+			}
+			measure(fmt.Sprintf("%s/%v", spec.Name, r), ix)
+		}
+		for _, shards := range regressShardWidths {
+			ix, err := spec.BuildSharded(regressN, shards, cfg.Seed+27, topk.WithSeed(cfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("%s/shards=%d: %w", spec.Name, shards, err)
+			}
+			measure(fmt.Sprintf("%s/%v/shards=%d", spec.Name, topk.Expected, shards), ix)
+		}
+	}
+
+	for _, w := range wallBenchmarks(cfg) {
+		r := testing.Benchmark(w.fn)
+		rep.Wall = append(rep.Wall, WallRow{Key: w.key, NsOp: r.NsPerOp()})
+	}
+	return rep, nil
+}
+
+// WriteRegressJSON runs Regress and writes the report as indented JSON,
+// the format of the checked-in BENCH_*.json baselines.
+func WriteRegressJSON(w io.Writer, cfg Config) error {
+	rep, err := Regress(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+type wallBench struct {
+	key string
+	fn  func(b *testing.B)
+}
+
+// wallBenchmarks are the hot paths tracked for wall-clock drift: the
+// two reduction query paths, the concurrent batch path, and the sharded
+// fan-out/merge path.
+func wallBenchmarks(cfg Config) []wallBench {
+	spec, _ := topk.ProblemByName("interval")
+	dspec, _ := topk.ProblemByName("dominance")
+	topkLoop := func(ix topk.Served) func(b *testing.B) {
+		return func(b *testing.B) {
+			qs := ix.GenQueries(64, cfg.Seed+271)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.TopK(qs[i%len(qs)], regressK)
+			}
+		}
+	}
+	mk := func(build func() (topk.Served, error)) topk.Served {
+		ix, err := build()
+		if err != nil {
+			panic(err)
+		}
+		return ix
+	}
+	return []wallBench{
+		{"wall/interval/Expected/topk", topkLoop(mk(func() (topk.Served, error) {
+			return spec.Build(regressN, cfg.Seed+27, topk.WithSeed(cfg.Seed))
+		}))},
+		{"wall/interval/WorstCase/topk", topkLoop(mk(func() (topk.Served, error) {
+			return spec.Build(regressN, cfg.Seed+27, topk.WithReduction(topk.WorstCase), topk.WithSeed(cfg.Seed))
+		}))},
+		{"wall/dominance/Expected/topk", topkLoop(mk(func() (topk.Served, error) {
+			return dspec.Build(regressN, cfg.Seed+27, topk.WithSeed(cfg.Seed))
+		}))},
+		{"wall/interval/Expected/shards=4/topk", topkLoop(mk(func() (topk.Served, error) {
+			return spec.BuildSharded(regressN, 4, cfg.Seed+27, topk.WithSeed(cfg.Seed))
+		}))},
+		{"wall/interval/Expected/batch64", func(b *testing.B) {
+			ix := mk(func() (topk.Served, error) {
+				return spec.Build(regressN, cfg.Seed+27, topk.WithSeed(cfg.Seed))
+			})
+			qs := ix.GenQueries(64, cfg.Seed+271)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.QueryBatch(qs, regressK, 0)
+			}
+		}},
+	}
+}

@@ -8,7 +8,9 @@ import (
 
 // QueryMetrics is the standard metric bundle for one index instance.
 // Names match the exposition in DESIGN.md §9; every series carries an
-// {index="..."} label so several indexes can share one Registry.
+// {index="..."} label (plus any extra labels, e.g. shard="0" for one
+// shard of a partitioned index) so several instances can share one
+// Registry.
 type QueryMetrics struct {
 	Queries     *Counter   // topk_queries_total
 	Latency     *Histogram // topk_query_latency_seconds
@@ -24,35 +26,37 @@ type QueryMetrics struct {
 }
 
 // NewQueryMetrics registers the standard bundle under the given index
-// label.
-func NewQueryMetrics(r *Registry, index string) *QueryMetrics {
-	l := Label{Key: "index", Value: index}
+// label plus any extra constant labels. Instances sharing a Registry
+// must differ in at least one label (the registry panics on duplicate
+// series).
+func NewQueryMetrics(r *Registry, index string, extra ...Label) *QueryMetrics {
+	ls := append([]Label{{Key: "index", Value: index}}, extra...)
 	return &QueryMetrics{
 		Queries: r.NewCounter("topk_queries_total",
-			"Top-k queries served.", l),
+			"Top-k queries served.", ls...),
 		Latency: r.NewHistogram("topk_query_latency_seconds",
 			"Wall-clock latency per top-k query.",
-			ExpBuckets(1e-6, 4, 12), l),
+			ExpBuckets(1e-6, 4, 12), ls...),
 		IOs: r.NewHistogram("topk_query_ios",
 			"Counted EM I/Os (reads+writes) per top-k query.",
-			ExpBuckets(1, 2, 16), l),
+			ExpBuckets(1, 2, 16), ls...),
 		Rounds: r.NewHistogram("topk_t2_rounds",
 			"Theorem 2 sampling rounds per query (Lemma 3 predicts a geometric tail).",
-			LinearBuckets(1, 1, 12), l),
+			LinearBuckets(1, 1, 12), ls...),
 		Hits: r.NewCounter("topk_cache_hits_total",
-			"EM block touches served from the memory cache.", l),
+			"EM block touches served from the memory cache.", ls...),
 		Misses: r.NewCounter("topk_cache_misses_total",
-			"EM block touches that cost a read I/O.", l),
+			"EM block touches that cost a read I/O.", ls...),
 		Flushes: r.NewCounter("topk_flushes_total",
-			"Logarithmic-method tail flushes into the overlay ladder.", l),
+			"Logarithmic-method tail flushes into the overlay ladder.", ls...),
 		Rebuilds: r.NewCounter("topk_rebuilds_total",
-			"Full structure rebuilds (overlay compaction or Theorem 2 epoch).", l),
+			"Full structure rebuilds (overlay compaction or Theorem 2 epoch).", ls...),
 		SlowQueries: r.NewCounter("topk_slow_queries_total",
-			"Queries whose I/O count crossed the slow-query threshold.", l),
+			"Queries whose I/O count crossed the slow-query threshold.", ls...),
 		Items: r.NewGauge("topk_index_items",
-			"Live items currently indexed.", l),
+			"Live items currently indexed.", ls...),
 		Levels: r.NewGauge("topk_overlay_levels",
-			"Occupied levels in the dynamic overlay ladder (0 for static indexes).", l),
+			"Occupied levels in the dynamic overlay ladder (0 for static indexes).", ls...),
 	}
 }
 

@@ -79,8 +79,18 @@ func newIndexObs(name string, o Options, tracker *em.Tracker) *indexObs {
 	ob := &indexObs{name: name, tracker: tracker, tracing: o.tracing}
 	var sink em.TraceSink = nopSink{}
 	if o.metrics {
-		ob.reg = obs.NewRegistry()
-		ob.qm = obs.NewQueryMetrics(ob.reg, name)
+		// A shard engine registers its series in the Sharded index's
+		// shared registry under a shard label; a standalone engine owns
+		// its registry outright.
+		ob.reg = o.obsReg
+		if ob.reg == nil {
+			ob.reg = obs.NewRegistry()
+		}
+		var extra []obs.Label
+		if o.shardLabel != "" {
+			extra = append(extra, obs.Label{Key: "shard", Value: o.shardLabel})
+		}
+		ob.qm = obs.NewQueryMetrics(ob.reg, name, extra...)
 		sink = &obs.Collector{M: ob.qm}
 	}
 	if o.slowMin > 0 {

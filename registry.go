@@ -42,6 +42,12 @@ type ServedItem struct {
 type Served interface {
 	// Problem returns the registry name of the problem being served.
 	Problem() string
+	// Shards returns the number of partitions serving the index: 1 for a
+	// plain index (Build), the requested count for BuildSharded.
+	Shards() int
+	// ShardSizes returns the live item count of each partition — one
+	// entry per shard, a single entry for a plain index.
+	ShardSizes() []int
 	// Len returns the number of live items.
 	Len() int
 	// GenQueries returns m deterministic queries derived from seed.
@@ -100,6 +106,11 @@ type ProblemSpec struct {
 	// Build constructs the index over a deterministic n-item workload
 	// derived from seed.
 	Build func(n int, seed uint64, opts ...Option) (Served, error)
+	// BuildSharded constructs the index over the same workload as Build,
+	// partitioned across the given number of shards (fan-out/merge
+	// serving; see Sharded). BuildSharded(n, 1, seed) serves the same
+	// items as Build(n, seed) behind a one-shard partition.
+	BuildSharded func(n, shards int, seed uint64, opts ...Option) (Served, error)
 	// BuildInvalid attempts construction over a small workload containing
 	// one malformed item, returning the constructor's error. A nil error
 	// is a constructor/Insert validation asymmetry.
@@ -145,10 +156,36 @@ func ProblemNames() []string {
 	return names
 }
 
-// served adapts one engine to the type-erased Served interface. The
-// problem-specific residue is four closures and a canonical invalid item.
+// servedEngine is the uniform index surface the served adapter drives —
+// satisfied by both a single engine and a Sharded partition of engines,
+// which is what lets every registry consumer (serving, benchmarks,
+// conformance) run shard-aware with no per-problem code.
+type servedEngine[Q, It any] interface {
+	Len() int
+	TopK(q Q, k int) []It
+	Max(q Q) (It, bool)
+	ReportAbove(q Q, tau float64, visit func(It) bool)
+	Items() []It
+	QueryBatch(qs []Q, k int, parallelism int) []BatchResult[It]
+	Insert(it It) error
+	Delete(weight float64) (bool, error)
+	Stats() Stats
+	ResetStats()
+	WriteMetrics(w io.Writer) error
+	hasWeight(w float64) bool
+}
+
+func (e *engine[Q, V, It]) hasWeight(w float64) bool { _, ok := e.data[w]; return ok }
+
+func (s *Sharded[Q, V, It]) hasWeight(w float64) bool { _, ok := s.owner[w]; return ok }
+
+// served adapts one engine — or one Sharded group of engines — to the
+// type-erased Served interface. The problem-specific residue is the
+// problem descriptor, four closures, and a canonical invalid item.
 type served[Q, V, It any] struct {
-	eng *engine[Q, V, It]
+	p       problem[Q, V, It]
+	eng     servedEngine[Q, It]
+	nshards int
 	// gen draws one query from the problem's deterministic distribution.
 	gen func(g *wrand.RNG) Q
 	// decode parses the problem's JSON query shape.
@@ -161,8 +198,16 @@ type served[Q, V, It any] struct {
 	invalid It
 }
 
-func (s *served[Q, V, It]) Problem() string { return s.eng.p.name }
+func (s *served[Q, V, It]) Problem() string { return s.p.name }
+func (s *served[Q, V, It]) Shards() int     { return s.nshards }
 func (s *served[Q, V, It]) Len() int        { return s.eng.Len() }
+
+func (s *served[Q, V, It]) ShardSizes() []int {
+	if sh, ok := s.eng.(interface{ ShardLens() []int }); ok {
+		return sh.ShardLens()
+	}
+	return []int{s.eng.Len()}
+}
 
 func (s *served[Q, V, It]) GenQueries(m int, seed uint64) []any {
 	g := wrand.New(seed)
@@ -182,7 +227,7 @@ func (s *served[Q, V, It]) DecodeQuery(raw json.RawMessage) (any, error) {
 }
 
 func (s *served[Q, V, It]) item(it It) ServedItem {
-	return ServedItem{Weight: s.eng.p.weight(it), Label: s.label(it)}
+	return ServedItem{Weight: s.p.weight(it), Label: s.label(it)}
 }
 
 func (s *served[Q, V, It]) TopK(q any, k int) []ServedItem {
@@ -215,7 +260,7 @@ func (s *served[Q, V, It]) Oracle(q any) []ServedItem {
 	qq := q.(Q)
 	var out []ServedItem
 	for _, it := range s.eng.Items() {
-		if s.eng.p.match(qq, s.eng.p.toCore(it).Value) {
+		if s.p.match(qq, s.p.toCore(it).Value) {
 			out = append(out, s.item(it))
 		}
 	}
@@ -245,7 +290,7 @@ func (s *served[Q, V, It]) InsertFresh(seed uint64) (float64, error) {
 	var w float64
 	for {
 		w = g.Float64() * 1e9
-		if _, used := s.eng.data[w]; !used {
+		if !s.eng.hasWeight(w) {
 			break
 		}
 	}
@@ -330,9 +375,9 @@ func intervalSpec() ProblemSpec {
 		}
 		return items
 	}
-	adapt := func(ix *IntervalIndex[int]) Served {
+	adapt := func(eng servedEngine[float64, IntervalItem[int]], nshards int) Served {
 		return &served[float64, interval.Interval, IntervalItem[int]]{
-			eng: ix.eng,
+			p: intervalProblem[int](), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) float64 { return g.Float64() * coordScale },
 			decode: func(raw json.RawMessage) (float64, error) {
 				var x float64
@@ -358,7 +403,14 @@ func intervalSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedIntervalIndex(mk(n, seed), shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -379,9 +431,9 @@ func rangeSpec() ProblemSpec {
 		}
 		return items
 	}
-	adapt := func(ix *RangeIndex[int]) Served {
+	adapt := func(eng servedEngine[rangerep.Span, PointItem1[int]], nshards int) Served {
 		return &served[rangerep.Span, float64, PointItem1[int]]{
-			eng: ix.eng,
+			p: rangeProblem[int](), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) rangerep.Span {
 				a, b := g.Float64()*coordScale, g.Float64()*coordScale
 				if a > b {
@@ -412,7 +464,14 @@ func rangeSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedRangeIndex(mk(n, seed), shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -425,9 +484,9 @@ func rangeSpec() ProblemSpec {
 
 func orthoSpec() ProblemSpec {
 	const d = 2
-	adapt := func(ix *OrthoIndex[int]) Served {
+	adapt := func(eng servedEngine[orthorange.Box, PointItemN[int]], nshards int) Served {
 		return &served[orthorange.Box, halfspace.PtN, PointItemN[int]]{
-			eng: ix.eng,
+			p: orthoProblem[int](d), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) orthorange.Box {
 				lo, hi := make([]float64, d), make([]float64, d)
 				for i := 0; i < d; i++ {
@@ -469,7 +528,14 @@ func orthoSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedOrthoIndex(genPointsN(n, d, seed), d, shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := genPointsN(4, d, 1)
@@ -482,9 +548,9 @@ func orthoSpec() ProblemSpec {
 
 func circularSpec() ProblemSpec {
 	const d = 2
-	adapt := func(ix *CircularIndex[int]) Served {
+	adapt := func(eng servedEngine[circular.Ball, PointItemN[int]], nshards int) Served {
 		return &served[circular.Ball, halfspace.PtN, PointItemN[int]]{
-			eng: ix.eng,
+			p: circularProblem[int](d), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) circular.Ball {
 				return circular.Ball{Center: genCoords(g, d), R: 5 + g.ExpFloat64()*10}
 			},
@@ -517,7 +583,14 @@ func circularSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedCircularIndex(genPointsN(n, d, seed), d, shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := genPointsN(4, d, 1)
@@ -541,9 +614,9 @@ func dominanceSpec() ProblemSpec {
 		}
 		return items
 	}
-	adapt := func(ix *DominanceIndex[int]) Served {
+	adapt := func(eng servedEngine[dominance.Pt3, DominanceItem[int]], nshards int) Served {
 		return &served[dominance.Pt3, dominance.Pt3, DominanceItem[int]]{
-			eng: ix.eng,
+			p: dominanceProblem[int](), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) dominance.Pt3 {
 				return dominance.Pt3{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Z: g.Float64() * coordScale}
 			},
@@ -571,7 +644,14 @@ func dominanceSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedDominanceIndex(mk(n, seed), shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -596,9 +676,9 @@ func enclosureSpec() ProblemSpec {
 		}
 		return items
 	}
-	adapt := func(ix *EnclosureIndex[int]) Served {
+	adapt := func(eng servedEngine[enclosure.Pt2, RectItem[int]], nshards int) Served {
 		return &served[enclosure.Pt2, enclosure.Rect, RectItem[int]]{
-			eng: ix.eng,
+			p: enclosureProblem[int](), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) enclosure.Pt2 {
 				return enclosure.Pt2{X: g.Float64() * coordScale, Y: g.Float64() * coordScale}
 			},
@@ -627,7 +707,14 @@ func enclosureSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedEnclosureIndex(mk(n, seed), shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -648,9 +735,9 @@ func halfplaneSpec() ProblemSpec {
 		}
 		return items
 	}
-	adapt := func(ix *HalfplaneIndex[int]) Served {
+	adapt := func(eng servedEngine[halfspace.Halfplane, PointItem2[int]], nshards int) Served {
 		return &served[halfspace.Halfplane, halfspace.Pt2, PointItem2[int]]{
-			eng: ix.eng,
+			p: halfplaneProblem[int](), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) halfspace.Halfplane {
 				// A boundary through a uniform point with a normal
 				// direction: roughly half the items match.
@@ -680,7 +767,14 @@ func halfplaneSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedHalfplaneIndex(mk(n, seed), shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -693,9 +787,9 @@ func halfplaneSpec() ProblemSpec {
 
 func halfspaceSpec() ProblemSpec {
 	const d = 3
-	adapt := func(ix *HalfspaceIndex[int]) Served {
+	adapt := func(eng servedEngine[halfspace.Halfspace, PointItemN[int]], nshards int) Served {
 		return &served[halfspace.Halfspace, halfspace.PtN, PointItemN[int]]{
-			eng: ix.eng,
+			p: halfspaceProblem[int](d), eng: eng, nshards: nshards,
 			gen: func(g *wrand.RNG) halfspace.Halfspace {
 				a := make([]float64, d)
 				c := 0.0
@@ -734,7 +828,14 @@ func halfspaceSpec() ProblemSpec {
 			if err != nil {
 				return nil, err
 			}
-			return adapt(ix), nil
+			return adapt(ix.eng, 1), nil
+		},
+		BuildSharded: func(n, shards int, seed uint64, opts ...Option) (Served, error) {
+			ix, err := NewShardedHalfspaceIndex(genPointsN(n, d, seed), d, shards, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(ix.Sharded, shards), nil
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := genPointsN(4, d, 1)

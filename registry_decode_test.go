@@ -1,0 +1,111 @@
+package topk
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// decodeCases maps each registered problem to wire payloads its
+// DecodeQuery must accept or reject. The bad lists cover the three
+// error families of the /query surface: malformed JSON (including the
+// NaN literal, which JSON has no encoding for), wrong-type payloads,
+// and wrong-arity coordinate lists.
+var decodeCases = map[string]struct {
+	good []string
+	bad  []string
+}{
+	"interval": {
+		good: []string{`12.5`, `0`},
+		bad:  []string{`{`, `"x"`, `[1, 2]`, `NaN`},
+	},
+	"range": {
+		good: []string{`[1, 5]`},
+		bad:  []string{`{`, `"a"`, `[1]`, `[1, 2, 3]`, `[NaN, 2]`},
+	},
+	"ortho": {
+		good: []string{`{"lo": [0, 0], "hi": [5, 5]}`},
+		bad: []string{
+			`{`,
+			`[0, 0, 5, 5]`,
+			`{"lo": [0], "hi": [5, 5]}`,
+			`{"lo": [0, 0, 0], "hi": [5, 5, 5]}`,
+			`{"lo": [9, 9], "hi": [0, 0]}`,
+			`{"lo": [NaN, 0], "hi": [5, 5]}`,
+		},
+	},
+	"circular": {
+		good: []string{`{"center": [1, 2], "radius": 3}`},
+		bad: []string{
+			`{`,
+			`[1, 2, 3]`,
+			`{"center": [1], "radius": 3}`,
+			`{"center": [1, 2, 3], "radius": 3}`,
+			`{"center": [NaN, 2], "radius": 3}`,
+		},
+	},
+	"dominance": {
+		good: []string{`[1, 2, 3]`},
+		bad:  []string{`{`, `"x"`, `[1, 2]`, `[1, 2, 3, 4]`, `[NaN, 2, 3]`},
+	},
+	"enclosure": {
+		good: []string{`[1, 2]`},
+		bad:  []string{`{`, `"x"`, `[1]`, `[1, 2, 3]`, `[NaN, 2]`},
+	},
+	"halfplane": {
+		good: []string{`[1, -1, 0]`},
+		bad:  []string{`{`, `"x"`, `[1, 2]`, `[1, 2, 3, 4]`, `[NaN, 1, 0]`},
+	},
+	"halfspace": {
+		good: []string{`{"a": [1, 0, 0], "c": 0}`},
+		bad: []string{
+			`{`,
+			`[1, 0, 0]`,
+			`{"a": [1, 0], "c": 0}`,
+			`{"a": [1, 0, 0, 0], "c": 0}`,
+			`{"a": [NaN, 0, 0], "c": 0}`,
+		},
+	},
+}
+
+// TestRegistryDecodeQuery checks every problem's /query wire decoding:
+// good payloads decode into queries the index actually answers, and
+// each bad payload is rejected with an error instead of a panic or a
+// silently mangled query.
+func TestRegistryDecodeQuery(t *testing.T) {
+	covered := map[string]bool{}
+	for _, spec := range RegisteredProblems() {
+		cases, ok := decodeCases[spec.Name]
+		if !ok {
+			t.Errorf("no decode cases for registered problem %q — add them to decodeCases", spec.Name)
+			continue
+		}
+		covered[spec.Name] = true
+		t.Run(spec.Name, func(t *testing.T) {
+			sv, err := spec.Build(50, confSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, raw := range cases.good {
+				q, err := sv.DecodeQuery(json.RawMessage(raw))
+				if err != nil {
+					t.Fatalf("DecodeQuery(%s): %v", raw, err)
+				}
+				// The decoded query must be usable end to end.
+				got := sv.TopK(q, 3)
+				if want := sv.Oracle(q); len(want) > 0 && (len(got) == 0 || got[0].Weight != want[0].Weight) {
+					t.Fatalf("decoded query %s answered wrong: got %v, oracle head %v", raw, got, want[0])
+				}
+			}
+			for _, raw := range cases.bad {
+				if q, err := sv.DecodeQuery(json.RawMessage(raw)); err == nil {
+					t.Fatalf("DecodeQuery(%s) accepted a malformed payload: %#v", raw, q)
+				}
+			}
+		})
+	}
+	for name := range decodeCases {
+		if !covered[name] {
+			t.Errorf("decode cases for %q cover no registered problem", name)
+		}
+	}
+}

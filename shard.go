@@ -1,0 +1,338 @@
+package topk
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"topk/internal/obs"
+	"topk/internal/shard"
+)
+
+// This file is the sharding layer: a Sharded index partitions one
+// workload across S independent engines (each with its own EM tracker
+// and reduction-built structure), fans every query out to all shards in
+// parallel, and k-way-merges the per-shard answers by weight. The merge
+// is the paper's Lemma 2 core-set combine (internal/shard documents the
+// one-line argument), so a sharded index answers exactly what a single
+// engine over the union would — the conformance suite asserts this for
+// every problem × reduction at several shard counts. Updates route to
+// the owning shard, so dynamization (WithUpdates, or the native Theorem
+// 2 path) composes per shard, and each shard's build, insert, and query
+// I/Os stay attributed to that shard's tracker.
+//
+// Like the single-engine facades, a typed wrapper per problem
+// (NewShardedIntervalIndex, …) supplies the query-shaped surface; the
+// generic core below is shared by all of them and by the registry's
+// shard-aware Served construction.
+
+// ShardPolicy selects how a Sharded index assigns items to shards.
+type ShardPolicy int
+
+const (
+	// ShardByWeight routes an item to shard hash(weight) mod S. Weights
+	// are the global item identity, so build, Insert, and Delete all
+	// agree on the owner with no routing table. The default.
+	ShardByWeight ShardPolicy = iota
+	// ShardRoundRobin deals items to shards in rotation, which keeps
+	// shard sizes within one item of each other even for adversarial
+	// weight distributions. Deletes are routed through the index's
+	// weight→shard table.
+	ShardRoundRobin
+)
+
+// String returns the policy's name.
+func (p ShardPolicy) String() string {
+	switch p {
+	case ShardByWeight:
+		return "ShardByWeight"
+	case ShardRoundRobin:
+		return "ShardRoundRobin"
+	}
+	return fmt.Sprintf("ShardPolicy(%d)", int(p))
+}
+
+// Sharded is a horizontally partitioned top-k index: S independent
+// engines over disjoint subsets of the items, queried in parallel and
+// combined by the Lemma 2 merge. It exposes the same surface as a
+// single engine; per-query BatchResult stats are the sum of the query's
+// per-shard cold-cache costs and remain deterministic and
+// parallelism-invariant. The concurrency contract is unchanged: any
+// number of goroutines may query, but Insert and Delete require
+// exclusive access.
+//
+// The type parameters mirror the engine's: Q is the query, V the core
+// value, It the exported item. Use the per-problem constructors
+// (NewShardedIntervalIndex, …), which fix the parameters and add the
+// problem-shaped query methods.
+type Sharded[Q, V, It any] struct {
+	p      problem[Q, V, It]
+	opts   Options
+	shards []*engine[Q, V, It]
+	// owner maps each live weight to its shard, the routing table for
+	// Delete (and the global duplicate-weight gate) under any policy.
+	owner map[float64]int
+	// rr is the round-robin insert cursor (ShardRoundRobin only).
+	rr  int
+	reg *obs.Registry // shared metrics registry, nil unless WithMetrics
+}
+
+// newSharded partitions items by the options' shard policy and builds
+// one engine per shard. All shards share one metrics registry (series
+// are distinguished by a shard label) but nothing else: trackers,
+// structures, and caches are fully independent.
+func newSharded[Q, V, It any](p problem[Q, V, It], items []It, shards int, opts []Option) (*Sharded[Q, V, It], error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("topk: need at least 1 shard, got %d", shards)
+	}
+	o := applyOptions(opts)
+	s := &Sharded[Q, V, It]{p: p, opts: o, owner: make(map[float64]int, len(items))}
+
+	ws := make([]float64, len(items))
+	for i, it := range items {
+		ws[i] = p.weight(it)
+	}
+	parts := shard.Assign(ws, shards, o.policy == ShardByWeight)
+	for sh, idxs := range parts {
+		for _, i := range idxs {
+			if prev, dup := s.owner[ws[i]]; dup && prev >= 0 {
+				return nil, fmt.Errorf("topk: duplicate weight %v", ws[i])
+			}
+			s.owner[ws[i]] = sh
+		}
+	}
+	s.rr = len(items) % shards
+
+	if o.metrics {
+		s.reg = obs.NewRegistry()
+		s.reg.NewGauge("topk_shards", "Shards in the partitioned index.",
+			obs.Label{Key: "index", Value: p.name}).Set(int64(shards))
+	}
+	s.shards = make([]*engine[Q, V, It], shards)
+	for sh, idxs := range parts {
+		sub := make([]It, len(idxs))
+		for j, i := range idxs {
+			sub[j] = items[i]
+		}
+		shOpts := make([]Option, len(opts), len(opts)+2)
+		copy(shOpts, opts)
+		shOpts = append(shOpts, withShardObs(s.reg, strconv.Itoa(sh)))
+		eng, err := newEngine(p, sub, shOpts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sh, err)
+		}
+		s.shards[sh] = eng
+	}
+	return s, nil
+}
+
+// withShardObs marks an engine as one shard: metric series go to the
+// shared registry under a shard label.
+func withShardObs(reg *obs.Registry, label string) Option {
+	return func(o *Options) { o.obsReg = reg; o.shardLabel = label }
+}
+
+// Shards returns the shard count.
+func (s *Sharded[Q, V, It]) Shards() int { return len(s.shards) }
+
+// Policy returns the item-placement policy.
+func (s *Sharded[Q, V, It]) Policy() ShardPolicy { return s.opts.policy }
+
+// Len returns the number of live items across all shards.
+func (s *Sharded[Q, V, It]) Len() int {
+	n := 0
+	for _, e := range s.shards {
+		n += e.Len()
+	}
+	return n
+}
+
+// ShardLens returns the live item count of each shard — the partition's
+// balance, and the observable the routing tests pin down.
+func (s *Sharded[Q, V, It]) ShardLens() []int {
+	out := make([]int, len(s.shards))
+	for i, e := range s.shards {
+		out[i] = e.Len()
+	}
+	return out
+}
+
+// TopK returns the k heaviest items satisfying q across all shards,
+// heaviest first: every shard answers TopK(q, k) in parallel (one
+// worker per shard on a bounded pool), and the per-shard top-k
+// core-sets merge by weight (Lemma 2).
+func (s *Sharded[Q, V, It]) TopK(q Q, k int) []It {
+	per := make([][]It, len(s.shards))
+	shard.FanOut(len(s.shards), 0, func(i int) { per[i] = s.shards[i].TopK(q, k) })
+	return shard.MergeDesc(per, k, s.p.weight)
+}
+
+// Max returns the heaviest item satisfying q (a top-1 query over every
+// shard).
+func (s *Sharded[Q, V, It]) Max(q Q) (It, bool) {
+	type best struct {
+		it It
+		ok bool
+	}
+	per := make([]best, len(s.shards))
+	shard.FanOut(len(s.shards), 0, func(i int) {
+		per[i].it, per[i].ok = s.shards[i].Max(q)
+	})
+	var out It
+	found := false
+	for _, b := range per {
+		if b.ok && (!found || s.p.weight(b.it) > s.p.weight(out)) {
+			out, found = b.it, true
+		}
+	}
+	return out, found
+}
+
+// ReportAbove streams every item satisfying q with weight ≥ tau, shard
+// by shard (order is unspecified, as on a single engine); return false
+// from visit to stop early.
+func (s *Sharded[Q, V, It]) ReportAbove(q Q, tau float64, visit func(It) bool) {
+	stopped := false
+	for _, e := range s.shards {
+		if stopped {
+			return
+		}
+		e.ReportAbove(q, tau, func(it It) bool {
+			if !visit(it) {
+				stopped = true
+			}
+			return !stopped
+		})
+	}
+}
+
+// QueryBatch answers one top-k query per element of qs: each shard runs
+// the whole batch on its own bounded pool of `parallelism` workers
+// (GOMAXPROCS when <= 0), the shards running concurrently, and each
+// query's per-shard answers merge positionally. A result's Stats are
+// the sum of that query's cold-cache costs on every shard — still a
+// deterministic function of the query alone, invariant in parallelism —
+// and its Trace concatenates the per-shard traces in shard order.
+// Batches must not run concurrently with Insert or Delete.
+func (s *Sharded[Q, V, It]) QueryBatch(qs []Q, k int, parallelism int) []BatchResult[It] {
+	if len(qs) == 0 {
+		return nil
+	}
+	per := make([][]BatchResult[It], len(s.shards))
+	shard.FanOut(len(s.shards), 0, func(i int) {
+		per[i] = s.shards[i].QueryBatch(qs, k, parallelism)
+	})
+	out := make([]BatchResult[It], len(qs))
+	lists := make([][]It, len(s.shards))
+	for qi := range qs {
+		r := &out[qi]
+		for si := range s.shards {
+			pr := per[si][qi]
+			lists[si] = pr.Items
+			r.Stats.Reads += pr.Stats.Reads
+			r.Stats.Writes += pr.Stats.Writes
+			r.Stats.Hits += pr.Stats.Hits
+			r.Trace = append(r.Trace, pr.Trace...)
+		}
+		r.Items = shard.MergeDesc(lists, k, s.p.weight)
+	}
+	return out
+}
+
+// Insert adds an item to the shard the policy selects, after the same
+// validation gate as a single engine: geometry, weight finiteness, and
+// global (cross-shard) weight uniqueness.
+func (s *Sharded[Q, V, It]) Insert(it It) error {
+	if s.shards[0].dyn == nil {
+		return errStatic(s.opts.reduction)
+	}
+	if err := s.shards[0].validateItem(it); err != nil {
+		return err
+	}
+	w := s.p.weight(it)
+	if _, dup := s.owner[w]; dup {
+		return fmt.Errorf("topk: duplicate weight %v", w)
+	}
+	sh := shard.Hash(w, len(s.shards))
+	if s.opts.policy == ShardRoundRobin {
+		sh = s.rr
+	}
+	if err := s.shards[sh].Insert(it); err != nil {
+		return err
+	}
+	if s.opts.policy == ShardRoundRobin {
+		s.rr = (s.rr + 1) % len(s.shards)
+	}
+	s.owner[w] = sh
+	return nil
+}
+
+// Delete removes the item with the given weight from its owning shard,
+// reporting whether it was present anywhere.
+func (s *Sharded[Q, V, It]) Delete(weight float64) (bool, error) {
+	if s.shards[0].dyn == nil {
+		return false, errStatic(s.opts.reduction)
+	}
+	sh, ok := s.owner[weight]
+	if !ok {
+		return false, nil
+	}
+	deleted, err := s.shards[sh].Delete(weight)
+	if err != nil || !deleted {
+		return deleted, err
+	}
+	delete(s.owner, weight)
+	return true, nil
+}
+
+// Items returns a snapshot of the live items across all shards, in
+// unspecified order.
+func (s *Sharded[Q, V, It]) Items() []It {
+	var out []It
+	for _, e := range s.shards {
+		out = append(out, e.Items()...)
+	}
+	return out
+}
+
+// Stats returns the element-wise sum of every shard's simulated I/O
+// counters and space usage.
+func (s *Sharded[Q, V, It]) Stats() Stats {
+	out := Stats{Reduction: s.opts.reduction}
+	for _, e := range s.shards {
+		st := e.Stats()
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.Hits += st.Hits
+		out.Blocks += st.Blocks
+	}
+	return out
+}
+
+// ShardStats returns each shard's own counters, positionally aligned
+// with ShardLens.
+func (s *Sharded[Q, V, It]) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, e := range s.shards {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// ResetStats zeroes every shard's I/O counters (space is preserved).
+func (s *Sharded[Q, V, It]) ResetStats() {
+	for _, e := range s.shards {
+		e.ResetStats()
+	}
+}
+
+// WriteMetrics renders the shared metrics registry — every shard's
+// series under its shard label, plus the topk_shards gauge — in
+// Prometheus text exposition format. It errors unless the index was
+// built WithMetrics.
+func (s *Sharded[Q, V, It]) WriteMetrics(w io.Writer) error {
+	if s.reg == nil {
+		return fmt.Errorf("topk: metrics not enabled; build the index with WithMetrics()")
+	}
+	return s.reg.WritePrometheus(w)
+}

@@ -49,6 +49,7 @@ import (
 	"io"
 
 	"topk/internal/em"
+	"topk/internal/obs"
 )
 
 // Reduction selects how an index answers top-k queries.
@@ -95,6 +96,12 @@ type Options struct {
 	metrics   bool
 	slowW     io.Writer
 	slowMin   int64
+	policy    ShardPolicy
+	// obsReg and shardLabel are set internally when an engine is built as
+	// one shard of a Sharded index: all shards register their metric
+	// series in the shared registry, distinguished by a shard="i" label.
+	obsReg     *obs.Registry
+	shardLabel string
 }
 
 // Option mutates Options.
@@ -136,6 +143,10 @@ func WithTracing() Option { return func(o *Options) { o.tracing = true } }
 // query, cache hits, overlay shape, flush/rebuild totals), exported in
 // Prometheus text format through the index's WriteMetrics method.
 func WithMetrics() Option { return func(o *Options) { o.metrics = true } }
+
+// WithShardPolicy selects how a Sharded index assigns items to shards
+// (default ShardByWeight). It has no effect on unsharded indexes.
+func WithShardPolicy(p ShardPolicy) Option { return func(o *Options) { o.policy = p } }
 
 // WithSlowQueryLog logs every query that costs at least minIOs simulated
 // I/Os: a summary line plus the query's full phase trace, written to w
