@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke fmt fmt-check vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke snap-smoke fmt fmt-check vet clean ci
 
 all: build vet test
 
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 10s -run '^$$' .
 	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 10s -run '^$$' .
 	$(GO) test -fuzz FuzzShardedInterval -fuzztime 10s -run '^$$' .
+	$(GO) test -fuzz FuzzSnapshotRestore -fuzztime 10s -run '^$$' .
 
 # Brief fuzz pass over just the oracle-diff targets: cheap enough for
 # every CI run, still long enough to shake out op-sequence bugs.
@@ -47,12 +48,14 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 5s -run '^$$' .
 	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 5s -run '^$$' .
 	$(GO) test -fuzz FuzzShardedInterval -fuzztime 5s -run '^$$' .
+	$(GO) test -fuzz FuzzSnapshotRestore -fuzztime 5s -run '^$$' .
 
 # Coverage floors on the packages whose correctness the test pyramid leans
-# on: the dynamization overlay, the reduction framework, and the root
-# package holding the problem-descriptor engine and registry.
+# on: the dynamization overlay, the reduction framework, the snapshot
+# codec, and the root package holding the problem-descriptor engine,
+# registry, and persistence layer.
 cover:
-	@for pkg in ./internal/dynamic ./internal/core .; do \
+	@for pkg in ./internal/dynamic ./internal/core ./internal/snap .; do \
 		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		echo "$$pkg coverage: $$pct%"; \
 		awk -v p="$$pct" 'BEGIN { exit !(p >= 70) }' || { echo "FAIL: $$pkg coverage $$pct% is below the 70% floor"; exit 1; }; \
@@ -66,7 +69,7 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchtime 20x .
 
-# Regenerate the EXPERIMENTS.md tables (E1-E28).
+# Regenerate the EXPERIMENTS.md tables (E1-E29).
 experiments:
 	$(GO) run ./cmd/topk-bench -seed 42
 
@@ -120,6 +123,39 @@ serve-smoke:
 	[ "$$count" = "4" ] || { echo "FAIL: $$count per-shard topk_query_ios_count series, want 4"; exit 1; }; \
 	echo "serve-smoke: ok"
 
+# End-to-end smoke of the persistence surface: save a snapshot with
+# topk-snap, verify it answer-diffs clean against a fresh build, reshard
+# it and verify again, then boot topk-serve cold with -snapshot-dir (which
+# seeds the directory), restart it warm, and assert the warm boot restored
+# instead of rebuilding and answers a query identically.
+snap-smoke:
+	$(GO) build -o /tmp/topk-snap ./cmd/topk-snap
+	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
+	@rm -rf /tmp/topk-snap-smoke && mkdir -p /tmp/topk-snap-smoke
+	/tmp/topk-snap save -dir /tmp/topk-snap-smoke/saved -problem dominance -n 4000 -shards 4 -reduction Expected
+	/tmp/topk-snap inspect -dir /tmp/topk-snap-smoke/saved -sections >/dev/null
+	/tmp/topk-snap verify -dir /tmp/topk-snap-smoke/saved
+	/tmp/topk-snap convert -src /tmp/topk-snap-smoke/saved -dst /tmp/topk-snap-smoke/resharded -shards 2
+	/tmp/topk-snap verify -dir /tmp/topk-snap-smoke/resharded
+	@/tmp/topk-serve -addr 127.0.0.1:18101 -n 5000 -snapshot-dir /tmp/topk-snap-smoke/serve & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18101/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:18101/metrics | grep -q '^topk_warm_start 0' || { echo "FAIL: first boot should be cold"; exit 1; }; \
+	cold=$$(curl -sf -X POST http://127.0.0.1:18101/query -d '{"queries":[10,50,90],"k":5}' | sed 's/"elapsed":"[^"]*",//'); \
+	curl -sf -X POST http://127.0.0.1:18101/snapshot | grep -q '"dir"' || { echo "FAIL: POST /snapshot"; exit 1; }; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	/tmp/topk-serve -addr 127.0.0.1:18101 -n 5000 -snapshot-dir /tmp/topk-snap-smoke/serve & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18101/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:18101/metrics | grep -q '^topk_warm_start 1' || { echo "FAIL: second boot should warm-start"; exit 1; }; \
+	warm=$$(curl -sf -X POST http://127.0.0.1:18101/query -d '{"queries":[10,50,90],"k":5}' | sed 's/"elapsed":"[^"]*",//'); \
+	[ "$$cold" = "$$warm" ] || { echo "FAIL: warm-start answers differ from cold build"; echo "cold: $$cold"; echo "warm: $$warm"; exit 1; }; \
+	echo "snap-smoke: ok"
+
 validate:
 	$(GO) run ./cmd/topk-validate
 
@@ -136,4 +172,4 @@ clean:
 # What CI runs (.github/workflows/ci.yml), runnable locally. CI
 # additionally runs staticcheck and govulncheck, which are not vendored
 # here.
-ci: build vet fmt-check test race cover fuzz-smoke serve-smoke bench-check
+ci: build vet fmt-check test race cover fuzz-smoke serve-smoke snap-smoke bench-check

@@ -2,12 +2,14 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/circular"
 	"topk/internal/core"
 	"topk/internal/em"
 	"topk/internal/halfspace"
+	"topk/internal/snap"
 )
 
 // circularProblem is the engine descriptor for top-k circular range
@@ -16,6 +18,7 @@ import (
 func circularProblem[T any](d int) problem[circular.Ball, halfspace.PtN, PointItemN[T]] {
 	return problem[circular.Ball, halfspace.PtN, PointItemN[T]]{
 		name:   "circular",
+		dim:    d,
 		match:  circular.Match,
 		lambda: circular.Lambda(d),
 		pri: func(tr *em.Tracker) core.PrioritizedFactory[circular.Ball, halfspace.PtN] {
@@ -101,4 +104,23 @@ func (ix *CircularIndex[T]) QueryBatch(qs []BallQuery, k int, parallelism int) [
 		balls[i] = circular.Ball{Center: q.Center, R: q.Radius}
 	}
 	return ix.eng.QueryBatch(balls, k, parallelism)
+}
+
+// RestoreCircularIndex reconstructs a circular range index from a
+// snapshot stream written by Snapshot. The ambient dimension is read
+// from the snapshot header; see RestoreIntervalIndex for the warm-start
+// contract.
+func RestoreCircularIndex[T any](r io.Reader, opts ...Option) (*CircularIndex[T], error) {
+	var d int
+	eng, err := restoreEngine(func(h snap.Header) (problem[circular.Ball, halfspace.PtN, PointItemN[T]], error) {
+		if h.Dim < 1 {
+			return problem[circular.Ball, halfspace.PtN, PointItemN[T]]{}, fmt.Errorf("topk: circular snapshot has invalid dimension %d", h.Dim)
+		}
+		d = int(h.Dim)
+		return circularProblem[T](d), nil
+	}, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CircularIndex[T]{d: d, facade: newFacade(eng)}, nil
 }

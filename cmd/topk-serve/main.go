@@ -8,17 +8,27 @@
 // Every problem in the library's registry can be served; there is no
 // per-problem code here. GET /problems lists what is available.
 //
+// With -snapshot-dir the server warm-starts: if the directory holds a
+// snapshot it is restored at O(size/B) sequential read I/Os instead of
+// rebuilding the index, and the boot log reports the restore cost. The
+// directory is (re)written on boot when empty, on demand via
+// POST /snapshot, and periodically with -checkpoint-every. Checkpoints
+// are atomic — written to a temporary sibling and renamed in — so a
+// crash mid-checkpoint leaves the previous snapshot restorable.
+//
 // Usage:
 //
 //	topk-serve                       # interval index, n=20000, :8080
 //	topk-serve -problem dominance -n 5e4
 //	topk-serve -slow-ios 200         # log queries costing >= 200 I/Os
+//	topk-serve -snapshot-dir /var/lib/topk -checkpoint-every 5m
 //
 // Endpoints:
 //
 //	GET  /metrics      Prometheus text exposition
 //	GET  /problems     registered problems, query shapes, update support
 //	POST /query        {"queries":[...], "k":10} -> per-query answers + I/O stats
+//	POST /snapshot     checkpoint the index into -snapshot-dir now
 //	GET  /debug/slow   recent slow-query traces (plain text)
 //	GET  /debug/vars   expvar JSON
 //	GET  /debug/pprof  net/http/pprof profiles
@@ -27,10 +37,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
@@ -52,6 +64,15 @@ type server struct {
 	ix          topk.Served
 	slow        *ringWriter
 	started     time.Time
+
+	// snapDir is where checkpoints land ("" disables persistence).
+	// warmStart records whether this process restored from a snapshot,
+	// and restoreReads what the restore cost in simulated read I/Os.
+	snapDir      string
+	warmStart    bool
+	restoreReads int64
+	snapMu       sync.Mutex // serializes checkpoints (timer vs POST /snapshot)
+	checkpoints  expvar.Int
 }
 
 // queryRequest is the /query body. Queries are problem-shaped; see
@@ -118,23 +139,50 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "workload seed")
 		slowIOs     = flag.Int64("slow-ios", 500, "slow-query I/O threshold (0 disables)")
 		parallelism = flag.Int("parallelism", 0, "default /query parallelism (0 = GOMAXPROCS)")
+		snapDir     = flag.String("snapshot-dir", "", "snapshot directory: restore from it on boot if present, checkpoint into it (empty disables)")
+		checkEvery  = flag.Duration("checkpoint-every", 0, "checkpoint into -snapshot-dir at this interval (0 disables)")
 	)
 	flag.Parse()
 
 	slow := newRingWriter(64)
-	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, slow)
+	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, *snapDir, slow)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topk-serve: %v\n", err)
 		os.Exit(1)
 	}
 
 	expvar.NewString("topk_problem").Set(*problem)
-	expvar.NewInt("topk_items").Set(int64(*n))
+	expvar.NewInt("topk_items").Set(int64(srv.ix.Len()))
 	expvar.NewInt("topk_shards").Set(int64(srv.ix.Shards()))
+	warm := expvar.NewInt("topk_warm_start")
+	if srv.warmStart {
+		warm.Set(1)
+	}
+	expvar.NewInt("topk_restore_read_ios").Set(srv.restoreReads)
+	expvar.Publish("topk_checkpoints_total", &srv.checkpoints)
+
+	if srv.snapDir != "" && !srv.warmStart {
+		// Cold boot with persistence on: seed the directory so the next
+		// boot is warm.
+		if err := srv.checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "topk-serve: initial checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *checkEvery > 0 && srv.snapDir != "" {
+		go func() {
+			for range time.Tick(*checkEvery) {
+				if err := srv.checkpoint(); err != nil {
+					log.Printf("topk-serve: checkpoint: %v", err)
+				}
+			}
+		}()
+	}
 
 	http.HandleFunc("/metrics", srv.handleMetrics)
 	http.HandleFunc("/problems", handleProblems)
 	http.HandleFunc("/query", srv.handleQuery)
+	http.HandleFunc("/snapshot", srv.handleSnapshot)
 	http.HandleFunc("/debug/slow", srv.handleSlow)
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -142,16 +190,24 @@ func main() {
 	// /debug/vars (expvar) and /debug/pprof are registered by their
 	// packages' imports on the default mux.
 
-	log.Printf("topk-serve: %s index over %d items in %d shard(s) on %s (slow-ios=%d)",
-		*problem, *n, srv.ix.Shards(), *addr, *slowIOs)
+	boot := "cold build"
+	if srv.warmStart {
+		boot = fmt.Sprintf("warm start, %d read I/Os", srv.restoreReads)
+	}
+	log.Printf("topk-serve: %s index over %d items in %d shard(s) on %s (%s, slow-ios=%d)",
+		*problem, srv.ix.Len(), srv.ix.Shards(), *addr, boot, *slowIOs)
 	log.Fatal(http.ListenAndServe(*addr, nil))
 }
 
 // buildServer constructs the selected problem's index from the registry
 // with full observability and returns the HTTP adapter around it. With
 // shards > 1 the index is partitioned and every query fans out across
-// the shards (metric series then carry a shard label).
-func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, slow *ringWriter) (*server, error) {
+// the shards (metric series then carry a shard label). When snapDir
+// holds a snapshot of the same problem, the index is restored from it —
+// a warm start at O(size/B) read I/Os — instead of built; the restore
+// keeps the snapshot's reduction, shard count, and seed, so -n and
+// -shards are ignored on that path.
+func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, snapDir string, slow *ringWriter) (*server, error) {
 	spec, ok := topk.ProblemByName(problem)
 	if !ok {
 		return nil, fmt.Errorf("unknown problem %q (want one of: %s)", problem, strings.Join(topk.ProblemNames(), ", "))
@@ -159,6 +215,24 @@ func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, para
 	opts := []topk.Option{topk.WithSeed(seed), topk.WithTracing(), topk.WithMetrics()}
 	if slowIOs > 0 {
 		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs))
+	}
+	if snapDir != "" {
+		if mf, err := topk.ReadManifest(snapDir); err == nil {
+			if mf.Problem != problem {
+				return nil, fmt.Errorf("snapshot %s holds a %q index, server was asked to serve %q", snapDir, mf.Problem, problem)
+			}
+			ix, err := spec.Restore(snapDir, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("restoring %s: %w", snapDir, err)
+			}
+			return &server{
+				problem: problem, n: ix.Len(), shards: ix.Shards(), parallelism: parallelism,
+				ix: ix, slow: slow, started: time.Now(),
+				snapDir: snapDir, warmStart: true, restoreReads: ix.Stats().Reads,
+			}, nil
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("reading snapshot %s: %w", snapDir, err)
+		}
 	}
 	var (
 		ix  topk.Served
@@ -172,7 +246,63 @@ func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, para
 	if err != nil {
 		return nil, err
 	}
-	return &server{problem: problem, n: n, shards: ix.Shards(), parallelism: parallelism, ix: ix, slow: slow, started: time.Now()}, nil
+	return &server{
+		problem: problem, n: n, shards: ix.Shards(), parallelism: parallelism,
+		ix: ix, slow: slow, started: time.Now(), snapDir: snapDir,
+	}, nil
+}
+
+// checkpoint snapshots the index into s.snapDir atomically: the snapshot
+// is written to a temporary sibling directory and renamed into place, so
+// a crash mid-write leaves the previous checkpoint intact. Safe to call
+// concurrently with queries (snapshotting only reads index state), but
+// checkpoints themselves are serialized.
+func (s *server) checkpoint() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	tmp := s.snapDir + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := s.ix.Snapshot(tmp); err != nil {
+		return err
+	}
+	old := s.snapDir + ".old"
+	if err := os.RemoveAll(old); err != nil {
+		return err
+	}
+	if _, err := os.Stat(s.snapDir); err == nil {
+		if err := os.Rename(s.snapDir, old); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, s.snapDir); err != nil {
+		return err
+	}
+	os.RemoveAll(old)
+	s.checkpoints.Add(1)
+	return nil
+}
+
+// handleSnapshot checkpoints on demand: POST /snapshot.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.snapDir == "" {
+		http.Error(w, "server started without -snapshot-dir", http.StatusConflict)
+		return
+	}
+	if err := s.checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"dir":         s.snapDir,
+		"checkpoints": s.checkpoints.Value(),
+	})
 }
 
 // handleProblems lists the registry: every problem any topk-serve binary
@@ -209,7 +339,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.ix.WriteMetrics(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	// Persistence counters live at the server layer, not in the index's
+	// metrics registry, so they are appended to the exposition here.
+	warm := 0
+	if s.warmStart {
+		warm = 1
+	}
+	fmt.Fprintf(w, "# HELP topk_warm_start Whether this process restored its index from a snapshot (1) or built it cold (0).\n")
+	fmt.Fprintf(w, "# TYPE topk_warm_start gauge\ntopk_warm_start %d\n", warm)
+	fmt.Fprintf(w, "# HELP topk_restore_read_ios Simulated sequential read I/Os charged for the boot-time restore.\n")
+	fmt.Fprintf(w, "# TYPE topk_restore_read_ios gauge\ntopk_restore_read_ios %d\n", s.restoreReads)
+	fmt.Fprintf(w, "# HELP topk_checkpoints_total Snapshot checkpoints written by this process.\n")
+	fmt.Fprintf(w, "# TYPE topk_checkpoints_total counter\ntopk_checkpoints_total %d\n", s.checkpoints.Value())
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -2,11 +2,13 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
 	"topk/internal/dominance"
 	"topk/internal/em"
+	"topk/internal/snap"
 )
 
 // DominanceItem is one weighted point in ℝ³ with an arbitrary payload —
@@ -96,4 +98,17 @@ func (ix *DominanceIndex[T]) QueryBatch(qs []CornerQuery, k int, parallelism int
 		corners[i] = dominance.Pt3{X: q.X, Y: q.Y, Z: q.Z}
 	}
 	return ix.eng.QueryBatch(corners, k, parallelism)
+}
+
+// RestoreDominanceIndex reconstructs a dominance index from a snapshot
+// stream written by Snapshot; see RestoreIntervalIndex for the
+// warm-start contract shared by all Restore constructors.
+func RestoreDominanceIndex[T any](r io.Reader, opts ...Option) (*DominanceIndex[T], error) {
+	eng, err := restoreEngine(func(snap.Header) (problem[dominance.Pt3, dominance.Pt3, DominanceItem[T]], error) {
+		return dominanceProblem[T](), nil
+	}, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DominanceIndex[T]{newFacade(eng)}, nil
 }

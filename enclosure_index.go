@@ -2,11 +2,13 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
 	"topk/internal/em"
 	"topk/internal/enclosure"
+	"topk/internal/snap"
 )
 
 // RectItem is one weighted axis-parallel rectangle with a payload — the
@@ -101,4 +103,17 @@ func (ix *EnclosureIndex[T]) QueryBatch(qs []PointQuery, k int, parallelism int)
 		pts[i] = enclosure.Pt2{X: q.X, Y: q.Y}
 	}
 	return ix.eng.QueryBatch(pts, k, parallelism)
+}
+
+// RestoreEnclosureIndex reconstructs a rectangle-enclosure index from a
+// snapshot stream written by Snapshot; see RestoreIntervalIndex for the
+// warm-start contract shared by all Restore constructors.
+func RestoreEnclosureIndex[T any](r io.Reader, opts ...Option) (*EnclosureIndex[T], error) {
+	eng, err := restoreEngine(func(snap.Header) (problem[enclosure.Pt2, enclosure.Rect, RectItem[T]], error) {
+		return enclosureProblem[T](), nil
+	}, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &EnclosureIndex[T]{newFacade(eng)}, nil
 }

@@ -62,6 +62,10 @@ type problem[Q, V, It any] struct {
 	// describe renders a query for the slow-query log. Only invoked when
 	// an entry actually fires.
 	describe func(q Q, k int) string
+	// dim is the ambient dimension of dimension-parameterized problems
+	// (ortho, circular, halfspace), recorded in snapshot headers so a
+	// restore can rebuild the descriptor; 0 for fixed-dimension problems.
+	dim int
 }
 
 // engine is the problem-independent index: one instance per facade value.
@@ -109,18 +113,29 @@ func (e *engine[Q, V, It]) validateItem(it It) error {
 // items, options, and seed.
 func newEngine[Q, V, It any](p problem[Q, V, It], items []It, opts []Option) (*engine[Q, V, It], error) {
 	o := applyOptions(opts)
-	tracker := o.newTracker()
-	e := &engine[Q, V, It]{p: p, opts: o, tracker: tracker, n: len(items)}
+	e := &engine[Q, V, It]{p: p, opts: o, tracker: o.newTracker()}
+	if err := e.init(items); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// init validates items and builds the reduction on the engine's tracker —
+// the construction body shared by newEngine and the snapshot restore path
+// (which wraps it in em.Tracker.RestoreAccounting).
+func (e *engine[Q, V, It]) init(items []It) error {
+	p, o, tracker := e.p, e.opts, e.tracker
+	e.n = len(items)
 
 	cores := make([]core.Item[V], len(items))
 	e.data = make(map[float64]It, len(items))
 	for i, it := range items {
 		if err := e.validateItem(it); err != nil {
-			return nil, fmt.Errorf("item %d: %w", i, err)
+			return fmt.Errorf("item %d: %w", i, err)
 		}
 		w := p.weight(it)
 		if _, dup := e.data[w]; dup {
-			return nil, fmt.Errorf("topk: duplicate weight %v", w)
+			return fmt.Errorf("topk: duplicate weight %v", w)
 		}
 		e.data[w] = it
 		cores[i] = p.toCore(it)
@@ -135,19 +150,19 @@ func newEngine[Q, V, It any](p problem[Q, V, It], items []It, opts []Option) (*e
 		dyn, err := core.NewDynamicExpected(cores, p.match, p.dynPri(tracker), p.dynMax(tracker),
 			core.ExpectedOptions{B: o.blockSize, Seed: o.seed, Tracker: tracker})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.topk, e.dyn = dyn, dyn
 	case o.updates:
 		dyn, err := newOverlay(cores, p.match, p.pri(tracker), p.max(tracker), p.lambda, o, tracker)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.topk, e.dyn = dyn, dyn
 	default:
 		t, err := buildTopK(cores, p.match, p.pri(tracker), p.max(tracker), p.lambda, o, tracker)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e.topk = t
 		e.src = append([]It(nil), items...)
@@ -161,7 +176,7 @@ func newEngine[Q, V, It any](p problem[Q, V, It], items []It, opts []Option) (*e
 	// don't pollute query metrics.
 	e.ob = newIndexObs(p.name, o, tracker)
 	e.ob.observeShape(e.n, e.dyn)
-	return e, nil
+	return nil
 }
 
 // Len returns the number of live items.
@@ -360,3 +375,14 @@ func (f *facade[Q, V, It]) ResetStats() { f.eng.ResetStats() }
 // WriteMetrics renders the index's metrics registry in Prometheus text
 // exposition format. It errors unless the index was built WithMetrics.
 func (f *facade[Q, V, It]) WriteMetrics(w io.Writer) error { return f.eng.WriteMetrics(w) }
+
+// Snapshot writes the index's versioned snapshot stream to w (see
+// DESIGN.md §12 for the format). The stream captures the index's full
+// logical state — source items, dynamization-overlay levels, tombstones,
+// tail, and configuration — and the matching per-problem Restore
+// function (RestoreIntervalIndex, …) rebuilds an index that answers
+// every query identically, at a restore cost of O(size/B) sequential
+// I/Os instead of a rebuild. Snapshot charges that same O(size/B) write
+// cost to the index's tracker. It may run concurrently with queries but
+// not with Insert or Delete.
+func (f *facade[Q, V, It]) Snapshot(w io.Writer) error { return f.eng.Snapshot(w) }

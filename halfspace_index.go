@@ -2,11 +2,13 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
 	"topk/internal/em"
 	"topk/internal/halfspace"
+	"topk/internal/snap"
 )
 
 // PointItem2 is one weighted point in the plane with a payload.
@@ -107,6 +109,7 @@ type PointItemN[T any] struct {
 func halfspaceProblem[T any](d int) problem[halfspace.Halfspace, halfspace.PtN, PointItemN[T]] {
 	return problem[halfspace.Halfspace, halfspace.PtN, PointItemN[T]]{
 		name:   "halfspace",
+		dim:    d,
 		match:  halfspace.MatchN,
 		lambda: halfspace.LambdaN(d),
 		pri: func(tr *em.Tracker) core.PrioritizedFactory[halfspace.Halfspace, halfspace.PtN] {
@@ -192,4 +195,35 @@ func (ix *HalfspaceIndex[T]) QueryBatch(qs []HalfspaceQuery, k int, parallelism 
 		hss[i] = halfspace.Halfspace{A: q.A, C: q.C}
 	}
 	return ix.eng.QueryBatch(hss, k, parallelism)
+}
+
+// RestoreHalfplaneIndex reconstructs a halfplane index from a snapshot
+// stream written by Snapshot; see RestoreIntervalIndex for the
+// warm-start contract shared by all Restore constructors.
+func RestoreHalfplaneIndex[T any](r io.Reader, opts ...Option) (*HalfplaneIndex[T], error) {
+	eng, err := restoreEngine(func(snap.Header) (problem[halfspace.Halfplane, halfspace.Pt2, PointItem2[T]], error) {
+		return halfplaneProblem[T](), nil
+	}, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &HalfplaneIndex[T]{newFacade(eng)}, nil
+}
+
+// RestoreHalfspaceIndex reconstructs a halfspace index from a snapshot
+// stream written by Snapshot. The ambient dimension is read from the
+// snapshot header; see RestoreIntervalIndex for the warm-start contract.
+func RestoreHalfspaceIndex[T any](r io.Reader, opts ...Option) (*HalfspaceIndex[T], error) {
+	var d int
+	eng, err := restoreEngine(func(h snap.Header) (problem[halfspace.Halfspace, halfspace.PtN, PointItemN[T]], error) {
+		if h.Dim < 1 {
+			return problem[halfspace.Halfspace, halfspace.PtN, PointItemN[T]]{}, fmt.Errorf("topk: halfspace snapshot has invalid dimension %d", h.Dim)
+		}
+		d = int(h.Dim)
+		return halfspaceProblem[T](d), nil
+	}, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &HalfspaceIndex[T]{d: d, facade: newFacade(eng)}, nil
 }

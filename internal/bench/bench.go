@@ -60,6 +60,7 @@ var experiments = map[string]struct {
 	"E26": {"Lemma 3 via tracing: T2 rounds-per-query tail vs the geometric 0.91^(r-1) bound", runE26},
 	"E27": {"Registry sweep: every problem × reduction through the type-erased Served surface", runE27},
 	"E28": {"Sharded serving: build time, batch throughput, and I/O cost vs shard count", runE28},
+	"E29": {"Warm starts: snapshot restore I/Os vs rebuild I/Os across the registry", runE29},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -8,10 +8,10 @@ import (
 
 func TestIDsCoverAllExperiments(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 28 {
-		t.Fatalf("%d experiments registered, want 28: %v", len(ids), ids)
+	if len(ids) != 29 {
+		t.Fatalf("%d experiments registered, want 29: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E28" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E29" {
 		t.Fatalf("IDs not in numeric order: %v", ids)
 	}
 	for _, id := range ids {

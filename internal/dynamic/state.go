@@ -1,0 +1,225 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"topk/internal/core"
+)
+
+// State is the serializable logical state of an Overlay: everything
+// needed to reconstruct an equivalent overlay with Restore, and nothing
+// tied to in-memory representation. Level substructures are not encoded
+// — each level's exact build batch is, and Restore re-runs the builder
+// over it, which is deterministic for every builder in this repository
+// (same items, same order, same seed ⇒ identical structure).
+type State[V any] struct {
+	// TailCap and DeadFrac are the structural options the overlay was
+	// running with; Restore adopts them, ignoring any values in its own
+	// Options argument.
+	TailCap  int
+	DeadFrac float64
+	// Levels holds the occupied ladder slots in ascending slot order.
+	Levels []LevelState[V]
+	// Tail is the mutable insert buffer, in insertion order.
+	Tail []core.Item[V]
+	// Counters carries the lifetime update statistics so a restored
+	// overlay's Stats() continues the original's sequence.
+	Counters Counters
+}
+
+// LevelState is one occupied ladder slot: the exact item batch its
+// substructure was built over plus the weights tombstoned since.
+type LevelState[V any] struct {
+	Slot  int
+	Items []core.Item[V]
+	// Dead lists tombstoned weights in ascending order (sorted so that a
+	// snapshot of a given overlay is byte-stable).
+	Dead []float64
+}
+
+// Counters are the lifetime update statistics of Stats.
+type Counters struct {
+	Inserts, Deletes, Flushes, Rebuilds, BuiltItems int64
+}
+
+// ExportState captures the overlay's logical state. The returned value
+// shares no memory with the overlay. Read-only; it must not run
+// concurrently with Insert or DeleteWeight.
+func (o *Overlay[Q, V]) ExportState() State[V] {
+	st := State[V]{
+		TailCap:  o.opts.TailCap,
+		DeadFrac: o.opts.DeadFrac,
+		Tail:     append([]core.Item[V](nil), o.tail...),
+		Counters: Counters{
+			Inserts:    o.stats.Inserts,
+			Deletes:    o.stats.Deletes,
+			Flushes:    o.stats.Flushes,
+			Rebuilds:   o.stats.Rebuilds,
+			BuiltItems: o.stats.BuiltItems,
+		},
+	}
+	for j, lvl := range o.levels {
+		if lvl == nil {
+			continue
+		}
+		ls := LevelState[V]{
+			Slot:  j,
+			Items: append([]core.Item[V](nil), lvl.items...),
+			Dead:  make([]float64, 0, len(lvl.dead)),
+		}
+		for w := range lvl.dead {
+			ls.Dead = append(ls.Dead, w)
+		}
+		sort.Float64s(ls.Dead)
+		st.Levels = append(st.Levels, ls)
+	}
+	return st
+}
+
+// Restore reconstructs an overlay from an exported state, re-running the
+// builder over each level's recorded batch. The state is validated first
+// — slot bounds, level capacities, tombstones belonging to their level,
+// global uniqueness of live weights — and a violation returns an error
+// rather than a structurally corrupt overlay, so Restore is safe to feed
+// decoded (possibly corrupt) snapshot data. opts supplies the runtime
+// environment (Tracker); the structural knobs come from the state.
+func Restore[Q, V any](
+	st State[V],
+	match core.MatchFunc[Q, V],
+	build Builder[Q, V],
+	opts Options,
+) (*Overlay[Q, V], error) {
+	if st.TailCap < 0 {
+		return nil, fmt.Errorf("dynamic: restore: negative tail capacity %d", st.TailCap)
+	}
+	if st.DeadFrac < 0 || st.DeadFrac >= 1 {
+		return nil, fmt.Errorf("dynamic: restore: dead fraction %v outside [0,1)", st.DeadFrac)
+	}
+	opts.TailCap = st.TailCap
+	opts.DeadFrac = st.DeadFrac
+	opts.fill() // zero values fall back to the defaults
+
+	o := &Overlay[Q, V]{
+		match: match, build: build, opts: opts,
+		tailPos: make(map[float64]int), where: make(map[float64]int),
+	}
+
+	if err := validateState(o, st); err != nil {
+		return nil, err
+	}
+
+	for _, ls := range st.Levels {
+		batch := append([]core.Item[V](nil), ls.Items...)
+		if err := o.buildAt(ls.Slot, batch); err != nil {
+			return nil, fmt.Errorf("dynamic: restore: rebuilding level %d: %w", ls.Slot, err)
+		}
+		lvl := o.levels[ls.Slot]
+		for _, w := range ls.Dead {
+			lvl.dead[w] = struct{}{}
+		}
+		o.deadTotal += len(ls.Dead)
+	}
+
+	// buildAt registered every batch item in `where`, including weights
+	// that are dead in one level while live in another (a deleted weight
+	// can be reinserted); recompute the live map from scratch so each
+	// entry points at the level where that weight is live.
+	clear(o.where)
+	for j, lvl := range o.levels {
+		if lvl == nil {
+			continue
+		}
+		for _, it := range lvl.items {
+			if _, gone := lvl.dead[it.Weight]; !gone {
+				o.where[it.Weight] = j
+			}
+		}
+	}
+
+	o.tail = append(o.tail, st.Tail...)
+	for i, it := range o.tail {
+		o.tailPos[it.Weight] = i
+	}
+	o.stats = Stats{
+		Inserts:    st.Counters.Inserts,
+		Deletes:    st.Counters.Deletes,
+		Flushes:    st.Counters.Flushes,
+		Rebuilds:   st.Counters.Rebuilds,
+		BuiltItems: st.Counters.BuiltItems,
+	}
+	return o, nil
+}
+
+// validateState checks the structural invariants a decoded state must
+// satisfy before any substructure is built.
+func validateState[Q, V any](o *Overlay[Q, V], st State[V]) error {
+	if len(st.Tail) >= o.opts.TailCap && len(st.Tail) > 0 {
+		return fmt.Errorf("dynamic: restore: tail holds %d items, capacity is %d (a full tail always flushes)", len(st.Tail), o.opts.TailCap)
+	}
+	live := make(map[float64]struct{})
+	addLive := func(w float64, where string) error {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("dynamic: restore: non-finite weight %v in %s", w, where)
+		}
+		if _, dup := live[w]; dup {
+			return fmt.Errorf("dynamic: restore: weight %v live in two places (%s)", w, where)
+		}
+		live[w] = struct{}{}
+		return nil
+	}
+	seenSlot := make(map[int]struct{})
+	for _, ls := range st.Levels {
+		if ls.Slot < 0 || ls.Slot > 60 {
+			return fmt.Errorf("dynamic: restore: level slot %d out of range", ls.Slot)
+		}
+		if _, dup := seenSlot[ls.Slot]; dup {
+			return fmt.Errorf("dynamic: restore: level slot %d appears twice", ls.Slot)
+		}
+		seenSlot[ls.Slot] = struct{}{}
+		if len(ls.Items) == 0 {
+			return fmt.Errorf("dynamic: restore: level slot %d is empty", ls.Slot)
+		}
+		if cap := o.capOf(ls.Slot); len(ls.Items) > cap {
+			return fmt.Errorf("dynamic: restore: level slot %d holds %d items, capacity %d", ls.Slot, len(ls.Items), cap)
+		}
+		inLevel := make(map[float64]struct{}, len(ls.Items))
+		for _, it := range ls.Items {
+			if math.IsNaN(it.Weight) || math.IsInf(it.Weight, 0) {
+				return fmt.Errorf("dynamic: restore: non-finite weight %v in level %d", it.Weight, ls.Slot)
+			}
+			if _, dup := inLevel[it.Weight]; dup {
+				return fmt.Errorf("dynamic: restore: weight %v appears twice in level %d", it.Weight, ls.Slot)
+			}
+			inLevel[it.Weight] = struct{}{}
+		}
+		dead := make(map[float64]struct{}, len(ls.Dead))
+		for _, w := range ls.Dead {
+			if _, ok := inLevel[w]; !ok {
+				return fmt.Errorf("dynamic: restore: tombstone %v is not an item of level %d", w, ls.Slot)
+			}
+			if _, dup := dead[w]; dup {
+				return fmt.Errorf("dynamic: restore: tombstone %v repeated in level %d", w, ls.Slot)
+			}
+			dead[w] = struct{}{}
+		}
+		for _, it := range ls.Items {
+			if _, gone := dead[it.Weight]; gone {
+				continue
+			}
+			if err := addLive(it.Weight, fmt.Sprintf("level %d", ls.Slot)); err != nil {
+				return err
+			}
+		}
+		if len(dead) == len(ls.Items) {
+			return fmt.Errorf("dynamic: restore: level %d is entirely dead (such levels are discarded, never persisted)", ls.Slot)
+		}
+	}
+	for _, it := range st.Tail {
+		if err := addLive(it.Weight, "tail"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package em
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestConfigValidation(t *testing.T) {
 	defer func() {
@@ -176,5 +179,69 @@ func TestPathCost(t *testing.T) {
 	tr2.PathCost(11)
 	if got := tr2.Stats().Reads; got != 1 {
 		t.Errorf("B=1024 PathCost(11) charged %d reads, want 1", got)
+	}
+}
+
+func TestSeqBlocks(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 8})
+	cases := []struct {
+		bytes, want int64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {512, 1}, {513, 2}, {8 * 64, 1}, {8*64 + 1, 2}, {8 * 64 * 10, 10},
+	}
+	for _, c := range cases {
+		if got := tr.SeqBlocks(c.bytes); got != c.want {
+			t.Errorf("SeqBlocks(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotCost(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 8})
+	tr.SnapshotCost(8 * 64 * 3) // exactly 3 blocks of words
+	if s := tr.Stats(); s.Writes != 3 || s.Reads != 0 {
+		t.Fatalf("snapshot cost: %+v", s)
+	}
+}
+
+func TestRestoreAccounting(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 8})
+	// Pre-existing activity that must survive the restore untouched.
+	id := tr.Alloc()
+	tr.Read(id)
+	tr.Read(id) // hit
+	before := tr.Stats()
+
+	err := tr.RestoreAccounting(8*64*5, func() error {
+		// A reconstruction that charges heavily, as a real build would.
+		run := tr.AllocRun(100)
+		tr.ReadRun(run, 100)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Reads != before.Reads+5 {
+		t.Errorf("reads = %d, want %d (before) + 5 sequential", s.Reads, before.Reads)
+	}
+	if s.Writes != before.Writes || s.Hits != before.Hits {
+		t.Errorf("writes/hits changed: %+v vs %+v", s, before)
+	}
+	if s.Blocks != before.Blocks+100 {
+		t.Errorf("blocks = %d, want space kept from reconstruction", s.Blocks)
+	}
+	// Cache must be cold: re-reading the old block costs a miss.
+	tr.Read(id)
+	if got := tr.Stats().Reads; got != s.Reads+1 {
+		t.Errorf("cache not dropped: reads %d, want %d", got, s.Reads+1)
+	}
+}
+
+func TestRestoreAccountingError(t *testing.T) {
+	tr := NewTracker(Config{B: 64, MemBlocks: 8})
+	wantErr := fmt.Errorf("decode failed")
+	if err := tr.RestoreAccounting(100, func() error { return wantErr }); err != wantErr {
+		t.Fatalf("err = %v", err)
 	}
 }

@@ -1,0 +1,394 @@
+// Package snap is the versioned binary snapshot codec behind the
+// library's persistence layer (DESIGN.md §12). A snapshot is a
+// self-describing stream:
+//
+//	magic "TKSN" | format version (u16) | section*  | end section
+//
+// where every section is independently length-prefixed and checksummed:
+//
+//	type (u16) | payload length (u32) | payload | CRC-32 (IEEE) of payload
+//
+// The first section must be the header (problem name, reduction, engine
+// kind, item count, dimension), so any reader can identify a snapshot —
+// and refuse a foreign one — before touching structural state. Sections
+// after the header carry the engine's logical state: machine
+// configuration, item batches, dynamization-overlay levels, the overlay
+// tail and its counters. The stream ends with an explicit end marker, so
+// truncation is always detectable and never silently accepted.
+//
+// The codec is deliberately dumb: fixed-width little-endian integers,
+// IEEE-754 bit patterns for floats, and length-prefixed byte strings.
+// Everything problem-specific (which floats mean what) lives in the
+// engine's per-problem codec hooks; everything version-specific lives
+// here. Readers reject unknown format versions and unknown *required*
+// sections outright — the compatibility policy is "same major format or
+// rebuild from raw items", documented in DESIGN.md §12.
+//
+// Every decode error is descriptive and recoverable: corrupt, truncated
+// or adversarial input must surface as an error, never a panic or a
+// silently wrong structure. The fuzz target FuzzSnapshotRestore holds
+// the package to that contract.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Magic is the 4-byte stream prefix identifying a top-k snapshot.
+const Magic = "TKSN"
+
+// Version is the format version this build writes and the only version
+// it reads. Bump it on any incompatible layout change; readers report a
+// descriptive error for every other version (see DESIGN.md §12 for the
+// compatibility policy).
+const Version uint16 = 1
+
+// Section types. SecHeader must be the first section of every stream;
+// SecEnd terminates it. The remaining types carry engine state and may
+// appear in any order after the header.
+const (
+	// SecEnd is the mandatory stream terminator (empty payload).
+	SecEnd uint16 = 0
+	// SecHeader identifies the snapshot: problem, reduction, kind, items.
+	SecHeader uint16 = 1
+	// SecConfig carries the EM machine and build configuration (block
+	// size, memory blocks, seed, updates flag).
+	SecConfig uint16 = 2
+	// SecItems is a batch of items: the static source set, or the native
+	// dynamic structure's live set in its internal order.
+	SecItems uint16 = 3
+	// SecOverlayLevel is one dynamization-overlay level: slot index, the
+	// exact item batch the level's substructure was built over, and the
+	// level's tombstoned weights.
+	SecOverlayLevel uint16 = 4
+	// SecOverlayTail is the overlay's unindexed insert buffer, in order.
+	SecOverlayTail uint16 = 5
+	// SecOverlayCounters carries the overlay's cumulative update
+	// counters, so Stats continuity survives a restore.
+	SecOverlayCounters uint16 = 6
+)
+
+// Engine kinds recorded in the header: how the structural sections are
+// to be interpreted.
+const (
+	// KindStatic: one SecItems section holding the build source set.
+	KindStatic uint8 = 0
+	// KindOverlay: SecOverlayLevel/Tail/Counters sections holding the
+	// logarithmic-method overlay's logical state.
+	KindOverlay uint8 = 1
+	// KindNative: one SecItems section holding the natively dynamic
+	// (Theorem 2) structure's live set in its internal order.
+	KindNative uint8 = 2
+)
+
+// Header identifies a snapshot before any structural state is decoded.
+type Header struct {
+	// Problem is the registry name of the snapshotted problem.
+	Problem string
+	// Reduction is the reduction's String() name.
+	Reduction string
+	// Kind is the engine kind (KindStatic, KindOverlay, KindNative).
+	Kind uint8
+	// Items is the live item count, cross-checked after reconstruction.
+	Items uint64
+	// Dim is the ambient dimension for dimension-parameterized problems
+	// (ortho, circular, halfspace); 0 otherwise.
+	Dim uint16
+}
+
+// maxSectionLen bounds a single section payload (64 MiB). It exists so a
+// corrupt length prefix cannot make a reader attempt an absurd
+// allocation before the checksum gets a chance to fail.
+const maxSectionLen = 64 << 20
+
+// ---- writing ----------------------------------------------------------
+
+// Writer emits one snapshot stream.
+type Writer struct {
+	w     io.Writer
+	err   error
+	wrote int64
+}
+
+// NewWriter starts a snapshot stream on w: magic plus format version.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w}
+	sw.raw([]byte(Magic))
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], Version)
+	sw.raw(v[:])
+	return sw
+}
+
+func (w *Writer) raw(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.wrote += int64(n)
+	w.err = err
+}
+
+// Bytes returns how many bytes have been emitted so far.
+func (w *Writer) Bytes() int64 { return w.wrote }
+
+// Err returns the first underlying write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Section buffers one section payload. Append fields with the typed
+// methods, then pass it to Writer.End.
+type Section struct {
+	typ uint16
+	buf []byte
+	// reading state (see Reader.Next)
+	pos int
+	err error
+}
+
+// Begin opens a buffered section of the given type.
+func (w *Writer) Begin(typ uint16) *Section { return &Section{typ: typ} }
+
+// End emits a buffered section: type, length, payload, payload CRC-32.
+func (w *Writer) End(s *Section) error {
+	if len(s.buf) > maxSectionLen {
+		w.err = fmt.Errorf("snap: section %d payload is %d bytes, above the %d-byte cap", s.typ, len(s.buf), maxSectionLen)
+		return w.err
+	}
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], s.typ)
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(s.buf)))
+	w.raw(hdr[:])
+	w.raw(s.buf)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(s.buf))
+	w.raw(crc[:])
+	return w.err
+}
+
+// Close terminates the stream with the end marker.
+func (w *Writer) Close() error {
+	return w.End(w.Begin(SecEnd))
+}
+
+// WriteHeader emits the mandatory header section. Call it first.
+func (w *Writer) WriteHeader(h Header) error {
+	s := w.Begin(SecHeader)
+	s.Str(h.Problem)
+	s.Str(h.Reduction)
+	s.U8(h.Kind)
+	s.U64(h.Items)
+	s.U64(uint64(h.Dim))
+	return w.End(s)
+}
+
+// U8 appends one byte.
+func (s *Section) U8(v uint8) { s.buf = append(s.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (s *Section) U64(v uint64) {
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, v)
+}
+
+// I64 appends a little-endian int64 (two's complement).
+func (s *Section) I64(v int64) { s.U64(uint64(v)) }
+
+// F64 appends an IEEE-754 bit pattern.
+func (s *Section) F64(v float64) { s.U64(math.Float64bits(v)) }
+
+// F64s appends a count-prefixed float slice.
+func (s *Section) F64s(xs []float64) {
+	s.U64(uint64(len(xs)))
+	for _, x := range xs {
+		s.F64(x)
+	}
+}
+
+// Bytes appends a length-prefixed byte string.
+func (s *Section) Bytes(p []byte) {
+	s.U64(uint64(len(p)))
+	s.buf = append(s.buf, p...)
+}
+
+// Str appends a length-prefixed UTF-8 string.
+func (s *Section) Str(v string) { s.Bytes([]byte(v)) }
+
+// ---- reading ----------------------------------------------------------
+
+// Reader consumes one snapshot stream.
+type Reader struct {
+	r   io.Reader
+	err error
+}
+
+// NewReader validates the magic and format version and returns a reader
+// positioned at the first section.
+func NewReader(r io.Reader) (*Reader, error) {
+	var pre [6]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("snap: truncated stream prefix: %w", err)
+	}
+	if string(pre[:4]) != Magic {
+		return nil, fmt.Errorf("snap: bad magic %q: not a top-k snapshot", pre[:4])
+	}
+	if v := binary.LittleEndian.Uint16(pre[4:6]); v != Version {
+		return nil, fmt.Errorf("snap: unsupported format version %d (this build reads version %d; rebuild the snapshot or upgrade)", v, Version)
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next reads the next section, verifying its length and checksum. It
+// returns the section type; SecEnd signals a clean end of stream. A
+// truncated or corrupt stream returns a descriptive error.
+func (r *Reader) Next() (uint16, *Section, error) {
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		r.err = fmt.Errorf("snap: truncated section header: %w", err)
+		return 0, nil, r.err
+	}
+	typ := binary.LittleEndian.Uint16(hdr[0:2])
+	n := binary.LittleEndian.Uint32(hdr[2:6])
+	if n > maxSectionLen {
+		r.err = fmt.Errorf("snap: section %d declares a %d-byte payload, above the %d-byte cap (corrupt length prefix?)", typ, n, maxSectionLen)
+		return 0, nil, r.err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = fmt.Errorf("snap: truncated section %d: want %d payload bytes: %w", typ, n, err)
+		return 0, nil, r.err
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r.r, crc[:]); err != nil {
+		r.err = fmt.Errorf("snap: truncated section %d checksum: %w", typ, err)
+		return 0, nil, r.err
+	}
+	want := binary.LittleEndian.Uint32(crc[:])
+	if got := crc32.ChecksumIEEE(buf); got != want {
+		r.err = fmt.Errorf("snap: section %d checksum mismatch (stored %08x, computed %08x): snapshot is corrupt", typ, want, got)
+		return 0, nil, r.err
+	}
+	return typ, &Section{typ: typ, buf: buf}, nil
+}
+
+// ReadHeader reads the mandatory first section and decodes it.
+func (r *Reader) ReadHeader() (Header, error) {
+	typ, s, err := r.Next()
+	if err != nil {
+		return Header{}, err
+	}
+	if typ != SecHeader {
+		return Header{}, fmt.Errorf("snap: first section has type %d, want header (%d)", typ, SecHeader)
+	}
+	var h Header
+	h.Problem = s.RStr()
+	h.Reduction = s.RStr()
+	h.Kind = s.RU8()
+	h.Items = s.RU64()
+	h.Dim = uint16(s.RU64())
+	if err := s.Err(); err != nil {
+		return Header{}, fmt.Errorf("snap: malformed header: %w", err)
+	}
+	return h, nil
+}
+
+// Type returns the section's type.
+func (s *Section) Type() uint16 { return s.typ }
+
+// Len returns the section's payload length in bytes.
+func (s *Section) Len() int { return len(s.buf) }
+
+// Remaining returns how many unread payload bytes are left.
+func (s *Section) Remaining() int { return len(s.buf) - s.pos }
+
+// Err returns the section's sticky decode error. Check it after a run
+// of R* calls; every read after the first failure returns zero values.
+func (s *Section) Err() error { return s.err }
+
+var errShort = errors.New("field extends past the section payload (truncated or corrupt)")
+
+func (s *Section) take(n int) []byte {
+	if s.err != nil {
+		return nil
+	}
+	if n < 0 || s.pos+n > len(s.buf) {
+		s.err = errShort
+		return nil
+	}
+	p := s.buf[s.pos : s.pos+n]
+	s.pos += n
+	return p
+}
+
+// RU8 reads one byte.
+func (s *Section) RU8() uint8 {
+	p := s.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// RU64 reads a little-endian uint64.
+func (s *Section) RU64() uint64 {
+	p := s.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// RI64 reads a little-endian int64.
+func (s *Section) RI64() int64 { return int64(s.RU64()) }
+
+// RF64 reads an IEEE-754 bit pattern.
+func (s *Section) RF64() float64 { return math.Float64frombits(s.RU64()) }
+
+// RCount reads a count prefix for elements of at least elemBytes bytes
+// each and validates it against the remaining payload, so a corrupt
+// count can never drive an oversized allocation.
+func (s *Section) RCount(elemBytes int) int {
+	n := s.RU64()
+	if s.err != nil {
+		return 0
+	}
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	if n > uint64(s.Remaining()/elemBytes) {
+		s.err = fmt.Errorf("snap: count %d exceeds the %d remaining payload bytes (corrupt count prefix?)", n, s.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// RF64s reads a count-prefixed float slice.
+func (s *Section) RF64s() []float64 {
+	n := s.RCount(8)
+	if s.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.RF64()
+	}
+	return xs
+}
+
+// RBytes reads a length-prefixed byte string.
+func (s *Section) RBytes() []byte {
+	n := s.RCount(1)
+	if s.err != nil {
+		return nil
+	}
+	return append([]byte(nil), s.take(n)...)
+}
+
+// RStr reads a length-prefixed string.
+func (s *Section) RStr() string { return string(s.RBytes()) }

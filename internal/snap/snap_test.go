@@ -1,0 +1,274 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// validStream builds a small well-formed snapshot stream: header, one
+// config-ish section with every field type, end marker.
+func validStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(Header{Problem: "interval", Reduction: "Expected", Kind: KindStatic, Items: 3, Dim: 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := w.Begin(SecConfig)
+	s.U64(64)
+	s.I64(-7)
+	s.F64(3.5)
+	s.F64s([]float64{1, 2, 3})
+	s.Bytes([]byte("payload"))
+	s.Str("hello")
+	s.U8(9)
+	if err := w.End(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != int64(buf.Len()) {
+		t.Fatalf("Bytes() = %d, wrote %d", w.Bytes(), buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := validStream(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.ReadHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Problem != "interval" || h.Reduction != "Expected" || h.Kind != KindStatic || h.Items != 3 || h.Dim != 0 {
+		t.Fatalf("header round trip: %+v", h)
+	}
+	typ, s, err := r.Next()
+	if err != nil || typ != SecConfig {
+		t.Fatalf("Next: typ %d err %v", typ, err)
+	}
+	if got := s.RU64(); got != 64 {
+		t.Fatalf("RU64 = %d", got)
+	}
+	if got := s.RI64(); got != -7 {
+		t.Fatalf("RI64 = %d", got)
+	}
+	if got := s.RF64(); got != 3.5 {
+		t.Fatalf("RF64 = %v", got)
+	}
+	if got := s.RF64s(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("RF64s = %v", got)
+	}
+	if got := s.RBytes(); string(got) != "payload" {
+		t.Fatalf("RBytes = %q", got)
+	}
+	if got := s.RStr(); got != "hello" {
+		t.Fatalf("RStr = %q", got)
+	}
+	if got := s.RU8(); got != 9 {
+		t.Fatalf("RU8 = %d", got)
+	}
+	if s.Remaining() != 0 || s.Err() != nil {
+		t.Fatalf("remaining %d err %v", s.Remaining(), s.Err())
+	}
+	typ, _, err = r.Next()
+	if err != nil || typ != SecEnd {
+		t.Fatalf("end marker: typ %d err %v", typ, err)
+	}
+}
+
+// TestCorruption is the decode-robustness table: every malformed stream
+// must produce a descriptive error, never a panic or a silent success.
+func TestCorruption(t *testing.T) {
+	base := validStream(t)
+	// Locate the header section's payload start: magic(4) + version(2) +
+	// section type(2) + length(4).
+	const headerPayload = 12
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string // substring of the expected error
+	}{
+		{"bad magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}, "bad magic"},
+		{"unknown version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:6], 99)
+			return b
+		}, "unsupported format version 99"},
+		{"empty stream", func(b []byte) []byte { return nil }, "truncated stream prefix"},
+		{"prefix only", func(b []byte) []byte { return b[:6] }, "truncated section header"},
+		{"flipped payload byte", func(b []byte) []byte {
+			b[headerPayload] ^= 0xFF
+			return b
+		}, "checksum mismatch"},
+		{"flipped checksum byte", func(b []byte) []byte {
+			// Checksum trails the header payload; flipping its first byte
+			// must be caught even though the payload itself is intact.
+			n := binary.LittleEndian.Uint32(b[8:12])
+			b[headerPayload+int(n)] ^= 0x01
+			return b
+		}, "checksum mismatch"},
+		{"truncated section payload", func(b []byte) []byte { return b[:headerPayload+3] }, "truncated section"},
+		{"oversized length prefix", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 1<<30)
+			return b
+		}, "above the"},
+		{"missing end marker", func(b []byte) []byte {
+			// Drop the end section (type+len+crc = 10 bytes).
+			return b[:len(b)-10]
+		}, "truncated section header"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), base...))
+			err := consume(data)
+			if err == nil {
+				t.Fatalf("corrupt stream accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// consume walks a stream to the end marker, like a restore would.
+func consume(data []byte) error {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if _, err := r.ReadHeader(); err != nil {
+		return err
+	}
+	for {
+		typ, _, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if typ == SecEnd {
+			return nil
+		}
+	}
+}
+
+func TestHeaderMustBeFirst(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	s := w.Begin(SecConfig)
+	s.U64(1)
+	if err := w.End(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadHeader(); err == nil || !strings.Contains(err.Error(), "want header") {
+		t.Fatalf("out-of-order header error = %v", err)
+	}
+}
+
+// TestSectionOverread pins the sticky-error contract: reading past a
+// section's payload fails once and stays failed, returning zero values.
+func TestSectionOverread(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(Header{Problem: "p", Reduction: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	s := w.Begin(SecItems)
+	s.U64(1)
+	if err := w.End(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	_, sec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sec.RU64(); got != 1 {
+		t.Fatalf("RU64 = %d", got)
+	}
+	if got := sec.RU64(); got != 0 || sec.Err() == nil {
+		t.Fatalf("overread: got %d, err %v", got, sec.Err())
+	}
+	if got := sec.RStr(); got != "" || sec.Err() == nil {
+		t.Fatalf("sticky error lost: %q, %v", got, sec.Err())
+	}
+}
+
+// TestCorruptCountPrefix pins RCount's allocation guard: a section whose
+// count field claims more elements than the payload can hold errors out
+// instead of attempting the allocation.
+func TestCorruptCountPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(Header{Problem: "p", Reduction: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	s := w.Begin(SecItems)
+	s.U64(1 << 40) // absurd element count with no payload behind it
+	if err := w.End(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	_, sec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs := sec.RF64s(); xs != nil || sec.Err() == nil {
+		t.Fatalf("oversized count accepted: %v, err %v", xs, sec.Err())
+	}
+	if !strings.Contains(sec.Err().Error(), "exceeds the") {
+		t.Fatalf("count error = %v", sec.Err())
+	}
+}
+
+func TestWriterPropagatesErrors(t *testing.T) {
+	w := NewWriter(failWriter{})
+	if err := w.WriteHeader(Header{Problem: "p"}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() lost the failure")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -2,12 +2,14 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
 	"topk/internal/em"
 	"topk/internal/halfspace"
 	"topk/internal/orthorange"
+	"topk/internal/snap"
 )
 
 // orthoProblem is the engine descriptor for top-k orthogonal range
@@ -15,6 +17,7 @@ import (
 func orthoProblem[T any](d int) problem[orthorange.Box, halfspace.PtN, PointItemN[T]] {
 	return problem[orthorange.Box, halfspace.PtN, PointItemN[T]]{
 		name:   "ortho",
+		dim:    d,
 		match:  orthorange.Match,
 		lambda: orthorange.Lambda(d),
 		pri: func(tr *em.Tracker) core.PrioritizedFactory[orthorange.Box, halfspace.PtN] {
@@ -135,4 +138,23 @@ func (ix *OrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]Ba
 		boxes[i] = b
 	}
 	return ix.eng.QueryBatch(boxes, k, parallelism), nil
+}
+
+// RestoreOrthoIndex reconstructs an orthogonal range index from a
+// snapshot stream written by Snapshot. The ambient dimension is read
+// from the snapshot header, so the caller does not re-supply it; see
+// RestoreIntervalIndex for the warm-start contract.
+func RestoreOrthoIndex[T any](r io.Reader, opts ...Option) (*OrthoIndex[T], error) {
+	var d int
+	eng, err := restoreEngine(func(h snap.Header) (problem[orthorange.Box, halfspace.PtN, PointItemN[T]], error) {
+		if h.Dim < 1 {
+			return problem[orthorange.Box, halfspace.PtN, PointItemN[T]]{}, fmt.Errorf("topk: ortho snapshot has invalid dimension %d", h.Dim)
+		}
+		d = int(h.Dim)
+		return orthoProblem[T](d), nil
+	}, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &OrthoIndex[T]{d: d, facade: newFacade(eng)}, nil
 }

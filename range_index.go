@@ -2,11 +2,13 @@ package topk
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"topk/internal/core"
 	"topk/internal/em"
 	"topk/internal/rangerep"
+	"topk/internal/snap"
 )
 
 // PointItem1 is one weighted point on the real line with a payload.
@@ -118,4 +120,17 @@ func (ix *RangeIndex[T]) QueryBatch(spans []Span, k int, parallelism int) []Batc
 		qs[i] = rangerep.Span{Lo: s.Lo, Hi: s.Hi}
 	}
 	return ix.eng.QueryBatch(qs, k, parallelism)
+}
+
+// RestoreRangeIndex reconstructs a range index from a snapshot stream
+// written by Snapshot; see RestoreIntervalIndex for the warm-start
+// contract shared by all Restore constructors.
+func RestoreRangeIndex[T any](r io.Reader, opts ...Option) (*RangeIndex[T], error) {
+	eng, err := restoreEngine(func(snap.Header) (problem[rangerep.Span, float64, PointItem1[T]], error) {
+		return rangeProblem[T](), nil
+	}, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RangeIndex[T]{newFacade(eng)}, nil
 }

@@ -15,17 +15,20 @@ import (
 	"topk/internal/interval"
 	"topk/internal/orthorange"
 	"topk/internal/rangerep"
+	"topk/internal/snap"
 	"topk/internal/wrand"
 )
 
 // This file is the problem registry: every shipped problem is described
 // once as a ProblemSpec, and generic consumers — the serving binary
-// (cmd/topk-serve), the benchmark harness (internal/bench), and the
-// conformance suite (conformance_test.go) — iterate RegisteredProblems
+// (cmd/topk-serve), the snapshot tool (cmd/topk-snap), the benchmark
+// harness (internal/bench), and the conformance suite
+// (conformance_test.go, snapshot_test.go) — iterate RegisteredProblems
 // instead of hand-maintaining per-problem switches. Adding a ninth
 // problem to the library is a descriptor (engine.go), a thin typed
-// facade, and one ProblemSpec here; the serving surface, the registry
-// benchmark, and the conformance tests pick it up with no further edits.
+// facade, and one ProblemSpec here; the serving surface, persistence,
+// the registry benchmark, and the conformance tests pick it up with no
+// further edits.
 
 // ServedItem is one query answer in type-erased form: the item's weight
 // (its unique identity across the index) plus a short human rendering of
@@ -85,6 +88,11 @@ type Served interface {
 	// WriteMetrics renders the index's metrics registry in Prometheus
 	// text format. It errors unless the index was built WithMetrics.
 	WriteMetrics(w io.Writer) error
+	// Snapshot persists the index into dir: one snapshot file per shard
+	// plus a manifest (see DESIGN.md §12). The spec's Restore — or
+	// LoadSnapshot, which dispatches on the manifest — rebuilds an index
+	// answering every query identically at O(size/B) restore I/Os.
+	Snapshot(dir string) error
 }
 
 // ProblemSpec is one registry entry: a problem name plus type-erased
@@ -115,6 +123,15 @@ type ProblemSpec struct {
 	// one malformed item, returning the constructor's error. A nil error
 	// is a constructor/Insert validation asymmetry.
 	BuildInvalid func(opts ...Option) error
+	// Restore rebuilds the index from a snapshot directory written by
+	// Served.Snapshot. The structural configuration (reduction, block
+	// size, seed, shard policy) comes from the snapshot; opts may add
+	// runtime options such as WithMetrics or WithTracing.
+	Restore func(dir string, opts ...Option) (Served, error)
+	// Reshard rewrites a snapshot directory at a different shard count
+	// without touching the indexed items — the bulk shard-shipping
+	// transform behind cmd/topk-snap convert.
+	Reshard func(srcDir, dstDir string, shards int) error
 }
 
 // Updatable describes the spec's update support for human listings.
@@ -173,6 +190,7 @@ type servedEngine[Q, It any] interface {
 	ResetStats()
 	WriteMetrics(w io.Writer) error
 	hasWeight(w float64) bool
+	snapDir(dir string) error
 }
 
 func (e *engine[Q, V, It]) hasWeight(w float64) bool { _, ok := e.data[w]; return ok }
@@ -304,6 +322,7 @@ func (s *served[Q, V, It]) Delete(weight float64) (bool, error) { return s.eng.D
 func (s *served[Q, V, It]) Stats() Stats                   { return s.eng.Stats() }
 func (s *served[Q, V, It]) ResetStats()                    { s.eng.ResetStats() }
 func (s *served[Q, V, It]) WriteMetrics(w io.Writer) error { return s.eng.WriteMetrics(w) }
+func (s *served[Q, V, It]) Snapshot(dir string) error      { return s.eng.snapDir(dir) }
 
 // ---- registry entries -------------------------------------------------
 //
@@ -394,6 +413,9 @@ func intervalSpec() ProblemSpec {
 			invalid: IntervalItem[int]{Lo: 2, Hi: 1, Weight: 0.5},
 		}
 	}
+	mkProblem := func(snap.Header) (problem[float64, interval.Interval, IntervalItem[int]], error) {
+		return intervalProblem[int](), nil
+	}
 	return ProblemSpec{
 		Name:          "interval",
 		QueryShape:    "number (stabbing point x)",
@@ -411,6 +433,16 @@ func intervalSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -455,6 +487,9 @@ func rangeSpec() ProblemSpec {
 			invalid: PointItem1[int]{Pos: math.NaN(), Weight: 0.5},
 		}
 	}
+	mkProblem := func(snap.Header) (problem[rangerep.Span, float64, PointItem1[int]], error) {
+		return rangeProblem[int](), nil
+	}
 	return ProblemSpec{
 		Name:          "range",
 		QueryShape:    "[lo, hi]",
@@ -472,6 +507,16 @@ func rangeSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -519,6 +564,12 @@ func orthoSpec() ProblemSpec {
 			invalid: PointItemN[int]{Coords: []float64{1, math.NaN()}, Weight: 0.5},
 		}
 	}
+	mkProblem := func(h snap.Header) (problem[orthorange.Box, halfspace.PtN, PointItemN[int]], error) {
+		if int(h.Dim) != d {
+			return problem[orthorange.Box, halfspace.PtN, PointItemN[int]]{}, fmt.Errorf("topk: snapshot is %d-dimensional, the registry serves ortho in dimension %d", h.Dim, d)
+		}
+		return orthoProblem[int](d), nil
+	}
 	return ProblemSpec{
 		Name:       "ortho",
 		Dim:        d,
@@ -536,6 +587,16 @@ func orthoSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := genPointsN(4, d, 1)
@@ -574,6 +635,12 @@ func circularSpec() ProblemSpec {
 			invalid: PointItemN[int]{Coords: []float64{math.NaN(), 1}, Weight: 0.5},
 		}
 	}
+	mkProblem := func(h snap.Header) (problem[circular.Ball, halfspace.PtN, PointItemN[int]], error) {
+		if int(h.Dim) != d {
+			return problem[circular.Ball, halfspace.PtN, PointItemN[int]]{}, fmt.Errorf("topk: snapshot is %d-dimensional, the registry serves circular in dimension %d", h.Dim, d)
+		}
+		return circularProblem[int](d), nil
+	}
 	return ProblemSpec{
 		Name:       "circular",
 		Dim:        d,
@@ -591,6 +658,16 @@ func circularSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := genPointsN(4, d, 1)
@@ -636,6 +713,9 @@ func dominanceSpec() ProblemSpec {
 			invalid: DominanceItem[int]{X: math.NaN(), Weight: 0.5},
 		}
 	}
+	mkProblem := func(snap.Header) (problem[dominance.Pt3, dominance.Pt3, DominanceItem[int]], error) {
+		return dominanceProblem[int](), nil
+	}
 	return ProblemSpec{
 		Name:       "dominance",
 		QueryShape: "[x, y, z] (dominance corner)",
@@ -652,6 +732,16 @@ func dominanceSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -699,6 +789,9 @@ func enclosureSpec() ProblemSpec {
 			invalid: RectItem[int]{X1: 2, X2: 1, Y1: 0, Y2: 1, Weight: 0.5},
 		}
 	}
+	mkProblem := func(snap.Header) (problem[enclosure.Pt2, enclosure.Rect, RectItem[int]], error) {
+		return enclosureProblem[int](), nil
+	}
 	return ProblemSpec{
 		Name:       "enclosure",
 		QueryShape: "[x, y] (query point)",
@@ -715,6 +808,16 @@ func enclosureSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -759,6 +862,9 @@ func halfplaneSpec() ProblemSpec {
 			invalid: PointItem2[int]{X: math.NaN(), Weight: 0.5},
 		}
 	}
+	mkProblem := func(snap.Header) (problem[halfspace.Halfplane, halfspace.Pt2, PointItem2[int]], error) {
+		return halfplaneProblem[int](), nil
+	}
 	return ProblemSpec{
 		Name:       "halfplane",
 		QueryShape: "[a, b, c] (halfplane a·x + b·y ≥ c)",
@@ -775,6 +881,16 @@ func halfplaneSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := mk(4, 1)
@@ -819,6 +935,12 @@ func halfspaceSpec() ProblemSpec {
 			invalid: PointItemN[int]{Coords: []float64{1, 2}, Weight: 0.5}, // wrong dimension
 		}
 	}
+	mkProblem := func(h snap.Header) (problem[halfspace.Halfspace, halfspace.PtN, PointItemN[int]], error) {
+		if int(h.Dim) != d {
+			return problem[halfspace.Halfspace, halfspace.PtN, PointItemN[int]]{}, fmt.Errorf("topk: snapshot is %d-dimensional, the registry serves halfspace in dimension %d", h.Dim, d)
+		}
+		return halfspaceProblem[int](d), nil
+	}
 	return ProblemSpec{
 		Name:       "halfspace",
 		Dim:        d,
@@ -836,6 +958,16 @@ func halfspaceSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(ix.Sharded, shards), nil
+		},
+		Restore: func(dir string, opts ...Option) (Served, error) {
+			eng, nsh, err := restoreServedEngine(mkProblem, dir, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, nsh), nil
+		},
+		Reshard: func(srcDir, dstDir string, shards int) error {
+			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
 		BuildInvalid: func(opts ...Option) error {
 			items := genPointsN(4, d, 1)

@@ -1,0 +1,397 @@
+package topk
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// This file is the persistence conformance suite (DESIGN.md §12): for
+// every registered problem × reduction × shard count, a snapshotted and
+// restored index must answer every query byte-identically to the
+// original, at a restore cost of one sequential read pass instead of a
+// rebuild. Like conformance_test.go it iterates RegisteredProblems(), so
+// new problems are covered the moment their ProblemSpec lands.
+
+// answersOf collects a deterministic answer transcript from a served
+// index: top-k at several k, max, and report-above for each query.
+// Weights and labels both participate, so any payload divergence fails
+// DeepEqual.
+func answersOf(sv Served, qs []any) []ServedItem {
+	var out []ServedItem
+	for _, q := range qs {
+		for _, k := range []int{1, 5, 50} {
+			out = append(out, sv.TopK(q, k)...)
+		}
+		if m, ok := sv.Max(q); ok {
+			out = append(out, m)
+		}
+		if m, ok := sv.Max(q); ok {
+			above := sv.ReportAbove(q, m.Weight/2)
+			// ReportAbove order is unspecified; canonicalize by weight set
+			// size plus the max element so shard merge order can't matter.
+			out = append(out, ServedItem{Weight: float64(len(above)), Label: "count"})
+		}
+	}
+	return out
+}
+
+func TestConformanceSnapshotRoundTrip(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for _, r := range AllReductions() {
+			for _, shards := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("%s/%v/shards=%d", spec.Name, r, shards), func(t *testing.T) {
+					var (
+						sv  Served
+						err error
+					)
+					if shards > 1 {
+						sv, err = spec.BuildSharded(confN, shards, confSeed, WithReduction(r))
+					} else {
+						sv, err = spec.Build(confN, confSeed, WithReduction(r))
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					dir := t.TempDir()
+					if err := sv.Snapshot(dir); err != nil {
+						t.Fatalf("snapshot: %v", err)
+					}
+					restored, err := spec.Restore(dir)
+					if err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+
+					if restored.Len() != sv.Len() {
+						t.Fatalf("restored Len = %d, want %d", restored.Len(), sv.Len())
+					}
+					if restored.Shards() != sv.Shards() {
+						t.Fatalf("restored Shards = %d, want %d", restored.Shards(), sv.Shards())
+					}
+					if got, want := restored.ShardSizes(), sv.ShardSizes(); !reflect.DeepEqual(got, want) {
+						t.Fatalf("restored ShardSizes = %v, want %v", got, want)
+					}
+
+					qs := sv.GenQueries(8, confQSeed)
+					if got, want := answersOf(restored, qs), answersOf(sv, qs); !reflect.DeepEqual(got, want) {
+						t.Fatalf("restored answers diverge from original\n  restored: %v\n  original: %v", got, want)
+					}
+
+					// Stats shape: same reduction, same space usage (the
+					// rebuild is deterministic), flow counters rewritten to
+					// one sequential pass — reads > 0, zero writes.
+					sv.ResetStats()
+					os, rs := sv.Stats(), restored.Stats()
+					if rs.Reduction != os.Reduction {
+						t.Fatalf("restored reduction %v, want %v", rs.Reduction, os.Reduction)
+					}
+					if rs.Blocks != os.Blocks {
+						t.Fatalf("restored Blocks = %d, want %d", rs.Blocks, os.Blocks)
+					}
+					if rs.Reads <= 0 || rs.Writes != 0 {
+						t.Fatalf("restore cost Reads=%d Writes=%d, want one sequential read pass and no writes", rs.Reads, rs.Writes)
+					}
+
+					// LoadSnapshot dispatches on the manifest and must land
+					// on the same problem and answers.
+					loaded, err := LoadSnapshot(dir)
+					if err != nil {
+						t.Fatalf("LoadSnapshot: %v", err)
+					}
+					if loaded.Problem() != spec.Name {
+						t.Fatalf("LoadSnapshot problem %q, want %q", loaded.Problem(), spec.Name)
+					}
+					if got, want := answersOf(loaded, qs), answersOf(sv, qs); !reflect.DeepEqual(got, want) {
+						t.Fatal("LoadSnapshot answers diverge from original")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceSnapshotAfterUpdates snapshots an overlay index mid-life
+// — after inserts and deletes, with levels, tombstones, and a partial
+// tail — and checks the restored index continues identically, including
+// through further updates.
+func TestConformanceSnapshotAfterUpdates(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for _, shards := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/shards=%d", spec.Name, shards), func(t *testing.T) {
+				var (
+					sv  Served
+					err error
+				)
+				if shards > 1 {
+					sv, err = spec.BuildSharded(confN, shards, confSeed, WithUpdates())
+				} else {
+					sv, err = spec.Build(confN, confSeed, WithUpdates())
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				var fresh []float64
+				for i := 0; i < 40; i++ {
+					w, err := sv.InsertFresh(uint64(1000 + i))
+					if err != nil {
+						t.Fatal(err)
+					}
+					fresh = append(fresh, w)
+				}
+				for _, w := range fresh[:10] {
+					if ok, err := sv.Delete(w); err != nil || !ok {
+						t.Fatalf("delete %v: ok=%v err=%v", w, ok, err)
+					}
+				}
+
+				dir := t.TempDir()
+				if err := sv.Snapshot(dir); err != nil {
+					t.Fatalf("snapshot: %v", err)
+				}
+				restored, err := spec.Restore(dir)
+				if err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if restored.Len() != sv.Len() {
+					t.Fatalf("restored Len = %d, want %d", restored.Len(), sv.Len())
+				}
+				qs := sv.GenQueries(8, confQSeed)
+				if got, want := answersOf(restored, qs), answersOf(sv, qs); !reflect.DeepEqual(got, want) {
+					t.Fatal("restored answers diverge from original after updates")
+				}
+
+				// The restored index keeps working as a dynamic structure,
+				// in lockstep with the original.
+				for i := 0; i < 10; i++ {
+					wo, err := sv.InsertFresh(uint64(5000 + i))
+					if err != nil {
+						t.Fatal(err)
+					}
+					wr, err := restored.InsertFresh(uint64(5000 + i))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if wo != wr {
+						t.Fatalf("InsertFresh diverged: %v vs %v", wo, wr)
+					}
+				}
+				if ok, err := restored.Delete(fresh[20]); err != nil || !ok {
+					t.Fatalf("restored delete: ok=%v err=%v", ok, err)
+				}
+				if ok, _ := restored.Delete(fresh[0]); ok {
+					t.Fatal("restored index resurrected a deleted weight")
+				}
+				if _, err := sv.Delete(fresh[20]); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := answersOf(restored, qs), answersOf(sv, qs); !reflect.DeepEqual(got, want) {
+					t.Fatal("restored answers diverge after post-restore updates")
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotStreamCorruption feeds damaged snapshot streams to a typed
+// restore constructor: every case must return a descriptive error — and
+// never panic, which the fuzz target FuzzSnapshotRestore extends to
+// arbitrary bytes.
+func TestSnapshotStreamCorruption(t *testing.T) {
+	ix, err := NewIntervalIndex([]IntervalItem[int]{
+		{Lo: 0, Hi: 10, Weight: 1, Data: 1},
+		{Lo: 5, Hi: 15, Weight: 2, Data: 2},
+		{Lo: 8, Hi: 20, Weight: 3, Data: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	flip := func(off int) []byte {
+		b := append([]byte(nil), valid...)
+		b[off] ^= 0xFF
+		return b
+	}
+	cases := []struct {
+		name    string
+		input   []byte
+		wantSub string
+	}{
+		{"empty", nil, "truncated"},
+		{"bad magic", flip(0), "magic"},
+		{"unknown version", flip(4), "version"},
+		{"flipped payload byte", flip(20), "checksum"},
+		// The stream tail is [..payload][crc32][SecEnd: type u16, len
+		// u32, crc u32]; len(valid)-11 lands in the last data section's
+		// checksum.
+		{"flipped trailing checksum", flip(len(valid) - 11), "checksum"},
+		{"truncated mid-section", valid[:len(valid)/2], "unexpected EOF"},
+		{"missing end marker", valid[:len(valid)-6], "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RestoreIntervalIndex[int](bytes.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("corrupt stream restored without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// Cross-problem restore: the header names the snapshotted problem,
+	// so feeding interval bytes to the range constructor must fail with
+	// both names in the message.
+	if _, err := RestoreRangeIndex[int](bytes.NewReader(valid)); err == nil {
+		t.Fatal("range constructor accepted an interval snapshot")
+	} else if !strings.Contains(err.Error(), "interval") || !strings.Contains(err.Error(), "range") {
+		t.Fatalf("cross-problem error %q should name both problems", err)
+	}
+}
+
+// TestSnapshotDirCorruption damages snapshot directories — the manifest
+// and the shard files it indexes — and checks Restore reports what went
+// wrong instead of restoring silently-wrong state.
+func TestSnapshotDirCorruption(t *testing.T) {
+	spec, ok := ProblemByName("interval")
+	if !ok {
+		t.Fatal("interval not registered")
+	}
+	build := func(t *testing.T, shards int) string {
+		sv, err := spec.BuildSharded(confN, shards, confSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := sv.Snapshot(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("missing manifest", func(t *testing.T) {
+		_, err := spec.Restore(t.TempDir())
+		if err == nil || !strings.Contains(err.Error(), "manifest") {
+			t.Fatalf("err = %v, want manifest error", err)
+		}
+	})
+	t.Run("future format version", func(t *testing.T) {
+		dir := build(t, 2)
+		path := filepath.Join(dir, ManifestName)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = bytes.Replace(raw, []byte(`"format_version": 1`), []byte(`"format_version": 99`), 1)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = spec.Restore(dir)
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("err = %v, want version error", err)
+		}
+	})
+	t.Run("shard file corrupted", func(t *testing.T) {
+		dir := build(t, 2)
+		path := filepath.Join(dir, "shard-001.snap")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xFF
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = spec.Restore(dir)
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("err = %v, want checksum error", err)
+		}
+	})
+	t.Run("shard file truncated", func(t *testing.T) {
+		dir := build(t, 2)
+		path := filepath.Join(dir, "shard-000.snap")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = spec.Restore(dir)
+		if err == nil {
+			t.Fatal("truncated shard file restored without error")
+		}
+	})
+	t.Run("shard file missing", func(t *testing.T) {
+		dir := build(t, 2)
+		if err := os.Remove(filepath.Join(dir, "shard-001.snap")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := spec.Restore(dir); err == nil {
+			t.Fatal("restore succeeded with a missing shard file")
+		}
+	})
+	t.Run("unknown problem in manifest", func(t *testing.T) {
+		dir := build(t, 1)
+		path := filepath.Join(dir, ManifestName)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = bytes.Replace(raw, []byte(`"problem": "interval"`), []byte(`"problem": "nonesuch"`), 1)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshot(dir); err == nil || !strings.Contains(err.Error(), "nonesuch") {
+			t.Fatalf("err = %v, want unknown-problem error", err)
+		}
+	})
+}
+
+// TestSnapshotReshard checks the bulk shard-shipping transform: a
+// snapshot rewritten at a different shard count serves the same items
+// with the same answers.
+func TestSnapshotReshard(t *testing.T) {
+	spec, ok := ProblemByName("interval")
+	if !ok {
+		t.Fatal("interval not registered")
+	}
+	sv, err := spec.BuildSharded(confN, 8, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := t.TempDir()
+	if err := sv.Snapshot(src); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		dst := t.TempDir()
+		if err := spec.Reshard(src, dst, shards); err != nil {
+			t.Fatalf("reshard to %d: %v", shards, err)
+		}
+		re, err := spec.Restore(dst)
+		if err != nil {
+			t.Fatalf("restore resharded(%d): %v", shards, err)
+		}
+		if re.Shards() != shards {
+			t.Fatalf("resharded Shards = %d, want %d", re.Shards(), shards)
+		}
+		if re.Len() != sv.Len() {
+			t.Fatalf("resharded Len = %d, want %d", re.Len(), sv.Len())
+		}
+		qs := sv.GenQueries(8, confQSeed)
+		if got, want := answersOf(re, qs), answersOf(sv, qs); !reflect.DeepEqual(got, want) {
+			t.Fatalf("resharded(%d) answers diverge from original", shards)
+		}
+	}
+}

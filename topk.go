@@ -18,11 +18,19 @@
 //     as a baseline.
 //   - Reduction FullScan: no index at all; the ground-truth oracle.
 //
-// The package ships ready-made indexes for the five problems the paper
-// instantiates: interval stabbing (NewIntervalIndex), 2D point enclosure
-// (NewEnclosureIndex), 3D dominance (NewDominanceIndex), 2D halfplane and
-// d-dimensional halfspace reporting (NewHalfplaneIndex, NewHalfspaceIndex),
-// and circular range reporting (NewCircularIndex).
+// The package ships ready-made indexes for eight problems — the paper's
+// instantiations plus the survey's §2 extensions: interval stabbing
+// (NewIntervalIndex), 1D range reporting (NewRangeIndex), orthogonal
+// range reporting (NewOrthoIndex), circular range reporting
+// (NewCircularIndex), 3D dominance (NewDominanceIndex), 2D point
+// enclosure (NewEnclosureIndex), and 2D halfplane / d-dimensional
+// halfspace reporting (NewHalfplaneIndex, NewHalfspaceIndex). Each has a
+// sharded variant (NewSharded*Index) partitioning the items across
+// independent engines with parallel fan-out and answer-identical
+// merging. The registry (RegisteredProblems, ProblemByName) exposes all
+// of them through the type-erased Served interface, which is what the
+// serving binary (cmd/topk-serve), the snapshot tool (cmd/topk-snap),
+// and the conformance suite drive.
 //
 // All index reads run against a simulated external-memory machine and
 // report I/O counts through Stats, so the paper's I/O bounds can be
@@ -30,6 +38,15 @@
 // benchmarks. PAPER_MAP.md maps each reduction, lemma by lemma, to the
 // code implementing it: its §3 section covers Theorem 1 (WorstCase) and
 // its §4 section covers Theorem 2 (Expected).
+//
+// # Persistence
+//
+// Every index serializes with Snapshot and reconstructs with its typed
+// Restore constructor (RestoreIntervalIndex and friends), ProblemSpec's
+// Restore, or LoadSnapshot; a restored index answers every query
+// byte-identically to the original at the cost of one sequential read
+// pass, O(size/B) I/Os, instead of a rebuild. See DESIGN.md §12 for the
+// format and the version/compatibility policy.
 //
 // # Concurrency
 //
