@@ -141,11 +141,12 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "default /query parallelism (0 = GOMAXPROCS)")
 		snapDir     = flag.String("snapshot-dir", "", "snapshot directory: restore from it on boot if present, checkpoint into it (empty disables)")
 		checkEvery  = flag.Duration("checkpoint-every", 0, "checkpoint into -snapshot-dir at this interval (0 disables)")
+		diskDir     = flag.String("disk-dir", "", "page EM blocks through a real file in this directory (empty keeps the in-memory simulator)")
 	)
 	flag.Parse()
 
 	slow := newRingWriter(64)
-	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, *snapDir, slow)
+	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, *snapDir, *diskDir, slow)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topk-serve: %v\n", err)
 		os.Exit(1)
@@ -207,7 +208,12 @@ func main() {
 // a warm start at O(size/B) read I/Os — instead of built; the restore
 // keeps the snapshot's reduction, shard count, and seed, so -n and
 // -shards are ignored on that path.
-func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, snapDir string, slow *ringWriter) (*server, error) {
+//
+// A non-empty diskDir attaches a file-backed block store: every cache
+// miss becomes a real pread against a block file under diskDir, and the
+// topk_store_* metric series report the physical traffic. Answers and
+// logical I/O counts are identical to the in-memory simulator.
+func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, snapDir, diskDir string, slow *ringWriter) (*server, error) {
 	spec, ok := topk.ProblemByName(problem)
 	if !ok {
 		return nil, fmt.Errorf("unknown problem %q (want one of: %s)", problem, strings.Join(topk.ProblemNames(), ", "))
@@ -215,6 +221,9 @@ func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, para
 	opts := []topk.Option{topk.WithSeed(seed), topk.WithTracing(), topk.WithMetrics()}
 	if slowIOs > 0 {
 		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs))
+	}
+	if diskDir != "" {
+		opts = append(opts, topk.WithDiskStore(diskDir))
 	}
 	if snapDir != "" {
 		if mf, err := topk.ReadManifest(snapDir); err == nil {

@@ -1,0 +1,256 @@
+package topk
+
+import (
+	"fmt"
+	"testing"
+)
+
+// This file is the disk-backed conformance suite: every registered
+// problem × reduction is rebuilt with WithDiskStore and must be
+// indistinguishable from the in-memory simulator — byte-identical
+// answers, identical logical I/O accounting, and a physical read/write
+// trace that matches the logical one exactly (each counted miss is one
+// pread, each counted write is one pwrite). The suite is the acceptance
+// gate for the claim in DESIGN.md §13 that attaching a store never
+// changes what the paper's model measures.
+
+// diskShardCounts keeps the disk matrix at the degenerate single shard
+// plus the smallest real partition; wider partitions exercise no new
+// store code (one file per shard either way).
+var diskShardCounts = []int{1, 2}
+
+// buildConfPair builds the same index twice — in-memory simulator and
+// disk-backed — from identical options.
+func buildConfPair(t *testing.T, spec ProblemSpec, shards int, opts ...Option) (sim, disk Served) {
+	t.Helper()
+	diskOpts := append(append([]Option{}, opts...), WithDiskStore(t.TempDir()))
+	var err error
+	if shards > 1 {
+		sim, err = spec.BuildSharded(confN, shards, confSeed, opts...)
+	} else {
+		sim, err = spec.Build(confN, confSeed, opts...)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards > 1 {
+		disk, err = spec.BuildSharded(confN, shards, confSeed, diskOpts...)
+	} else {
+		disk, err = spec.Build(confN, confSeed, diskOpts...)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, disk
+}
+
+// diffAnswers fails the test unless two batch results are identical in
+// items (weight and label) and in per-query logical I/O stats.
+func diffAnswers(t *testing.T, want, got []BatchResult[ServedItem]) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.Stats != b.Stats {
+			t.Fatalf("q%d: logical stats diverge: %+v (sim) != %+v (disk)", i, a.Stats, b.Stats)
+		}
+		if len(a.Items) != len(b.Items) {
+			t.Fatalf("q%d: %d items (sim) != %d items (disk)", i, len(a.Items), len(b.Items))
+		}
+		for j := range a.Items {
+			if a.Items[j].Weight != b.Items[j].Weight || a.Items[j].Label != b.Items[j].Label {
+				t.Fatalf("q%d item %d: %v/%q (sim) != %v/%q (disk)",
+					i, j, a.Items[j].Weight, a.Items[j].Label, b.Items[j].Weight, b.Items[j].Label)
+			}
+		}
+	}
+}
+
+// checkPhysicalMatchesLogical asserts the store's syscall counters
+// mirror the logical accounting exactly: with no restore in the
+// index's history, physical reads = counted misses and physical
+// writes = counted writes.
+func checkPhysicalMatchesLogical(t *testing.T, ix Served) {
+	t.Helper()
+	if err := ix.StoreErr(); err != nil {
+		t.Fatalf("StoreErr() = %v on a healthy store", err)
+	}
+	ss, st := ix.StoreStats(), ix.Stats()
+	if ss.Reads != st.Reads {
+		t.Fatalf("physical reads %d != logical reads %d", ss.Reads, st.Reads)
+	}
+	if ss.Writes != st.Writes {
+		t.Fatalf("physical writes %d != logical writes %d", ss.Writes, st.Writes)
+	}
+	if ss.Reads+ss.Writes == 0 {
+		t.Fatal("disk-backed index performed no physical I/O at all")
+	}
+}
+
+// TestConformanceDiskStore checks, for every problem × reduction ×
+// shard count, that a disk-backed index answers byte-identically to the
+// in-memory simulator with identical logical I/O counts, and that its
+// physical traffic matches the logical trace one-for-one.
+func TestConformanceDiskStore(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for _, r := range AllReductions() {
+			for _, shards := range diskShardCounts {
+				t.Run(fmt.Sprintf("%s/%v/shards=%d", spec.Name, r, shards), func(t *testing.T) {
+					sim, disk := buildConfPair(t, spec, shards, WithReduction(r))
+					if got := sim.StoreStats(); got != (StoreStats{}) {
+						t.Fatalf("simulator reports store traffic: %+v", got)
+					}
+					if sim.Stats() != disk.Stats() {
+						t.Fatalf("build accounting diverges: %+v (sim) != %+v (disk)",
+							sim.Stats(), disk.Stats())
+					}
+					qs := disk.GenQueries(6, confQSeed)
+					diffAnswers(t, sim.QueryBatch(qs, 5, 1), disk.QueryBatch(qs, 5, 1))
+
+					// The remaining query surface, called symmetrically on
+					// both indexes so the accounting comparison below stays
+					// meaningful: full-width TopK, Max, and ReportAbove at
+					// the median answer weight.
+					q := qs[0]
+					got := servedWeights(disk.TopK(q, confN))
+					want := servedWeights(sim.TopK(q, confN))
+					if len(got) != len(want) {
+						t.Fatalf("TopK(n): %d items, want %d", len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("TopK(n) item %d: %v, want %v", i, got[i], want[i])
+						}
+					}
+					dm, dok := disk.Max(q)
+					sm, sok := sim.Max(q)
+					if dok != sok || (dok && dm.Weight != sm.Weight) {
+						t.Fatalf("Max = (%v, %v) (disk) != (%v, %v) (sim)", dm.Weight, dok, sm.Weight, sok)
+					}
+					if len(want) > 0 {
+						tau := want[(len(want)-1)/2]
+						if got, want := weightSet(disk.ReportAbove(q, tau)), weightSet(sim.ReportAbove(q, tau)); len(got) != len(want) {
+							t.Fatalf("ReportAbove: %d items, want %d", len(got), len(want))
+						}
+					}
+
+					if sim.Stats() != disk.Stats() {
+						t.Fatalf("post-query accounting diverges: %+v (sim) != %+v (disk)",
+							sim.Stats(), disk.Stats())
+					}
+					checkPhysicalMatchesLogical(t, disk)
+					if err := disk.Close(); err != nil {
+						t.Fatalf("Close: %v", err)
+					}
+					if err := sim.Close(); err != nil {
+						t.Fatalf("simulator Close: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceDiskParallelQueries checks the determinism contract on
+// the disk path: per-query answers and stats are identical at batch
+// parallelism 1 and 4 even though concurrent views now issue real
+// preads against one shared file.
+func TestConformanceDiskParallelQueries(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		t.Run(spec.Name, func(t *testing.T) {
+			disk, err := spec.Build(confN, confSeed, WithDiskStore(t.TempDir()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer disk.Close()
+			qs := disk.GenQueries(12, confQSeed)
+			diffAnswers(t, disk.QueryBatch(qs, 5, 1), disk.QueryBatch(qs, 5, 4))
+			checkPhysicalMatchesLogical(t, disk)
+		})
+	}
+}
+
+// TestConformanceDiskSnapshotRestore checks the snapshot round trip
+// through the disk store in both directions: a disk-backed index can be
+// snapshotted, and a snapshot (from either kind of index) can be
+// restored *onto* a disk store — after which queries answer identically
+// to the source index and every cache miss is again a real pread.
+func TestConformanceDiskSnapshotRestore(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for _, shards := range diskShardCounts {
+			t.Run(fmt.Sprintf("%s/shards=%d", spec.Name, shards), func(t *testing.T) {
+				var src Served
+				var err error
+				if shards > 1 {
+					src, err = spec.BuildSharded(confN, shards, confSeed, WithDiskStore(t.TempDir()))
+				} else {
+					src, err = spec.Build(confN, confSeed, WithDiskStore(t.TempDir()))
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer src.Close()
+
+				snap := t.TempDir()
+				if err := src.Snapshot(snap); err != nil {
+					t.Fatalf("snapshotting a disk-backed index: %v", err)
+				}
+				rst, err := spec.Restore(snap, WithDiskStore(t.TempDir()))
+				if err != nil {
+					t.Fatalf("restoring onto a disk store: %v", err)
+				}
+				defer rst.Close()
+				if rst.Len() != src.Len() || rst.Shards() != src.Shards() {
+					t.Fatalf("restored shape %d/%d, want %d/%d",
+						rst.Len(), rst.Shards(), src.Len(), src.Shards())
+				}
+
+				// Restore accounting is synthetic (sequential-read cost, no
+				// physical reads), so the physical-matches-logical check
+				// runs on query deltas only.
+				ss0, st0 := rst.StoreStats(), rst.Stats()
+				qs := rst.GenQueries(8, confQSeed)
+				diffAnswers(t, src.QueryBatch(qs, 5, 1), rst.QueryBatch(qs, 5, 1))
+				ss1, st1 := rst.StoreStats(), rst.Stats()
+				if ss1.Reads-ss0.Reads != st1.Reads-st0.Reads {
+					t.Fatalf("restored store: %d physical reads for %d logical misses",
+						ss1.Reads-ss0.Reads, st1.Reads-st0.Reads)
+				}
+				if st1.Reads-st0.Reads > 0 && ss1.Reads == ss0.Reads {
+					t.Fatal("restored store served misses without touching the disk")
+				}
+				if err := rst.StoreErr(); err != nil {
+					t.Fatalf("StoreErr() after restore round trip: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceDiskTinyLFU checks that the TinyLFU admission policy
+// composes with the disk store for every problem: answers still match
+// the simulator running the same policy, logical accounting still
+// matches (policy equality is what the conformance claim quantifies
+// over), and physical reads still equal counted misses.
+func TestConformanceDiskTinyLFU(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		t.Run(spec.Name, func(t *testing.T) {
+			sim, disk := buildConfPair(t, spec, 1, WithCachePolicy(CacheTinyLFU))
+			defer sim.Close()
+			defer disk.Close()
+			qs := disk.GenQueries(8, confQSeed)
+			diffAnswers(t, sim.QueryBatch(qs, 5, 1), disk.QueryBatch(qs, 5, 1))
+			if sim.Stats() != disk.Stats() {
+				t.Fatalf("TinyLFU accounting diverges: %+v (sim) != %+v (disk)",
+					sim.Stats(), disk.Stats())
+			}
+			if sim.CacheStats() != disk.CacheStats() {
+				t.Fatalf("TinyLFU policy decisions diverge: %+v (sim) != %+v (disk)",
+					sim.CacheStats(), disk.CacheStats())
+			}
+			checkPhysicalMatchesLogical(t, disk)
+		})
+	}
+}

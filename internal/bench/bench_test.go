@@ -8,10 +8,10 @@ import (
 
 func TestIDsCoverAllExperiments(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 29 {
-		t.Fatalf("%d experiments registered, want 29: %v", len(ids), ids)
+	if len(ids) != 30 {
+		t.Fatalf("%d experiments registered, want 30: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E29" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E30" {
 		t.Fatalf("IDs not in numeric order: %v", ids)
 	}
 	for _, id := range ids {

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"topk"
+)
+
+// E30 — Real I/O: the disk-backed block store replays the simulator's
+// cost trace against an actual file (DESIGN.md §13). For every problem
+// × reduction the index is built WithDiskStore, a pinned batch is
+// queried, and the table compares the EM model's simulated I/O counts
+// against the store's syscall counters: each counted write is one
+// pwrite during build, each counted read (cache miss or cost-level
+// charge) is one pread during queries. The experiment quantifies the
+// §13 claim two ways: the read identity must hold exactly per cell,
+// and the correlation between simulated I/Os and measured wall-clock
+// shows the simulated metric predicting real latency.
+
+// runE30 measures simulated vs physical I/O across the registry.
+func runE30(w io.Writer, cfg Config) error {
+	n, nq := 20000, 64
+	if cfg.Quick {
+		n, nq = 2500, 16
+	}
+	const k = 16
+
+	root, err := os.MkdirTemp("", "topk-e30-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	t := newTable("problem", "reduction", "build writes", "pwrites", "query I/Os", "preads", "read ident", "KiB read", "batch ms")
+	var simIOs, preads, wallUS []float64
+	for _, spec := range topk.RegisteredProblems() {
+		for _, r := range topk.AllReductions() {
+			dir, err := os.MkdirTemp(root, "cell-*")
+			if err != nil {
+				return err
+			}
+			ix, err := spec.Build(n, cfg.Seed+30, topk.WithReduction(r), topk.WithSeed(cfg.Seed), topk.WithDiskStore(dir))
+			if err != nil {
+				return fmt.Errorf("%s/%v: %w", spec.Name, r, err)
+			}
+			st0, ss0 := ix.Stats(), ix.StoreStats()
+
+			qs := ix.GenQueries(nq, cfg.Seed+300)
+			start := time.Now()
+			res := ix.QueryBatch(qs, k, 0)
+			wall := time.Since(start)
+
+			st1, ss1 := ix.Stats(), ix.StoreStats()
+			if err := ix.StoreErr(); err != nil {
+				return fmt.Errorf("%s/%v: store error: %w", spec.Name, r, err)
+			}
+			var qIOs int64
+			for _, b := range res {
+				qIOs += b.Stats.IOs()
+			}
+			qReads := st1.Reads - st0.Reads
+			qPreads := ss1.Reads - ss0.Reads
+			ident := "ok"
+			if qPreads != qReads {
+				ident = fmt.Sprintf("MISMATCH %d!=%d", qPreads, qReads)
+			}
+			if ss0.Writes != st0.Writes {
+				ident = fmt.Sprintf("BUILD MISMATCH %d!=%d", ss0.Writes, st0.Writes)
+			}
+			t.row(spec.Name, fmt.Sprint(r), st0.Writes, ss0.Writes, qIOs, qPreads, ident,
+				float64(ss1.BytesRead-ss0.BytesRead)/1024, float64(wall.Microseconds())/1000)
+
+			simIOs = append(simIOs, float64(qIOs))
+			preads = append(preads, float64(qPreads))
+			wallUS = append(wallUS, float64(wall.Microseconds()))
+			if err := ix.Close(); err != nil {
+				return fmt.Errorf("%s/%v: close: %w", spec.Name, r, err)
+			}
+		}
+	}
+	t.write(w)
+	note(w, "n=%d, nq=%d, k=%d; one .tkbs file per cell, removed afterwards.", n, nq, k)
+	note(w, "Pearson r(simulated query I/Os, preads) = %s; r(simulated query I/Os, batch wall-clock) = %s over %d cells.",
+		trimFloat(pearson(simIOs, preads)), trimFloat(pearson(simIOs, wallUS)), len(simIOs))
+	note(w, "The read identity is exact by construction: every cache miss fetches its block and every cost-level charge "+
+		"(PathCost/ScanCost) issues a stand-in pread of the superblock region, so preads == simulated reads whenever the "+
+		"index was built cold (no restore in its history). Wall-clock tracks the simulated count loosely — the page cache "+
+		"and pread batching keep real latency from scaling one-for-one — which is exactly why the gate pins the "+
+		"deterministic counters and treats time as report-only.")
+	return nil
+}
+
+// pearson returns the Pearson correlation coefficient of two equal-
+// length samples, or 0 when either side has no variance.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,16 @@
+package diskstore
+
+import "unsafe"
+
+// alignedBuf allocates a zeroed size-byte slice whose backing array
+// starts on an align-byte boundary, as O_DIRECT transfers require. The
+// capacity is clamped to size so appends cannot silently spill past the
+// aligned window.
+func alignedBuf(size, align int) []byte {
+	raw := make([]byte, size+align)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(unsafe.SliceData(raw))) % uintptr(align)); rem != 0 {
+		off = align - rem
+	}
+	return raw[off : off+size : off+size]
+}

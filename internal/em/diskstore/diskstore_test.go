@@ -1,0 +1,328 @@
+package diskstore_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"topk/internal/em"
+	"topk/internal/em/diskstore"
+)
+
+// The disk store must satisfy the em.BlockStore contract.
+var _ em.BlockStore = (*diskstore.Store)(nil)
+
+const payload = 128 // B=16 words
+
+func openTemp(t *testing.T, opts ...diskstore.Option) (*diskstore.Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blocks.tkbs")
+	s, err := diskstore.Open(path, payload, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func canonical(id em.BlockID) []byte {
+	b := make([]byte, payload)
+	em.FillPayload(id, b)
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, _ := openTemp(t)
+	ids := []em.BlockID{1, 2, 3, 7, 100}
+	for _, id := range ids {
+		if err := s.WriteBlock(id, canonical(id)); err != nil {
+			t.Fatalf("WriteBlock(%d): %v", id, err)
+		}
+	}
+	buf := make([]byte, payload)
+	for _, id := range ids {
+		if err := s.ReadBlock(id, buf); err != nil {
+			t.Fatalf("ReadBlock(%d): %v", id, err)
+		}
+		if err := em.VerifyPayload(id, buf); err != nil {
+			t.Fatalf("block %d came back corrupt: %v", id, err)
+		}
+	}
+	st := s.StoreStats()
+	if st.Writes != int64(len(ids)) || st.Reads != int64(len(ids)) {
+		t.Fatalf("StoreStats = %+v, want %d writes / %d reads", st, len(ids), len(ids))
+	}
+	if st.BytesWritten != int64(len(ids))*s.SlotBytes() {
+		t.Fatalf("BytesWritten = %d, want %d", st.BytesWritten, int64(len(ids))*s.SlotBytes())
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	s, _ := openTemp(t)
+	data := canonical(1)
+	if err := s.WriteBlock(1, data); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite with different bytes; the last write wins.
+	other := make([]byte, payload)
+	em.FillPayload(42, other)
+	if err := s.WriteBlock(1, other); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, payload)
+	if err := s.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.VerifyPayload(42, buf); err != nil {
+		t.Fatalf("rewrite did not take: %v", err)
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	s, _ := openTemp(t)
+	buf := make([]byte, payload)
+	if err := s.WriteBlock(0, buf); err == nil {
+		t.Fatal("WriteBlock(0) succeeded")
+	}
+	if err := s.ReadBlock(0, buf); err == nil {
+		t.Fatal("ReadBlock(0) succeeded")
+	}
+	if err := s.WriteBlock(1, buf[:10]); err == nil || !strings.Contains(err.Error(), "10 bytes") {
+		t.Fatalf("short-buffer write: %v", err)
+	}
+	if err := s.ReadBlock(1, make([]byte, payload+1)); err == nil {
+		t.Fatal("long-buffer read succeeded")
+	}
+}
+
+func TestNeverWrittenAndFreed(t *testing.T) {
+	s, _ := openTemp(t)
+	buf := make([]byte, payload)
+	// Nothing written at all: read is beyond EOF.
+	if err := s.ReadBlock(3, buf); err == nil || !strings.Contains(err.Error(), "never written") {
+		t.Fatalf("read of unwritten block: %v", err)
+	}
+	// Write block 5 only; block 3's slot is now a hole inside the file.
+	if err := s.WriteBlock(5, canonical(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock(3, buf); err == nil || !strings.Contains(err.Error(), "never written") {
+		t.Fatalf("read of hole slot: %v", err)
+	}
+	// Freed block: read errors, rewrite resurrects.
+	if err := s.Free(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock(5, buf); err == nil || !strings.Contains(err.Error(), "freed") {
+		t.Fatalf("read of freed block: %v", err)
+	}
+	if err := s.Free(999); err != nil {
+		t.Fatalf("free of unknown block should be a no-op: %v", err)
+	}
+	if err := s.WriteBlock(5, canonical(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock(5, buf); err != nil {
+		t.Fatalf("read after rewrite of freed block: %v", err)
+	}
+}
+
+func TestClosedOps(t *testing.T) {
+	s, _ := openTemp(t)
+	if err := s.WriteBlock(1, canonical(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	buf := make([]byte, payload)
+	for name, err := range map[string]error{
+		"read":  s.ReadBlock(1, buf),
+		"write": s.WriteBlock(1, canonical(1)),
+		"free":  s.Free(1),
+		"sync":  s.Sync(),
+		"close": s.Close(),
+	} {
+		if err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Errorf("%s on closed store: %v", name, err)
+		}
+	}
+}
+
+func TestReopenRoundTrips(t *testing.T) {
+	s, path := openTemp(t)
+	for id := em.BlockID(1); id <= 20; id++ {
+		if err := s.WriteBlock(id, canonical(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := diskstore.Open(path, payload)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	buf := make([]byte, payload)
+	for id := em.BlockID(1); id <= 20; id++ {
+		if err := r.ReadBlock(id, buf); err != nil {
+			t.Fatalf("reopened ReadBlock(%d): %v", id, err)
+		}
+		if err := em.VerifyPayload(id, buf); err != nil {
+			t.Fatalf("reopened block %d corrupt: %v", id, err)
+		}
+	}
+}
+
+func TestReopenRefusals(t *testing.T) {
+	t.Run("wrong payload size", func(t *testing.T) {
+		s, path := openTemp(t)
+		s.WriteBlock(1, canonical(1))
+		s.Close()
+		if _, err := diskstore.Open(path, payload*2); err == nil ||
+			!strings.Contains(err.Error(), fmt.Sprintf("%d-byte blocks", payload)) {
+			t.Fatalf("payload mismatch reopen: %v", err)
+		}
+	})
+	t.Run("not a block store", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "junk")
+		if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := diskstore.Open(path, payload); err == nil ||
+			!strings.Contains(err.Error(), "bad magic") {
+			t.Fatalf("junk-file open: %v", err)
+		}
+	})
+	t.Run("corrupt superblock", func(t *testing.T) {
+		s, path := openTemp(t)
+		s.WriteBlock(1, canonical(1))
+		s.Close()
+		corruptByte(t, path, 9) // inside the checksummed header region
+		if _, err := diskstore.Open(path, payload); err == nil ||
+			!errors.Is(err, diskstore.ErrChecksum) {
+			t.Fatalf("corrupt-superblock open: %v", err)
+		}
+	})
+	t.Run("truncate discards", func(t *testing.T) {
+		s, path := openTemp(t)
+		s.WriteBlock(1, canonical(1))
+		s.Close()
+		r, err := diskstore.Open(path, payload, diskstore.WithTruncate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if err := r.ReadBlock(1, make([]byte, payload)); err == nil {
+			t.Fatal("block survived WithTruncate")
+		}
+	})
+}
+
+func TestDirectIO(t *testing.T) {
+	// O_DIRECT may or may not be available on the test filesystem; either
+	// way the store must open and round-trip (falling back to buffered).
+	s, path := openTemp(t, diskstore.WithDirectIO())
+	t.Logf("direct I/O negotiated: %v (slot %d bytes)", s.DirectActive(), s.SlotBytes())
+	if s.DirectActive() && s.SlotBytes()%4096 != 0 {
+		t.Fatalf("direct mode with unaligned slot size %d", s.SlotBytes())
+	}
+	for id := em.BlockID(1); id <= 8; id++ {
+		if err := s.WriteBlock(id, canonical(id)); err != nil {
+			t.Fatalf("WriteBlock(%d): %v", id, err)
+		}
+	}
+	buf := make([]byte, payload)
+	for id := em.BlockID(1); id <= 8; id++ {
+		if err := s.ReadBlock(id, buf); err != nil {
+			t.Fatalf("ReadBlock(%d): %v", id, err)
+		}
+		if err := em.VerifyPayload(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A direct-mode file reopens in buffered mode (and vice versa): the
+	// superblock's slot size is adopted.
+	r, err := diskstore.Open(path, payload)
+	if err != nil {
+		t.Fatalf("buffered reopen of direct-mode file: %v", err)
+	}
+	defer r.Close()
+	if err := r.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.VerifyPayload(3, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncWrites(t *testing.T) {
+	s, _ := openTemp(t, diskstore.WithSyncWrites())
+	if err := s.WriteBlock(1, canonical(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StoreStats().Syncs; got != 1 {
+		// WriteBlock's implicit fsyncs are durability, not Sync calls.
+		t.Fatalf("Syncs = %d, want 1", got)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	s, _ := openTemp(t)
+	const nBlocks = 64
+	for id := em.BlockID(1); id <= nBlocks; id++ {
+		if err := s.WriteBlock(id, canonical(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, payload)
+			for i := 0; i < 200; i++ {
+				id := em.BlockID(uint64(g*31+i)%nBlocks + 1)
+				if err := s.ReadBlock(id, buf); err != nil {
+					t.Errorf("concurrent ReadBlock(%d): %v", id, err)
+					return
+				}
+				if err := em.VerifyPayload(id, buf); err != nil {
+					t.Errorf("concurrent read of block %d corrupt: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// corruptByte flips one byte of the file at off.
+func corruptByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

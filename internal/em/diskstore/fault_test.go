@@ -1,0 +1,378 @@
+package diskstore_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"topk/internal/em"
+	"topk/internal/em/diskstore"
+)
+
+// faultFile injects faults below the store's checksums — at the file
+// layer — on a table-driven schedule: the Nth invocation (1-based) of
+// an operation fails with the scheduled kind. It complements
+// em.FaultStore, which injects at the BlockStore layer (above the
+// checksums): here a torn write persists a genuinely half-written slot
+// that only the CRC can catch.
+type faultFile struct {
+	inner diskstore.File
+
+	mu     sync.Mutex
+	counts map[string]int64
+	sched  map[string]map[int64]string // op -> invocation -> kind
+	fired  int
+}
+
+func newFaultFile(sched map[string]map[int64]string) func(diskstore.File) diskstore.File {
+	return func(inner diskstore.File) diskstore.File {
+		return &faultFile{inner: inner, counts: make(map[string]int64), sched: sched}
+	}
+}
+
+func (f *faultFile) next(op string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	k, ok := f.sched[op][f.counts[op]]
+	if ok {
+		f.fired++
+	}
+	return k, ok
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if k, ok := f.next("read"); ok {
+		switch k {
+		case "short":
+			n, err := f.inner.ReadAt(p[:len(p)/2], off)
+			if err != nil {
+				return n, err
+			}
+			return n, fmt.Errorf("faultfile: short read: %d of %d bytes", n, len(p))
+		default:
+			return 0, errors.New("faultfile: injected transient read error (EINTR-style)")
+		}
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if k, ok := f.next("write"); ok {
+		switch k {
+		case "torn":
+			// Persist only the first half of the transfer — a power cut
+			// mid-write. The slot header (including the CRC over the
+			// *full* payload) lands on disk, the payload tail does not.
+			n, err := f.inner.WriteAt(p[:len(p)/2], off)
+			if err != nil {
+				return n, err
+			}
+			return n, fmt.Errorf("faultfile: torn write: %d of %d bytes reached the disk", n, len(p))
+		default:
+			return 0, errors.New("faultfile: injected transient write error (EAGAIN-style)")
+		}
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Sync() error {
+	if _, ok := f.next("sync"); ok {
+		return errors.New("faultfile: injected fsync failure (EIO-style)")
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+// Invocation numbering note: a fresh store's superblock write is file
+// write #1 and a reopened store's superblock read is file read #1, so
+// the first block operation is invocation #2 of its kind.
+
+func TestFileFaultTransient(t *testing.T) {
+	ff := newFaultFile(map[string]map[int64]string{
+		"write": {3: "transient"}, // superblock=1, block 1=2, block 2=3
+		"read":  {2: "transient"}, // first block read after the faulted write
+	})
+	path := filepath.Join(t.TempDir(), "blocks.tkbs")
+	s, err := diskstore.Open(path, payload, diskstore.WithFileWrapper(ff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.WriteBlock(1, canonical(1)); err != nil {
+		t.Fatalf("unfaulted write: %v", err)
+	}
+	err = s.WriteBlock(2, canonical(2))
+	if err == nil || !strings.Contains(err.Error(), "transient") {
+		t.Fatalf("faulted write: %v", err)
+	}
+	// The store stays usable: retry succeeds.
+	if err := s.WriteBlock(2, canonical(2)); err != nil {
+		t.Fatalf("retry after transient write fault: %v", err)
+	}
+	buf := make([]byte, payload)
+	// Read #1 was the superblock? No — this store was opened fresh, so
+	// the first file read is a block read and fault N=2 hits the second.
+	if err := s.ReadBlock(1, buf); err == nil || !strings.Contains(err.Error(), "transient") {
+		// Depending on open path the numbering can differ by one; accept
+		// the fault on either of the first two block reads.
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if err := s.ReadBlock(2, buf); err == nil || !strings.Contains(err.Error(), "transient") {
+			t.Fatalf("scheduled transient read fault never fired: %v", err)
+		}
+	}
+	// Retry succeeds and the bytes verify.
+	if err := s.ReadBlock(1, buf); err != nil {
+		t.Fatalf("retry after transient read fault: %v", err)
+	}
+	if err := em.VerifyPayload(1, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileFaultShortRead(t *testing.T) {
+	ff := newFaultFile(map[string]map[int64]string{"read": {1: "short"}})
+	path := filepath.Join(t.TempDir(), "blocks.tkbs")
+	s, err := diskstore.Open(path, payload, diskstore.WithFileWrapper(ff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteBlock(1, canonical(1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, payload)
+	if err := s.ReadBlock(1, buf); err == nil || !strings.Contains(err.Error(), "short read") {
+		t.Fatalf("short-read fault: %v", err)
+	}
+	if err := s.ReadBlock(1, buf); err != nil {
+		t.Fatalf("retry after short read: %v", err)
+	}
+	if err := em.VerifyPayload(1, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileFaultTornWrite(t *testing.T) {
+	// Write #1 = superblock, #2 = block 1 (clean), #3 = block 2 (torn).
+	ff := newFaultFile(map[string]map[int64]string{"write": {3: "torn"}})
+	path := filepath.Join(t.TempDir(), "blocks.tkbs")
+	s, err := diskstore.Open(path, payload, diskstore.WithFileWrapper(ff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteBlock(1, canonical(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlock(2, canonical(2)); err == nil || !strings.Contains(err.Error(), "torn write") {
+		t.Fatalf("torn write fault: %v", err)
+	}
+	// The torn slot is on disk below the checksum: reading it must
+	// surface corruption, never the partial bytes.
+	buf := make([]byte, payload)
+	err = s.ReadBlock(2, buf)
+	if err == nil {
+		t.Fatal("read of torn slot succeeded")
+	}
+	if !errors.Is(err, diskstore.ErrChecksum) && !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("read of torn slot: %v", err)
+	}
+	// The neighbor is intact, and rewriting the torn block heals it.
+	if err := s.ReadBlock(1, buf); err != nil {
+		t.Fatalf("neighbor of torn slot: %v", err)
+	}
+	if err := s.WriteBlock(2, canonical(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock(2, buf); err != nil {
+		t.Fatalf("read after healing rewrite: %v", err)
+	}
+	if err := em.VerifyPayload(2, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileFaultSync(t *testing.T) {
+	ff := newFaultFile(map[string]map[int64]string{"sync": {1: "fail"}})
+	path := filepath.Join(t.TempDir(), "blocks.tkbs")
+	s, err := diskstore.Open(path, payload, diskstore.WithFileWrapper(ff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Sync(); err == nil || !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("sync fault: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("retry after sync fault: %v", err)
+	}
+}
+
+// TestCrashPartialFiles simulates crash damage directly on the closed
+// file — truncation mid-slot, payload bit rot, header damage, a zeroed
+// slot — and asserts the reopened store either round-trips each block
+// or refuses it with a descriptive checksum-class error. Undamaged
+// neighbors must keep reading cleanly.
+func TestCrashPartialFiles(t *testing.T) {
+	const nBlocks = 6
+	build := func(t *testing.T) (string, int64) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "blocks.tkbs")
+		s, err := diskstore.Open(path, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := em.BlockID(1); id <= nBlocks; id++ {
+			if err := s.WriteBlock(id, canonical(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		slot := s.SlotBytes()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path, slot
+	}
+	const super = 4096 // documented superblock reservation
+	slotOff := func(slot int64, id em.BlockID) int64 { return super + int64(id-1)*slot }
+
+	cases := []struct {
+		name    string
+		damage  func(t *testing.T, path string, slot int64)
+		badID   em.BlockID
+		wantSub string // substring of the read error
+		wantCks bool   // errors.Is(err, ErrChecksum)
+	}{
+		{
+			name: "truncated mid-slot",
+			damage: func(t *testing.T, path string, slot int64) {
+				// Cut the file in the middle of the last slot.
+				if err := os.Truncate(path, slotOff(slot, nBlocks)+slot/2); err != nil {
+					t.Fatal(err)
+				}
+			},
+			badID:   nBlocks,
+			wantSub: "truncated",
+			wantCks: true,
+		},
+		{
+			name: "payload bit rot",
+			damage: func(t *testing.T, path string, slot int64) {
+				corruptByte(t, path, slotOff(slot, 3)+16+int64(payload)/2)
+			},
+			badID:   3,
+			wantSub: "checksum",
+			wantCks: true,
+		},
+		{
+			name: "header id damaged",
+			damage: func(t *testing.T, path string, slot int64) {
+				corruptByte(t, path, slotOff(slot, 4)) // first byte of the stored id
+			},
+			badID:   4,
+			wantSub: "misdirected",
+		},
+		{
+			name: "slot zeroed",
+			damage: func(t *testing.T, path string, slot int64) {
+				f, err := os.OpenFile(path, os.O_RDWR, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if _, err := f.WriteAt(make([]byte, slot), slotOff(slot, 2)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			badID:   2,
+			wantSub: "never written",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, slot := build(t)
+			tc.damage(t, path, slot)
+
+			s, err := diskstore.Open(path, payload)
+			if err != nil {
+				t.Fatalf("reopen after crash damage: %v", err)
+			}
+			defer s.Close()
+			buf := make([]byte, payload)
+
+			err = s.ReadBlock(tc.badID, buf)
+			if err == nil {
+				t.Fatalf("read of damaged block %d succeeded", tc.badID)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("damaged block %d error %q, want substring %q", tc.badID, err, tc.wantSub)
+			}
+			if tc.wantCks && !errors.Is(err, diskstore.ErrChecksum) {
+				t.Fatalf("damaged block %d error %q does not wrap ErrChecksum", tc.badID, err)
+			}
+			for id := em.BlockID(1); id <= nBlocks; id++ {
+				if id == tc.badID {
+					continue
+				}
+				if err := s.ReadBlock(id, buf); err != nil {
+					t.Fatalf("undamaged block %d after crash: %v", id, err)
+				}
+				if err := em.VerifyPayload(id, buf); err != nil {
+					t.Fatalf("undamaged block %d corrupt: %v", id, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTrackerSurvivesStoreFaults drives a disk-backed tracker through
+// an em.FaultStore schedule: the tracker must never panic, logical
+// accounting must keep working, and the first failure must be retained.
+func TestTrackerSurvivesStoreFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blocks.tkbs")
+	disk, err := diskstore.Open(path, em.PayloadBytesFor(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := em.NewFaultStore(disk,
+		em.Fault{Op: em.OpWrite, N: 2, Kind: em.FaultTornWrite},
+		em.Fault{Op: em.OpRead, N: 1, Kind: em.FaultTransient},
+	)
+	tr, err := em.NewTrackerWithStore(em.Config{B: 16, MemBlocks: 2}, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	ids := make([]em.BlockID, 8)
+	for i := range ids {
+		ids[i] = tr.Alloc() // write #2 is torn; must not panic
+	}
+	for _, id := range ids {
+		tr.Read(id) // evictions force misses; read #1 is transient
+	}
+	if got := tr.Stats().Reads; got == 0 {
+		t.Fatal("no logical reads recorded")
+	}
+	if tr.StoreErr() == nil {
+		t.Fatal("faults fired but StoreErr is nil")
+	}
+	if tr.FaultCount() < 2 {
+		// The torn write also leaves a corrupt slot behind, so later
+		// misses on that block add verification faults.
+		t.Fatalf("FaultCount = %d, want >= 2", tr.FaultCount())
+	}
+	if faulty.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", faulty.Fired())
+	}
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package diskstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// openFile opens (or creates) the store file, attempting O_DIRECT when
+// requested. Some kernels/filesystems reject the flag at open time —
+// that degrades to a buffered open here; others accept the flag and
+// reject the first transfer, which Open handles by reopening buffered.
+func openFile(path string, truncate, direct bool) (*os.File, bool, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	if direct {
+		f, err := os.OpenFile(path, flags|syscall.O_DIRECT, 0o644)
+		if err == nil {
+			return f, true, nil
+		}
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	return f, false, err
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package diskstore
+
+import "os"
+
+// openFile opens (or creates) the store file. O_DIRECT is not portable
+// off Linux, so a direct-I/O request silently degrades to buffered I/O
+// here; DirectActive reports the outcome.
+func openFile(path string, truncate, _ bool) (*os.File, bool, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	return f, false, err
+}

@@ -1,0 +1,204 @@
+package em
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultOp names a BlockStore operation a fault can target.
+type FaultOp int
+
+const (
+	OpRead FaultOp = iota
+	OpWrite
+	OpFree
+	OpSync
+)
+
+// String returns the operation's name.
+func (o FaultOp) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFree:
+		return "free"
+	case OpSync:
+		return "sync"
+	}
+	return fmt.Sprintf("FaultOp(%d)", int(o))
+}
+
+// FaultKind selects what goes wrong when a fault fires.
+type FaultKind int
+
+const (
+	// FaultTransient fails the operation with an EINTR/EAGAIN-style
+	// retriable error without touching the medium.
+	FaultTransient FaultKind = iota
+	// FaultShortRead delivers only the first half of the block before
+	// erroring — the bytes are real but incomplete (reads only).
+	FaultShortRead
+	// FaultTornWrite persists only the first half of the block and then
+	// errors — a power-cut mid-write (writes only). The medium is left
+	// holding a torn block, which a verifying reader must detect.
+	FaultTornWrite
+)
+
+// String returns the kind's name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransient:
+		return "transient"
+	case FaultShortRead:
+		return "short-read"
+	case FaultTornWrite:
+		return "torn-write"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled injection: the Nth invocation (1-based) of Op
+// fails with Kind.
+type Fault struct {
+	Op   FaultOp
+	N    int64
+	Kind FaultKind
+}
+
+// FaultStore wraps any BlockStore and injects faults on a table-driven
+// schedule — the adversarial medium the disk-store test layer runs the
+// tracker against. It is itself a conforming BlockStore: every injected
+// failure is a descriptive error, never a panic, and operations without
+// a scheduled fault pass through untouched.
+type FaultStore struct {
+	inner BlockStore
+
+	mu     sync.Mutex
+	counts map[FaultOp]int64
+	faults map[FaultOp]map[int64]FaultKind
+	fired  int64
+}
+
+// NewFaultStore wraps inner with the given fault schedule.
+func NewFaultStore(inner BlockStore, schedule ...Fault) *FaultStore {
+	fs := &FaultStore{
+		inner:  inner,
+		counts: make(map[FaultOp]int64),
+		faults: make(map[FaultOp]map[int64]FaultKind),
+	}
+	for _, f := range schedule {
+		if fs.faults[f.Op] == nil {
+			fs.faults[f.Op] = make(map[int64]FaultKind)
+		}
+		fs.faults[f.Op][f.N] = f.Kind
+	}
+	return fs
+}
+
+// next advances op's invocation counter and returns the fault scheduled
+// for this invocation, if any.
+func (fs *FaultStore) next(op FaultOp) (FaultKind, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.counts[op]++
+	k, ok := fs.faults[op][fs.counts[op]]
+	if ok {
+		fs.fired++
+	}
+	return k, ok
+}
+
+// Fired returns how many scheduled faults have fired so far.
+func (fs *FaultStore) Fired() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.fired
+}
+
+// PayloadBytes returns the wrapped store's payload size.
+func (fs *FaultStore) PayloadBytes() int { return fs.inner.PayloadBytes() }
+
+// ReadBlock reads through to the wrapped store unless a fault is
+// scheduled for this invocation.
+func (fs *FaultStore) ReadBlock(id BlockID, buf []byte) error {
+	if k, ok := fs.next(OpRead); ok {
+		switch k {
+		case FaultShortRead:
+			// Deliver a genuine prefix of the block, then fail: the
+			// caller must not trust the partially filled buffer.
+			full := make([]byte, len(buf))
+			if err := fs.inner.ReadBlock(id, full); err != nil {
+				return err
+			}
+			n := copy(buf[:len(buf)/2], full)
+			return fmt.Errorf("em/faultstore: short read of block %d: %d of %d bytes", id, n, len(buf))
+		default:
+			return fmt.Errorf("em/faultstore: injected transient error reading block %d (EINTR-style, retriable)", id)
+		}
+	}
+	return fs.inner.ReadBlock(id, buf)
+}
+
+// WriteBlock writes through to the wrapped store unless a fault is
+// scheduled for this invocation.
+func (fs *FaultStore) WriteBlock(id BlockID, data []byte) error {
+	if k, ok := fs.next(OpWrite); ok {
+		switch k {
+		case FaultTornWrite:
+			// Persist a torn image: first half the new bytes, second
+			// half zeros. The inner store will checksum the torn image
+			// as written, exactly as a disk that acknowledged half a
+			// block would — it is the *verifying reader* (payload
+			// check) that must catch it.
+			torn := make([]byte, len(data))
+			copy(torn, data[:len(data)/2])
+			if err := fs.inner.WriteBlock(id, torn); err != nil {
+				return err
+			}
+			return fmt.Errorf("em/faultstore: torn write of block %d: only %d of %d bytes reached the store", id, len(data)/2, len(data))
+		default:
+			return fmt.Errorf("em/faultstore: injected transient error writing block %d (EAGAIN-style, retriable)", id)
+		}
+	}
+	return fs.inner.WriteBlock(id, data)
+}
+
+// ChargeReads performs the stand-in reads one at a time so each counts
+// as an OpRead invocation against the schedule; a scheduled fault stops
+// the run with a retriable error (stand-in reads carry no payload to
+// tear or truncate).
+func (fs *FaultStore) ChargeReads(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if _, ok := fs.next(OpRead); ok {
+			return fmt.Errorf("em/faultstore: injected transient error on a charge read (EINTR-style, retriable)")
+		}
+		if err := fs.inner.ChargeReads(1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Free passes through unless a fault is scheduled.
+func (fs *FaultStore) Free(id BlockID) error {
+	if _, ok := fs.next(OpFree); ok {
+		return fmt.Errorf("em/faultstore: injected transient error freeing block %d", id)
+	}
+	return fs.inner.Free(id)
+}
+
+// Sync passes through unless a fault is scheduled.
+func (fs *FaultStore) Sync() error {
+	if _, ok := fs.next(OpSync); ok {
+		return fmt.Errorf("em/faultstore: injected sync failure (EIO-style)")
+	}
+	return fs.inner.Sync()
+}
+
+// Close closes the wrapped store.
+func (fs *FaultStore) Close() error { return fs.inner.Close() }
+
+// StoreStats returns the wrapped store's counters.
+func (fs *FaultStore) StoreStats() StoreStats { return fs.inner.StoreStats() }

@@ -1,0 +1,275 @@
+package em
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// A BlockStore is the physical medium behind a Tracker: it persists the
+// payload of every allocated block and serves it back on cache misses.
+// The Tracker remains the EM *model* — it decides what counts as an I/O
+// and maintains the M/B cache — while the store performs the actual
+// data movement, so the same logical access trace can run against pure
+// simulation (no store), an in-memory byte store (MemStore, the
+// reference implementation and fuzz oracle), or a real file
+// (internal/em/diskstore), whose preads and pwrites turn the paper's
+// I/O counts into hardware-level measurements.
+//
+// Contract:
+//
+//   - WriteBlock persists exactly PayloadBytes bytes under id; it may be
+//     called again for the same id (a rewrite).
+//   - ReadBlock fills buf (len == PayloadBytes) with the last payload
+//     written under id, or returns a descriptive error: never-written or
+//     freed blocks, short reads, and checksum mismatches must all
+//     surface as errors, never as silently wrong bytes and never as
+//     panics.
+//   - Free releases id; later reads of id must error.
+//   - ReadBlock may be called concurrently with other ReadBlocks and
+//     with WriteBlocks to *other* ids (the Tracker serializes structure
+//     mutation, but read-only queries run in parallel).
+//   - Close flushes and releases the medium; every later operation
+//     errors.
+type BlockStore interface {
+	// PayloadBytes is the fixed payload size of every block, in bytes.
+	PayloadBytes() int
+	// WriteBlock persists data (len == PayloadBytes) as block id.
+	WriteBlock(id BlockID, data []byte) error
+	// ReadBlock fills buf (len == PayloadBytes) with block id's payload.
+	ReadBlock(id BlockID, buf []byte) error
+	// Free releases block id. Freeing an unknown id is not an error.
+	Free(id BlockID) error
+	// ChargeReads performs n physical stand-in reads for cost-level
+	// charges (PathCost, ScanCost) that model block traffic without
+	// naming block IDs: the store must move real bytes from the medium
+	// once per charged read — against a fixed, always-valid region — and
+	// count them in StoreStats, so the physical read total tracks the
+	// logical read total exactly. It stops at the first failure.
+	ChargeReads(n int64) error
+	// Sync flushes buffered state to the medium.
+	Sync() error
+	// Close flushes and releases the medium.
+	Close() error
+	// StoreStats returns the physical operation counters.
+	StoreStats() StoreStats
+}
+
+// StoreStats counts physical operations performed by a BlockStore —
+// the measured side of the simulated-vs-real comparison (experiment
+// E30). For a disk store, Reads and Writes are pread/pwrite calls at
+// block granularity.
+type StoreStats struct {
+	Reads        int64 // physical block reads
+	Writes       int64 // physical block writes
+	BytesRead    int64
+	BytesWritten int64
+	Syncs        int64
+	Frees        int64
+}
+
+// Sub returns the counter deltas s - t.
+func (s StoreStats) Sub(t StoreStats) StoreStats {
+	return StoreStats{
+		Reads:        s.Reads - t.Reads,
+		Writes:       s.Writes - t.Writes,
+		BytesRead:    s.BytesRead - t.BytesRead,
+		BytesWritten: s.BytesWritten - t.BytesWritten,
+		Syncs:        s.Syncs - t.Syncs,
+		Frees:        s.Frees - t.Frees,
+	}
+}
+
+// storeCounters is the atomic counter set embedded by store
+// implementations.
+type storeCounters struct {
+	reads, writes, bytesRead, bytesWritten, syncs, frees atomic.Int64
+}
+
+func (c *storeCounters) countRead(n int)  { c.reads.Add(1); c.bytesRead.Add(int64(n)) }
+func (c *storeCounters) countWrite(n int) { c.writes.Add(1); c.bytesWritten.Add(int64(n)) }
+
+func (c *storeCounters) snapshot() StoreStats {
+	return StoreStats{
+		Reads:        c.reads.Load(),
+		Writes:       c.writes.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		Syncs:        c.syncs.Load(),
+		Frees:        c.frees.Load(),
+	}
+}
+
+// PayloadBytesFor returns the payload size of a block on a machine with
+// B words per block: 8 bytes per word.
+func PayloadBytesFor(b int) int { return 8 * b }
+
+// FillPayload writes block id's canonical payload into buf: a
+// deterministic pseudo-random word stream seeded by the block ID. The
+// structures in this repository are ordinary Go values and do not
+// serialize their nodes, so the store's payloads carry no structural
+// meaning — what matters is that they are real bytes, unique per block,
+// and reproducible, which lets every read be verified (VerifyPayload)
+// and turns any torn write, misdirected read, or stale block into a
+// detected corruption instead of a silent one.
+func FillPayload(id BlockID, buf []byte) {
+	state := uint64(id) * 0x9E3779B97F4A7C15
+	for i := 0; i+8 <= len(buf); i += 8 {
+		state += 0x9E3779B97F4A7C15
+		w := mix64(state)
+		buf[i] = byte(w)
+		buf[i+1] = byte(w >> 8)
+		buf[i+2] = byte(w >> 16)
+		buf[i+3] = byte(w >> 24)
+		buf[i+4] = byte(w >> 32)
+		buf[i+5] = byte(w >> 40)
+		buf[i+6] = byte(w >> 48)
+		buf[i+7] = byte(w >> 56)
+	}
+}
+
+// VerifyPayload checks that buf holds exactly block id's canonical
+// payload, returning a descriptive error at the first mismatching word.
+func VerifyPayload(id BlockID, buf []byte) error {
+	state := uint64(id) * 0x9E3779B97F4A7C15
+	for i := 0; i+8 <= len(buf); i += 8 {
+		state += 0x9E3779B97F4A7C15
+		w := mix64(state)
+		got := uint64(buf[i]) | uint64(buf[i+1])<<8 | uint64(buf[i+2])<<16 | uint64(buf[i+3])<<24 |
+			uint64(buf[i+4])<<32 | uint64(buf[i+5])<<40 | uint64(buf[i+6])<<48 | uint64(buf[i+7])<<56
+		if got != w {
+			return fmt.Errorf("em: block %d payload corrupt at byte %d: got %#016x, want %#016x", id, i, got, w)
+		}
+	}
+	return nil
+}
+
+// mix64 is SplitMix64's output function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// MemStore is the in-memory BlockStore: a mutex-guarded map of block
+// payloads. It is the reference implementation the disk store is
+// oracle-diffed against (FuzzBlockStore) and the cheapest way to give a
+// tracker content-bearing blocks in tests.
+type MemStore struct {
+	storeCounters
+	payload int
+	mu      sync.RWMutex
+	blocks  map[BlockID][]byte
+	closed  bool
+}
+
+// NewMemStore builds an in-memory store holding payloadBytes-byte
+// blocks.
+func NewMemStore(payloadBytes int) *MemStore {
+	return &MemStore{payload: payloadBytes, blocks: make(map[BlockID][]byte)}
+}
+
+// PayloadBytes returns the fixed payload size.
+func (m *MemStore) PayloadBytes() int { return m.payload }
+
+// WriteBlock stores a copy of data as block id.
+func (m *MemStore) WriteBlock(id BlockID, data []byte) error {
+	if len(data) != m.payload {
+		return fmt.Errorf("em/memstore: write of %d bytes to block %d, store holds %d-byte blocks", len(data), id, m.payload)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("em/memstore: write to block %d on a closed store", id)
+	}
+	b, ok := m.blocks[id]
+	if !ok {
+		b = make([]byte, m.payload)
+		m.blocks[id] = b
+	}
+	copy(b, data)
+	m.countWrite(len(data))
+	return nil
+}
+
+// ReadBlock copies block id's payload into buf.
+func (m *MemStore) ReadBlock(id BlockID, buf []byte) error {
+	if len(buf) != m.payload {
+		return fmt.Errorf("em/memstore: read of %d bytes from block %d, store holds %d-byte blocks", len(buf), id, m.payload)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return fmt.Errorf("em/memstore: read of block %d on a closed store", id)
+	}
+	b, ok := m.blocks[id]
+	if !ok {
+		return fmt.Errorf("em/memstore: read of block %d, which was never written or was freed", id)
+	}
+	copy(buf, b)
+	m.countRead(len(buf))
+	return nil
+}
+
+// ChargeReads counts n stand-in reads. Memory has no fixed region to
+// move bytes from, so the charge is pure accounting at payload
+// granularity — which keeps the fuzz oracle's counters comparable with
+// the disk store's.
+func (m *MemStore) ChargeReads(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return fmt.Errorf("em/memstore: charge read on a closed store")
+	}
+	m.reads.Add(n)
+	m.bytesRead.Add(n * int64(m.payload))
+	return nil
+}
+
+// Free drops block id.
+func (m *MemStore) Free(id BlockID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("em/memstore: free of block %d on a closed store", id)
+	}
+	delete(m.blocks, id)
+	m.frees.Add(1)
+	return nil
+}
+
+// Sync is a no-op for memory.
+func (m *MemStore) Sync() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return fmt.Errorf("em/memstore: sync on a closed store")
+	}
+	m.syncs.Add(1)
+	return nil
+}
+
+// Close releases the store; every later operation errors.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("em/memstore: already closed")
+	}
+	m.closed = true
+	m.blocks = nil
+	return nil
+}
+
+// StoreStats returns the physical operation counters.
+func (m *MemStore) StoreStats() StoreStats { return m.storeCounters.snapshot() }
+
+// Len returns the number of live blocks (test observability).
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.blocks)
+}

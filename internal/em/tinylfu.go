@@ -1,0 +1,217 @@
+package em
+
+import "container/list"
+
+// tinyLFUCache is an LRU frame set with TinyLFU admission (Einziger,
+// Friedman & Manes, "TinyLFU: A Highly Efficient Cache Admission
+// Policy"): a count-min sketch of 4-bit counters estimates each block's
+// access frequency, a doorkeeper bloom filter absorbs the long tail of
+// one-touch blocks so they never pollute the sketch, and a missed block
+// is admitted into a full cache only if its estimate strictly beats the
+// LRU victim's. Every sample-period touches, the doorkeeper clears and
+// the sketch halves (aging), so the frequency view tracks the recent
+// workload rather than all history.
+//
+// The effect this buys in the EM model: a scan of fresh blocks (each
+// touched once) flows past a resident hot set instead of flushing it,
+// which is exactly the workload mix a top-k serving layer sees — point
+// queries against a hot root/core-set region interleaved with long
+// reporting scans.
+type tinyLFUCache struct {
+	cap   int
+	order *list.List
+	pos   map[BlockID]*list.Element
+	ctr   *cacheCounters
+
+	sketch     cmSketch
+	door       []uint64 // doorkeeper bloom bitset
+	doorBits   uint64
+	ops        int // touches since the last reset
+	samplePeri int
+}
+
+// doorkeeperBitsPerFrame sizes the bloom bitset; 16 bits/frame keeps
+// the false-positive rate low at the scale of one sample period.
+const doorkeeperBitsPerFrame = 16
+
+func newTinyLFUCache(capacity int, ctr *cacheCounters) *tinyLFUCache {
+	bits := uint64(capacity * doorkeeperBitsPerFrame)
+	if bits < 256 {
+		bits = 256
+	}
+	// Round the bitset up to whole words.
+	words := (bits + 63) / 64
+	c := &tinyLFUCache{
+		cap:        capacity,
+		order:      list.New(),
+		pos:        make(map[BlockID]*list.Element, capacity),
+		ctr:        ctr,
+		door:       make([]uint64, words),
+		doorBits:   words * 64,
+		samplePeri: 10 * capacity,
+	}
+	c.sketch.init(capacity)
+	return c
+}
+
+func (c *tinyLFUCache) touch(id BlockID) bool {
+	c.record(id)
+	if el, ok := c.pos[id]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	if c.order.Len() < c.cap {
+		c.pos[id] = c.order.PushFront(id)
+		return false
+	}
+	victim := c.order.Back().Value.(BlockID)
+	if c.estimate(id) <= c.estimate(victim) {
+		// The candidate is no hotter than the coldest resident frame:
+		// keep the frame, let the candidate pass through uncached.
+		c.ctr.rejects.Add(1)
+		return false
+	}
+	c.order.Remove(c.order.Back())
+	delete(c.pos, victim)
+	c.ctr.evictions.Add(1)
+	c.pos[id] = c.order.PushFront(id)
+	return false
+}
+
+// record notes one access: a block's first touch of the sample period
+// only sets its doorkeeper bit; repeat touches feed the sketch. When the
+// sample period elapses, the doorkeeper clears and the sketch halves.
+func (c *tinyLFUCache) record(id BlockID) {
+	if c.ops++; c.ops >= c.samplePeri {
+		c.reset()
+	}
+	if !c.doorSet(id) {
+		return
+	}
+	c.sketch.increment(uint64(id))
+}
+
+// estimate is the block's frequency estimate: the sketch count plus one
+// if its doorkeeper bit is set.
+func (c *tinyLFUCache) estimate(id BlockID) uint32 {
+	est := c.sketch.estimate(uint64(id))
+	if c.doorHas(id) {
+		est++
+	}
+	return est
+}
+
+// doorSet sets id's doorkeeper bits, reporting whether they were all
+// already set (i.e. this is a repeat touch within the sample period).
+func (c *tinyLFUCache) doorSet(id BlockID) bool {
+	h1, h2 := doorHashes(uint64(id))
+	b1, b2 := h1%c.doorBits, h2%c.doorBits
+	was := c.door[b1/64]&(1<<(b1%64)) != 0 && c.door[b2/64]&(1<<(b2%64)) != 0
+	c.door[b1/64] |= 1 << (b1 % 64)
+	c.door[b2/64] |= 1 << (b2 % 64)
+	return was
+}
+
+func (c *tinyLFUCache) doorHas(id BlockID) bool {
+	h1, h2 := doorHashes(uint64(id))
+	b1, b2 := h1%c.doorBits, h2%c.doorBits
+	return c.door[b1/64]&(1<<(b1%64)) != 0 && c.door[b2/64]&(1<<(b2%64)) != 0
+}
+
+// reset ages the frequency view: doorkeeper cleared, sketch halved.
+func (c *tinyLFUCache) reset() {
+	c.ops = 0
+	clear(c.door)
+	c.sketch.halve()
+	c.ctr.resets.Add(1)
+}
+
+func (c *tinyLFUCache) evict(id BlockID) {
+	if el, ok := c.pos[id]; ok {
+		c.order.Remove(el)
+		delete(c.pos, id)
+	}
+}
+
+func (c *tinyLFUCache) clear() {
+	c.order.Init()
+	clear(c.pos)
+	clear(c.door)
+	c.ops = 0
+	c.sketch.clear()
+}
+
+func (c *tinyLFUCache) len() int { return c.order.Len() }
+
+func doorHashes(x uint64) (uint64, uint64) {
+	h := mix64(x)
+	return h, mix64(h ^ 0xD6E8FEB86659FD93)
+}
+
+// cmSketch is a count-min sketch of 4-bit counters: cmRows rows of
+// `width` counters each, packed 16 to a uint64 word.
+type cmSketch struct {
+	rows  [cmRows][]uint64
+	mask  uint64 // width - 1 (width is a power of two)
+	width uint64
+}
+
+const cmRows = 4
+
+// cmSeeds decorrelate the four row hashes.
+var cmSeeds = [cmRows]uint64{
+	0xA3B195354A39B70D, 0x1B03738712FAD5C9,
+	0xC1F5F3E8F2A9A9AD, 0x9E6C63D0A1B2C3D5,
+}
+
+func (s *cmSketch) init(capacity int) {
+	width := uint64(64)
+	for width < uint64(capacity)*8 {
+		width *= 2
+	}
+	s.width, s.mask = width, width-1
+	for r := range s.rows {
+		s.rows[r] = make([]uint64, width/16)
+	}
+}
+
+// increment bumps id's counter in every row, saturating at 15.
+func (s *cmSketch) increment(id uint64) {
+	for r := 0; r < cmRows; r++ {
+		i := mix64(id^cmSeeds[r]) & s.mask
+		word, shift := i/16, (i%16)*4
+		if (s.rows[r][word]>>shift)&0xF < 15 {
+			s.rows[r][word] += 1 << shift
+		}
+	}
+}
+
+// estimate returns the minimum of id's row counters.
+func (s *cmSketch) estimate(id uint64) uint32 {
+	est := uint32(15)
+	for r := 0; r < cmRows; r++ {
+		i := mix64(id^cmSeeds[r]) & s.mask
+		word, shift := i/16, (i%16)*4
+		if v := uint32(s.rows[r][word]>>shift) & 0xF; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// halve ages every counter by one bit (divides all estimates by two).
+func (s *cmSketch) halve() {
+	const nibbleMask = 0x7777777777777777
+	for r := range s.rows {
+		row := s.rows[r]
+		for i := range row {
+			row[i] = (row[i] >> 1) & nibbleMask
+		}
+	}
+}
+
+func (s *cmSketch) clear() {
+	for r := range s.rows {
+		clear(s.rows[r])
+	}
+}

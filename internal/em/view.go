@@ -23,7 +23,11 @@ package em
 type QueryView struct {
 	t     *Tracker
 	gid   uint64
-	cache *lruCache
+	cache blockCache
+	// buf is the view's private payload scratch when the tracker has a
+	// physical store: view misses perform their own physical reads, so
+	// concurrent queries drive concurrent store traffic.
+	buf []byte
 
 	reads, writes, hits int64
 
@@ -43,7 +47,10 @@ type QueryView struct {
 // on this tracker: queries do not nest.
 func (t *Tracker) BeginQuery() *QueryView {
 	gid := goid()
-	v := &QueryView{t: t, gid: gid, cache: newLRUCache(t.cfg.MemBlocks)}
+	v := &QueryView{t: t, gid: gid, cache: newBlockCache(t.cfg.Policy, t.cfg.MemBlocks, &t.cacheCtr)}
+	if t.store != nil {
+		v.buf = make([]byte, t.store.PayloadBytes())
+	}
 	if _, loaded := t.views.LoadOrStore(gid, v); loaded {
 		panic("em: BeginQuery: a query view is already active on this goroutine")
 	}
@@ -104,19 +111,25 @@ func (v *QueryView) End() Stats {
 // is owned by the view; callers must copy it to retain it.
 func (v *QueryView) Trace() []TraceEvent { return v.trace }
 
-// read charges one block read against the private cache.
+// read charges one block read against the private cache; a miss with a
+// physical store attached additionally fetches and verifies the block.
 func (v *QueryView) read(id BlockID) {
 	if v.cache.touch(id) {
 		v.hits++
-	} else {
-		v.reads++
+		return
 	}
+	v.reads++
+	v.storeRead(id)
 }
 
 // write charges one block write and makes the block resident privately.
 func (v *QueryView) write(id BlockID) {
 	v.cache.touch(id)
 	v.writes++
+	if v.buf != nil {
+		FillPayload(id, v.buf)
+		v.t.noteStoreErr(v.t.store.WriteBlock(id, v.buf))
+	}
 }
 
 // readRun mirrors Tracker.ReadRun against the private cache.
@@ -128,4 +141,28 @@ func (v *QueryView) readRun(id BlockID, n int) {
 		return
 	}
 	v.reads += int64(n)
+	for i := 0; v.buf != nil && i < n; i++ {
+		v.storeRead(id + BlockID(i))
+	}
+}
+
+// chargeReads mirrors Tracker.chargeReads for view-routed cost-level
+// charges: n physical stand-in reads against the store's fixed region.
+func (v *QueryView) chargeReads(n int64) {
+	if v.buf == nil {
+		return
+	}
+	v.t.noteStoreErr(v.t.store.ChargeReads(n))
+}
+
+// storeRead performs the physical fetch+verify of one missed block.
+func (v *QueryView) storeRead(id BlockID) {
+	if v.buf == nil {
+		return
+	}
+	err := v.t.store.ReadBlock(id, v.buf)
+	if err == nil {
+		err = VerifyPayload(id, v.buf)
+	}
+	v.t.noteStoreErr(err)
 }

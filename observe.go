@@ -66,6 +66,7 @@ type indexObs struct {
 	tracker *em.Tracker
 	reg     *obs.Registry
 	qm      *obs.QueryMetrics
+	sm      *obs.StoreMetrics
 	slow    *obs.SlowQueryLog
 	tracing bool
 }
@@ -91,6 +92,7 @@ func newIndexObs(name string, o Options, tracker *em.Tracker) *indexObs {
 			extra = append(extra, obs.Label{Key: "shard", Value: o.shardLabel})
 		}
 		ob.qm = obs.NewQueryMetrics(ob.reg, name, extra...)
+		ob.sm = obs.NewStoreMetrics(ob.reg, name, o.cachePol.String(), extra...)
 		sink = &obs.Collector{M: ob.qm}
 	}
 	if o.slowMin > 0 {
@@ -128,6 +130,7 @@ func (ob *indexObs) done(t0 time.Time, before em.Stats, desc func() string) {
 		ob.qm.Hits.Add(delta.Hits)
 		ob.qm.Misses.Add(delta.Reads)
 	}
+	ob.refreshStore()
 	ob.observeSlow(d, delta, nil, desc)
 }
 
@@ -141,6 +144,7 @@ func (ob *indexObs) observeBatch(d time.Duration, st em.Stats, trace []em.TraceE
 	if ob.qm != nil {
 		ob.qm.Latency.Observe(d.Seconds())
 	}
+	ob.refreshStore()
 	ob.observeSlow(d, st, trace, desc)
 }
 
@@ -165,6 +169,26 @@ func (ob *indexObs) observeShape(n int, dyn any) {
 	if o, ok := dyn.(interface{ Stats() dynamic.Stats }); ok {
 		ob.qm.Levels.Set(int64(o.Stats().Levels))
 	}
+	ob.refreshStore()
+}
+
+// refreshStore re-publishes the cache-policy and physical-store counter
+// snapshots as gauge values. Snapshots are cheap (a handful of atomic
+// loads), so the refresh rides every metrics touch point.
+func (ob *indexObs) refreshStore() {
+	if ob == nil || ob.sm == nil {
+		return
+	}
+	cs := ob.tracker.CacheStats()
+	ob.sm.Evictions.Set(cs.Evictions)
+	ob.sm.AdmissionRejects.Set(cs.AdmissionRejects)
+	ob.sm.SketchResets.Set(cs.SketchResets)
+	ss := ob.tracker.StoreStats()
+	ob.sm.StoreReads.Set(ss.Reads)
+	ob.sm.StoreWrites.Set(ss.Writes)
+	ob.sm.StoreReadBytes.Set(ss.BytesRead)
+	ob.sm.StoreWriteBytes.Set(ss.BytesWritten)
+	ob.sm.StoreFaults.Set(ob.tracker.FaultCount())
 }
 
 // wantTrace reports whether batch results should carry public traces.

@@ -345,7 +345,11 @@ func restoreEngine[Q, V, It any](
 		return nil, fmt.Errorf("topk: snapshot kind %d inconsistent with reduction %s and its config (want kind %d)", h.Kind, red, wantKind)
 	}
 
-	e := &engine[Q, V, It]{p: p, opts: o, tracker: o.newTracker()}
+	tracker, err := o.newTracker()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine[Q, V, It]{p: p, opts: o, tracker: tracker}
 	reconstruct := func() error {
 		if h.Kind != snap.KindOverlay {
 			if !haveItems {
@@ -359,9 +363,11 @@ func restoreEngine[Q, V, It any](
 		return e.initOverlay(levels, tail, tailCap, deadFrac, counters)
 	}
 	if err := e.tracker.RestoreAccounting(cr.n, reconstruct); err != nil {
+		tracker.Close()
 		return nil, err
 	}
 	if e.n != int(h.Items) {
+		tracker.Close()
 		return nil, fmt.Errorf("topk: snapshot header declares %d items, reconstruction holds %d", h.Items, e.n)
 	}
 	return e, nil
