@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke snap-smoke disk-smoke fmt fmt-check vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke snap-smoke disk-smoke load-smoke load-curve fmt fmt-check vet clean ci
 
 all: build vet test
 
@@ -196,6 +196,71 @@ disk-smoke:
 		|| { echo "FAIL: store faults after crash recovery"; exit 1; }; \
 	echo "disk-smoke: ok"
 
+# End-to-end smoke of the request-lifecycle surface: boot topk-serve
+# with no budgets, drive a 2-second open-loop loadgen burst, and assert
+# the artifact reports non-zero latency percentiles with every request
+# answered ok — and that the unbudgeted server leaked zero budget aborts
+# or deadline misses into /metrics.
+load-smoke:
+	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
+	$(GO) build -o /tmp/topk-loadgen ./cmd/topk-loadgen
+	@/tmp/topk-serve -addr 127.0.0.1:18103 -n 5000 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18103/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	/tmp/topk-loadgen -url http://127.0.0.1:18103 -problem interval \
+		-qps 200 -duration 2s -warmup 500ms -out /tmp/topk-load-smoke.json \
+		|| { echo "FAIL: loadgen burst"; exit 1; }; \
+	p50=$$(sed -n 's/^ *"p50": \([0-9]*\),*/\1/p' /tmp/topk-load-smoke.json); \
+	p999=$$(sed -n 's/^ *"p999": \([0-9]*\),*/\1/p' /tmp/topk-load-smoke.json); \
+	[ -n "$$p50" ] && [ "$$p50" -gt 0 ] || { echo "FAIL: p50 = '$$p50', want > 0"; exit 1; }; \
+	[ -n "$$p999" ] && [ "$$p999" -ge "$$p50" ] || { echo "FAIL: p999 = '$$p999' below p50 = $$p50"; exit 1; }; \
+	grep -q '"errors": 0,' /tmp/topk-load-smoke.json || { echo "FAIL: loadgen saw request errors"; exit 1; }; \
+	metrics=$$(curl -sf http://127.0.0.1:18103/metrics); \
+	echo "$$metrics" | grep -q '^topk_budget_aborts_total{index="interval"} 0' \
+		|| { echo "FAIL: unbudgeted server counted budget aborts"; exit 1; }; \
+	echo "$$metrics" | grep -q '^topk_deadline_exceeded_total{index="interval"} 0' \
+		|| { echo "FAIL: unbudgeted server counted deadline misses"; exit 1; }; \
+	echo "$$metrics" | grep -q '^topk_build_info{' || { echo "FAIL: no topk_build_info gauge"; exit 1; }; \
+	curl -sf "http://127.0.0.1:18103/debug/trace?n=2" | grep -q '"traceEvents"' \
+		|| { echo "FAIL: /debug/trace"; exit 1; }; \
+	echo "load-smoke: ok"
+
+# Regenerate the E31 artifact: the latency-vs-QPS curve at shard counts
+# {1, 2, 8} with I/O budgets off and on (per-shard budget + top-1
+# degradation). The workload is compute-bound (closed loop, batched
+# heavy queries) so the budget's early aborts dominate scheduling noise
+# in the client-observed tail. The merge step asserts the lifecycle's
+# tail contract — budget-on p999 must not exceed budget-off p999 at any
+# shard count — and fails the target if enforcement ever makes the tail
+# worse.
+load-curve:
+	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
+	$(GO) build -o /tmp/topk-loadgen ./cmd/topk-loadgen
+	@rm -f /tmp/topk-e31-*.json; \
+	for shards in 1 2 8; do \
+		/tmp/topk-serve -addr 127.0.0.1:18104 -n 100000 -shards $$shards & \
+		pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+		for i in $$(seq 1 100); do \
+			curl -sf http://127.0.0.1:18104/healthz >/dev/null 2>&1 && break; sleep 0.25; \
+		done; \
+		/tmp/topk-loadgen -url http://127.0.0.1:18104 -problem interval \
+			-qps 0 -concurrency 1 -batch 16 -k 100 -duration 3s -warmup 500ms \
+			-label "shards=$$shards budget=off" -out /tmp/topk-e31-s$$shards-off.json || exit 1; \
+		/tmp/topk-loadgen -url http://127.0.0.1:18104 -problem interval \
+			-qps 0 -concurrency 1 -batch 16 -k 100 -duration 3s -warmup 500ms \
+			-budget-ios 8 -degrade \
+			-label "shards=$$shards budget=on" -out /tmp/topk-e31-s$$shards-on.json || exit 1; \
+		kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	done; \
+	/tmp/topk-loadgen -merge -out E31.json \
+		/tmp/topk-e31-s1-off.json /tmp/topk-e31-s1-on.json \
+		/tmp/topk-e31-s2-off.json /tmp/topk-e31-s2-on.json \
+		/tmp/topk-e31-s8-off.json /tmp/topk-e31-s8-on.json \
+		|| { echo "FAIL: E31 merge (budget-on tail exceeded budget-off)"; exit 1; }; \
+	echo "load-curve: wrote E31.json"
+
 validate:
 	$(GO) run ./cmd/topk-validate
 
@@ -212,4 +277,4 @@ clean:
 # What CI runs (.github/workflows/ci.yml), runnable locally. CI
 # additionally runs staticcheck and govulncheck, which are not vendored
 # here.
-ci: build vet fmt-check test race cover fuzz-smoke serve-smoke snap-smoke disk-smoke bench-check
+ci: build vet fmt-check test race cover fuzz-smoke serve-smoke snap-smoke disk-smoke load-smoke bench-check

@@ -60,6 +60,16 @@ type BatchResult[R any] struct {
 	Items []R
 	Stats QueryStats
 	Trace []TraceEvent
+
+	// Outcome and Err report the query's request-lifecycle ending when it
+	// ran under a QueryCtx (QueryBatchCtx). Plain QueryBatch always
+	// leaves the zero values: OutcomeOK, nil. When a limit fired, Err
+	// wraps ErrBudgetExceeded or ErrDeadlineExceeded and Items is either
+	// empty or — with QueryCtx.DegradeToMax — the documented top-1
+	// fallback prefix (Outcome == OutcomeDegraded). Stats always covers
+	// the work actually charged before the abort.
+	Outcome Outcome
+	Err     error
 }
 
 // Span is a 1D query range [Lo, Hi] for RangeIndex.QueryBatch.
@@ -102,16 +112,35 @@ type HalfspaceQuery struct {
 	C float64
 }
 
-// runBatch answers qs[i] via one(qs[i]) on a bounded pool of `parallelism`
-// worker goroutines, wrapping each call in an em.Tracker query view so the
-// result carries that query's own cold-cache I/O stats. parallelism <= 0
-// means GOMAXPROCS. Results are positionally aligned with qs.
+// batchSpec carries the per-batch execution hooks through runBatch: the
+// query function, the request-lifecycle limits, and the unlimited Max
+// fallback used by the degradation ladder (nil when the caller has no
+// top-1 path).
+type batchSpec[Q, R any] struct {
+	ctx QueryCtx
+	k   int
+	one func(Q) []R
+	max func(Q) []R // shared-path top-1 fallback; must not require a view
+}
+
+// runBatch answers qs[i] via spec.one(qs[i]) on a bounded pool of
+// `parallelism` worker goroutines, wrapping each call in an em.Tracker
+// query view so the result carries that query's own cold-cache I/O stats.
+// parallelism <= 0 means GOMAXPROCS. Results are positionally aligned
+// with qs.
 //
-// A panic inside one(q) does not wedge the pool: the panicking worker ends
-// its view, the remaining workers drain, and the first panic value is
-// re-raised on the calling goroutine once all workers have exited. Workers
-// stop claiming new queries after a panic, so later results may be zero.
-func runBatch[Q, R any](tr *em.Tracker, ob *indexObs, qs []Q, parallelism int, one func(Q) []R) []BatchResult[R] {
+// When spec.ctx is limited, the view is armed with the I/O budget and
+// deadline before the query runs; a charge path that trips a limit
+// panics with *em.AbortError, which is recovered here at the query
+// boundary and mapped onto the result's Outcome/Err (plus the Max
+// fallback when requested). The view's partial counters stay exact.
+//
+// Any other panic inside spec.one(q) does not wedge the pool: the
+// panicking worker ends its view, the remaining workers drain, and the
+// first panic value is re-raised on the calling goroutine once all
+// workers have exited. Workers stop claiming new queries after a panic,
+// so later results may be zero.
+func runBatch[Q, R any](tr *em.Tracker, ob *indexObs, qs []Q, parallelism int, spec batchSpec[Q, R]) []BatchResult[R] {
 	if len(qs) == 0 {
 		return nil
 	}
@@ -121,6 +150,7 @@ func runBatch[Q, R any](tr *em.Tracker, ob *indexObs, qs []Q, parallelism int, o
 	if parallelism > len(qs) {
 		parallelism = len(qs)
 	}
+	limited := spec.ctx.limited()
 	out := make([]BatchResult[R], len(qs))
 	var (
 		next     atomic.Int64
@@ -134,12 +164,16 @@ func runBatch[Q, R any](tr *em.Tracker, ob *indexObs, qs []Q, parallelism int, o
 			t0 = time.Now()
 		}
 		v := tr.BeginQuery()
+		if limited {
+			v.SetLimits(spec.ctx.IOBudget, spec.ctx.Deadline)
+		}
 		done := false
 		defer func() {
 			if !done {
-				// one(qs[i]) panicked: release the view so the tracker's
-				// goroutine routing table doesn't leak, record the first
-				// panic, and stop the pool from claiming further queries.
+				// spec.one(qs[i]) panicked: release the view so the
+				// tracker's goroutine routing table doesn't leak, record
+				// the first panic, and stop the pool from claiming
+				// further queries.
 				v.End()
 				if r := recover(); r != nil {
 					aborted.Store(true)
@@ -147,19 +181,42 @@ func runBatch[Q, R any](tr *em.Tracker, ob *indexObs, qs []Q, parallelism int, o
 				}
 			}
 		}()
-		items := one(qs[i])
+		items, abort := runLimited(spec.one, qs[i])
 		st := v.End()
 		out[i] = BatchResult[R]{
 			Items: items,
 			Stats: QueryStats{Reads: st.Reads, Writes: st.Writes, Hits: st.Hits},
+		}
+		if abort != nil {
+			res := &out[i]
+			res.Items = nil
+			switch abort.Reason {
+			case em.AbortBudget:
+				res.Outcome = OutcomeBudgetExceeded
+				res.Err = fmt.Errorf("%w (charged %d of %d I/Os)",
+					ErrBudgetExceeded, abort.IOs, abort.Budget)
+			default:
+				res.Outcome = OutcomeDeadlineExceeded
+				res.Err = fmt.Errorf("%w (aborted after %d I/Os)",
+					ErrDeadlineExceeded, abort.IOs)
+			}
+			if spec.ctx.DegradeToMax && spec.max != nil {
+				// The ladder's last rung: serve the top-1, the provably
+				// correct prefix of the true top-k. It runs unlimited on
+				// the shared path — Max is the cheapest query the paper
+				// defines — so its cost lands in index-wide Stats.
+				res.Items = spec.max(qs[i])
+				res.Outcome = OutcomeDegraded
+			}
 		}
 		if ob != nil {
 			trace := v.Trace()
 			if ob.wantTrace() {
 				out[i].Trace = toPublicTrace(trace)
 			}
-			ob.observeBatch(time.Since(t0), st, trace,
-				func() string { return fmt.Sprintf("%+v", qs[i]) })
+			ob.observeBatch(time.Since(t0), st, trace, batchLifecycle{
+				ctx: spec.ctx, k: spec.k, outcome: out[i].Outcome, abort: abort,
+			}, func() string { return fmt.Sprintf("%+v", qs[i]) })
 		}
 		done = true
 	}
@@ -181,4 +238,21 @@ func runBatch[Q, R any](tr *em.Tracker, ob *indexObs, qs []Q, parallelism int, o
 		panic(*p)
 	}
 	return out
+}
+
+// runLimited executes one query and converts an *em.AbortError panic —
+// the budget/deadline sentinel raised by the view's charge paths — into
+// a return value. Every other panic keeps unwinding into runBatch's
+// pool-abort handling.
+func runLimited[Q, R any](one func(Q) []R, q Q) (items []R, abort *em.AbortError) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(*em.AbortError); ok {
+				items, abort = nil, ae
+				return
+			}
+			panic(r)
+		}
+	}()
+	return one(q), nil
 }

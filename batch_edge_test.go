@@ -109,12 +109,12 @@ func TestRunBatchPanicPropagates(t *testing.T) {
 
 	run := func() (recovered any) {
 		defer func() { recovered = recover() }()
-		runBatch(tr, nil, qs, 4, func(q int) []int {
+		runBatch(tr, nil, qs, 4, batchSpec[int, int]{one: func(q int) []int {
 			if q == 7 {
 				panic("query 7 exploded")
 			}
 			return []int{q}
-		})
+		}})
 		return nil
 	}
 	rec := run()
@@ -127,7 +127,7 @@ func TestRunBatchPanicPropagates(t *testing.T) {
 
 	// The pool must be reusable: all views ended, no goroutine routing
 	// left behind, per-result positions intact.
-	res := runBatch(tr, nil, qs, 4, func(q int) []int { return []int{q * 2} })
+	res := runBatch(tr, nil, qs, 4, batchSpec[int, int]{one: func(q int) []int { return []int{q * 2} }})
 	if len(res) != len(qs) {
 		t.Fatalf("follow-up batch returned %d results, want %d", len(res), len(qs))
 	}
@@ -153,12 +153,12 @@ func TestRunBatchPanicConcurrentSafety(t *testing.T) {
 					t.Fatal("panic did not propagate")
 				}
 			}()
-			runBatch(tr, nil, qs, 8, func(q int) []int {
+			runBatch(tr, nil, qs, 8, batchSpec[int, int]{one: func(q int) []int {
 				if q%37 == 3 {
 					panic(q)
 				}
 				return nil
-			})
+			}})
 		}()
 	}
 }

@@ -99,11 +99,17 @@ func (ix *CircularIndex[T]) Max(center []float64, r float64) (PointItemN[T], boo
 // runs in its own cold tracker view, so per-query Stats are independent
 // of parallelism; see IntervalIndex.QueryBatch for the full contract.
 func (ix *CircularIndex[T]) QueryBatch(qs []BallQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// IntervalIndex.QueryBatchCtx); a zero ctx is exactly QueryBatch.
+func (ix *CircularIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []BallQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
 	balls := make([]circular.Ball, len(qs))
 	for i, q := range qs {
 		balls[i] = circular.Ball{Center: q.Center, R: q.Radius}
 	}
-	return ix.eng.QueryBatch(balls, k, parallelism)
+	return ix.eng.QueryBatchCtx(ctx, balls, k, parallelism)
 }
 
 // RestoreCircularIndex reconstructs a circular range index from a

@@ -1,0 +1,367 @@
+// Command topk-loadgen drives a running topk-serve instance at a
+// sustained query rate and reports client-observed latency percentiles
+// (p50/p99/p999) from an HDR-style log-bucketed histogram — the
+// measurement half of the request-lifecycle experiment E31
+// (latency vs. offered load, budgets on vs. off).
+//
+// Two loop disciplines are supported:
+//
+//   - open loop (-qps > 0): requests are scheduled on a fixed timetable
+//     regardless of completions, the way independent clients arrive.
+//     Latency is measured from the *scheduled* send time, so queueing
+//     delay under saturation is charged to the server (no coordinated
+//     omission).
+//   - closed loop (-qps 0): -concurrency workers issue requests
+//     back-to-back, measuring best-case service latency under exactly
+//     that many outstanding requests.
+//
+// Queries come from the problem registry's wire-query generator, so the
+// workload is a pure function of (-problem, -seed) and matches the
+// distribution the server's own GenQueries would produce.
+//
+// Usage:
+//
+//	topk-loadgen -url http://localhost:8080 -problem interval -qps 200 -duration 10s
+//	topk-loadgen -qps 500 -budget-ios 300 -degrade -out run_budget.json
+//	topk-loadgen -merge -out E31.json run1.json run2.json ...
+//
+// With -out each run writes one JSON artifact; -merge assembles per-run
+// artifacts into a single experiment file and, when runs with budgets
+// on and off share a shard count, asserts that the budget-on p999 does
+// not exceed the budget-off p999 (the tail-cutting claim the budget
+// exists to enforce).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topk"
+	"topk/internal/obs"
+)
+
+// runConfig is everything one load run needs; it is echoed into the
+// artifact so runs are self-describing.
+type runConfig struct {
+	URL         string  `json:"url"`
+	Problem     string  `json:"problem"`
+	Mode        string  `json:"mode"` // "open" or "closed"
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	Duration    string  `json:"duration"`
+	Warmup      string  `json:"warmup"`
+	K           int     `json:"k"`
+	Batch       int     `json:"batch"`
+	Seed        uint64  `json:"seed"`
+	BudgetIOs   int64   `json:"budget_ios"`
+	DeadlineMS  int64   `json:"deadline_ms"`
+	Degrade     bool    `json:"degrade"`
+	Label       string  `json:"label,omitempty"`
+}
+
+// latencySummary is the histogram rendered to fixed quantiles, in
+// microseconds (client-observed, per HTTP request).
+type latencySummary struct {
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+	Max   int64 `json:"max"`
+	Count int64 `json:"count"`
+}
+
+// runResult is one run's artifact.
+type runResult struct {
+	Experiment  string           `json:"experiment"`
+	Config      runConfig        `json:"config"`
+	Shards      int              `json:"shards"`
+	Requests    int64            `json:"requests"`
+	Errors      int64            `json:"errors"`
+	AchievedQPS float64          `json:"achieved_qps"`
+	Outcomes    map[string]int64 `json:"outcomes"`
+	LatencyUS   latencySummary   `json:"latency_us"`
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "http://localhost:8080", "topk-serve base URL")
+		problem     = flag.String("problem", "interval", "problem whose wire queries to generate: "+strings.Join(topk.ProblemNames(), " | "))
+		qps         = flag.Float64("qps", 0, "open-loop request rate (0 = closed loop)")
+		concurrency = flag.Int("concurrency", 8, "worker connections")
+		duration    = flag.Duration("duration", 10*time.Second, "measured run length (after warmup)")
+		warmup      = flag.Duration("warmup", time.Second, "warmup length, excluded from the histogram")
+		k           = flag.Int("k", 10, "top-k per query")
+		batch       = flag.Int("batch", 1, "queries per /query request")
+		seed        = flag.Uint64("seed", 42, "wire-query workload seed")
+		budgetIOs   = flag.Int64("budget-ios", 0, "per-request budget_ios override (0 = server default, -1 = force off)")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-request deadline_ms override (0 = server default, -1 = force off)")
+		degrade     = flag.Bool("degrade", false, "request top-1 degradation on abort")
+		label       = flag.String("label", "", "run label echoed into the artifact")
+		out         = flag.String("out", "", "write the run artifact (JSON) to this file instead of stdout")
+		merge       = flag.Bool("merge", false, "merge mode: assemble the run artifacts given as arguments into one experiment file")
+	)
+	flag.Parse()
+
+	if *merge {
+		if err := mergeRuns(*out, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "topk-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := runConfig{
+		URL: *url, Problem: *problem, Concurrency: *concurrency,
+		Duration: duration.String(), Warmup: warmup.String(),
+		K: *k, Batch: *batch, Seed: *seed,
+		BudgetIOs: *budgetIOs, DeadlineMS: *deadlineMS, Degrade: *degrade,
+		Label: *label, Mode: "closed", TargetQPS: 0,
+	}
+	if *qps > 0 {
+		cfg.Mode, cfg.TargetQPS = "open", *qps
+	}
+	res, err := run(cfg, *duration, *warmup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topk-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeArtifact(*out, res); err != nil {
+		fmt.Fprintf(os.Stderr, "topk-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "topk-loadgen: %s %s: %d requests (%.1f qps), p50=%dµs p99=%dµs p999=%dµs, %d errors\n",
+		cfg.Problem, cfg.Mode, res.Requests, res.AchievedQPS,
+		res.LatencyUS.P50, res.LatencyUS.P99, res.LatencyUS.P999, res.Errors)
+}
+
+// run executes one load run and aggregates its histogram.
+func run(cfg runConfig, duration, warmup time.Duration) (*runResult, error) {
+	spec, ok := topk.ProblemByName(cfg.Problem)
+	if !ok {
+		return nil, fmt.Errorf("unknown problem %q (want one of: %s)", cfg.Problem, strings.Join(topk.ProblemNames(), ", "))
+	}
+
+	// Pre-marshal a rotating pool of request bodies so the hot loop does
+	// no JSON encoding of its own.
+	const bodyPool = 512
+	wire := spec.WireQueries(bodyPool*cfg.Batch, cfg.Seed)
+	bodies := make([][]byte, bodyPool)
+	for i := range bodies {
+		req := map[string]any{
+			"queries": wire[i*cfg.Batch : (i+1)*cfg.Batch],
+			"k":       cfg.K,
+		}
+		if cfg.BudgetIOs != 0 {
+			req["budget_ios"] = cfg.BudgetIOs
+		}
+		if cfg.DeadlineMS != 0 {
+			req["deadline_ms"] = cfg.DeadlineMS
+		}
+		if cfg.Degrade {
+			req["degrade"] = true
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	var (
+		hist      = obs.NewLogHistogram()
+		requests  atomic.Int64
+		errors    atomic.Int64
+		outcomeMu sync.Mutex
+		outcomes  = map[string]int64{}
+		shards    atomic.Int64
+		client    = &http.Client{Timeout: 30 * time.Second}
+		measureAt = time.Now().Add(warmup)
+		deadline  = measureAt.Add(duration)
+		seq       atomic.Int64
+	)
+
+	// shoot issues one request; start is the latency origin (scheduled
+	// time under the open loop, send time under the closed loop).
+	shoot := func(start time.Time) {
+		body := bodies[int(seq.Add(1))%bodyPool]
+		resp, err := client.Post(cfg.URL+"/query", "application/json", bytes.NewReader(body))
+		now := time.Now()
+		if now.Before(measureAt) {
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			return
+		}
+		requests.Add(1)
+		if err != nil {
+			errors.Add(1)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			errors.Add(1)
+			return
+		}
+		var rr struct {
+			Shards  int `json:"shards"`
+			Results []struct {
+				Outcome string `json:"outcome"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			errors.Add(1)
+			return
+		}
+		hist.Observe(now.Sub(start).Nanoseconds())
+		shards.Store(int64(rr.Shards))
+		outcomeMu.Lock()
+		for _, q := range rr.Results {
+			o := q.Outcome
+			if o == "" {
+				o = "ok"
+			}
+			outcomes[o]++
+		}
+		outcomeMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	if cfg.Mode == "open" {
+		// Open loop: a dispatcher emits scheduled send times at the target
+		// rate into a deep queue; workers drain it. The queue is sized for
+		// the whole run so the schedule never blocks — a saturated server
+		// shows up as queueing delay in the histogram, not as a reduced
+		// offered rate.
+		interval := time.Duration(float64(time.Second) / cfg.TargetQPS)
+		total := int(float64(warmup+duration)/float64(interval)) + 1
+		ticks := make(chan time.Time, total)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for i := 0; i < total; i++ {
+				tick := <-t.C
+				ticks <- tick
+			}
+			close(ticks)
+		}()
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for tick := range ticks {
+					if time.Now().After(deadline) {
+						return
+					}
+					shoot(tick)
+				}
+			}()
+		}
+	} else {
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					shoot(time.Now())
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	n := requests.Load()
+	res := &runResult{
+		Experiment: "E31",
+		Config:     cfg,
+		Shards:     int(shards.Load()),
+		Requests:   n,
+		Errors:     errors.Load(),
+		Outcomes:   outcomes,
+		AchievedQPS: float64(n-errors.Load()) /
+			duration.Seconds(),
+		LatencyUS: latencySummary{
+			P50:   hist.Quantile(0.5) / 1e3,
+			P99:   hist.Quantile(0.99) / 1e3,
+			P999:  hist.Quantile(0.999) / 1e3,
+			Max:   hist.Max() / 1e3,
+			Count: hist.Count(),
+		},
+	}
+	if res.LatencyUS.Count == 0 {
+		return nil, fmt.Errorf("no successful requests measured (is %s serving problem %q?)", cfg.URL, cfg.Problem)
+	}
+	return res, nil
+}
+
+// experimentFile is the merged E31 artifact.
+type experimentFile struct {
+	Experiment  string      `json:"experiment"`
+	Description string      `json:"description"`
+	Runs        []runResult `json:"runs"`
+}
+
+// mergeRuns assembles per-run artifacts into one experiment file and
+// enforces the budget-tail invariant: within a shard count, the p999 of
+// budget-on runs must not exceed the p999 of budget-off runs.
+func mergeRuns(out string, files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("merge mode needs run artifact files as arguments")
+	}
+	ex := experimentFile{
+		Experiment:  "E31",
+		Description: "Latency vs. sustained QPS under the request lifecycle: client-observed p50/p99/p999 per shard count, I/O budgets on vs. off.",
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var r runResult
+		if err := json.Unmarshal(b, &r); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		ex.Runs = append(ex.Runs, r)
+	}
+	// offP999/onP999 track the worst budget-off and budget-on tail per
+	// shard count.
+	offP999, onP999 := map[int]int64{}, map[int]int64{}
+	for _, r := range ex.Runs {
+		m := offP999
+		if r.Config.BudgetIOs > 0 {
+			m = onP999
+		}
+		if p := r.LatencyUS.P999; p > m[r.Shards] {
+			m[r.Shards] = p
+		}
+	}
+	for shards, on := range onP999 {
+		if off, ok := offP999[shards]; ok && on > off {
+			return fmt.Errorf("budget-tail regression at %d shard(s): budget-on p999 %dµs > budget-off p999 %dµs", shards, on, off)
+		}
+	}
+	return writeArtifact(out, ex)
+}
+
+// writeArtifact writes v as indented JSON to path ("" = stdout).
+func writeArtifact(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

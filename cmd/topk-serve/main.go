@@ -16,11 +16,20 @@
 // are atomic — written to a temporary sibling and renamed in — so a
 // crash mid-checkpoint leaves the previous snapshot restorable.
 //
+// The server enforces a request lifecycle: -io-budget caps the
+// simulated I/Os any single query may charge (per shard when sharded;
+// -1 auto-derives the cap from a boot-time calibration batch), -deadline
+// bounds its wall-clock time, and -degrade-max falls back to the
+// provably-correct top-1 prefix instead of failing when a limit trips.
+// Per-request overrides ride the /query body (budget_ios, deadline_ms,
+// degrade), and every per-query answer reports its outcome.
+//
 // Usage:
 //
 //	topk-serve                       # interval index, n=20000, :8080
 //	topk-serve -problem dominance -n 5e4
 //	topk-serve -slow-ios 200         # log queries costing >= 200 I/Os
+//	topk-serve -io-budget -1 -degrade-max
 //	topk-serve -snapshot-dir /var/lib/topk -checkpoint-every 5m
 //
 // Endpoints:
@@ -30,6 +39,7 @@
 //	POST /query        {"queries":[...], "k":10} -> per-query answers + I/O stats
 //	POST /snapshot     checkpoint the index into -snapshot-dir now
 //	GET  /debug/slow   recent slow-query traces (plain text)
+//	GET  /debug/trace  Chrome trace-event JSON for n sample queries
 //	GET  /debug/vars   expvar JSON
 //	GET  /debug/pprof  net/http/pprof profiles
 //	GET  /healthz      liveness
@@ -47,11 +57,15 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
+	"runtime/debug"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"topk"
+	"topk/internal/obs"
 )
 
 // server is the HTTP surface around one Served index from the problem
@@ -64,6 +78,15 @@ type server struct {
 	ix          topk.Served
 	slow        *ringWriter
 	started     time.Time
+
+	// Request-lifecycle defaults, overridable per /query request.
+	budget   int64         // I/O budget per query per shard (0 = unlimited)
+	deadline time.Duration // wall-clock deadline per batch (0 = none)
+	degrade  bool          // fall back to top-1 Max instead of failing
+
+	// procReg holds the process-level runtime gauges (goroutines, heap,
+	// GC); index metrics live in the index's own registry.
+	procReg *obs.Registry
 
 	// snapDir is where checkpoints land ("" disables persistence).
 	// warmStart records whether this process restored from a snapshot,
@@ -81,6 +104,13 @@ type queryRequest struct {
 	Queries     []json.RawMessage `json:"queries"`
 	K           int               `json:"k"`
 	Parallelism int               `json:"parallelism"`
+	// BudgetIOs overrides the server's -io-budget for this request:
+	// > 0 sets a cap, < 0 disables the server default, 0 keeps it.
+	BudgetIOs int64 `json:"budget_ios,omitempty"`
+	// DeadlineMS overrides -deadline the same way.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Degrade overrides -degrade-max when present.
+	Degrade *bool `json:"degrade,omitempty"`
 }
 
 // queryResult is one query's slice of the /query response.
@@ -90,6 +120,11 @@ type queryResult struct {
 	Wri   int64        `json:"writes"`
 	Hits  int64        `json:"hits"`
 	IOs   int64        `json:"ios"`
+	// Outcome is how the query ended under its lifecycle limits: "ok",
+	// "degraded" (top-1 fallback), "budget_exceeded", or
+	// "deadline_exceeded".
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
 }
 
 type resultItem struct {
@@ -142,15 +177,43 @@ func main() {
 		snapDir     = flag.String("snapshot-dir", "", "snapshot directory: restore from it on boot if present, checkpoint into it (empty disables)")
 		checkEvery  = flag.Duration("checkpoint-every", 0, "checkpoint into -snapshot-dir at this interval (0 disables)")
 		diskDir     = flag.String("disk-dir", "", "page EM blocks through a real file in this directory (empty keeps the in-memory simulator)")
+		slowKeep    = flag.Int("slow-keep", 64, "slow-query entries retained for /debug/slow")
+		queryLog    = flag.String("query-log", "", "append one JSON wide event per query to this file (\"-\" = stderr, empty disables)")
+		ioBudget    = flag.Int64("io-budget", 0, "per-query, per-shard I/O budget (0 = unlimited, -1 = auto-derive from a calibration batch)")
+		deadline    = flag.Duration("deadline", 0, "per-batch wall-clock deadline (0 = none)")
+		degradeMax  = flag.Bool("degrade-max", false, "on budget/deadline abort, fall back to the top-1 Max answer instead of failing the query")
 	)
 	flag.Parse()
 
-	slow := newRingWriter(64)
-	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, *snapDir, *diskDir, slow)
+	var qlogW io.Writer
+	switch *queryLog {
+	case "":
+	case "-":
+		qlogW = os.Stderr
+	default:
+		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topk-serve: opening -query-log: %v\n", err)
+			os.Exit(1)
+		}
+		qlogW = f
+	}
+
+	slow := newRingWriter(*slowKeep)
+	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, *snapDir, *diskDir, *slowKeep, slow, qlogW)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topk-serve: %v\n", err)
 		os.Exit(1)
 	}
+	srv.deadline = *deadline
+	srv.degrade = *degradeMax
+	srv.budget = *ioBudget
+	if *ioBudget < 0 {
+		srv.budget = srv.calibrateBudget(*seed)
+		log.Printf("topk-serve: auto-derived I/O budget: %d I/Os per query per shard", srv.budget)
+	}
+	srv.procReg = obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(srv.procReg, buildVersion())
 
 	expvar.NewString("topk_problem").Set(*problem)
 	expvar.NewInt("topk_items").Set(int64(srv.ix.Len()))
@@ -161,6 +224,8 @@ func main() {
 	}
 	expvar.NewInt("topk_restore_read_ios").Set(srv.restoreReads)
 	expvar.Publish("topk_checkpoints_total", &srv.checkpoints)
+	expvar.NewInt("topk_io_budget").Set(srv.budget)
+	expvar.NewInt("topk_deadline_ms").Set(srv.deadline.Milliseconds())
 
 	if srv.snapDir != "" && !srv.warmStart {
 		// Cold boot with persistence on: seed the directory so the next
@@ -185,6 +250,7 @@ func main() {
 	http.HandleFunc("/query", srv.handleQuery)
 	http.HandleFunc("/snapshot", srv.handleSnapshot)
 	http.HandleFunc("/debug/slow", srv.handleSlow)
+	http.HandleFunc("/debug/trace", srv.handleTrace)
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -213,14 +279,17 @@ func main() {
 // miss becomes a real pread against a block file under diskDir, and the
 // topk_store_* metric series report the physical traffic. Answers and
 // logical I/O counts are identical to the in-memory simulator.
-func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, snapDir, diskDir string, slow *ringWriter) (*server, error) {
+func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, snapDir, diskDir string, slowKeep int, slow *ringWriter, qlogW io.Writer) (*server, error) {
 	spec, ok := topk.ProblemByName(problem)
 	if !ok {
 		return nil, fmt.Errorf("unknown problem %q (want one of: %s)", problem, strings.Join(topk.ProblemNames(), ", "))
 	}
 	opts := []topk.Option{topk.WithSeed(seed), topk.WithTracing(), topk.WithMetrics()}
 	if slowIOs > 0 {
-		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs))
+		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs), topk.WithSlowLogKeep(slowKeep))
+	}
+	if qlogW != nil {
+		opts = append(opts, topk.WithQueryLog(qlogW))
 	}
 	if diskDir != "" {
 		opts = append(opts, topk.WithDiskStore(diskDir))
@@ -259,6 +328,62 @@ func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, para
 		problem: problem, n: n, shards: ix.Shards(), parallelism: parallelism,
 		ix: ix, slow: slow, started: time.Now(), snapDir: snapDir,
 	}, nil
+}
+
+// buildVersion reports the main module version when built from a tagged
+// or stamped checkout, "dev" otherwise.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
+
+// calibrateBudget derives the -io-budget -1 cap from observed cost: it
+// runs an unbudgeted calibration batch of generated queries, takes the
+// p99 of the per-query I/O cost, and doubles it for headroom. Queries
+// that cost more than twice the calibrated tail are the pathological
+// outliers the budget exists to cut off. The calibration traffic counts
+// toward the index's query metrics (it is real load, served at boot).
+func (s *server) calibrateBudget(seed uint64) int64 {
+	const calQueries, calK = 256, 10
+	qs := s.ix.GenQueries(calQueries, seed+1)
+	res := s.ix.QueryBatch(qs, calK, 0)
+	ios := make([]int64, 0, len(res))
+	for _, r := range res {
+		ios = append(ios, r.Stats.IOs())
+	}
+	sort.Slice(ios, func(i, j int) bool { return ios[i] < ios[j] })
+	p99 := ios[(len(ios)*99+99)/100-1]
+	budget := 2 * p99
+	if budget < 16 {
+		budget = 16
+	}
+	return budget
+}
+
+// queryCtx assembles one request's lifecycle limits from the server
+// defaults and the request's overrides.
+func (s *server) queryCtx(req queryRequest) topk.QueryCtx {
+	ctx := topk.QueryCtx{IOBudget: s.budget, DegradeToMax: s.degrade}
+	if req.BudgetIOs > 0 {
+		ctx.IOBudget = req.BudgetIOs
+	} else if req.BudgetIOs < 0 {
+		ctx.IOBudget = 0
+	}
+	d := s.deadline
+	if req.DeadlineMS > 0 {
+		d = time.Duration(req.DeadlineMS) * time.Millisecond
+	} else if req.DeadlineMS < 0 {
+		d = 0
+	}
+	if d > 0 {
+		ctx.Deadline = time.Now().Add(d)
+	}
+	if req.Degrade != nil {
+		ctx.DegradeToMax = *req.Degrade
+	}
+	return ctx
 }
 
 // checkpoint snapshots the index into s.snapDir atomically: the snapshot
@@ -362,6 +487,43 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE topk_restore_read_ios gauge\ntopk_restore_read_ios %d\n", s.restoreReads)
 	fmt.Fprintf(w, "# HELP topk_checkpoints_total Snapshot checkpoints written by this process.\n")
 	fmt.Fprintf(w, "# TYPE topk_checkpoints_total counter\ntopk_checkpoints_total %d\n", s.checkpoints.Value())
+	if s.procReg != nil {
+		s.procReg.WritePrometheus(w)
+	}
+}
+
+// handleTrace runs n freshly generated sample queries and streams their
+// span trees as Chrome trace-event JSON (open in chrome://tracing or
+// Perfetto). The timeline is virtual: 1 simulated I/O renders as 1µs,
+// so slice widths compare I/O cost. GET /debug/trace?n=8&k=10&seed=1
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	intParam := func(name string, def, max int) int {
+		v := r.URL.Query().Get(name)
+		if v == "" {
+			return def
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > max {
+			return def
+		}
+		return n
+	}
+	n := intParam("n", 8, 64)
+	k := intParam("k", 10, 1000)
+	seed := uint64(intParam("seed", 1, 1<<30))
+	qs := s.ix.GenQueries(n, seed)
+	res := s.ix.QueryBatchCtx(s.queryCtx(queryRequest{}), qs, k, 0)
+	traces := make([]topk.NamedTrace, len(res))
+	for i, br := range res {
+		traces[i] = topk.NamedTrace{
+			Name:   fmt.Sprintf("%s q%d (%d IOs, %s)", s.problem, i, br.Stats.IOs(), br.Outcome),
+			Events: br.Trace,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := topk.WriteChromeTrace(w, traces); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -396,12 +558,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		p = s.parallelism
 	}
 	start := time.Now()
-	res := s.ix.QueryBatch(qs, req.K, p)
+	res := s.ix.QueryBatchCtx(s.queryCtx(req), qs, req.K, p)
 	out := make([]queryResult, len(res))
 	for i, r := range res {
 		out[i] = queryResult{
 			Items: make([]resultItem, 0, len(r.Items)),
 			Reads: r.Stats.Reads, Wri: r.Stats.Writes, Hits: r.Stats.Hits, IOs: r.Stats.IOs(),
+			Outcome: r.Outcome.String(),
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
 		}
 		for _, it := range r.Items {
 			out[i].Items = append(out[i].Items, resultItem{Weight: it.Weight, Label: it.Label})

@@ -93,11 +93,17 @@ func (ix *DominanceIndex[T]) Max(x, y, z float64) (DominanceItem[T], bool) {
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *DominanceIndex[T]) QueryBatch(qs []CornerQuery, k int, parallelism int) []BatchResult[DominanceItem[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// IntervalIndex.QueryBatchCtx); a zero ctx is exactly QueryBatch.
+func (ix *DominanceIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []CornerQuery, k int, parallelism int) []BatchResult[DominanceItem[T]] {
 	corners := make([]dominance.Pt3, len(qs))
 	for i, q := range qs {
 		corners[i] = dominance.Pt3{X: q.X, Y: q.Y, Z: q.Z}
 	}
-	return ix.eng.QueryBatch(corners, k, parallelism)
+	return ix.eng.QueryBatchCtx(ctx, corners, k, parallelism)
 }
 
 // RestoreDominanceIndex reconstructs a dominance index from a snapshot

@@ -98,11 +98,17 @@ func (ix *EnclosureIndex[T]) Max(x, y float64) (RectItem[T], bool) {
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *EnclosureIndex[T]) QueryBatch(qs []PointQuery, k int, parallelism int) []BatchResult[RectItem[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// IntervalIndex.QueryBatchCtx); a zero ctx is exactly QueryBatch.
+func (ix *EnclosureIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []PointQuery, k int, parallelism int) []BatchResult[RectItem[T]] {
 	pts := make([]enclosure.Pt2, len(qs))
 	for i, q := range qs {
 		pts[i] = enclosure.Pt2{X: q.X, Y: q.Y}
 	}
-	return ix.eng.QueryBatch(pts, k, parallelism)
+	return ix.eng.QueryBatchCtx(ctx, pts, k, parallelism)
 }
 
 // RestoreEnclosureIndex reconstructs a rectangle-enclosure index from a

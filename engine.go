@@ -236,9 +236,11 @@ func (e *engine[Q, V, It]) Insert(it It) error {
 	if _, dup := e.data[w]; dup {
 		return fmt.Errorf("topk: duplicate weight %v", w)
 	}
+	before := e.tracker.Stats()
 	if err := e.dyn.Insert(e.p.toCore(it)); err != nil {
 		return err
 	}
+	e.ob.observeUpdate(e.tracker.Stats().Sub(before))
 	e.data[w] = it
 	e.n++
 	e.ob.observeShape(e.n, e.dyn)
@@ -251,9 +253,11 @@ func (e *engine[Q, V, It]) Delete(weight float64) (bool, error) {
 	if e.dyn == nil {
 		return false, errStatic(e.opts.reduction)
 	}
+	before := e.tracker.Stats()
 	if !e.dyn.DeleteWeight(weight) {
 		return false, nil
 	}
+	e.ob.observeUpdate(e.tracker.Stats().Sub(before))
 	delete(e.data, weight)
 	e.n--
 	e.ob.observeShape(e.n, e.dyn)
@@ -297,8 +301,29 @@ func (e *engine[Q, V, It]) Close() error { return e.tracker.Close() }
 // of `parallelism` worker goroutines, each query inside its own tracker
 // view (see batch.go for the full contract).
 func (e *engine[Q, V, It]) QueryBatch(qs []Q, k int, parallelism int) []BatchResult[It] {
-	return runBatch(e.tracker, e.ob, qs, parallelism, func(q Q) []It {
-		return e.TopK(q, k)
+	return e.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract: each
+// query runs with ctx's I/O budget and deadline armed on its view, and a
+// query that exceeds either carries a typed Outcome/Err (plus the Max
+// fallback when ctx.DegradeToMax is set) instead of panicking or
+// over-serving. A zero ctx makes it exactly QueryBatch.
+func (e *engine[Q, V, It]) QueryBatchCtx(ctx QueryCtx, qs []Q, k int, parallelism int) []BatchResult[It] {
+	return runBatch(e.tracker, e.ob, qs, parallelism, batchSpec[Q, It]{
+		ctx: ctx,
+		k:   k,
+		one: func(q Q) []It { return e.TopK(q, k) },
+		max: func(q Q) []It {
+			// Raw top-1 on the shared tracker path: bypasses e.Max's
+			// single-query observation hooks so the fallback doesn't
+			// count as an extra query in the metrics.
+			res := e.topk.TopK(q, 1)
+			if len(res) == 0 {
+				return nil
+			}
+			return []It{e.wrap(res[0])}
+		},
 	})
 }
 

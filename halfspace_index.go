@@ -90,11 +90,17 @@ func (ix *HalfplaneIndex[T]) Max(a, b, c float64) (PointItem2[T], bool) {
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *HalfplaneIndex[T]) QueryBatch(qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// IntervalIndex.QueryBatchCtx); a zero ctx is exactly QueryBatch.
+func (ix *HalfplaneIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
 	hps := make([]halfspace.Halfplane, len(qs))
 	for i, q := range qs {
 		hps[i] = halfspace.Halfplane{A: q.A, B: q.B, C: q.C}
 	}
-	return ix.eng.QueryBatch(hps, k, parallelism)
+	return ix.eng.QueryBatchCtx(ctx, hps, k, parallelism)
 }
 
 // PointItemN is one weighted point in ℝ^d with a payload.
@@ -190,11 +196,17 @@ func (ix *HalfspaceIndex[T]) Max(a []float64, c float64) (PointItemN[T], bool) {
 // independent of parallelism; see IntervalIndex.QueryBatch for the full
 // contract.
 func (ix *HalfspaceIndex[T]) QueryBatch(qs []HalfspaceQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// IntervalIndex.QueryBatchCtx); a zero ctx is exactly QueryBatch.
+func (ix *HalfspaceIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []HalfspaceQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
 	hss := make([]halfspace.Halfspace, len(qs))
 	for i, q := range qs {
 		hss[i] = halfspace.Halfspace{A: q.A, C: q.C}
 	}
-	return ix.eng.QueryBatch(hss, k, parallelism)
+	return ix.eng.QueryBatchCtx(ctx, hss, k, parallelism)
 }
 
 // RestoreHalfplaneIndex reconstructs a halfplane index from a snapshot

@@ -465,8 +465,7 @@ func (t *Tracker) PathCost(nodes int) {
 	}
 	n := pathReads(nodes, t.cfg.B)
 	if v := t.currentView(); v != nil {
-		v.reads += n
-		v.chargeReads(n)
+		v.addReads(n)
 		return
 	}
 	t.reads.Add(n)
@@ -493,8 +492,7 @@ func (t *Tracker) ScanCost(nItems int) {
 	}
 	n := int64((nItems + t.cfg.B - 1) / t.cfg.B)
 	if v := t.currentView(); v != nil {
-		v.reads += n
-		v.chargeReads(n)
+		v.addReads(n)
 		return
 	}
 	t.reads.Add(n)

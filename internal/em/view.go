@@ -1,5 +1,7 @@
 package em
 
+import "time"
+
 // A QueryView is a per-query window onto a Tracker: it shares the tracker's
 // machine configuration and immutable block layout but owns a private,
 // initially cold LRU cache and private I/O counters. Obtain one with
@@ -30,6 +32,13 @@ type QueryView struct {
 	buf []byte
 
 	reads, writes, hits int64
+
+	// Request-lifecycle limits, armed by SetLimits. limited gates the
+	// whole check so an unlimited view pays one bool test per charge.
+	limited    bool
+	budget     int64
+	deadline   time.Time
+	untilCheck int32 // charges until the next time.Now deadline poll
 
 	// trace buffers the query's completed spans when a TraceSink is
 	// installed; spanDepth tracks span nesting and spanReads/Writes/Hits
@@ -116,10 +125,12 @@ func (v *QueryView) Trace() []TraceEvent { return v.trace }
 func (v *QueryView) read(id BlockID) {
 	if v.cache.touch(id) {
 		v.hits++
+		v.checkLimits()
 		return
 	}
 	v.reads++
 	v.storeRead(id)
+	v.checkLimits()
 }
 
 // write charges one block write and makes the block resident privately.
@@ -130,6 +141,7 @@ func (v *QueryView) write(id BlockID) {
 		FillPayload(id, v.buf)
 		v.t.noteStoreErr(v.t.store.WriteBlock(id, v.buf))
 	}
+	v.checkLimits()
 }
 
 // readRun mirrors Tracker.ReadRun against the private cache.
@@ -144,6 +156,7 @@ func (v *QueryView) readRun(id BlockID, n int) {
 	for i := 0; v.buf != nil && i < n; i++ {
 		v.storeRead(id + BlockID(i))
 	}
+	v.checkLimits()
 }
 
 // chargeReads mirrors Tracker.chargeReads for view-routed cost-level

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"strings"
+	"sync"
 
 	"topk/internal/em"
 )
@@ -23,6 +24,24 @@ type QueryMetrics struct {
 	SlowQueries *Counter   // topk_slow_queries_total
 	Items       *Gauge     // topk_index_items
 	Levels      *Gauge     // topk_overlay_levels
+
+	// Request-lifecycle series (PR 8). LatencyQ and IOsQ are HDR-style
+	// summaries giving p50/p99/p999 at bounded relative error; the
+	// fixed-bucket Latency/IOs histograms above stay for rate() dashboards.
+	LatencyQ         *LogHistogram // topk_query_latency (seconds, quantiles)
+	IOsQ             *LogHistogram // topk_query_ios_quantiles
+	BudgetAborts     *Counter      // topk_budget_aborts_total
+	DeadlineExceeded *Counter      // topk_deadline_exceeded_total
+	Degraded         *Counter      // topk_degraded_results_total
+
+	// Per-operation update-cost attribution: one observation per
+	// Insert/Delete with the exact I/O delta of that operation, so the
+	// amortized picture (p50 near the cheap common case) and the rebuild
+	// spikes (p999/max) are both visible. Flush and rebuild spikes get
+	// their own series rather than being averaged into UpdateIOs' median.
+	UpdateIOs  *LogHistogram // topk_update_ios
+	FlushIOs   *LogHistogram // topk_flush_ios
+	RebuildIOs *LogHistogram // topk_rebuild_ios
 }
 
 // NewQueryMetrics registers the standard bundle under the given index
@@ -57,7 +76,65 @@ func NewQueryMetrics(r *Registry, index string, extra ...Label) *QueryMetrics {
 			"Live items currently indexed.", ls...),
 		Levels: r.NewGauge("topk_overlay_levels",
 			"Occupied levels in the dynamic overlay ladder (0 for static indexes).", ls...),
+		LatencyQ: r.NewLogHistogram("topk_query_latency",
+			"Wall-clock latency per top-k query (log-bucketed summary, ≤3.2% relative error).",
+			1e-9, ls...),
+		IOsQ: r.NewLogHistogram("topk_query_ios_quantiles",
+			"Counted EM I/Os per top-k query (log-bucketed summary).", 1, ls...),
+		BudgetAborts: r.NewCounter("topk_budget_aborts_total",
+			"Queries aborted because they exceeded their I/O budget.", ls...),
+		DeadlineExceeded: r.NewCounter("topk_deadline_exceeded_total",
+			"Queries aborted because they blew their wall-clock deadline.", ls...),
+		Degraded: r.NewCounter("topk_degraded_results_total",
+			"Aborted queries served the documented Max (top-1) fallback.", ls...),
+		UpdateIOs: r.NewLogHistogram("topk_update_ios",
+			"EM I/Os per Insert/Delete operation (per-op amortized-cost attribution).",
+			1, ls...),
+		FlushIOs: r.NewLogHistogram("topk_flush_ios",
+			"EM I/Os per overlay tail flush (update-cost spike series).", 1, ls...),
+		RebuildIOs: r.NewLogHistogram("topk_rebuild_ios",
+			"EM I/Os per full structure rebuild (update-cost spike series).", 1, ls...),
 	}
+}
+
+// PhaseIOs lazily registers one topk_phase_ios summary per observed span
+// phase, labelled {index,...,phase}, so per problem × phase × shard I/O
+// quantiles come out of one scrape. Registration happens at most once per
+// phase name; observation is a read-locked map hit plus a lock-free
+// LogHistogram update.
+type PhaseIOs struct {
+	r      *Registry
+	labels []Label
+	mu     sync.RWMutex
+	byName map[string]*LogHistogram
+}
+
+// NewPhaseIOs builds the per-phase attribution table for one index
+// instance. The labels are the same constant set as the instance's
+// QueryMetrics bundle.
+func NewPhaseIOs(r *Registry, index string, extra ...Label) *PhaseIOs {
+	ls := append([]Label{{Key: "index", Value: index}}, extra...)
+	return &PhaseIOs{r: r, labels: ls, byName: make(map[string]*LogHistogram)}
+}
+
+// Observe records ios I/Os attributed to phase.
+func (p *PhaseIOs) Observe(phase string, ios int64) {
+	p.mu.RLock()
+	h := p.byName[phase]
+	p.mu.RUnlock()
+	if h == nil {
+		p.mu.Lock()
+		h = p.byName[phase]
+		if h == nil {
+			ls := append(p.labels[:len(p.labels):len(p.labels)], Label{Key: "phase", Value: phase})
+			h = p.r.NewLogHistogram("topk_phase_ios",
+				"EM I/Os per query attributed to one span phase (log-bucketed summary).",
+				1, ls...)
+			p.byName[phase] = h
+		}
+		p.mu.Unlock()
+	}
+	h.Observe(ios)
 }
 
 // StoreMetrics is the metric bundle for one index's EM cache policy and
@@ -108,18 +185,24 @@ func NewStoreMetrics(r *Registry, index, policy string, extra ...Label) *StoreMe
 // All updates are atomic, so one Collector serves concurrent queries.
 type Collector struct {
 	M *QueryMetrics
+	// Phases, when non-nil, attributes each query's depth-0 span I/Os to
+	// a per-phase summary series.
+	Phases *PhaseIOs
 }
 
 var _ em.TraceSink = (*Collector)(nil)
 
 // Event counts structural maintenance work delivered outside a query
-// view: flushes and rebuilds from inserts/deletes.
+// view: flushes and rebuilds from inserts/deletes. Their I/O deltas feed
+// the spike series so rebuild cost is never averaged away.
 func (c *Collector) Event(ev em.TraceEvent) {
 	switch {
 	case strings.HasSuffix(ev.Phase, ".flush"):
 		c.M.Flushes.Inc()
+		c.M.FlushIOs.Observe(ev.Reads + ev.Writes)
 	case strings.HasSuffix(ev.Phase, ".rebuild"):
 		c.M.Rebuilds.Inc()
+		c.M.RebuildIOs.Observe(ev.Reads + ev.Writes)
 	}
 }
 
@@ -129,6 +212,7 @@ func (c *Collector) Event(ev em.TraceEvent) {
 func (c *Collector) QueryTrace(events []em.TraceEvent, st em.Stats) {
 	c.M.Queries.Inc()
 	c.M.IOs.Observe(float64(st.IOs()))
+	c.M.IOsQ.Observe(st.IOs())
 	c.M.Hits.Add(st.Hits)
 	c.M.Misses.Add(st.Reads)
 	if r := CountRounds(events); r > 0 {
@@ -136,6 +220,9 @@ func (c *Collector) QueryTrace(events []em.TraceEvent, st em.Stats) {
 	}
 	for _, ev := range events {
 		c.Event(ev)
+		if c.Phases != nil && ev.Depth == 0 {
+			c.Phases.Observe(ev.Phase, ev.Reads+ev.Writes)
+		}
 	}
 }
 

@@ -195,9 +195,9 @@ func TestSlowQueryLogRingAndWriter(t *testing.T) {
 	l := NewSlowQueryLog(&sb, 10, 2)
 	st := em.Stats{Reads: 12, Writes: 0, Hits: 3}
 	ev := []em.TraceEvent{{Phase: "t1.level", Level: 2, Arg: 9, Reads: 12}}
-	l.Record("iv", "q1", time.Millisecond, st, ev)
-	l.Record("iv", "q2", time.Millisecond, st, nil)
-	l.Record("iv", "q3", time.Millisecond, st, nil)
+	l.Record("iv", "q1", time.Millisecond, st, ev, SlowMeta{})
+	l.Record("iv", "q2", time.Millisecond, st, nil, SlowMeta{})
+	l.Record("iv", "q3", time.Millisecond, st, nil, SlowMeta{})
 
 	if l.Total() != 3 {
 		t.Errorf("Total = %d, want 3", l.Total())

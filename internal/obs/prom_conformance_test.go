@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"topk/internal/em"
+)
+
+// TestPrometheusTextConformance pins the full exposition of a small
+// registry against the text format, version 0.0.4: HELP then TYPE per
+// family, samples in registration order, label values escaped
+// (backslash, double-quote, newline), HELP escaped (backslash, newline
+// only — quotes stay literal), histogram expansion with a +Inf bucket,
+// summary expansion with quantile labels.
+func TestPrometheusTextConformance(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", `count of \ jobs`+"\nsecond line", Label{Key: "path", Value: `C:\tmp`})
+	c.Add(3)
+	g := r.NewGauge("depth", "", Label{Key: "q", Value: "a\"b"}, Label{Key: "a", Value: "nl\nend"})
+	g.Set(-2)
+	h := r.NewHistogram("cost", "buckets", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	lh := r.NewLogHistogram("lat", "quantiles", 1)
+	lh.Observe(7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total count of \\ jobs\nsecond line
+# TYPE jobs_total counter
+jobs_total{path="C:\\tmp"} 3
+# TYPE depth gauge
+depth{a="nl\nend",q="a\"b"} -2
+# HELP cost buckets
+# TYPE cost histogram
+cost_bucket{le="1"} 1
+cost_bucket{le="10"} 2
+cost_bucket{le="+Inf"} 3
+cost_sum 55.5
+cost_count 3
+# HELP lat quantiles
+# TYPE lat summary
+lat{quantile="0.5"} 7
+lat{quantile="0.99"} 7
+lat{quantile="0.999"} 7
+lat_sum 7
+lat_count 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCollectorConcurrentLifecycle hammers the full collector surface —
+// query traces, shared events, lazy per-phase registration, scrapes —
+// from many goroutines so the race detector can inspect the new
+// summary and phase-attribution paths.
+func TestCollectorConcurrentLifecycle(t *testing.T) {
+	r := NewRegistry()
+	qm := NewQueryMetrics(r, "iv")
+	c := &Collector{M: qm, Phases: NewPhaseIOs(r, "iv")}
+	phases := []string{"t1.topk", "t2.round.ok", "t2.round.fail", "dyn.tail"}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ph := phases[(w+i)%len(phases)]
+				c.QueryTrace([]em.TraceEvent{
+					{Phase: ph, Depth: 0, Reads: int64(i % 17)},
+					{Phase: "t1.inner", Depth: 1, Reads: 1},
+				}, em.Stats{Reads: int64(i%17) + 1})
+				if i%100 == 0 {
+					c.Event(em.TraceEvent{Phase: "dyn.flush", Reads: 3})
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, ph := range phases {
+		if !strings.Contains(out, `phase="`+ph+`"`) {
+			t.Errorf("per-phase series %q missing from exposition", ph)
+		}
+	}
+	if strings.Contains(out, `phase="t1.inner"`) {
+		t.Error("depth-1 span leaked into the per-phase attribution (depth-0 only)")
+	}
+	if qm.Queries.Value() != 8*500 {
+		t.Errorf("queries counter = %d, want %d", qm.Queries.Value(), 8*500)
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// WideEvent is the one-line JSON record a QueryLogger emits per query:
+// everything the serving layer knows about a request's lifecycle in a
+// single wide row, so one grep answers "what did this query cost and how
+// did it end" without joining log streams. Field order is fixed by the
+// struct, making the output schema deterministic.
+type WideEvent struct {
+	TS        string           `json:"ts"` // RFC3339Nano completion time
+	Problem   string           `json:"problem"`
+	Shard     string           `json:"shard,omitempty"`
+	Query     string           `json:"query"`
+	K         int              `json:"k,omitempty"`
+	LatencyUS int64            `json:"latency_us"`
+	Reads     int64            `json:"reads"`
+	Writes    int64            `json:"writes"`
+	Hits      int64            `json:"hits"`
+	IOs       int64            `json:"ios"`
+	HitRate   float64          `json:"hit_rate"`
+	PhaseIOs  map[string]int64 `json:"phase_ios,omitempty"`
+	BudgetIOs int64            `json:"budget_ios,omitempty"`
+	// DeadlineSlackUS is deadline minus completion time in microseconds;
+	// negative when the deadline was blown. Present only when the query
+	// ran under a deadline.
+	DeadlineSlackUS *int64 `json:"deadline_slack_us,omitempty"`
+	Outcome         string `json:"outcome"`
+}
+
+// QueryLogger serializes WideEvents as newline-delimited JSON onto one
+// writer. Log is mutex-guarded so concurrent query workers never
+// interleave bytes within a line.
+type QueryLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewQueryLogger builds a logger writing NDJSON to w.
+func NewQueryLogger(w io.Writer) *QueryLogger {
+	return &QueryLogger{enc: json.NewEncoder(w)}
+}
+
+// Log emits one event, stamping TS if the caller left it empty.
+func (l *QueryLogger) Log(ev WideEvent) {
+	if ev.TS == "" {
+		ev.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	if ev.Outcome == "" {
+		ev.Outcome = "ok"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enc.Encode(ev)
+}

@@ -20,6 +20,7 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
+	kindSummary
 )
 
 func (k metricKind) String() string {
@@ -30,9 +31,14 @@ func (k metricKind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
+	case kindSummary:
+		return "summary"
 	}
 	return "untyped"
 }
+
+// summaryQuantiles are the φ lines a LogHistogram exports.
+var summaryQuantiles = []float64{0.5, 0.99, 0.999}
 
 // series is one registered metric instance: a family member with a
 // concrete label set.
@@ -42,6 +48,8 @@ type series struct {
 	g      *Gauge
 	gf     func() float64
 	h      *Histogram
+	lh     *LogHistogram
+	scale  float64 // multiplies lh values at export (e.g. 1e-9 ns→s)
 }
 
 // family groups all series sharing a metric name; HELP/TYPE are emitted
@@ -121,6 +129,20 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...L
 	return h
 }
 
+// NewLogHistogram registers a LogHistogram exported as a Prometheus
+// summary: quantile lines for φ ∈ {0.5, 0.99, 0.999} plus _sum and
+// _count. scale multiplies observed values at export time so a histogram
+// fed nanoseconds can expose seconds (scale 1e-9); pass 1 for unit
+// values such as I/Os.
+func (r *Registry) NewLogHistogram(name, help string, scale float64, labels ...Label) *LogHistogram {
+	if scale == 0 {
+		scale = 1
+	}
+	lh := NewLogHistogram()
+	r.register(name, help, kindSummary, &series{labels: sortLabels(labels), lh: lh, scale: scale})
+	return lh
+}
+
 // WritePrometheus writes every registered metric in the Prometheus text
 // exposition format (version 0.0.4): HELP and TYPE per family, then one
 // line per series — histograms expand to cumulative _bucket lines plus
@@ -133,7 +155,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	var b strings.Builder
 	for _, f := range fams {
-		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		if f.help != "" { // HELP is optional in the 0.0.4 format
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range f.series {
 			switch f.kind {
@@ -153,6 +177,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(&b, f.name+"_bucket", append(s.labels[:len(s.labels):len(s.labels)], inf), "", float64(cum[len(cum)-1]))
 				writeSample(&b, f.name+"_sum", s.labels, "", s.h.Sum())
 				writeSample(&b, f.name+"_count", s.labels, "", float64(s.h.Count()))
+			case kindSummary:
+				for _, q := range summaryQuantiles {
+					ql := Label{Key: "quantile", Value: formatFloat(q)}
+					writeSample(&b, f.name, append(s.labels[:len(s.labels):len(s.labels)], ql), "", float64(s.lh.Quantile(q))*s.scale)
+				}
+				writeSample(&b, f.name+"_sum", s.labels, "", float64(s.lh.Sum())*s.scale)
+				writeSample(&b, f.name+"_count", s.labels, "", float64(s.lh.Count()))
 			}
 		}
 	}
@@ -187,14 +218,27 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// The 0.0.4 text format escapes backslash, double-quote, and newline in
+// label values, and only backslash and newline in HELP text. The
+// replacers are package-level so a scrape does not reallocate them per
+// sample line.
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
 func escapeLabel(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(s)
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
 }
 
 func escapeHelp(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
-	return r.Replace(s)
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return helpEscaper.Replace(s)
 }
 
 func sortLabels(labels []Label) []Label {

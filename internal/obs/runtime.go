@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSnap caches one runtime.ReadMemStats per refresh interval so a
+// scrape that reads several heap gauges pays a single stop-the-world
+// snapshot, and back-to-back scrapes within the interval pay none.
+type memSnap struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memSnap) get() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > time.Second {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return m.stat
+}
+
+// RegisterRuntimeMetrics adds Go runtime and build-info gauges to the
+// registry so /metrics is self-describing in dashboards:
+//
+//	topk_build_info{version,go} 1
+//	topk_goroutines
+//	topk_heap_alloc_bytes
+//	topk_heap_sys_bytes
+//	topk_gc_pause_seconds_total
+//	topk_gc_cycles_total
+//
+// version is the serving binary's own version string ("dev" when empty).
+func RegisterRuntimeMetrics(r *Registry, version string) {
+	if version == "" {
+		version = "dev"
+	}
+	r.NewGauge("topk_build_info",
+		"Constant 1; the binary's version and Go toolchain ride as labels.",
+		Label{Key: "version", Value: version},
+		Label{Key: "go", Value: runtime.Version()},
+	).Set(1)
+	r.NewGaugeFunc("topk_goroutines",
+		"Live goroutines in the serving process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	snap := &memSnap{}
+	r.NewGaugeFunc("topk_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(snap.get().HeapAlloc) })
+	r.NewGaugeFunc("topk_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { return float64(snap.get().HeapSys) })
+	r.NewGaugeFunc("topk_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(snap.get().PauseTotalNs) / 1e9 })
+	r.NewGaugeFunc("topk_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(snap.get().NumGC) })
+}

@@ -42,13 +42,33 @@ func (l *SlowQueryLog) Total() int64 {
 	return l.total
 }
 
+// SlowMeta carries the request-lifecycle context of one slow query into
+// its log entry: the budget and deadline it ran under and how it ended.
+type SlowMeta struct {
+	Outcome     string        // "ok", "degraded", "budget_exceeded", "deadline_exceeded"
+	Budget      int64         // I/O budget in force; 0 = unbudgeted
+	Slack       time.Duration // deadline minus completion time (negative = blown)
+	HasDeadline bool          // Slack is meaningful only when true
+}
+
 // Record logs one slow query. query is a human-readable description of
 // the query (already formatted by the caller, so the hot path never
 // pays for formatting unless the threshold fired).
-func (l *SlowQueryLog) Record(index, query string, d time.Duration, st em.Stats, events []em.TraceEvent) {
+func (l *SlowQueryLog) Record(index, query string, d time.Duration, st em.Stats, events []em.TraceEvent, meta SlowMeta) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "slow query index=%s ios=%d reads=%d writes=%d hits=%d latency=%s query=%s\n",
-		index, st.IOs(), st.Reads, st.Writes, st.Hits, d, query)
+	fmt.Fprintf(&b, "slow query index=%s ios=%d reads=%d writes=%d hits=%d latency=%s",
+		index, st.IOs(), st.Reads, st.Writes, st.Hits, d)
+	if meta.Outcome == "" {
+		meta.Outcome = "ok"
+	}
+	fmt.Fprintf(&b, " outcome=%s", meta.Outcome)
+	if meta.Budget > 0 {
+		fmt.Fprintf(&b, " budget=%d", meta.Budget)
+	}
+	if meta.HasDeadline {
+		fmt.Fprintf(&b, " slack=%s", meta.Slack)
+	}
+	fmt.Fprintf(&b, " query=%s\n", query)
 	FormatTrace(&b, events)
 	entry := b.String()
 

@@ -103,6 +103,15 @@ func (ix *IntervalIndex[T]) QueryBatch(xs []float64, k int, parallelism int) []B
 	return ix.eng.QueryBatch(xs, k, parallelism)
 }
 
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract: each
+// query runs with ctx's I/O budget and deadline armed, and one that
+// exceeds either returns a typed Outcome/Err — or the documented top-1
+// fallback with ctx.DegradeToMax — instead of over-serving. A zero ctx
+// is exactly QueryBatch.
+func (ix *IntervalIndex[T]) QueryBatchCtx(ctx QueryCtx, xs []float64, k int, parallelism int) []BatchResult[IntervalItem[T]] {
+	return ix.eng.QueryBatchCtx(ctx, xs, k, parallelism)
+}
+
 // RestoreIntervalIndex reconstructs an interval index from a snapshot
 // stream written by Snapshot. The restored index answers every query
 // byte-identically to the snapshotted one, and its EM tracker is charged

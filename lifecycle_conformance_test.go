@@ -1,0 +1,189 @@
+package topk
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Registry-driven conformance for the request-lifecycle contract: every
+// registered problem, plain and sharded, must honor the QueryCtx
+// degradation ladder — typed aborts with empty Items, the documented
+// top-1 fallback under DegradeToMax, and exact answers whenever the
+// limits don't fire. A ninth problem is covered the moment its
+// ProblemSpec lands.
+
+// lifecycleTargets builds the plain and 2-way sharded serving view of
+// one problem for the lifecycle sweep.
+func lifecycleTargets(t *testing.T, spec ProblemSpec) map[string]Served {
+	t.Helper()
+	plain, err := spec.Build(confN, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := spec.BuildSharded(confN, 2, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Served{"plain": plain, "sharded": sharded}
+}
+
+// TestConformanceLifecycleBudgetAbort: under a 1-I/O budget every query
+// either still completes exactly (it happened to need ≤1 I/O) or fails
+// typed — OutcomeBudgetExceeded, empty Items, Err wrapping
+// ErrBudgetExceeded. Nothing in between, and never a wrong full answer.
+func TestConformanceLifecycleBudgetAbort(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for mode, sv := range lifecycleTargets(t, spec) {
+			t.Run(spec.Name+"/"+mode, func(t *testing.T) {
+				qs := sv.GenQueries(8, confQSeed)
+				res := sv.QueryBatchCtx(QueryCtx{IOBudget: 1}, qs, 5, 2)
+				aborted := 0
+				for i, r := range res {
+					switch r.Outcome {
+					case OutcomeOK:
+						assertOraclePrefix(t, sv, qs[i], r.Items, 5)
+						if r.Err != nil {
+							t.Fatalf("q%d: OutcomeOK with err %v", i, r.Err)
+						}
+					case OutcomeBudgetExceeded:
+						aborted++
+						if len(r.Items) != 0 {
+							t.Fatalf("q%d: budget abort returned %d items, want none", i, len(r.Items))
+						}
+						if !errors.Is(r.Err, ErrBudgetExceeded) {
+							t.Fatalf("q%d: err = %v, want ErrBudgetExceeded", i, r.Err)
+						}
+					default:
+						t.Fatalf("q%d: outcome %v under a budget-only ctx", i, r.Outcome)
+					}
+				}
+				if aborted == 0 {
+					t.Fatal("no query aborted under a 1-I/O budget — the sweep is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceLifecycleDegradeToMax: same starved budget, but with
+// the fallback armed every aborted query must serve exactly the top-1
+// prefix of the true answer (OutcomeDegraded, Err still reporting why).
+func TestConformanceLifecycleDegradeToMax(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for mode, sv := range lifecycleTargets(t, spec) {
+			t.Run(spec.Name+"/"+mode, func(t *testing.T) {
+				qs := sv.GenQueries(8, confQSeed)
+				res := sv.QueryBatchCtx(QueryCtx{IOBudget: 1, DegradeToMax: true}, qs, 5, 2)
+				degraded := 0
+				for i, r := range res {
+					switch r.Outcome {
+					case OutcomeOK:
+						assertOraclePrefix(t, sv, qs[i], r.Items, 5)
+					case OutcomeDegraded:
+						degraded++
+						if !errors.Is(r.Err, ErrBudgetExceeded) {
+							t.Fatalf("q%d: degraded err = %v, want ErrBudgetExceeded", i, r.Err)
+						}
+						assertOraclePrefix(t, sv, qs[i], r.Items, 1)
+					default:
+						t.Fatalf("q%d: outcome %v with DegradeToMax armed", i, r.Outcome)
+					}
+				}
+				if degraded == 0 {
+					t.Fatal("no query degraded under a 1-I/O budget — the sweep is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceLifecycleExpiredDeadline: a deadline already in the
+// past must abort every query that touches the tracker on its first
+// charge — OutcomeDeadlineExceeded, empty Items, typed Err.
+func TestConformanceLifecycleExpiredDeadline(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for mode, sv := range lifecycleTargets(t, spec) {
+			t.Run(spec.Name+"/"+mode, func(t *testing.T) {
+				qs := sv.GenQueries(6, confQSeed)
+				ctx := QueryCtx{Deadline: time.Now().Add(-time.Hour)}
+				aborted := 0
+				for i, r := range sv.QueryBatchCtx(ctx, qs, 5, 2) {
+					switch r.Outcome {
+					case OutcomeOK:
+						// Legal only for a query that charged no I/Os at all.
+						if r.Stats.IOs() != 0 {
+							t.Fatalf("q%d: completed %d I/Os past an expired deadline", i, r.Stats.IOs())
+						}
+					case OutcomeDeadlineExceeded:
+						aborted++
+						if len(r.Items) != 0 {
+							t.Fatalf("q%d: deadline abort returned %d items", i, len(r.Items))
+						}
+						if !errors.Is(r.Err, ErrDeadlineExceeded) {
+							t.Fatalf("q%d: err = %v, want ErrDeadlineExceeded", i, r.Err)
+						}
+					default:
+						t.Fatalf("q%d: outcome %v under an expired deadline", i, r.Outcome)
+					}
+				}
+				if aborted == 0 {
+					t.Fatal("no query aborted under an expired deadline")
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceLifecycleGenerousLimits: a ctx whose limits can't fire
+// must be indistinguishable from plain QueryBatch — identical answers,
+// identical per-query cold-cache stats, OutcomeOK, nil Err.
+func TestConformanceLifecycleGenerousLimits(t *testing.T) {
+	for _, spec := range RegisteredProblems() {
+		for mode, sv := range lifecycleTargets(t, spec) {
+			t.Run(spec.Name+"/"+mode, func(t *testing.T) {
+				qs := sv.GenQueries(8, confQSeed)
+				plain := sv.QueryBatch(qs, 5, 2)
+				ctx := QueryCtx{IOBudget: 1 << 40, Deadline: time.Now().Add(time.Hour)}
+				limited := sv.QueryBatchCtx(ctx, qs, 5, 2)
+				for i := range qs {
+					a, b := plain[i], limited[i]
+					if b.Outcome != OutcomeOK || b.Err != nil {
+						t.Fatalf("q%d: generous ctx ended (%v, %v)", i, b.Outcome, b.Err)
+					}
+					if a.Stats != b.Stats {
+						t.Fatalf("q%d: stats %+v (plain) != %+v (ctx)", i, a.Stats, b.Stats)
+					}
+					if len(a.Items) != len(b.Items) {
+						t.Fatalf("q%d: %d items (plain) != %d (ctx)", i, len(a.Items), len(b.Items))
+					}
+					for j := range a.Items {
+						if a.Items[j].Weight != b.Items[j].Weight {
+							t.Fatalf("q%d item %d: %v (plain) != %v (ctx)", i, j, a.Items[j].Weight, b.Items[j].Weight)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// assertOraclePrefix fails unless items is exactly the first
+// min(k, len(oracle)) weights of the ground-truth answer for q.
+func assertOraclePrefix(t *testing.T, sv Served, q any, items []ServedItem, k int) {
+	t.Helper()
+	want := servedWeights(sv.Oracle(q))
+	if k < len(want) {
+		want = want[:k]
+	}
+	got := servedWeights(items)
+	if len(got) != len(want) {
+		t.Fatalf("got %d items, want the %d-prefix of the oracle (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal(fmt.Sprintf("item %d: weight %v, want %v", i, got[i], want[i]))
+		}
+	}
+}

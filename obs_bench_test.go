@@ -85,3 +85,53 @@ func TestTraceOffZeroAllocOverhead(t *testing.T) {
 		t.Fatalf("instrumented TopK allocates %v objects/op, plain %v; observability must add zero", traced, plain)
 	}
 }
+
+// TestQueryCtxZeroAllocOverhead extends the zero-alloc gate to the
+// request-lifecycle path: on an uninstrumented build, QueryBatchCtx with
+// a zero QueryCtx must allocate exactly what QueryBatch does — the
+// limit plumbing (one struct copy, a nil-deadline check per view) may
+// not touch the heap. An armed-but-generous ctx is also pinned: arming
+// the limits costs at most the deadline's time.Time bookkeeping, never
+// per-query garbage proportional to the walk.
+func TestQueryCtxZeroAllocOverhead(t *testing.T) {
+	g := wrand.New(303)
+	items := genIntervalItems(g, 1000)
+	xs := make([]float64, 16)
+	for i := range xs {
+		xs[i] = g.Float64() * 120
+	}
+	ix, err := NewIntervalIndex(items, WithReduction(Expected), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs { // warm shared cache
+		ix.TopK(x, 8)
+	}
+	measure := func(f func(i int)) float64 {
+		i := 0
+		return testing.AllocsPerRun(200, func() {
+			f(i)
+			i++
+		})
+	}
+	// Throwaway first measurement: the very first AllocsPerRun pass runs
+	// one object/op below steady state (lazy runtime warmup), which would
+	// read as a spurious diff between the paths compared below.
+	measure(func(i int) { ix.QueryBatch(xs[i%len(xs):i%len(xs)+1], 8, 1) })
+	batch := measure(func(i int) {
+		ix.QueryBatch(xs[i%len(xs):i%len(xs)+1], 8, 1)
+	})
+	zeroCtx := measure(func(i int) {
+		ix.QueryBatchCtx(QueryCtx{}, xs[i%len(xs):i%len(xs)+1], 8, 1)
+	})
+	if zeroCtx != batch {
+		t.Fatalf("zero-QueryCtx batch allocates %v objects/op, plain batch %v; the lifecycle plumbing must add zero", zeroCtx, batch)
+	}
+	armed := QueryCtx{IOBudget: 1 << 40}
+	budgeted := measure(func(i int) {
+		ix.QueryBatchCtx(armed, xs[i%len(xs):i%len(xs)+1], 8, 1)
+	})
+	if budgeted != batch {
+		t.Fatalf("budget-armed batch allocates %v objects/op, plain batch %v; arming a budget must add zero", budgeted, batch)
+	}
+}

@@ -63,21 +63,33 @@ func (nopSink) QueryTrace([]em.TraceEvent, em.Stats) {}
 // fully-disabled fast path (every method nil-checks).
 type indexObs struct {
 	name    string
+	shard   string
 	tracker *em.Tracker
 	reg     *obs.Registry
 	qm      *obs.QueryMetrics
 	sm      *obs.StoreMetrics
 	slow    *obs.SlowQueryLog
+	qlog    *obs.QueryLogger
 	tracing bool
+}
+
+// batchLifecycle carries one batch query's request-lifecycle context
+// into the observation layer: the limits it ran under, how it ended,
+// and (when it aborted) the raised sentinel.
+type batchLifecycle struct {
+	ctx     QueryCtx
+	k       int
+	outcome Outcome
+	abort   *em.AbortError
 }
 
 // newIndexObs builds the observability state for one index and installs
 // the trace sink on its tracker. Returns nil when nothing was enabled.
 func newIndexObs(name string, o Options, tracker *em.Tracker) *indexObs {
-	if !o.tracing && !o.metrics && o.slowMin <= 0 {
+	if !o.tracing && !o.metrics && o.slowMin <= 0 && o.queryLogW == nil {
 		return nil
 	}
-	ob := &indexObs{name: name, tracker: tracker, tracing: o.tracing}
+	ob := &indexObs{name: name, shard: o.shardLabel, tracker: tracker, tracing: o.tracing}
 	var sink em.TraceSink = nopSink{}
 	if o.metrics {
 		// A shard engine registers its series in the Sharded index's
@@ -93,10 +105,17 @@ func newIndexObs(name string, o Options, tracker *em.Tracker) *indexObs {
 		}
 		ob.qm = obs.NewQueryMetrics(ob.reg, name, extra...)
 		ob.sm = obs.NewStoreMetrics(ob.reg, name, o.cachePol.String(), extra...)
-		sink = &obs.Collector{M: ob.qm}
+		sink = &obs.Collector{M: ob.qm, Phases: obs.NewPhaseIOs(ob.reg, name, extra...)}
 	}
 	if o.slowMin > 0 {
-		ob.slow = obs.NewSlowQueryLog(o.slowW, o.slowMin, 64)
+		keep := o.slowKeep
+		if keep <= 0 {
+			keep = 64
+		}
+		ob.slow = obs.NewSlowQueryLog(o.slowW, o.slowMin, keep)
+	}
+	if o.queryLogW != nil {
+		ob.qlog = obs.NewQueryLogger(o.queryLogW)
 	}
 	tracker.SetTraceSink(sink)
 	return ob
@@ -126,36 +145,110 @@ func (ob *indexObs) done(t0 time.Time, before em.Stats, desc func() string) {
 	if ob.qm != nil {
 		ob.qm.Queries.Inc()
 		ob.qm.Latency.Observe(d.Seconds())
+		ob.qm.LatencyQ.Observe(d.Nanoseconds())
 		ob.qm.IOs.Observe(float64(delta.IOs()))
+		ob.qm.IOsQ.Observe(delta.IOs())
 		ob.qm.Hits.Add(delta.Hits)
 		ob.qm.Misses.Add(delta.Reads)
 	}
 	ob.refreshStore()
-	ob.observeSlow(d, delta, nil, desc)
+	ob.observeSlow(d, delta, nil, batchLifecycle{}, desc)
+	ob.observeWide(d, delta, nil, batchLifecycle{}, desc)
 }
 
 // observeBatch accounts one finished batch query. Its I/O, hit, and
 // round metrics were already recorded exactly by the collector when the
-// query view ended, so only latency and the slow log remain.
-func (ob *indexObs) observeBatch(d time.Duration, st em.Stats, trace []em.TraceEvent, desc func() string) {
+// query view ended, so latency, the lifecycle counters, the slow log,
+// and the wide-event log remain.
+func (ob *indexObs) observeBatch(d time.Duration, st em.Stats, trace []em.TraceEvent, lc batchLifecycle, desc func() string) {
 	if ob == nil {
 		return
 	}
 	if ob.qm != nil {
 		ob.qm.Latency.Observe(d.Seconds())
+		ob.qm.LatencyQ.Observe(d.Nanoseconds())
+		if lc.abort != nil {
+			switch lc.abort.Reason {
+			case em.AbortBudget:
+				ob.qm.BudgetAborts.Inc()
+			case em.AbortDeadline:
+				ob.qm.DeadlineExceeded.Inc()
+			}
+		}
+		if lc.outcome == OutcomeDegraded {
+			ob.qm.Degraded.Inc()
+		}
 	}
 	ob.refreshStore()
-	ob.observeSlow(d, st, trace, desc)
+	ob.observeSlow(d, st, trace, lc, desc)
+	ob.observeWide(d, st, trace, lc, desc)
 }
 
-func (ob *indexObs) observeSlow(d time.Duration, st em.Stats, trace []em.TraceEvent, desc func() string) {
+func (ob *indexObs) observeSlow(d time.Duration, st em.Stats, trace []em.TraceEvent, lc batchLifecycle, desc func() string) {
 	if ob == nil || ob.slow == nil || st.IOs() < ob.slow.MinIOs() {
 		return
 	}
 	if ob.qm != nil {
 		ob.qm.SlowQueries.Inc()
 	}
-	ob.slow.Record(ob.name, desc(), d, st, trace)
+	meta := obs.SlowMeta{Outcome: lc.outcome.String(), Budget: lc.ctx.IOBudget}
+	if !lc.ctx.Deadline.IsZero() {
+		meta.HasDeadline = true
+		meta.Slack = time.Until(lc.ctx.Deadline)
+	}
+	ob.slow.Record(ob.name, desc(), d, st, trace, meta)
+}
+
+// observeWide emits the one-line JSON wide event for a finished query
+// when the index was built WithQueryLog: identity, cost, per-phase I/O
+// split, lifecycle limits, and outcome in a single row.
+func (ob *indexObs) observeWide(d time.Duration, st em.Stats, trace []em.TraceEvent, lc batchLifecycle, desc func() string) {
+	if ob == nil || ob.qlog == nil {
+		return
+	}
+	ev := obs.WideEvent{
+		Problem:   ob.name,
+		Shard:     ob.shard,
+		Query:     desc(),
+		K:         lc.k,
+		LatencyUS: d.Microseconds(),
+		Reads:     st.Reads,
+		Writes:    st.Writes,
+		Hits:      st.Hits,
+		IOs:       st.IOs(),
+		HitRate:   QueryStats{Reads: st.Reads, Writes: st.Writes, Hits: st.Hits}.HitRate(),
+		BudgetIOs: lc.ctx.IOBudget,
+		Outcome:   lc.outcome.String(),
+	}
+	if lc.ctx.IOBudget < 0 {
+		ev.BudgetIOs = 0
+	}
+	for _, t := range trace {
+		if t.Depth != 0 {
+			continue
+		}
+		if ev.PhaseIOs == nil {
+			ev.PhaseIOs = make(map[string]int64, 8)
+		}
+		ev.PhaseIOs[t.Phase] += t.Reads + t.Writes
+	}
+	if !lc.ctx.Deadline.IsZero() {
+		slack := time.Until(lc.ctx.Deadline).Microseconds()
+		ev.DeadlineSlackUS = &slack
+	}
+	ob.qlog.Log(ev)
+}
+
+// observeUpdate records the exact I/O delta of one Insert or Delete into
+// the per-operation update-cost series. Flush and rebuild spikes inside
+// the same operation additionally land in their own series via the
+// collector's Event path, so the amortized median and the spike tail
+// stay separable.
+func (ob *indexObs) observeUpdate(delta em.Stats) {
+	if ob == nil || ob.qm == nil {
+		return
+	}
+	ob.qm.UpdateIOs.Observe(delta.IOs())
 }
 
 // observeShape refreshes the structural gauges after construction,

@@ -126,6 +126,12 @@ func (ix *OrthoIndex[T]) Max(lo, hi []float64) (PointItemN[T], bool, error) {
 // per-query Stats are independent of parallelism; see
 // IntervalIndex.QueryBatch for the full contract.
 func (ix *OrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]BatchResult[PointItemN[T]], error) {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// IntervalIndex.QueryBatchCtx); a zero ctx is exactly QueryBatch.
+func (ix *OrthoIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []BoxQuery, k int, parallelism int) ([]BatchResult[PointItemN[T]], error) {
 	boxes := make([]orthorange.Box, len(qs))
 	for i, q := range qs {
 		b, err := orthorange.NewBox(q.Lo, q.Hi)
@@ -137,7 +143,7 @@ func (ix *OrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]Ba
 		}
 		boxes[i] = b
 	}
-	return ix.eng.QueryBatch(boxes, k, parallelism), nil
+	return ix.eng.QueryBatchCtx(ctx, boxes, k, parallelism), nil
 }
 
 // RestoreOrthoIndex reconstructs an orthogonal range index from a

@@ -115,11 +115,17 @@ func (ix *RangeIndex[T]) Items() []PointItem1[T] { return ix.eng.Items() }
 // parallelism; see IntervalIndex.QueryBatch for the full contract. Must
 // not run concurrently with Insert or Delete.
 func (ix *RangeIndex[T]) QueryBatch(spans []Span, k int, parallelism int) []BatchResult[PointItem1[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, spans, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// IntervalIndex.QueryBatchCtx); a zero ctx is exactly QueryBatch.
+func (ix *RangeIndex[T]) QueryBatchCtx(ctx QueryCtx, spans []Span, k int, parallelism int) []BatchResult[PointItem1[T]] {
 	qs := make([]rangerep.Span, len(spans))
 	for i, s := range spans {
 		qs[i] = rangerep.Span{Lo: s.Lo, Hi: s.Hi}
 	}
-	return ix.eng.QueryBatch(qs, k, parallelism)
+	return ix.eng.QueryBatchCtx(ctx, qs, k, parallelism)
 }
 
 // RestoreRangeIndex reconstructs a range index from a snapshot stream

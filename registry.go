@@ -72,6 +72,10 @@ type Served interface {
 	// QueryBatch answers one top-k query per element of qs on the
 	// concurrent batch path (see batch.go for the contract).
 	QueryBatch(qs []any, k, parallelism int) []BatchResult[ServedItem]
+	// QueryBatchCtx is QueryBatch under a request-lifecycle contract
+	// (I/O budget, deadline, degradation; see QueryCtx). Per-query
+	// Outcome and Err report how each query ended.
+	QueryBatchCtx(ctx QueryCtx, qs []any, k, parallelism int) []BatchResult[ServedItem]
 	// InsertFresh inserts a deterministically generated valid item whose
 	// weight collides with no live item, returning the weight used.
 	InsertFresh(seed uint64) (float64, error)
@@ -119,6 +123,13 @@ type ProblemSpec struct {
 	Dim int
 	// QueryShape documents the JSON wire shape DecodeQuery accepts.
 	QueryShape string
+	// WireQueries returns m deterministic JSON-encoded queries derived
+	// from seed, in the problem's /query wire shape (DecodeQuery accepts
+	// every one of them). This is the workload source for
+	// cmd/topk-loadgen, which drives a server over HTTP and never builds
+	// an index of its own; the distribution matches Served.GenQueries at
+	// equal seed.
+	WireQueries func(m int, seed uint64) []json.RawMessage
 	// NativeDynamic reports that the Expected reduction updates through
 	// Theorem 2's native path, so the index is updatable even without
 	// WithUpdates.
@@ -196,6 +207,7 @@ type servedEngine[Q, It any] interface {
 	ReportAbove(q Q, tau float64, visit func(It) bool)
 	Items() []It
 	QueryBatch(qs []Q, k int, parallelism int) []BatchResult[It]
+	QueryBatchCtx(ctx QueryCtx, qs []Q, k int, parallelism int) []BatchResult[It]
 	Insert(it It) error
 	Delete(weight float64) (bool, error)
 	Stats() Stats
@@ -303,18 +315,22 @@ func (s *served[Q, V, It]) Oracle(q any) []ServedItem {
 }
 
 func (s *served[Q, V, It]) QueryBatch(qs []any, k, parallelism int) []BatchResult[ServedItem] {
+	return s.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+func (s *served[Q, V, It]) QueryBatchCtx(ctx QueryCtx, qs []any, k, parallelism int) []BatchResult[ServedItem] {
 	typed := make([]Q, len(qs))
 	for i, q := range qs {
 		typed[i] = q.(Q)
 	}
-	res := s.eng.QueryBatch(typed, k, parallelism)
+	res := s.eng.QueryBatchCtx(ctx, typed, k, parallelism)
 	out := make([]BatchResult[ServedItem], len(res))
 	for i, r := range res {
 		items := make([]ServedItem, len(r.Items))
 		for j, it := range r.Items {
 			items[j] = s.item(it)
 		}
-		out[i] = BatchResult[ServedItem]{Items: items, Stats: r.Stats, Trace: r.Trace}
+		out[i] = BatchResult[ServedItem]{Items: items, Stats: r.Stats, Trace: r.Trace, Outcome: r.Outcome, Err: r.Err}
 	}
 	return out
 }
@@ -372,6 +388,25 @@ func decodeFloats(raw json.RawMessage, want int, shape string) ([]float64, error
 	return xs, nil
 }
 
+// wireQueries derives a ProblemSpec.WireQueries from the spec's query
+// generator and a JSON-shaping encoder. gen must be the same generator
+// the served adapter uses, so wire workloads and in-process workloads
+// agree at equal seed.
+func wireQueries[Q any](gen func(*wrand.RNG) Q, enc func(Q) any) func(m int, seed uint64) []json.RawMessage {
+	return func(m int, seed uint64) []json.RawMessage {
+		g := wrand.New(seed)
+		out := make([]json.RawMessage, m)
+		for i := range out {
+			b, err := json.Marshal(enc(gen(g)))
+			if err != nil {
+				panic(fmt.Sprintf("topk: encoding wire query: %v", err))
+			}
+			out[i] = b
+		}
+		return out
+	}
+}
+
 func genCoords(g *wrand.RNG, d int) []float64 {
 	cs := make([]float64, d)
 	for i := range cs {
@@ -414,10 +449,11 @@ func intervalSpec() ProblemSpec {
 		}
 		return items
 	}
+	genQ := func(g *wrand.RNG) float64 { return g.Float64() * coordScale }
 	adapt := func(eng servedEngine[float64, IntervalItem[int]], nshards int) Served {
 		return &served[float64, interval.Interval, IntervalItem[int]]{
 			p: intervalProblem[int](), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) float64 { return g.Float64() * coordScale },
+			gen: genQ,
 			decode: func(raw json.RawMessage) (float64, error) {
 				var x float64
 				if err := json.Unmarshal(raw, &x); err != nil {
@@ -439,6 +475,7 @@ func intervalSpec() ProblemSpec {
 	return ProblemSpec{
 		Name:          "interval",
 		QueryShape:    "number (stabbing point x)",
+		WireQueries:   wireQueries(genQ, func(x float64) any { return x }),
 		NativeDynamic: true,
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewIntervalIndex(mk(n, seed), opts...)
@@ -483,16 +520,17 @@ func rangeSpec() ProblemSpec {
 		}
 		return items
 	}
+	genQ := func(g *wrand.RNG) rangerep.Span {
+		a, b := g.Float64()*coordScale, g.Float64()*coordScale
+		if a > b {
+			a, b = b, a
+		}
+		return rangerep.Span{Lo: a, Hi: b}
+	}
 	adapt := func(eng servedEngine[rangerep.Span, PointItem1[int]], nshards int) Served {
 		return &served[rangerep.Span, float64, PointItem1[int]]{
 			p: rangeProblem[int](), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) rangerep.Span {
-				a, b := g.Float64()*coordScale, g.Float64()*coordScale
-				if a > b {
-					a, b = b, a
-				}
-				return rangerep.Span{Lo: a, Hi: b}
-			},
+			gen: genQ,
 			decode: func(raw json.RawMessage) (rangerep.Span, error) {
 				xs, err := decodeFloats(raw, 2, "[lo, hi]")
 				if err != nil {
@@ -513,6 +551,7 @@ func rangeSpec() ProblemSpec {
 	return ProblemSpec{
 		Name:          "range",
 		QueryShape:    "[lo, hi]",
+		WireQueries:   wireQueries(genQ, func(q rangerep.Span) any { return [2]float64{q.Lo, q.Hi} }),
 		NativeDynamic: true,
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewRangeIndex(mk(n, seed), opts...)
@@ -549,21 +588,22 @@ func rangeSpec() ProblemSpec {
 
 func orthoSpec() ProblemSpec {
 	const d = 2
+	genQ := func(g *wrand.RNG) orthorange.Box {
+		lo, hi := make([]float64, d), make([]float64, d)
+		for i := 0; i < d; i++ {
+			a, b := g.Float64()*coordScale, g.Float64()*coordScale
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		q, _ := orthorange.NewBox(lo, hi)
+		return q
+	}
 	adapt := func(eng servedEngine[orthorange.Box, PointItemN[int]], nshards int) Served {
 		return &served[orthorange.Box, halfspace.PtN, PointItemN[int]]{
 			p: orthoProblem[int](d), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) orthorange.Box {
-				lo, hi := make([]float64, d), make([]float64, d)
-				for i := 0; i < d; i++ {
-					a, b := g.Float64()*coordScale, g.Float64()*coordScale
-					if a > b {
-						a, b = b, a
-					}
-					lo[i], hi[i] = a, b
-				}
-				q, _ := orthorange.NewBox(lo, hi)
-				return q
-			},
+			gen: genQ,
 			decode: func(raw json.RawMessage) (orthorange.Box, error) {
 				var body struct {
 					Lo []float64 `json:"lo"`
@@ -594,6 +634,9 @@ func orthoSpec() ProblemSpec {
 		Name:       "ortho",
 		Dim:        d,
 		QueryShape: `{"lo": [x1, x2], "hi": [x1, x2]}`,
+		WireQueries: wireQueries(genQ, func(q orthorange.Box) any {
+			return map[string]any{"lo": q.Lo, "hi": q.Hi}
+		}),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewOrthoIndex(genPointsN(n, d, seed), d, opts...)
 			if err != nil {
@@ -629,12 +672,13 @@ func orthoSpec() ProblemSpec {
 
 func circularSpec() ProblemSpec {
 	const d = 2
+	genQ := func(g *wrand.RNG) circular.Ball {
+		return circular.Ball{Center: genCoords(g, d), R: 5 + g.ExpFloat64()*10}
+	}
 	adapt := func(eng servedEngine[circular.Ball, PointItemN[int]], nshards int) Served {
 		return &served[circular.Ball, halfspace.PtN, PointItemN[int]]{
 			p: circularProblem[int](d), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) circular.Ball {
-				return circular.Ball{Center: genCoords(g, d), R: 5 + g.ExpFloat64()*10}
-			},
+			gen: genQ,
 			decode: func(raw json.RawMessage) (circular.Ball, error) {
 				var body struct {
 					Center []float64 `json:"center"`
@@ -665,6 +709,9 @@ func circularSpec() ProblemSpec {
 		Name:       "circular",
 		Dim:        d,
 		QueryShape: `{"center": [x, y], "radius": r}`,
+		WireQueries: wireQueries(genQ, func(q circular.Ball) any {
+			return map[string]any{"center": q.Center, "radius": q.R}
+		}),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewCircularIndex(genPointsN(n, d, seed), d, opts...)
 			if err != nil {
@@ -711,12 +758,13 @@ func dominanceSpec() ProblemSpec {
 		}
 		return items
 	}
+	genQ := func(g *wrand.RNG) dominance.Pt3 {
+		return dominance.Pt3{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Z: g.Float64() * coordScale}
+	}
 	adapt := func(eng servedEngine[dominance.Pt3, DominanceItem[int]], nshards int) Served {
 		return &served[dominance.Pt3, dominance.Pt3, DominanceItem[int]]{
 			p: dominanceProblem[int](), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) dominance.Pt3 {
-				return dominance.Pt3{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Z: g.Float64() * coordScale}
-			},
+			gen: genQ,
 			decode: func(raw json.RawMessage) (dominance.Pt3, error) {
 				xs, err := decodeFloats(raw, 3, "[x, y, z]")
 				if err != nil {
@@ -737,8 +785,9 @@ func dominanceSpec() ProblemSpec {
 		return dominanceProblem[int](), nil
 	}
 	return ProblemSpec{
-		Name:       "dominance",
-		QueryShape: "[x, y, z] (dominance corner)",
+		Name:        "dominance",
+		QueryShape:  "[x, y, z] (dominance corner)",
+		WireQueries: wireQueries(genQ, func(q dominance.Pt3) any { return [3]float64{q.X, q.Y, q.Z} }),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewDominanceIndex(mk(n, seed), opts...)
 			if err != nil {
@@ -786,12 +835,13 @@ func enclosureSpec() ProblemSpec {
 		}
 		return items
 	}
+	genQ := func(g *wrand.RNG) enclosure.Pt2 {
+		return enclosure.Pt2{X: g.Float64() * coordScale, Y: g.Float64() * coordScale}
+	}
 	adapt := func(eng servedEngine[enclosure.Pt2, RectItem[int]], nshards int) Served {
 		return &served[enclosure.Pt2, enclosure.Rect, RectItem[int]]{
 			p: enclosureProblem[int](), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) enclosure.Pt2 {
-				return enclosure.Pt2{X: g.Float64() * coordScale, Y: g.Float64() * coordScale}
-			},
+			gen: genQ,
 			decode: func(raw json.RawMessage) (enclosure.Pt2, error) {
 				xs, err := decodeFloats(raw, 2, "[x, y]")
 				if err != nil {
@@ -813,8 +863,9 @@ func enclosureSpec() ProblemSpec {
 		return enclosureProblem[int](), nil
 	}
 	return ProblemSpec{
-		Name:       "enclosure",
-		QueryShape: "[x, y] (query point)",
+		Name:        "enclosure",
+		QueryShape:  "[x, y] (query point)",
+		WireQueries: wireQueries(genQ, func(q enclosure.Pt2) any { return [2]float64{q.X, q.Y} }),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewEnclosureIndex(mk(n, seed), opts...)
 			if err != nil {
@@ -858,16 +909,17 @@ func halfplaneSpec() ProblemSpec {
 		}
 		return items
 	}
+	// A boundary through a uniform point with a normal direction:
+	// roughly half the items match.
+	genQ := func(g *wrand.RNG) halfspace.Halfplane {
+		a, b := g.NormFloat64(), g.NormFloat64()
+		px, py := g.Float64()*coordScale, g.Float64()*coordScale
+		return halfspace.Halfplane{A: a, B: b, C: a*px + b*py}
+	}
 	adapt := func(eng servedEngine[halfspace.Halfplane, PointItem2[int]], nshards int) Served {
 		return &served[halfspace.Halfplane, halfspace.Pt2, PointItem2[int]]{
 			p: halfplaneProblem[int](), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) halfspace.Halfplane {
-				// A boundary through a uniform point with a normal
-				// direction: roughly half the items match.
-				a, b := g.NormFloat64(), g.NormFloat64()
-				px, py := g.Float64()*coordScale, g.Float64()*coordScale
-				return halfspace.Halfplane{A: a, B: b, C: a*px + b*py}
-			},
+			gen: genQ,
 			decode: func(raw json.RawMessage) (halfspace.Halfplane, error) {
 				xs, err := decodeFloats(raw, 3, "[a, b, c] (halfplane a·x + b·y ≥ c)")
 				if err != nil {
@@ -886,8 +938,9 @@ func halfplaneSpec() ProblemSpec {
 		return halfplaneProblem[int](), nil
 	}
 	return ProblemSpec{
-		Name:       "halfplane",
-		QueryShape: "[a, b, c] (halfplane a·x + b·y ≥ c)",
+		Name:        "halfplane",
+		QueryShape:  "[a, b, c] (halfplane a·x + b·y ≥ c)",
+		WireQueries: wireQueries(genQ, func(q halfspace.Halfplane) any { return [3]float64{q.A, q.B, q.C} }),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewHalfplaneIndex(mk(n, seed), opts...)
 			if err != nil {
@@ -923,18 +976,19 @@ func halfplaneSpec() ProblemSpec {
 
 func halfspaceSpec() ProblemSpec {
 	const d = 3
+	genQ := func(g *wrand.RNG) halfspace.Halfspace {
+		a := make([]float64, d)
+		c := 0.0
+		for i := range a {
+			a[i] = g.NormFloat64()
+			c += a[i] * g.Float64() * coordScale
+		}
+		return halfspace.Halfspace{A: a, C: c}
+	}
 	adapt := func(eng servedEngine[halfspace.Halfspace, PointItemN[int]], nshards int) Served {
 		return &served[halfspace.Halfspace, halfspace.PtN, PointItemN[int]]{
 			p: halfspaceProblem[int](d), eng: eng, nshards: nshards,
-			gen: func(g *wrand.RNG) halfspace.Halfspace {
-				a := make([]float64, d)
-				c := 0.0
-				for i := range a {
-					a[i] = g.NormFloat64()
-					c += a[i] * g.Float64() * coordScale
-				}
-				return halfspace.Halfspace{A: a, C: c}
-			},
+			gen: genQ,
 			decode: func(raw json.RawMessage) (halfspace.Halfspace, error) {
 				var body struct {
 					A []float64 `json:"a"`
@@ -965,6 +1019,9 @@ func halfspaceSpec() ProblemSpec {
 		Name:       "halfspace",
 		Dim:        d,
 		QueryShape: `{"a": [a1, a2, a3], "c": c} (halfspace a·x ≥ c)`,
+		WireQueries: wireQueries(genQ, func(q halfspace.Halfspace) any {
+			return map[string]any{"a": q.A, "c": q.C}
+		}),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewHalfspaceIndex(genPointsN(n, d, seed), d, opts...)
 			if err != nil {

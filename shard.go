@@ -215,12 +215,30 @@ func (s *Sharded[Q, V, It]) ReportAbove(q Q, tau float64, visit func(It) bool) {
 // and its Trace concatenates the per-shard traces in shard order.
 // Batches must not run concurrently with Insert or Delete.
 func (s *Sharded[Q, V, It]) QueryBatch(qs []Q, k int, parallelism int) []BatchResult[It] {
+	return s.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract (see
+// engine.QueryBatchCtx). The deadline is global — one wall clock across
+// the fan-out — while the I/O budget is enforced per shard, since shards
+// query disjoint data on independent trackers. Per-query merge rules:
+//
+//   - every shard OK: the usual Lemma-2 merge, OutcomeOK;
+//   - any shard aborted with ctx.DegradeToMax: every aborted shard
+//     already fell back to its local top-1, so the merged list's head is
+//     the exact global maximum — the result is truncated to that correct
+//     top-1 prefix and marked OutcomeDegraded;
+//   - any shard aborted without the fallback: the merged answer could
+//     silently miss that shard's items, so Items is emptied and the
+//     worst per-shard Outcome/Err is reported instead — a typed refusal,
+//     never a wrong full answer.
+func (s *Sharded[Q, V, It]) QueryBatchCtx(ctx QueryCtx, qs []Q, k int, parallelism int) []BatchResult[It] {
 	if len(qs) == 0 {
 		return nil
 	}
 	per := make([][]BatchResult[It], len(s.shards))
 	shard.FanOut(len(s.shards), 0, func(i int) {
-		per[i] = s.shards[i].QueryBatch(qs, k, parallelism)
+		per[i] = s.shards[i].QueryBatchCtx(ctx, qs, k, parallelism)
 	})
 	out := make([]BatchResult[It], len(qs))
 	lists := make([][]It, len(s.shards))
@@ -233,8 +251,22 @@ func (s *Sharded[Q, V, It]) QueryBatch(qs []Q, k int, parallelism int) []BatchRe
 			r.Stats.Writes += pr.Stats.Writes
 			r.Stats.Hits += pr.Stats.Hits
 			r.Trace = append(r.Trace, pr.Trace...)
+			if pr.Outcome.aborted() && pr.Outcome > r.Outcome {
+				r.Outcome = pr.Outcome
+			}
+			if r.Err == nil {
+				r.Err = pr.Err
+			}
 		}
 		r.Items = shard.MergeDesc(lists, k, s.p.weight)
+		switch {
+		case r.Outcome == OutcomeDegraded:
+			if len(r.Items) > 1 {
+				r.Items = r.Items[:1]
+			}
+		case r.Outcome.aborted():
+			r.Items = nil
+		}
 	}
 	return out
 }

@@ -60,6 +60,12 @@ func (ix *ShardedIntervalIndex[T]) QueryBatch(xs []float64, k int, parallelism i
 	return ix.Sharded.QueryBatch(xs, k, parallelism)
 }
 
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedIntervalIndex[T]) QueryBatchCtx(ctx QueryCtx, xs []float64, k int, parallelism int) []BatchResult[IntervalItem[T]] {
+	return ix.Sharded.QueryBatchCtx(ctx, xs, k, parallelism)
+}
+
 // ShardedRangeIndex is a RangeIndex partitioned across shards.
 type ShardedRangeIndex[T any] struct {
 	*Sharded[rangerep.Span, float64, PointItem1[T]]
@@ -109,11 +115,17 @@ func (ix *ShardedRangeIndex[T]) Count(lo, hi float64) int {
 
 // QueryBatch answers one range query per Span; see Sharded.QueryBatch.
 func (ix *ShardedRangeIndex[T]) QueryBatch(spans []Span, k int, parallelism int) []BatchResult[PointItem1[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, spans, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedRangeIndex[T]) QueryBatchCtx(ctx QueryCtx, spans []Span, k int, parallelism int) []BatchResult[PointItem1[T]] {
 	qs := make([]rangerep.Span, len(spans))
 	for i, s := range spans {
 		qs[i] = rangerep.Span{Lo: s.Lo, Hi: s.Hi}
 	}
-	return ix.Sharded.QueryBatch(qs, k, parallelism)
+	return ix.Sharded.QueryBatchCtx(ctx, qs, k, parallelism)
 }
 
 // ShardedOrthoIndex is an OrthoIndex partitioned across shards.
@@ -182,6 +194,12 @@ func (ix *ShardedOrthoIndex[T]) Max(lo, hi []float64) (PointItemN[T], bool, erro
 // QueryBatch answers one box query per BoxQuery, validating all boxes
 // up front; see Sharded.QueryBatch.
 func (ix *ShardedOrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int) ([]BatchResult[PointItemN[T]], error) {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedOrthoIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []BoxQuery, k int, parallelism int) ([]BatchResult[PointItemN[T]], error) {
 	boxes := make([]orthorange.Box, len(qs))
 	for i, q := range qs {
 		b, err := ix.box(q.Lo, q.Hi)
@@ -190,7 +208,7 @@ func (ix *ShardedOrthoIndex[T]) QueryBatch(qs []BoxQuery, k int, parallelism int
 		}
 		boxes[i] = b
 	}
-	return ix.Sharded.QueryBatch(boxes, k, parallelism), nil
+	return ix.Sharded.QueryBatchCtx(ctx, boxes, k, parallelism), nil
 }
 
 // ShardedCircularIndex is a CircularIndex partitioned across shards.
@@ -234,11 +252,17 @@ func (ix *ShardedCircularIndex[T]) Max(center []float64, r float64) (PointItemN[
 // QueryBatch answers one ball query per BallQuery; see
 // Sharded.QueryBatch.
 func (ix *ShardedCircularIndex[T]) QueryBatch(qs []BallQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedCircularIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []BallQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
 	balls := make([]circular.Ball, len(qs))
 	for i, q := range qs {
 		balls[i] = circular.Ball{Center: q.Center, R: q.Radius}
 	}
-	return ix.Sharded.QueryBatch(balls, k, parallelism)
+	return ix.Sharded.QueryBatchCtx(ctx, balls, k, parallelism)
 }
 
 // ShardedDominanceIndex is a DominanceIndex partitioned across shards.
@@ -276,11 +300,17 @@ func (ix *ShardedDominanceIndex[T]) Max(x, y, z float64) (DominanceItem[T], bool
 // QueryBatch answers one dominance query per CornerQuery; see
 // Sharded.QueryBatch.
 func (ix *ShardedDominanceIndex[T]) QueryBatch(qs []CornerQuery, k int, parallelism int) []BatchResult[DominanceItem[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedDominanceIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []CornerQuery, k int, parallelism int) []BatchResult[DominanceItem[T]] {
 	corners := make([]dominance.Pt3, len(qs))
 	for i, q := range qs {
 		corners[i] = dominance.Pt3{X: q.X, Y: q.Y, Z: q.Z}
 	}
-	return ix.Sharded.QueryBatch(corners, k, parallelism)
+	return ix.Sharded.QueryBatchCtx(ctx, corners, k, parallelism)
 }
 
 // ShardedEnclosureIndex is an EnclosureIndex partitioned across shards.
@@ -318,11 +348,17 @@ func (ix *ShardedEnclosureIndex[T]) Max(x, y float64) (RectItem[T], bool) {
 // QueryBatch answers one enclosure query per PointQuery; see
 // Sharded.QueryBatch.
 func (ix *ShardedEnclosureIndex[T]) QueryBatch(qs []PointQuery, k int, parallelism int) []BatchResult[RectItem[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedEnclosureIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []PointQuery, k int, parallelism int) []BatchResult[RectItem[T]] {
 	pts := make([]enclosure.Pt2, len(qs))
 	for i, q := range qs {
 		pts[i] = enclosure.Pt2{X: q.X, Y: q.Y}
 	}
-	return ix.Sharded.QueryBatch(pts, k, parallelism)
+	return ix.Sharded.QueryBatchCtx(ctx, pts, k, parallelism)
 }
 
 // ShardedHalfplaneIndex is a HalfplaneIndex partitioned across shards.
@@ -359,11 +395,17 @@ func (ix *ShardedHalfplaneIndex[T]) Max(a, b, c float64) (PointItem2[T], bool) {
 // QueryBatch answers one halfplane query per HalfplaneQuery; see
 // Sharded.QueryBatch.
 func (ix *ShardedHalfplaneIndex[T]) QueryBatch(qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedHalfplaneIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []HalfplaneQuery, k int, parallelism int) []BatchResult[PointItem2[T]] {
 	hps := make([]halfspace.Halfplane, len(qs))
 	for i, q := range qs {
 		hps[i] = halfspace.Halfplane{A: q.A, B: q.B, C: q.C}
 	}
-	return ix.Sharded.QueryBatch(hps, k, parallelism)
+	return ix.Sharded.QueryBatchCtx(ctx, hps, k, parallelism)
 }
 
 // ShardedHalfspaceIndex is a HalfspaceIndex partitioned across shards.
@@ -406,9 +448,15 @@ func (ix *ShardedHalfspaceIndex[T]) Max(a []float64, c float64) (PointItemN[T], 
 // QueryBatch answers one halfspace query per HalfspaceQuery; see
 // Sharded.QueryBatch.
 func (ix *ShardedHalfspaceIndex[T]) QueryBatch(qs []HalfspaceQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
+	return ix.QueryBatchCtx(QueryCtx{}, qs, k, parallelism)
+}
+
+// QueryBatchCtx is QueryBatch under a request-lifecycle contract; see
+// Sharded.QueryBatchCtx for the per-shard budget and merge rules.
+func (ix *ShardedHalfspaceIndex[T]) QueryBatchCtx(ctx QueryCtx, qs []HalfspaceQuery, k int, parallelism int) []BatchResult[PointItemN[T]] {
 	hss := make([]halfspace.Halfspace, len(qs))
 	for i, q := range qs {
 		hss[i] = halfspace.Halfspace{A: q.A, C: q.C}
 	}
-	return ix.Sharded.QueryBatch(hss, k, parallelism)
+	return ix.Sharded.QueryBatchCtx(ctx, hss, k, parallelism)
 }

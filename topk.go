@@ -151,6 +151,8 @@ type Options struct {
 	metrics   bool
 	slowW     io.Writer
 	slowMin   int64
+	slowKeep  int
+	queryLogW io.Writer
 	policy    ShardPolicy
 	cachePol  CachePolicy
 	diskDir   string
@@ -212,6 +214,24 @@ func WithShardPolicy(p ShardPolicy) Option { return func(o *Options) { o.policy 
 // surface). Implies per-query tracing on the batch path.
 func WithSlowQueryLog(w io.Writer, minIOs int64) Option {
 	return func(o *Options) { o.slowW = w; o.slowMin = minIOs }
+}
+
+// WithSlowLogKeep sets how many slow-query entries the in-memory ring
+// retains for live inspection (default 64). It only matters together
+// with WithSlowQueryLog.
+func WithSlowLogKeep(keep int) Option {
+	return func(o *Options) { o.slowKeep = keep }
+}
+
+// WithQueryLog emits one structured JSON "wide event" per query to w:
+// problem, query, k, latency, I/Os split by phase, cache hit rate, and —
+// when the query ran under a QueryCtx — its budget, deadline slack, and
+// outcome, all in a single newline-delimited row. Under a Sharded index
+// each shard emits its own row, distinguished by the shard field. The
+// writer is shared by concurrent query workers through a mutex; rows
+// never interleave.
+func WithQueryLog(w io.Writer) Option {
+	return func(o *Options) { o.queryLogW = w }
 }
 
 // WithCachePolicy selects the EM frame cache's replacement/admission

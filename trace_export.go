@@ -1,0 +1,134 @@
+package topk
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file exports query phase traces in the Chrome trace-event JSON
+// format, so span trees captured by WithTracing can be opened in
+// chrome://tracing or Perfetto. The exported timeline is *virtual*: the
+// EM model has no wall clock inside a query, so one simulated I/O is
+// rendered as one microsecond. Span widths therefore compare I/O cost,
+// not elapsed time — which is exactly the quantity the paper's bounds
+// are stated in.
+
+// NamedTrace is one query's span tree with a display name; the Events
+// slice is a BatchResult.Trace (ordered post-order, as recorded).
+type NamedTrace struct {
+	Name   string
+	Events []TraceEvent
+}
+
+// chromeEvent is one row of the trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts,omitempty"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// traceNode is one reconstructed span with its children.
+type traceNode struct {
+	ev   TraceEvent
+	kids []*traceNode
+	dur  int64
+}
+
+// buildForest rebuilds the span tree from the post-order event stream:
+// an event at depth d closes after its children, so the nodes currently
+// accumulated at depth d+1 are exactly its subtree roots.
+func buildForest(events []TraceEvent) []*traceNode {
+	var stacks [][]*traceNode
+	at := func(d int) []*traceNode {
+		if d >= len(stacks) {
+			return nil
+		}
+		return stacks[d]
+	}
+	for _, ev := range events {
+		for len(stacks) <= ev.Depth+1 {
+			stacks = append(stacks, nil)
+		}
+		n := &traceNode{ev: ev, kids: at(ev.Depth + 1)}
+		stacks[ev.Depth+1] = nil
+		stacks[ev.Depth] = append(stacks[ev.Depth], n)
+	}
+	return at(0)
+}
+
+// size assigns each span its rendered duration: its own I/O cost, or the
+// sum of its children when deeper spans account for more (children are
+// included in the parent's deltas, so this only happens via the 1µs
+// minimum that keeps zero-cost spans visible).
+func (n *traceNode) size() int64 {
+	var kids int64
+	for _, k := range n.kids {
+		kids += k.size()
+	}
+	n.dur = n.ev.IOs()
+	if kids > n.dur {
+		n.dur = kids
+	}
+	if n.dur < 1 {
+		n.dur = 1
+	}
+	return n.dur
+}
+
+// emit renders the span and its subtree as complete ("X") events,
+// children laid out sequentially from the parent's start.
+func (n *traceNode) emit(out *[]chromeEvent, ts int64, tid int) {
+	args := map[string]any{
+		"reads": n.ev.Reads, "writes": n.ev.Writes, "hits": n.ev.Hits,
+	}
+	if n.ev.Level >= 0 {
+		args["level"] = n.ev.Level
+	}
+	if n.ev.Arg != 0 {
+		args["arg"] = n.ev.Arg
+	}
+	*out = append(*out, chromeEvent{
+		Name: n.ev.Phase, Ph: "X", TS: ts, Dur: n.dur, PID: 1, TID: tid, Args: args,
+	})
+	for _, k := range n.kids {
+		k.emit(out, ts, tid)
+		ts += k.dur
+	}
+}
+
+// WriteChromeTrace renders the given traces as one Chrome trace-event
+// JSON document. Each trace becomes its own thread lane (named after
+// NamedTrace.Name) starting at virtual time zero, so queries are
+// compared side by side; within a lane, nested spans render as nested
+// slices whose width is their simulated I/O cost at 1 I/O = 1µs.
+func WriteChromeTrace(w io.Writer, traces []NamedTrace) error {
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, tr := range traces {
+		tid := i + 1
+		name := tr.Name
+		if name == "" {
+			name = "query"
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+		var ts int64
+		for _, root := range buildForest(tr.Events) {
+			root.size()
+			root.emit(&file.TraceEvents, ts, tid)
+			ts += root.dur
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

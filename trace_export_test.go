@@ -1,0 +1,295 @@
+package topk
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"topk/internal/wrand"
+)
+
+// decodeChrome round-trips a WriteChromeTrace document back into its
+// event rows for assertions.
+func decodeChrome(t *testing.T, buf *bytes.Buffer) chromeFile {
+	t.Helper()
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	return f
+}
+
+// TestWriteChromeTraceSynthetic pins the forest reconstruction and
+// layout rules on a hand-built post-order stream: two depth-1 children
+// close before their depth-0 parent, children are laid out sequentially
+// from the parent's start, and the parent spans at least its own I/Os.
+func TestWriteChromeTraceSynthetic(t *testing.T) {
+	events := []TraceEvent{
+		{Phase: "t1.probe", Depth: 1, Level: 2, Reads: 3},
+		{Phase: "t1.refine", Depth: 1, Level: -1, Reads: 2, Arg: 7},
+		{Phase: "t1.topk", Depth: 0, Level: -1, Reads: 6, Writes: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []NamedTrace{{Name: "q0", Events: events}}); err != nil {
+		t.Fatal(err)
+	}
+	f := decodeChrome(t, &buf)
+	if len(f.TraceEvents) != 4 { // 1 metadata + 3 spans
+		t.Fatalf("got %d events, want 4: %+v", len(f.TraceEvents), f.TraceEvents)
+	}
+	meta := f.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "q0" {
+		t.Fatalf("metadata event %+v", meta)
+	}
+	byName := map[string]chromeEvent{}
+	for _, ev := range f.TraceEvents[1:] {
+		if ev.Ph != "X" {
+			t.Fatalf("span %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TID != meta.TID {
+			t.Fatalf("span %q on tid %d, metadata on %d", ev.Name, ev.TID, meta.TID)
+		}
+		byName[ev.Name] = ev
+	}
+	root, probe, refine := byName["t1.topk"], byName["t1.probe"], byName["t1.refine"]
+	if root.TS != 0 || root.Dur != 7 {
+		t.Fatalf("root ts=%d dur=%d, want 0/7 (6 reads + 1 write)", root.TS, root.Dur)
+	}
+	if probe.TS != 0 || probe.Dur != 3 {
+		t.Fatalf("probe ts=%d dur=%d, want 0/3", probe.TS, probe.Dur)
+	}
+	if refine.TS != 3 || refine.Dur != 2 {
+		t.Fatalf("refine ts=%d dur=%d, want 3/2 (sequential after probe)", refine.TS, refine.Dur)
+	}
+	if probe.Args["level"] != float64(2) {
+		t.Fatalf("probe level arg = %v, want 2", probe.Args["level"])
+	}
+	if _, has := root.Args["level"]; has {
+		t.Fatal("level -1 must be omitted from args")
+	}
+	if refine.Args["arg"] != float64(7) {
+		t.Fatalf("refine arg = %v, want 7", refine.Args["arg"])
+	}
+}
+
+// TestWriteChromeTraceZeroCostSpans: spans with no I/Os still render
+// with the 1µs floor so the tree stays visible, and an empty trace
+// yields just its lane metadata.
+func TestWriteChromeTraceZeroCostSpans(t *testing.T) {
+	var buf bytes.Buffer
+	traces := []NamedTrace{
+		{Events: []TraceEvent{{Phase: "dyn.empty", Depth: 0, Level: -1}}},
+		{Name: "idle"},
+	}
+	if err := WriteChromeTrace(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	f := decodeChrome(t, &buf)
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3 (2 metadata + 1 span)", len(f.TraceEvents))
+	}
+	if f.TraceEvents[0].Args["name"] != "query" {
+		t.Fatalf("empty trace name rendered as %v, want the \"query\" default", f.TraceEvents[0].Args["name"])
+	}
+	span := f.TraceEvents[1]
+	if span.Ph != "X" || span.Dur != 1 {
+		t.Fatalf("zero-cost span %+v, want dur 1", span)
+	}
+	if f.TraceEvents[2].Args["name"] != "idle" {
+		t.Fatalf("second lane metadata %+v", f.TraceEvents[2])
+	}
+	if f.TraceEvents[2].TID == span.TID {
+		t.Fatal("distinct traces must land on distinct tid lanes")
+	}
+}
+
+// TestWriteChromeTraceFromRealQuery exports actual batch traces and
+// checks the structural invariants hold for arbitrary recorded streams:
+// one X event per recorded span, every duration ≥ 1, and children
+// contained within their parent's [ts, ts+dur) window.
+func TestWriteChromeTraceFromRealQuery(t *testing.T) {
+	g := wrand.New(909)
+	items := genIntervalItems(g, 400)
+	ix, err := NewIntervalIndex(items, WithReduction(Expected), WithSeed(5), WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.QueryBatch([]float64{20, 60, 100}, 8, 1)
+	var traces []NamedTrace
+	spans := 0
+	for _, r := range res {
+		if len(r.Trace) == 0 {
+			t.Fatal("traced batch query returned no trace")
+		}
+		spans += len(r.Trace)
+		traces = append(traces, NamedTrace{Name: "q", Events: r.Trace})
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	f := decodeChrome(t, &buf)
+	var xs []chromeEvent
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			xs = append(xs, ev)
+			if ev.Dur < 1 {
+				t.Fatalf("span %q has duration %d < 1", ev.Name, ev.Dur)
+			}
+		}
+	}
+	if len(xs) != spans {
+		t.Fatalf("rendered %d spans, recorded %d", len(xs), spans)
+	}
+	// Every span either is a lane root or nests fully inside some other
+	// same-lane span (a strictly larger window).
+	for i, ev := range xs {
+		nested := false
+		for j, other := range xs {
+			if i == j || other.TID != ev.TID {
+				continue
+			}
+			if other.TS <= ev.TS && ev.TS+ev.Dur <= other.TS+other.Dur && other.Dur >= ev.Dur {
+				nested = true
+			}
+		}
+		if !nested && ev.TS != 0 && ev.Dur != 0 {
+			// A root starts where the previous root ended; just require
+			// that some same-lane span ends exactly at this span's start.
+			ok := false
+			for j, other := range xs {
+				if i != j && other.TID == ev.TID && other.TS+other.Dur == ev.TS {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("span %q [%d,%d) is neither nested nor adjacent to a prior span", ev.Name, ev.TS, ev.TS+ev.Dur)
+			}
+		}
+	}
+}
+
+// TestWithQueryLogWideEvents drives the wide-event log end to end: every
+// query emits exactly one NDJSON row with the identity/cost/outcome
+// schema, lifecycle limits appear on budgeted queries, and aborted or
+// degraded endings are named.
+func TestWithQueryLogWideEvents(t *testing.T) {
+	g := wrand.New(910)
+	items := genIntervalItems(g, 400)
+	var buf bytes.Buffer
+	ix, err := NewIntervalIndex(items,
+		WithReduction(Expected), WithSeed(5), WithTracing(), WithQueryLog(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{20, 60, 100}
+	ix.QueryBatch(xs, 8, 1)
+	deadline := time.Now().Add(time.Hour)
+	ix.QueryBatchCtx(QueryCtx{IOBudget: 1, DegradeToMax: true, Deadline: deadline}, xs, 8, 1)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2*len(xs) {
+		t.Fatalf("got %d wide events, want %d:\n%s", len(lines), 2*len(xs), buf.String())
+	}
+	sawDegraded := false
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		for _, field := range []string{"ts", "problem", "query", "reads", "writes", "hits", "ios", "hit_rate", "latency_us", "outcome"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("line %d missing %q: %s", i, field, line)
+			}
+		}
+		if ev["problem"] != "interval" {
+			t.Fatalf("line %d problem = %v", i, ev["problem"])
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ev["ts"].(string)); err != nil {
+			t.Fatalf("line %d ts: %v", i, err)
+		}
+		if i < len(xs) {
+			// Plain batch: no limits, ok outcome, no lifecycle fields.
+			if ev["outcome"] != "ok" {
+				t.Fatalf("plain query %d outcome = %v", i, ev["outcome"])
+			}
+			if _, ok := ev["budget_ios"]; ok {
+				t.Fatalf("plain query %d carries budget_ios", i)
+			}
+			if _, ok := ev["deadline_slack_us"]; ok {
+				t.Fatalf("plain query %d carries deadline_slack_us", i)
+			}
+		} else {
+			if ev["budget_ios"] != float64(1) {
+				t.Fatalf("budgeted query %d budget_ios = %v, want 1", i, ev["budget_ios"])
+			}
+			slack, ok := ev["deadline_slack_us"].(float64)
+			if !ok || slack <= 0 {
+				t.Fatalf("budgeted query %d deadline_slack_us = %v, want positive", i, ev["deadline_slack_us"])
+			}
+			if ev["outcome"] == "degraded" {
+				sawDegraded = true
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no degraded outcome logged under a 1-I/O budget with DegradeToMax")
+	}
+}
+
+// TestUpdateCostSeries pins the per-operation amortized-cost split: a
+// churned overlay index exports topk_update_ios as a summary whose
+// count equals the number of Insert/Delete calls, with flush and
+// rebuild spikes separated into their own series instead of averaged
+// into the update median.
+func TestUpdateCostSeries(t *testing.T) {
+	ix, err := NewIntervalIndex([]IntervalItem[int]{},
+		WithReduction(WorstCase), WithUpdates(), WithSeed(3), WithMetrics(), WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := wrand.New(77)
+	ops := 0
+	for i := 0; i < 200; i++ {
+		lo := g.Float64() * 100
+		if err := ix.Insert(IntervalItem[int]{Lo: lo, Hi: lo + 5, Weight: g.Float64(), Data: i}); err != nil {
+			t.Fatal(err)
+		}
+		ops++
+	}
+	var b strings.Builder
+	if err := ix.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if want := "topk_update_ios_count{index=\"interval\"} 200"; !strings.Contains(out, want) {
+		t.Fatalf("update-cost series does not count all %d operations; missing %q in:\n%s", ops, want, out)
+	}
+	for _, series := range []string{
+		`topk_update_ios{index="interval",quantile="0.5"}`,
+		`topk_update_ios{index="interval",quantile="0.999"}`,
+		`topk_flush_ios_count{index="interval"}`,
+		`topk_rebuild_ios_count{index="interval"}`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("missing series %q in exposition", series)
+		}
+	}
+	// 200 inserts through the logarithmic overlay must have flushed the
+	// tail at least once, and the flush series must have registered it.
+	flushes := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `topk_flush_ios_count{index="interval"} `) {
+			fmt.Sscanf(line, `topk_flush_ios_count{index="interval"} %d`, &flushes)
+		}
+	}
+	if flushes == 0 {
+		t.Fatal("no flush spikes recorded after 200 overlay inserts")
+	}
+}
