@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke snap-smoke disk-smoke load-smoke load-curve fmt fmt-check vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke snap-smoke disk-smoke load-smoke load-curve ingest-smoke fmt fmt-check vet clean ci
 
 all: build vet test
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -fuzz FuzzMapOps -fuzztime 10s ./internal/btree/
 	$(GO) test -fuzz FuzzPersistence -fuzztime 10s ./internal/pstree/
 	$(GO) test -fuzz FuzzTreeOps -fuzztime 10s ./internal/interval/
+	$(GO) test -fuzz FuzzOverlayPolicies -fuzztime 10s ./internal/dynamic/
 	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 10s -run '^$$' .
 	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 10s -run '^$$' .
 	$(GO) test -fuzz FuzzShardedInterval -fuzztime 10s -run '^$$' .
@@ -46,6 +47,7 @@ fuzz:
 # Brief fuzz pass over just the oracle-diff targets: cheap enough for
 # every CI run, still long enough to shake out op-sequence bugs.
 fuzz-smoke:
+	$(GO) test -fuzz FuzzOverlayPolicies -fuzztime 5s ./internal/dynamic/
 	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 5s -run '^$$' .
 	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 5s -run '^$$' .
 	$(GO) test -fuzz FuzzShardedInterval -fuzztime 5s -run '^$$' .
@@ -71,7 +73,7 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkParallel' -benchtime 20x .
 
-# Regenerate the EXPERIMENTS.md tables (E1-E30).
+# Regenerate the EXPERIMENTS.md tables (E1-E30, E32).
 experiments:
 	$(GO) run ./cmd/topk-bench -seed 42
 
@@ -81,7 +83,7 @@ experiments:
 # family (physical preads+pwrites on the disk-backed store), which is
 # deterministic because physical traffic mirrors the logical trace
 # one-for-one (DESIGN.md §13).
-BENCH_BASELINE = BENCH_PR7.json
+BENCH_BASELINE = BENCH_PR9.json
 bench-json:
 	$(GO) run ./cmd/topk-bench -disk -io-json $(BENCH_BASELINE)
 
@@ -261,6 +263,45 @@ load-curve:
 		|| { echo "FAIL: E31 merge (budget-on tail exceeded budget-off)"; exit 1; }; \
 	echo "load-curve: wrote E31.json"
 
+# End-to-end smoke of the bulk-ingest surface: boot topk-serve with
+# -updates under the buffered maintenance policy, bulk-load a 500-item
+# NDJSON stream (plus one delete) through POST /ingest, checkpoint into
+# the snapshot directory, SIGKILL the server, warm-start it over the
+# same directory, and assert the restore kept every ingested item and
+# answers the same query batch byte-identically.
+ingest-smoke:
+	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
+	@rm -rf /tmp/topk-ingest-smoke && mkdir -p /tmp/topk-ingest-smoke
+	@/tmp/topk-serve -addr 127.0.0.1:18105 -n 5000 -updates -maintenance buffered -snapshot-dir /tmp/topk-ingest-smoke/snap & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18105/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	for i in $$(seq 1 500); do \
+		echo "{\"lo\": $$i, \"hi\": $$((i+50)), \"weight\": $$((2000000000+i))}"; \
+	done > /tmp/topk-ingest-smoke/body.ndjson; \
+	echo '{"delete": 2000000001}' >> /tmp/topk-ingest-smoke/body.ndjson; \
+	resp=$$(curl -sf -X POST --data-binary @/tmp/topk-ingest-smoke/body.ndjson http://127.0.0.1:18105/ingest); \
+	echo "$$resp" | grep -q '"inserted":500' || { echo "FAIL: /ingest inserted: $$resp"; exit 1; }; \
+	echo "$$resp" | grep -q '"deleted":1' || { echo "FAIL: /ingest deleted: $$resp"; exit 1; }; \
+	echo "$$resp" | grep -q '"items":5499' || { echo "FAIL: /ingest items: $$resp"; exit 1; }; \
+	before=$$(curl -sf -X POST http://127.0.0.1:18105/query -d '{"queries":[10,50,90],"k":5}' | sed 's/"elapsed":"[^"]*",//'); \
+	curl -sf -X POST http://127.0.0.1:18105/snapshot | grep -q '"dir"' || { echo "FAIL: POST /snapshot"; exit 1; }; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	/tmp/topk-serve -addr 127.0.0.1:18105 -n 5000 -updates -maintenance buffered -snapshot-dir /tmp/topk-ingest-smoke/snap & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18105/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	metrics=$$(curl -sf http://127.0.0.1:18105/metrics); \
+	echo "$$metrics" | grep -q '^topk_warm_start 1' || { echo "FAIL: restart should warm-start from the checkpoint"; exit 1; }; \
+	echo "$$metrics" | grep -q '^topk_index_items{index="interval"} 5499' \
+		|| { echo "FAIL: warm start did not restore the 5499 ingested items"; exit 1; }; \
+	after=$$(curl -sf -X POST http://127.0.0.1:18105/query -d '{"queries":[10,50,90],"k":5}' | sed 's/"elapsed":"[^"]*",//'); \
+	[ "$$before" = "$$after" ] || { echo "FAIL: warm-start answers differ after bulk ingest"; \
+		echo "before: $$before"; echo "after:  $$after"; exit 1; }; \
+	echo "ingest-smoke: ok"
+
 validate:
 	$(GO) run ./cmd/topk-validate
 
@@ -277,4 +318,4 @@ clean:
 # What CI runs (.github/workflows/ci.yml), runnable locally. CI
 # additionally runs staticcheck and govulncheck, which are not vendored
 # here.
-ci: build vet fmt-check test race cover fuzz-smoke serve-smoke snap-smoke disk-smoke load-smoke bench-check
+ci: build vet fmt-check test race cover fuzz-smoke serve-smoke snap-smoke disk-smoke load-smoke ingest-smoke bench-check

@@ -35,8 +35,9 @@
 // Endpoints:
 //
 //	GET  /metrics      Prometheus text exposition
-//	GET  /problems     registered problems, query shapes, update support
+//	GET  /problems     registered problems, query/item shapes, update support
 //	POST /query        {"queries":[...], "k":10} -> per-query answers + I/O stats
+//	POST /ingest       NDJSON bulk update: one item (or {"delete": w}) per line
 //	POST /snapshot     checkpoint the index into -snapshot-dir now
 //	GET  /debug/slow   recent slow-query traces (plain text)
 //	GET  /debug/trace  Chrome trace-event JSON for n sample queries
@@ -46,6 +47,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -78,6 +80,13 @@ type server struct {
 	ix          topk.Served
 	slow        *ringWriter
 	started     time.Time
+
+	// ixMu guards the index's exclusive-update contract: queries,
+	// traces, and snapshots share the read side, /ingest takes the
+	// write side. Uncontended RLock/RUnlock is nanoseconds against
+	// queries that simulate whole I/O traces, so the read path's cost
+	// is unchanged in any measurable way.
+	ixMu sync.RWMutex
 
 	// Request-lifecycle defaults, overridable per /query request.
 	budget   int64         // I/O budget per query per shard (0 = unlimited)
@@ -173,6 +182,8 @@ func main() {
 		shards      = flag.Int("shards", 1, "partition the index across this many shards (parallel fan-out/merge)")
 		seed        = flag.Uint64("seed", 42, "workload seed")
 		slowIOs     = flag.Int64("slow-ios", 500, "slow-query I/O threshold (0 disables)")
+		updates     = flag.Bool("updates", false, "dynamize the index through the overlay even when the reduction is not natively dynamic")
+		maintenance = flag.String("maintenance", "logarithmic", "overlay maintenance policy: logarithmic | buffered (only meaningful with -updates)")
 		parallelism = flag.Int("parallelism", 0, "default /query parallelism (0 = GOMAXPROCS)")
 		snapDir     = flag.String("snapshot-dir", "", "snapshot directory: restore from it on boot if present, checkpoint into it (empty disables)")
 		checkEvery  = flag.Duration("checkpoint-every", 0, "checkpoint into -snapshot-dir at this interval (0 disables)")
@@ -199,8 +210,21 @@ func main() {
 		qlogW = f
 	}
 
+	var extra []topk.Option
+	if *updates {
+		extra = append(extra, topk.WithUpdates())
+	}
+	switch *maintenance {
+	case "logarithmic":
+	case "buffered":
+		extra = append(extra, topk.WithMaintenancePolicy(topk.PolicyBuffered))
+	default:
+		fmt.Fprintf(os.Stderr, "topk-serve: unknown -maintenance %q (want logarithmic or buffered)\n", *maintenance)
+		os.Exit(1)
+	}
+
 	slow := newRingWriter(*slowKeep)
-	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, *snapDir, *diskDir, *slowKeep, slow, qlogW)
+	srv, err := buildServer(*problem, *n, *shards, *seed, *slowIOs, *parallelism, *snapDir, *diskDir, *slowKeep, slow, qlogW, extra...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topk-serve: %v\n", err)
 		os.Exit(1)
@@ -248,6 +272,7 @@ func main() {
 	http.HandleFunc("/metrics", srv.handleMetrics)
 	http.HandleFunc("/problems", handleProblems)
 	http.HandleFunc("/query", srv.handleQuery)
+	http.HandleFunc("/ingest", srv.handleIngest)
 	http.HandleFunc("/snapshot", srv.handleSnapshot)
 	http.HandleFunc("/debug/slow", srv.handleSlow)
 	http.HandleFunc("/debug/trace", srv.handleTrace)
@@ -279,12 +304,13 @@ func main() {
 // miss becomes a real pread against a block file under diskDir, and the
 // topk_store_* metric series report the physical traffic. Answers and
 // logical I/O counts are identical to the in-memory simulator.
-func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, snapDir, diskDir string, slowKeep int, slow *ringWriter, qlogW io.Writer) (*server, error) {
+func buildServer(problem string, n, shards int, seed uint64, slowIOs int64, parallelism int, snapDir, diskDir string, slowKeep int, slow *ringWriter, qlogW io.Writer, extra ...topk.Option) (*server, error) {
 	spec, ok := topk.ProblemByName(problem)
 	if !ok {
 		return nil, fmt.Errorf("unknown problem %q (want one of: %s)", problem, strings.Join(topk.ProblemNames(), ", "))
 	}
 	opts := []topk.Option{topk.WithSeed(seed), topk.WithTracing(), topk.WithMetrics()}
+	opts = append(opts, extra...)
 	if slowIOs > 0 {
 		opts = append(opts, topk.WithSlowQueryLog(slow, slowIOs), topk.WithSlowLogKeep(slowKeep))
 	}
@@ -394,6 +420,8 @@ func (s *server) queryCtx(req queryRequest) topk.QueryCtx {
 func (s *server) checkpoint() error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	s.ixMu.RLock()
+	defer s.ixMu.RUnlock()
 	tmp := s.snapDir + ".tmp"
 	if err := os.RemoveAll(tmp); err != nil {
 		return err
@@ -446,6 +474,7 @@ func handleProblems(w http.ResponseWriter, _ *http.Request) {
 		Name          string   `json:"name"`
 		Dim           int      `json:"dim,omitempty"`
 		QueryShape    string   `json:"query_shape"`
+		ItemShape     string   `json:"item_shape"`
 		Updates       string   `json:"updates"`
 		NativeDynamic bool     `json:"native_dynamic"`
 		Reductions    []string `json:"reductions"`
@@ -460,6 +489,7 @@ func handleProblems(w http.ResponseWriter, _ *http.Request) {
 			Name:          spec.Name,
 			Dim:           spec.Dim,
 			QueryShape:    spec.QueryShape,
+			ItemShape:     spec.ItemShape,
 			Updates:       spec.Updatable(),
 			NativeDynamic: spec.NativeDynamic,
 			Reductions:    reductions,
@@ -511,8 +541,10 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	n := intParam("n", 8, 64)
 	k := intParam("k", 10, 1000)
 	seed := uint64(intParam("seed", 1, 1<<30))
+	s.ixMu.RLock()
 	qs := s.ix.GenQueries(n, seed)
 	res := s.ix.QueryBatchCtx(s.queryCtx(queryRequest{}), qs, k, 0)
+	s.ixMu.RUnlock()
 	traces := make([]topk.NamedTrace, len(res))
 	for i, br := range res {
 		traces[i] = topk.NamedTrace{
@@ -558,7 +590,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		p = s.parallelism
 	}
 	start := time.Now()
+	s.ixMu.RLock()
 	res := s.ix.QueryBatchCtx(s.queryCtx(req), qs, req.K, p)
+	s.ixMu.RUnlock()
 	out := make([]queryResult, len(res))
 	for i, r := range res {
 		out[i] = queryResult{
@@ -581,6 +615,114 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"elapsed": time.Since(start).String(),
 		"results": out,
 	})
+}
+
+// handleIngest is the bulk-update endpoint: POST /ingest with an NDJSON
+// body, one operation per line. A line holding the problem's item shape
+// (GET /problems reports it) inserts that item; a line of the form
+// {"delete": w} removes the item with weight w. Consecutive lines of
+// the same kind coalesce into one InsertBatch or DeleteBatch, so a
+// bulk load pays the overlay's sorted-merge flush cost once per run
+// instead of a per-item tail pass — that is the whole point of the
+// endpoint over many single inserts.
+//
+// The body is fully decoded before anything is applied, so malformed
+// lines reject the request with no mutation. Runs then apply in stream
+// order; a run rejected by validation (duplicate weight, bad geometry,
+// static index) stops the stream there and the response reports what
+// was applied before it.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	type run struct {
+		items   []any
+		deletes []float64
+	}
+	var (
+		runs    []run
+		lineNo  int
+		decoded int
+	)
+	sc := bufio.NewScanner(io.LimitReader(r.Body, 256<<20))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var del struct {
+			Delete *float64 `json:"delete"`
+		}
+		if err := json.Unmarshal([]byte(line), &del); err != nil {
+			http.Error(w, fmt.Sprintf("line %d: %v", lineNo, err), http.StatusBadRequest)
+			return
+		}
+		if del.Delete != nil {
+			if len(runs) == 0 || len(runs[len(runs)-1].deletes) == 0 {
+				runs = append(runs, run{})
+			}
+			runs[len(runs)-1].deletes = append(runs[len(runs)-1].deletes, *del.Delete)
+		} else {
+			it, err := s.ix.DecodeItem(json.RawMessage(line))
+			if err != nil {
+				http.Error(w, fmt.Sprintf("line %d: %v", lineNo, err), http.StatusBadRequest)
+				return
+			}
+			if len(runs) == 0 || len(runs[len(runs)-1].items) == 0 {
+				runs = append(runs, run{})
+			}
+			runs[len(runs)-1].items = append(runs[len(runs)-1].items, it)
+		}
+		decoded++
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if decoded == 0 {
+		http.Error(w, "empty ingest body (want NDJSON, one item or delete per line)", http.StatusBadRequest)
+		return
+	}
+
+	start := time.Now()
+	inserted, deleted := 0, 0
+	var applyErr error
+	s.ixMu.Lock()
+	for _, ru := range runs {
+		if len(ru.items) > 0 {
+			if applyErr = s.ix.InsertBatch(ru.items); applyErr != nil {
+				break
+			}
+			inserted += len(ru.items)
+		} else {
+			var n int
+			if n, applyErr = s.ix.DeleteBatch(ru.deletes); applyErr != nil {
+				break
+			}
+			deleted += n
+		}
+	}
+	total := s.ix.Len()
+	s.ixMu.Unlock()
+
+	resp := map[string]any{
+		"inserted": inserted,
+		"deleted":  deleted,
+		"items":    total,
+		"elapsed":  time.Since(start).String(),
+	}
+	if applyErr != nil {
+		resp["error"] = applyErr.Error()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *server) handleSlow(w http.ResponseWriter, _ *http.Request) {

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	topk-snap save    -dir DIR [-problem interval] [-n 20000] [-seed 42] [-reduction worstcase] [-shards 1] [-updates]
+//	topk-snap save    -dir DIR [-problem interval] [-n 20000] [-seed 42] [-reduction worstcase] [-shards 1] [-updates] [-maintenance buffered]
 //	topk-snap inspect -dir DIR [-sections]
 //	topk-snap verify  -dir DIR [-queries 200] [-k 10] [-qseed 1]
 //	topk-snap convert -src DIR -dst DIR -shards N
@@ -107,6 +107,7 @@ func cmdSave(args []string) error {
 		reduction = fs.String("reduction", "WorstCase", "reduction to build with")
 		shards    = fs.Int("shards", 1, "partition across this many shards")
 		updates   = fs.Bool("updates", false, "build with the dynamization overlay (WithUpdates)")
+		maint     = fs.String("maintenance", "logarithmic", "overlay maintenance policy: logarithmic | buffered (only meaningful with -updates)")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -123,6 +124,13 @@ func cmdSave(args []string) error {
 	opts := []topk.Option{topk.WithSeed(*seed), topk.WithReduction(red)}
 	if *updates {
 		opts = append(opts, topk.WithUpdates())
+	}
+	switch *maint {
+	case "logarithmic":
+	case "buffered":
+		opts = append(opts, topk.WithMaintenancePolicy(topk.PolicyBuffered))
+	default:
+		return fmt.Errorf("unknown -maintenance %q (want logarithmic or buffered)", *maint)
 	}
 	var ix topk.Served
 	if *shards > 1 {
@@ -157,6 +165,7 @@ var sectionNames = map[uint16]string{
 	snap.SecOverlayLevel:    "overlay-level",
 	snap.SecOverlayTail:     "overlay-tail",
 	snap.SecOverlayCounters: "overlay-counters",
+	snap.SecOverlayPolicy:   "overlay-policy",
 }
 
 var kindNames = map[uint8]string{
@@ -186,6 +195,9 @@ func cmdInspect(args []string) error {
 	}
 	fmt.Println()
 	fmt.Printf("reduction   %s\n", mf.Reduction)
+	if mf.Maintenance != "" {
+		fmt.Printf("maintenance %s\n", mf.Maintenance)
+	}
 	fmt.Printf("items       %d\n", mf.Items)
 	if mf.Partitioned {
 		fmt.Printf("shards      %d (policy %s, rr cursor %d)\n", mf.Shards, mf.Policy, mf.RR)
@@ -235,6 +247,32 @@ func inspectFile(path string) error {
 			name = fmt.Sprintf("unknown(%d)", typ)
 		}
 		fmt.Printf("            section %-17s %6d bytes\n", name, sec.Len())
+		if typ == snap.SecOverlayPolicy {
+			printPolicySection(sec)
+		}
+	}
+}
+
+// printPolicySection decodes the version-2 overlay-policy section: the
+// maintenance policy id, its partial-rebuild counter, and the buffered
+// ladder's per-tier run occupancy.
+func printPolicySection(sec *snap.Section) {
+	id := sec.RStr()
+	partials := sec.RI64()
+	n := sec.RCount(16)
+	runs := map[int]int{}
+	maxTier := -1
+	for i := 0; i < n; i++ {
+		sec.RU64() // slot: placement detail, occupancy is what matters here
+		tier := int(sec.RU64())
+		runs[tier]++
+		if tier > maxTier {
+			maxTier = tier
+		}
+	}
+	fmt.Printf("              policy %s, %d partial rebuild(s), %d pending run(s)\n", id, partials, n)
+	for t := 0; t <= maxTier; t++ {
+		fmt.Printf("              tier %d: %d run(s)\n", t, runs[t])
 	}
 }
 

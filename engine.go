@@ -86,12 +86,22 @@ type engine[Q, V, It any] struct {
 
 // updatableTopK is the common surface of the two dynamic engines an index
 // can sit on: Theorem 2's native dynamic reduction (*core.Expected) and
-// the logarithmic-method overlay (*dynamic.Overlay).
+// the dynamization overlay (*dynamic.Overlay).
 type updatableTopK[Q, V any] interface {
 	core.TopK[Q, V]
 	Insert(core.Item[V]) error
 	DeleteWeight(w float64) bool
 	Items() []core.Item[V]
+}
+
+// batchTopK is the optional bulk-update surface of a dynamic engine.
+// The overlay implements it — one sorted-merge flush per batch instead
+// of one tail pass per item, and one maintenance sweep per delete
+// batch. The native Theorem 2 structure does not; its per-item path is
+// already its native cost, so the engine falls back to a loop there.
+type batchTopK[V any] interface {
+	InsertBatch([]core.Item[V]) error
+	DeleteBatch([]float64) int
 }
 
 // validateItem runs the problem's geometry checks plus the engine's
@@ -247,6 +257,56 @@ func (e *engine[Q, V, It]) Insert(it It) error {
 	return nil
 }
 
+// InsertBatch adds a batch of items to an updatable engine in one
+// maintenance round. The whole batch is validated first — geometry,
+// weight finiteness, uniqueness against the live set and within the
+// batch — and a rejected batch inserts nothing. On the overlay, the
+// accepted batch is bulk-loaded with one sorted-merge flush instead of
+// len(items) individual tail passes.
+func (e *engine[Q, V, It]) InsertBatch(items []It) error {
+	if e.dyn == nil {
+		return errStatic(e.opts.reduction)
+	}
+	cores := make([]core.Item[V], len(items))
+	seen := make(map[float64]struct{}, len(items))
+	for i, it := range items {
+		if err := e.validateItem(it); err != nil {
+			return err
+		}
+		w := e.p.weight(it)
+		if _, dup := e.data[w]; dup {
+			return fmt.Errorf("topk: duplicate weight %v", w)
+		}
+		if _, dup := seen[w]; dup {
+			return fmt.Errorf("topk: duplicate weight %v", w)
+		}
+		seen[w] = struct{}{}
+		cores[i] = e.p.toCore(it)
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	before := e.tracker.Stats()
+	if b, ok := e.dyn.(batchTopK[V]); ok {
+		if err := b.InsertBatch(cores); err != nil {
+			return err
+		}
+	} else {
+		for _, ci := range cores {
+			if err := e.dyn.Insert(ci); err != nil {
+				return err
+			}
+		}
+	}
+	e.ob.observeUpdate(e.tracker.Stats().Sub(before))
+	for _, it := range items {
+		e.data[e.p.weight(it)] = it
+	}
+	e.n += len(items)
+	e.ob.observeShape(e.n, e.dyn)
+	return nil
+}
+
 // Delete removes the item with the given weight, reporting whether it was
 // present.
 func (e *engine[Q, V, It]) Delete(weight float64) (bool, error) {
@@ -262,6 +322,40 @@ func (e *engine[Q, V, It]) Delete(weight float64) (bool, error) {
 	e.n--
 	e.ob.observeShape(e.n, e.dyn)
 	return true, nil
+}
+
+// DeleteBatch removes the items with the given weights, returning how
+// many were present. Weights absent from the index (or repeated in the
+// batch) count nothing and delete nothing. On the overlay, structural
+// maintenance — dead-level compaction — runs once after the whole
+// batch instead of after every delete.
+func (e *engine[Q, V, It]) DeleteBatch(weights []float64) (int, error) {
+	if e.dyn == nil {
+		return 0, errStatic(e.opts.reduction)
+	}
+	before := e.tracker.Stats()
+	found := 0
+	if b, ok := e.dyn.(batchTopK[V]); ok {
+		found = b.DeleteBatch(weights)
+	} else {
+		for _, w := range weights {
+			if e.dyn.DeleteWeight(w) {
+				found++
+			}
+		}
+	}
+	if found == 0 {
+		return 0, nil
+	}
+	e.ob.observeUpdate(e.tracker.Stats().Sub(before))
+	for _, w := range weights {
+		if _, ok := e.data[w]; ok {
+			delete(e.data, w)
+			e.n--
+		}
+	}
+	e.ob.observeShape(e.n, e.dyn)
+	return found, nil
 }
 
 // Items returns a snapshot of the live items in unspecified order — the
@@ -358,10 +452,11 @@ func buildTopK[Q, V any](
 	return nil, fmt.Errorf("topk: unknown reduction %v", o.reduction)
 }
 
-// newOverlay dynamizes a static reduction with the logarithmic-method
-// overlay: every substructure is built by the ordinary reduction
-// constructor for the selected reduction, sharing the index tracker so
-// merge and rebuild I/Os show up in Stats.
+// newOverlay dynamizes a static reduction with the internal/dynamic
+// overlay under the options' maintenance policy: every substructure is
+// built by the ordinary reduction constructor for the selected
+// reduction, sharing the index tracker so flush, merge, and rebuild
+// I/Os show up in Stats.
 func newOverlay[Q, V any](
 	items []core.Item[V],
 	match core.MatchFunc[Q, V],
@@ -373,7 +468,7 @@ func newOverlay[Q, V any](
 ) (*dynamic.Overlay[Q, V], error) {
 	return dynamic.New(items, match, func(sub []core.Item[V]) (core.TopK[Q, V], error) {
 		return buildTopK(sub, match, pf, mf, lambda, o, tracker)
-	}, dynamic.Options{Tracker: tracker, TailCap: o.blockSize})
+	}, dynamic.Options{Tracker: tracker, TailCap: o.blockSize, Policy: o.maintPol.dynPolicy()})
 }
 
 // errStatic is the shared "index is static" error for Insert/Delete on an
@@ -405,9 +500,26 @@ func (f *facade[Q, V, It]) Len() int { return f.eng.Len() }
 // otherwise.
 func (f *facade[Q, V, It]) Insert(item It) error { return f.eng.Insert(item) }
 
+// InsertBatch adds a batch of items in one maintenance round,
+// validating the whole batch — geometry, finite weights, uniqueness
+// against the live set and within the batch — before inserting
+// anything: a rejected batch leaves the index unchanged. On an
+// overlay-dynamized build the batch is bulk-loaded with one
+// sorted-merge flush, so inserting m items costs strictly less than m
+// single Inserts. See Insert for which builds are updatable.
+func (f *facade[Q, V, It]) InsertBatch(items []It) error { return f.eng.InsertBatch(items) }
+
 // Delete removes the item with the given weight, reporting whether it was
 // present. See Insert for which builds are updatable.
 func (f *facade[Q, V, It]) Delete(weight float64) (bool, error) { return f.eng.Delete(weight) }
+
+// DeleteBatch removes the items with the given weights, returning how
+// many were present; absent or batch-repeated weights are skipped. On
+// an overlay-dynamized build structural maintenance runs once after
+// the whole batch. See Insert for which builds are updatable.
+func (f *facade[Q, V, It]) DeleteBatch(weights []float64) (int, error) {
+	return f.eng.DeleteBatch(weights)
+}
 
 // Stats returns the index's simulated I/O counters and space usage.
 func (f *facade[Q, V, It]) Stats() Stats { return f.eng.Stats() }

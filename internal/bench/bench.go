@@ -65,6 +65,7 @@ var experiments = map[string]struct {
 	"E28": {"Sharded serving: build time, batch throughput, and I/O cost vs shard count", runE28},
 	"E29": {"Warm starts: snapshot restore I/Os vs rebuild I/Os across the registry", runE29},
 	"E30": {"Real I/O: disk-backed store preads/pwrites vs simulated I/Os across the registry", runE30},
+	"E32": {"Maintenance policies: buffered vs logarithmic amortized inserts, bulk ingest", runE32},
 }
 
 // IDs returns the experiment identifiers in order.

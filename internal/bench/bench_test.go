@@ -8,10 +8,10 @@ import (
 
 func TestIDsCoverAllExperiments(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 30 {
-		t.Fatalf("%d experiments registered, want 30: %v", len(ids), ids)
+	if len(ids) != 31 {
+		t.Fatalf("%d experiments registered, want 31: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E30" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E32" {
 		t.Fatalf("IDs not in numeric order: %v", ids)
 	}
 	for _, id := range ids {
@@ -50,6 +50,34 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				t.Errorf("%s has no interpretation note", id)
 			}
 		})
+	}
+}
+
+// TestRegressUpdateRowsGateBulkIngest is the gated bench-row assertion
+// behind ISSUE 9: for every (policy, problem) cell of the update row
+// family, one InsertBatch of m items must cost fewer I/Os than the m
+// single Inserts measured alongside it.
+func TestRegressUpdateRowsGateBulkIngest(t *testing.T) {
+	rep := &RegressReport{}
+	if err := regressUpdates(Config{Seed: 42}, rep); err != nil {
+		t.Fatal(err)
+	}
+	ios := map[string]int64{}
+	for _, row := range rep.IO {
+		ios[row.Key] = row.IOs
+	}
+	for _, pol := range []string{"logarithmic", "buffered"} {
+		for _, prob := range []string{"interval", "range"} {
+			single, okS := ios["update/"+pol+"/"+prob+"/insert"]
+			batch, okB := ios["update/"+pol+"/"+prob+"/ingest"]
+			if !okS || !okB {
+				t.Fatalf("update rows missing for %s/%s: %v", pol, prob, ios)
+			}
+			if batch >= single {
+				t.Errorf("update/%s/%s: ingest cost %d ≥ %d for the same %d items singly",
+					pol, prob, batch, single, regressUpdateOps)
+			}
+		}
 	}
 }
 

@@ -20,6 +20,11 @@ import (
 //     are exact deterministic functions of (workload, seed) — any drift
 //     is a real cost change, and the gate fails on unexplained
 //     increases.
+//   - io, "update/..." keys: the pinned update workload — the same
+//     fresh batch paid for through single Inserts and through one
+//     InsertBatch — on overlay builds under each maintenance policy, so
+//     benchdiff gates the amortized update cost of both policies and of
+//     the bulk-ingest path.
 //   - io, "disk/..." keys (only with Config.Disk, i.e. topk-bench
 //     -disk): the same pinned workload rebuilt WithDiskStore, with IOs
 //     counting the store's *physical* operations (preads + pwrites over
@@ -109,6 +114,10 @@ func Regress(cfg Config) (*RegressReport, error) {
 		}
 	}
 
+	if err := regressUpdates(cfg, rep); err != nil {
+		return nil, err
+	}
+
 	if cfg.Disk {
 		if err := regressDisk(cfg, rep); err != nil {
 			return nil, err
@@ -120,6 +129,82 @@ func Regress(cfg Config) (*RegressReport, error) {
 		rep.Wall = append(rep.Wall, WallRow{Key: w.key, NsOp: r.NsPerOp()})
 	}
 	return rep, nil
+}
+
+// regressUpdateOps is the pinned update count behind the update rows.
+const regressUpdateOps = 1024
+
+// regressUpdates appends the update-path row family: the same pinned
+// batch of fresh items paid for through single Inserts and through one
+// InsertBatch, on overlay builds under each maintenance policy. The
+// gate's standing expectation (asserted by the tier-1 suite as well) is
+// that every ".../ingest" row stays below its ".../insert" sibling:
+// bulk ingest costs one sorted merge, not per-item tail cascades.
+func regressUpdates(cfg Config, rep *RegressReport) error {
+	for _, name := range []string{"interval", "range"} {
+		spec, ok := topk.ProblemByName(name)
+		if !ok {
+			return fmt.Errorf("update/%s: problem not registered", name)
+		}
+		for _, pol := range []topk.MaintenancePolicy{topk.PolicyLogarithmic, topk.PolicyBuffered} {
+			// The small block size forces the update workload through many
+			// tail flushes and ladder cascades; with the default block size
+			// the whole batch would fit in the overlay tail and both paths
+			// would measure nothing but dup checks.
+			build := func() (topk.Served, error) {
+				return spec.Build(regressN, cfg.Seed+27, topk.WithSeed(cfg.Seed),
+					topk.WithUpdates(), topk.WithReduction(topk.WorstCase),
+					topk.WithBlockSize(16), topk.WithMaintenancePolicy(pol))
+			}
+
+			single, err := build()
+			if err != nil {
+				return fmt.Errorf("update/%v/%s: %w", pol, name, err)
+			}
+			single.ResetStats()
+			for i := 0; i < regressUpdateOps; i++ {
+				if _, err := single.InsertFresh(cfg.Seed + 321 + uint64(i)); err != nil {
+					return fmt.Errorf("update/%v/%s: insert %d: %w", pol, name, i, err)
+				}
+			}
+			st := single.Stats()
+			rep.IO = append(rep.IO, IORow{
+				Key: fmt.Sprintf("update/%v/%s/insert", pol, name),
+				IOs: st.IOs(), Hits: st.Hits, Items: regressUpdateOps,
+			})
+
+			batch, err := build()
+			if err != nil {
+				return fmt.Errorf("update/%v/%s: %w", pol, name, err)
+			}
+			items := make([]any, regressUpdateOps)
+			for i := range items {
+				w := 2e9 + float64(i)
+				var raw string
+				if name == "interval" {
+					lo := float64(i%41) * 2.2
+					raw = fmt.Sprintf(`{"lo": %g, "hi": %g, "weight": %g}`, lo, lo+9, w)
+				} else {
+					raw = fmt.Sprintf(`{"pos": %g, "weight": %g}`, float64(i%53)*1.8, w)
+				}
+				it, err := batch.DecodeItem(json.RawMessage(raw))
+				if err != nil {
+					return fmt.Errorf("update/%v/%s: decode %s: %w", pol, name, raw, err)
+				}
+				items[i] = it
+			}
+			batch.ResetStats()
+			if err := batch.InsertBatch(items); err != nil {
+				return fmt.Errorf("update/%v/%s: ingest: %w", pol, name, err)
+			}
+			st = batch.Stats()
+			rep.IO = append(rep.IO, IORow{
+				Key: fmt.Sprintf("update/%v/%s/ingest", pol, name),
+				IOs: st.IOs(), Hits: st.Hits, Items: regressUpdateOps,
+			})
+		}
+	}
+	return nil
 }
 
 // regressDisk appends the real-I/O row family: every problem ×

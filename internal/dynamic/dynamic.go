@@ -1,46 +1,61 @@
 // Package dynamic turns the repository's static top-k structures into
-// fully dynamic ones with the logarithmic method (Bentley & Saxe), used
-// here exactly in the spirit of the paper: as one more black-box
-// reduction. The overlay never looks inside a substructure — it only
-// needs a Builder that constructs a static top-k structure over an
-// arbitrary subset of the input, which every reduction constructor in
-// this repository already is.
+// fully dynamic ones, used here exactly in the spirit of the paper: as
+// one more black-box reduction. The overlay never looks inside a
+// substructure — it only needs a Builder that constructs a static top-k
+// structure over an arbitrary subset of the input, which every reduction
+// constructor in this repository already is.
 //
-// Layout. The live set is partitioned into
+// Layout. Under every policy the live set is partitioned into
 //
 //   - a mutable tail of at most TailCap recently inserted items, kept
 //     unindexed and scanned at O(TailCap/B) I/Os per query, and
-//   - O(log(n/TailCap)) static substructures ("levels"), level j holding
-//     at most TailCap·2^(j+1) items.
+//   - a ladder of static substructures ("levels"), slot j holding at
+//     most TailCap·2^(j+1) items.
 //
-// Insert appends to the tail; when the tail fills, it is merged into the
-// ladder carry-style: the batch absorbs every occupied level it passes and
-// settles in the first empty level large enough to hold it. Each item is
-// therefore rebuilt O(log n) times over any insertion sequence, so the
-// amortized insert cost is O(log(n/TailCap) · Build(n)/n) I/Os — the
-// classic logarithmic-method bound, with no asymptotic penalty on top of
-// the underlying reduction's build.
+// How the ladder is maintained — when the tail is flushed, which levels
+// are merged, when and how tombstones are compacted — is the pluggable
+// part, selected by Options.Policy (a MaintenancePolicy):
 //
-// Delete marks the weight in its level's tombstone set (weights identify
-// items uniquely under the paper's distinct-weights assumption); a level
-// that becomes entirely dead is discarded outright, and when tombstones
-// exceed DeadFrac of all baked-in items a global rebuild compacts
-// everything into one fresh substructure, keeping the dead fraction — and
-// hence the query overhead — bounded. Both costs are amortized against
-// the deletes that caused them.
+//   - PolicyLogarithmic (the default) is the logarithmic method of
+//     Bentley & Saxe: a full tail merges into the ladder carry-style,
+//     absorbing every occupied level it passes, so each item is rebuilt
+//     O(log n) times and the amortized insert cost is
+//     O(log(n/TailCap) · Build(n)/n) I/Os. When tombstones exceed
+//     DeadFrac of all baked-in items, a global rebuild compacts
+//     everything into one fresh substructure.
+//
+//   - PolicyBuffered batches updates per level in the buffer-tree
+//     spirit: each tail flush is built immediately as an independent run,
+//     runs accumulate at a tier until tierFan of them merge into one run
+//     a tier up, a tombstone-heavy run is partially rebuilt alone, and
+//     there is no global rebuild. Each item is rebuilt only once per
+//     tier — O(log₄(n/TailCap)) times — roughly halving the logarithmic
+//     method's amortized insert I/Os.
+//
+// Both policies delete by marking the weight in its level's tombstone
+// set (weights identify items uniquely under the paper's distinct-weights
+// assumption) and discard a level outright the moment it is entirely
+// dead; compaction of the remaining tombstones is where they differ, as
+// above. All maintenance costs are amortized against the updates that
+// caused them.
+//
+// Bulk updates go through InsertBatch/DeleteBatch: the whole batch is
+// validated and then merged in a single maintenance pass, so m items pay
+// one sorted merge instead of m per-item overlay costs.
 //
 // Query merges candidates: level j is asked for its top-(k + dead_j)
 // items, which must contain that level's k heaviest live matches; the
 // tail is scanned; tombstoned candidates are dropped and a k-selection
-// finishes. The query path mutates nothing, so queries inherit the
-// concurrency contract of the static structures: any number may run in
-// parallel (including through em.Tracker query views), and per-query I/O
-// stats are deterministic regardless of parallelism.
+// finishes. The query path never consults the policy and mutates
+// nothing, so queries inherit the concurrency contract of the static
+// structures: any number may run in parallel (including through
+// em.Tracker query views), and per-query I/O stats are deterministic
+// regardless of parallelism — and identical under every policy.
 //
 // All substructure build I/Os are charged to the Options.Tracker by the
 // builders themselves, and a discarded substructure's blocks are returned
 // via Tracker.ReleaseBlocks, so the tracker's counters directly measure
-// the amortized update cost and live space (experiment E25).
+// the amortized update cost and live space (experiments E25 and E32).
 package dynamic
 
 import (
@@ -69,10 +84,18 @@ const (
 	// the absorbed levels' discard and the substructure build. Level =
 	// the slot the batch settled in, Arg = batch size.
 	PhaseFlush = "dyn.flush"
-	// PhaseRebuild is the global compaction triggered at DeadFrac.
-	// Arg = live items compacted.
+	// PhaseRebuild is the global compaction triggered at DeadFrac
+	// (PolicyLogarithmic only). Arg = live items compacted.
 	PhaseRebuild = "dyn.rebuild"
+	// PhasePartial is PolicyBuffered maintenance that rebuilds a strict
+	// subset of the structure: a tier merge (Level = the tier merged) or
+	// a single run's tombstone compaction (Level = the run's slot).
+	// Arg = items rebuilt.
+	PhasePartial = "dyn.partial"
 )
+
+// maxCap caps capacity formulas clear of integer overflow.
+const maxCap = math.MaxInt / 2
 
 // Builder constructs one static top-k substructure over a subset of the
 // input. The overlay owns the slice it passes and never mutates it after
@@ -91,9 +114,15 @@ type Options struct {
 	// into the level ladder. Default 64 (one block of the paper's minimum
 	// block size).
 	TailCap int
-	// DeadFrac triggers a global rebuild when tombstones exceed this
-	// fraction of all items baked into substructures. Default 0.5.
+	// DeadFrac is the tombstone-compaction threshold. Under
+	// PolicyLogarithmic it triggers a global rebuild when tombstones
+	// exceed this fraction of all items baked into substructures; under
+	// PolicyBuffered it triggers a partial rebuild of any single run
+	// whose own tombstones exceed it. Default 0.5.
 	DeadFrac float64
+	// Policy selects the structural-maintenance strategy. Nil defaults
+	// to PolicyLogarithmic, the pre-seam behavior.
+	Policy MaintenancePolicy
 }
 
 func (o *Options) fill() {
@@ -102,6 +131,9 @@ func (o *Options) fill() {
 	}
 	if o.DeadFrac <= 0 || o.DeadFrac >= 1 {
 		o.DeadFrac = 0.5
+	}
+	if o.Policy == nil {
+		o.Policy = PolicyLogarithmic
 	}
 }
 
@@ -113,12 +145,22 @@ type Stats struct {
 	Tombstones int // dead items still baked into substructures
 
 	Inserts, Deletes int64
-	Flushes          int64 // tail merges into the ladder
-	Rebuilds         int64 // global compactions
+	Flushes          int64 // tail/bulk merges into the ladder
+	Rebuilds         int64 // global compactions (PolicyLogarithmic)
+	// PartialRebuilds counts PolicyBuffered maintenance operations that
+	// rebuilt a strict subset of the structure: tier merges and
+	// single-run tombstone compactions.
+	PartialRebuilds int64
 	// BuiltItems counts items passed through substructure builds since
 	// construction (including the initial build); BuiltItems/Inserts is
 	// the measured rebuild amplification behind the amortized bound.
 	BuiltItems int64
+
+	// BufferedRuns and BufferedItems describe PolicyBuffered's pending
+	// work: runs (and the items in them) buffered at some tier awaiting
+	// that tier's next merge. Zero under PolicyLogarithmic.
+	BufferedRuns  int
+	BufferedItems int
 }
 
 // level is one static substructure plus its delete bookkeeping.
@@ -140,6 +182,7 @@ type Overlay[Q, V any] struct {
 	match core.MatchFunc[Q, V]
 	build Builder[Q, V]
 	opts  Options
+	maint maintainer[Q, V] // opts.Policy instantiated for this overlay
 
 	levels  []*level[Q, V] // slot j: nil or ≤ TailCap·2^(j+1) items
 	tail    []core.Item[V]
@@ -168,14 +211,11 @@ func New[Q, V any](
 		match: match, build: build, opts: opts,
 		tailPos: make(map[float64]int), where: make(map[float64]int),
 	}
+	o.maint = newMaintainer(o)
 	if len(items) > 0 {
 		batch := make([]core.Item[V], len(items))
 		copy(batch, items)
-		j := 0
-		for len(batch) > o.capOf(j) {
-			j++
-		}
-		if err := o.buildAt(j, batch); err != nil {
+		if err := o.maint.initial(batch); err != nil {
 			return nil, err
 		}
 	}
@@ -185,7 +225,7 @@ func New[Q, V any](
 // capOf is level j's capacity, TailCap·2^(j+1).
 func (o *Overlay[Q, V]) capOf(j int) int {
 	if j >= 40 {
-		return math.MaxInt / 2
+		return maxCap
 	}
 	return o.opts.TailCap << uint(j+1)
 }
@@ -202,8 +242,12 @@ func (o *Overlay[Q, V]) Stats() Stats {
 		}
 	}
 	st.Live, st.Tail, st.Tombstones = o.N(), len(o.tail), o.deadTotal
+	o.maint.addStats(&st)
 	return st
 }
+
+// Policy reports the maintenance policy this overlay runs under.
+func (o *Overlay[Q, V]) Policy() MaintenancePolicy { return o.maint.policy() }
 
 // Items returns a snapshot of the live items in unspecified order.
 func (o *Overlay[Q, V]) Items() []core.Item[V] {
@@ -225,8 +269,8 @@ func (o *Overlay[Q, V]) contains(w float64) bool {
 	return ok
 }
 
-// Insert adds an item: O(1) tail append, plus the amortized merge cost
-// when the tail fills.
+// Insert adds an item: O(1) tail append, plus the policy's amortized
+// merge cost when the tail fills.
 func (o *Overlay[Q, V]) Insert(it core.Item[V]) error {
 	if math.IsNaN(it.Weight) || math.IsInf(it.Weight, 0) {
 		return fmt.Errorf("dynamic: non-finite weight %v", it.Weight)
@@ -237,16 +281,89 @@ func (o *Overlay[Q, V]) Insert(it core.Item[V]) error {
 	o.tailPos[it.Weight] = len(o.tail)
 	o.tail = append(o.tail, it)
 	o.stats.Inserts++
-	if len(o.tail) >= o.opts.TailCap {
-		o.flushTail()
-	}
+	o.maint.afterInsert()
 	return nil
 }
 
+// InsertBatch adds a batch of items in one maintenance pass: the batch is
+// validated up front (atomically — on error nothing is inserted), small
+// batches simply extend the tail, and anything larger is merged into the
+// ladder together with the drained tail as a single bulk load. m items
+// therefore pay one sorted merge — charged as Tracker.SortCost plus one
+// policy merge — instead of m per-item overlay costs.
+func (o *Overlay[Q, V]) InsertBatch(items []core.Item[V]) error {
+	seen := make(map[float64]struct{}, len(items))
+	for _, it := range items {
+		if math.IsNaN(it.Weight) || math.IsInf(it.Weight, 0) {
+			return fmt.Errorf("dynamic: non-finite weight %v", it.Weight)
+		}
+		if _, dup := seen[it.Weight]; dup {
+			return fmt.Errorf("dynamic: duplicate weight %v", it.Weight)
+		}
+		if o.contains(it.Weight) {
+			return fmt.Errorf("dynamic: duplicate weight %v", it.Weight)
+		}
+		seen[it.Weight] = struct{}{}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	o.stats.Inserts += int64(len(items))
+	if len(o.tail)+len(items) < o.opts.TailCap {
+		for _, it := range items {
+			o.tailPos[it.Weight] = len(o.tail)
+			o.tail = append(o.tail, it)
+		}
+		return nil
+	}
+	batch := make([]core.Item[V], 0, len(o.tail)+len(items))
+	batch = append(batch, o.tail...)
+	batch = append(batch, items...)
+	o.tail = o.tail[:0]
+	clear(o.tailPos)
+	if o.opts.Tracker != nil {
+		o.opts.Tracker.SortCost(len(items))
+	}
+	return o.maint.bulkLoad(batch)
+}
+
 // DeleteWeight removes the item with the given weight and reports whether
-// it was present: O(1) for tail items, a tombstone mark (plus amortized
-// compaction) for baked-in ones.
+// it was present: O(1) for tail items, a tombstone mark (plus the
+// policy's amortized compaction) for baked-in ones.
 func (o *Overlay[Q, V]) DeleteWeight(w float64) bool {
+	found, j, discarded := o.deleteOne(w)
+	if !found {
+		return false
+	}
+	if j >= 0 {
+		o.maint.afterDelete(j, discarded)
+	}
+	return true
+}
+
+// DeleteBatch removes the items with the given weights and reports how
+// many were present; absent weights are skipped. Tombstones are marked
+// item by item (fully dead levels are still discarded on the spot), and
+// the policy's compaction check runs once for the whole batch, so a bulk
+// delete triggers at most one maintenance pass.
+func (o *Overlay[Q, V]) DeleteBatch(ws []float64) int {
+	found := 0
+	for _, w := range ws {
+		if ok, _, _ := o.deleteOne(w); ok {
+			found++
+		}
+	}
+	if found > 0 {
+		o.maint.afterDeleteBatch()
+	}
+	return found
+}
+
+// deleteOne is the policy-independent half of a delete: tail removal or
+// tombstone marking, plus the unconditional discard of a fully dead
+// level. It reports the slot tombstoned (-1 for tail removals) and
+// whether that slot was discarded; the caller runs policy maintenance.
+func (o *Overlay[Q, V]) deleteOne(w float64) (found bool, j int, discarded bool) {
 	if pos, ok := o.tailPos[w]; ok {
 		last := len(o.tail) - 1
 		moved := o.tail[last]
@@ -257,88 +374,32 @@ func (o *Overlay[Q, V]) DeleteWeight(w float64) bool {
 		}
 		delete(o.tailPos, w)
 		o.stats.Deletes++
-		return true
+		return true, -1, false
 	}
 	j, ok := o.where[w]
 	if !ok {
-		return false
+		return false, -1, false
 	}
 	lvl := o.levels[j]
 	lvl.dead[w] = struct{}{}
 	delete(o.where, w)
 	o.deadTotal++
 	o.stats.Deletes++
-	switch {
-	case lvl.live() == 0:
+	if lvl.live() == 0 {
 		o.discard(j)
-	case float64(o.deadTotal) >= o.opts.DeadFrac*float64(o.builtTotal) && o.builtTotal > o.opts.TailCap:
-		o.rebuildAll()
+		return true, j, true
 	}
-	return true
+	return true, j, false
 }
 
-// flushTail merges the tail into the ladder carry-style: the batch absorbs
-// every occupied level it passes and settles in the first empty slot that
-// can hold it.
-func (o *Overlay[Q, V]) flushTail() {
+// drainTail detaches the tail's contents as a batch, resetting the
+// buffer.
+func (o *Overlay[Q, V]) drainTail() []core.Item[V] {
 	batch := make([]core.Item[V], len(o.tail))
 	copy(batch, o.tail)
 	o.tail = o.tail[:0]
 	clear(o.tailPos)
-	o.stats.Flushes++
-	sp := o.opts.Tracker.BeginSpan()
-	defer func() { o.opts.Tracker.EndSpan(sp, PhaseFlush, -1, int64(len(batch))) }()
-
-	j := 0
-	for {
-		if j == len(o.levels) {
-			o.levels = append(o.levels, nil)
-		}
-		if lvl := o.levels[j]; lvl != nil {
-			batch = appendLive(batch, lvl)
-			o.discard(j)
-			j++
-			continue
-		}
-		if len(batch) <= o.capOf(j) {
-			break
-		}
-		j++
-	}
-	if err := o.buildAt(j, batch); err != nil {
-		// Builders fail only on invalid item sets, and every item here was
-		// validated on entry; a failure is an invariant violation.
-		panic(fmt.Sprintf("dynamic: merge rebuild failed: %v", err))
-	}
-}
-
-// rebuildAll compacts every live item (levels and tail) into one fresh
-// substructure, clearing all tombstones.
-func (o *Overlay[Q, V]) rebuildAll() {
-	o.stats.Rebuilds++
-	sp := o.opts.Tracker.BeginSpan()
-	defer func() { o.opts.Tracker.EndSpan(sp, PhaseRebuild, -1, int64(o.N())) }()
-	batch := make([]core.Item[V], 0, o.N())
-	for j, lvl := range o.levels {
-		if lvl != nil {
-			batch = appendLive(batch, lvl)
-			o.discard(j)
-		}
-	}
-	batch = append(batch, o.tail...)
-	o.tail = o.tail[:0]
-	clear(o.tailPos)
-	o.levels = o.levels[:0]
-	if len(batch) == 0 {
-		return
-	}
-	j := 0
-	for len(batch) > o.capOf(j) {
-		j++
-	}
-	if err := o.buildAt(j, batch); err != nil {
-		panic(fmt.Sprintf("dynamic: global rebuild failed: %v", err))
-	}
+	return batch
 }
 
 // buildAt constructs a substructure over batch and installs it at level j,
@@ -388,6 +449,7 @@ func (o *Overlay[Q, V]) discard(j int) {
 	if o.opts.Tracker != nil {
 		o.opts.Tracker.ReleaseBlocks(lvl.blocks)
 	}
+	o.maint.onDiscard(j)
 }
 
 // single returns the only occupied level, if exactly one exists.

@@ -20,6 +20,15 @@ type State[V any] struct {
 	// Options argument.
 	TailCap  int
 	DeadFrac float64
+	// PolicyID names the maintenance policy the overlay was running
+	// under; Restore resumes it. Empty means PolicyLogarithmic — the
+	// only policy that existed before states carried one, so pre-seam
+	// (snapshot v1) states restore onto it unchanged.
+	PolicyID string
+	// Tiers is PolicyBuffered's placement bookkeeping: the tier of the
+	// run each occupied slot holds, ascending by slot. Empty for
+	// PolicyLogarithmic, which keeps no per-slot state.
+	Tiers []TierRef
 	// Levels holds the occupied ladder slots in ascending slot order.
 	Levels []LevelState[V]
 	// Tail is the mutable insert buffer, in insertion order.
@@ -27,6 +36,11 @@ type State[V any] struct {
 	// Counters carries the lifetime update statistics so a restored
 	// overlay's Stats() continues the original's sequence.
 	Counters Counters
+}
+
+// TierRef records which tier the run at a ladder slot belongs to.
+type TierRef struct {
+	Slot, Tier int
 }
 
 // LevelState is one occupied ladder slot: the exact item batch its
@@ -41,7 +55,7 @@ type LevelState[V any] struct {
 
 // Counters are the lifetime update statistics of Stats.
 type Counters struct {
-	Inserts, Deletes, Flushes, Rebuilds, BuiltItems int64
+	Inserts, Deletes, Flushes, Rebuilds, PartialRebuilds, BuiltItems int64
 }
 
 // ExportState captures the overlay's logical state. The returned value
@@ -51,13 +65,16 @@ func (o *Overlay[Q, V]) ExportState() State[V] {
 	st := State[V]{
 		TailCap:  o.opts.TailCap,
 		DeadFrac: o.opts.DeadFrac,
+		PolicyID: o.maint.policy().ID(),
+		Tiers:    o.maint.exportTiers(),
 		Tail:     append([]core.Item[V](nil), o.tail...),
 		Counters: Counters{
-			Inserts:    o.stats.Inserts,
-			Deletes:    o.stats.Deletes,
-			Flushes:    o.stats.Flushes,
-			Rebuilds:   o.stats.Rebuilds,
-			BuiltItems: o.stats.BuiltItems,
+			Inserts:         o.stats.Inserts,
+			Deletes:         o.stats.Deletes,
+			Flushes:         o.stats.Flushes,
+			Rebuilds:        o.stats.Rebuilds,
+			PartialRebuilds: o.stats.PartialRebuilds,
+			BuiltItems:      o.stats.BuiltItems,
 		},
 	}
 	for j, lvl := range o.levels {
@@ -99,14 +116,29 @@ func Restore[Q, V any](
 	}
 	opts.TailCap = st.TailCap
 	opts.DeadFrac = st.DeadFrac
+	// The policy comes from the state, like the other structural knobs: a
+	// state with no PolicyID predates the seam and restores onto the
+	// logarithmic policy it was written under.
+	opts.Policy = PolicyLogarithmic
+	if st.PolicyID != "" {
+		pol, ok := PolicyByID(st.PolicyID)
+		if !ok {
+			return nil, fmt.Errorf("dynamic: restore: unknown maintenance policy %q", st.PolicyID)
+		}
+		opts.Policy = pol
+	}
 	opts.fill() // zero values fall back to the defaults
 
 	o := &Overlay[Q, V]{
 		match: match, build: build, opts: opts,
 		tailPos: make(map[float64]int), where: make(map[float64]int),
 	}
+	o.maint = newMaintainer(o)
 
 	if err := validateState(o, st); err != nil {
+		return nil, err
+	}
+	if err := o.maint.checkTiers(st.Levels, st.Tiers); err != nil {
 		return nil, err
 	}
 
@@ -138,16 +170,19 @@ func Restore[Q, V any](
 		}
 	}
 
+	o.maint.adoptTiers(st.Tiers)
+
 	o.tail = append(o.tail, st.Tail...)
 	for i, it := range o.tail {
 		o.tailPos[it.Weight] = i
 	}
 	o.stats = Stats{
-		Inserts:    st.Counters.Inserts,
-		Deletes:    st.Counters.Deletes,
-		Flushes:    st.Counters.Flushes,
-		Rebuilds:   st.Counters.Rebuilds,
-		BuiltItems: st.Counters.BuiltItems,
+		Inserts:         st.Counters.Inserts,
+		Deletes:         st.Counters.Deletes,
+		Flushes:         st.Counters.Flushes,
+		Rebuilds:        st.Counters.Rebuilds,
+		PartialRebuilds: st.Counters.PartialRebuilds,
+		BuiltItems:      st.Counters.BuiltItems,
 	}
 	return o, nil
 }

@@ -499,6 +499,32 @@ func (t *Tracker) ScanCost(nItems int) {
 	t.chargeReads(n)
 }
 
+// SortCost charges one external-memory merge sort of nItems items packed
+// B-per-block: ceil(n/B) blocks read and written per pass, with
+// max(1, ⌈log_{M/B}(n/B)⌉) passes — the textbook EM sorting bound
+// (Aggarwal & Vitter). It is the bulk-ingest charge path: merging a
+// validated batch into a dynamized structure pays one streaming sort of
+// the batch, not per-item costs. Update-path only (never inside a query
+// view).
+func (t *Tracker) SortCost(nItems int) {
+	t.checkMutable("SortCost")
+	if nItems <= 0 {
+		return
+	}
+	blocks := int64((nItems + t.cfg.B - 1) / t.cfg.B)
+	fan := int64(t.cfg.MemBlocks)
+	if fan < 2 {
+		fan = 2
+	}
+	passes := int64(1)
+	for capacity := fan; capacity < blocks; capacity *= fan {
+		passes++
+	}
+	t.reads.Add(blocks * passes)
+	t.writes.Add(blocks * passes)
+	t.chargeReads(blocks * passes)
+}
+
 // chargeReads materializes cost-level read charges (PathCost, ScanCost)
 // as physical stand-in reads when a store is attached. These charges
 // model block traffic without naming block IDs, so the store reads a

@@ -42,6 +42,15 @@ type QueryMetrics struct {
 	UpdateIOs  *LogHistogram // topk_update_ios
 	FlushIOs   *LogHistogram // topk_flush_ios
 	RebuildIOs *LogHistogram // topk_rebuild_ios
+
+	// PolicyBuffered maintenance series (PR 9). Partial rebuilds replace
+	// the logarithmic policy's global rebuilds, so they get the same
+	// count-plus-spike treatment; the run gauges expose how much merge
+	// debt the tiered ladder is currently carrying.
+	PartialRebuilds   *Counter      // topk_partial_rebuilds_total
+	PartialRebuildIOs *LogHistogram // topk_partial_rebuild_ios
+	BufferedRuns      *Gauge        // topk_overlay_buffered_runs
+	BufferedItems     *Gauge        // topk_overlay_buffered_items
 }
 
 // NewQueryMetrics registers the standard bundle under the given index
@@ -94,6 +103,14 @@ func NewQueryMetrics(r *Registry, index string, extra ...Label) *QueryMetrics {
 			"EM I/Os per overlay tail flush (update-cost spike series).", 1, ls...),
 		RebuildIOs: r.NewLogHistogram("topk_rebuild_ios",
 			"EM I/Os per full structure rebuild (update-cost spike series).", 1, ls...),
+		PartialRebuilds: r.NewCounter("topk_partial_rebuilds_total",
+			"Weight-balanced partial rebuilds of single overlay runs (buffered policy).", ls...),
+		PartialRebuildIOs: r.NewLogHistogram("topk_partial_rebuild_ios",
+			"EM I/Os per partial rebuild (update-cost spike series, buffered policy).", 1, ls...),
+		BufferedRuns: r.NewGauge("topk_overlay_buffered_runs",
+			"Pending un-cascaded runs in the buffered policy's tiered ladder.", ls...),
+		BufferedItems: r.NewGauge("topk_overlay_buffered_items",
+			"Items held in pending buffered runs awaiting a cascade merge.", ls...),
 	}
 }
 
@@ -203,6 +220,9 @@ func (c *Collector) Event(ev em.TraceEvent) {
 	case strings.HasSuffix(ev.Phase, ".rebuild"):
 		c.M.Rebuilds.Inc()
 		c.M.RebuildIOs.Observe(ev.Reads + ev.Writes)
+	case strings.HasSuffix(ev.Phase, ".partial"):
+		c.M.PartialRebuilds.Inc()
+		c.M.PartialRebuildIOs.Observe(ev.Reads + ev.Writes)
 	}
 }
 

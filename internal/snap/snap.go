@@ -42,11 +42,15 @@ import (
 // Magic is the 4-byte stream prefix identifying a top-k snapshot.
 const Magic = "TKSN"
 
-// Version is the format version this build writes and the only version
-// it reads. Bump it on any incompatible layout change; readers report a
-// descriptive error for every other version (see DESIGN.md §12 for the
+// Version is the format version this build writes. Readers accept every
+// version from 1 up to and including Version: the only change between 1
+// and 2 is the optional SecOverlayPolicy section, which version-1
+// streams simply never carry, so a v1 snapshot decodes unchanged onto
+// the default (logarithmic) maintenance policy. Bump Version on any
+// layout change an old reader would misparse; readers report a
+// descriptive error for every newer version (see DESIGN.md §12 for the
 // compatibility policy).
-const Version uint16 = 1
+const Version uint16 = 2
 
 // Section types. SecHeader must be the first section of every stream;
 // SecEnd terminates it. The remaining types carry engine state and may
@@ -71,6 +75,13 @@ const (
 	// SecOverlayCounters carries the overlay's cumulative update
 	// counters, so Stats continuity survives a restore.
 	SecOverlayCounters uint16 = 6
+	// SecOverlayPolicy (format version 2) names the overlay's structural-
+	// maintenance policy and carries its policy-specific bookkeeping:
+	// partial-rebuild counter plus the per-slot tier placement of the
+	// buffered policy's runs. Writers emit it only for non-default
+	// policies, so a logarithmic overlay's snapshot is byte-identical to
+	// the version-1 stream; readers treat its absence as "logarithmic".
+	SecOverlayPolicy uint16 = 7
 )
 
 // Engine kinds recorded in the header: how the structural sections are
@@ -222,11 +233,13 @@ func (s *Section) Str(v string) { s.Bytes([]byte(v)) }
 // Reader consumes one snapshot stream.
 type Reader struct {
 	r   io.Reader
+	ver uint16
 	err error
 }
 
 // NewReader validates the magic and format version and returns a reader
-// positioned at the first section.
+// positioned at the first section. Every version from 1 through Version
+// is accepted (older streams are a strict subset of the current layout).
 func NewReader(r io.Reader) (*Reader, error) {
 	var pre [6]byte
 	if _, err := io.ReadFull(r, pre[:]); err != nil {
@@ -235,11 +248,15 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(pre[:4]) != Magic {
 		return nil, fmt.Errorf("snap: bad magic %q: not a top-k snapshot", pre[:4])
 	}
-	if v := binary.LittleEndian.Uint16(pre[4:6]); v != Version {
-		return nil, fmt.Errorf("snap: unsupported format version %d (this build reads version %d; rebuild the snapshot or upgrade)", v, Version)
+	v := binary.LittleEndian.Uint16(pre[4:6])
+	if v < 1 || v > Version {
+		return nil, fmt.Errorf("snap: unsupported format version %d (this build reads versions 1 through %d; rebuild the snapshot or upgrade)", v, Version)
 	}
-	return &Reader{r: r}, nil
+	return &Reader{r: r, ver: v}, nil
 }
+
+// Version reports the stream's declared format version.
+func (r *Reader) Version() uint16 { return r.ver }
 
 // Next reads the next section, verifying its length and checksum. It
 // returns the section type; SecEnd signals a clean end of stream. A

@@ -253,14 +253,19 @@ func (ob *indexObs) observeUpdate(delta em.Stats) {
 
 // observeShape refreshes the structural gauges after construction,
 // Insert, or Delete. dyn is the facade's updatable engine (may be nil or
-// a non-overlay engine; only the logarithmic overlay reports levels).
+// a non-overlay engine; only the overlay reports levels, and only the
+// buffered policy keeps pending runs, so the extra gauges read zero
+// everywhere else).
 func (ob *indexObs) observeShape(n int, dyn any) {
 	if ob == nil || ob.qm == nil {
 		return
 	}
 	ob.qm.Items.Set(int64(n))
 	if o, ok := dyn.(interface{ Stats() dynamic.Stats }); ok {
-		ob.qm.Levels.Set(int64(o.Stats().Levels))
+		st := o.Stats()
+		ob.qm.Levels.Set(int64(st.Levels))
+		ob.qm.BufferedRuns.Set(int64(st.BufferedRuns))
+		ob.qm.BufferedItems.Set(int64(st.BufferedItems))
 	}
 	ob.refreshStore()
 }

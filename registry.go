@@ -58,6 +58,11 @@ type Served interface {
 	// DecodeQuery parses one JSON-shaped query (the /query wire format;
 	// see ProblemSpec.QueryShape for the expected shape).
 	DecodeQuery(raw json.RawMessage) (any, error)
+	// DecodeItem parses one JSON-shaped item (the /ingest wire format;
+	// see ProblemSpec.ItemShape for the expected shape). The decoded
+	// value feeds InsertBatch; geometry and weight validation happen
+	// there, through the same gate as every other insert path.
+	DecodeItem(raw json.RawMessage) (any, error)
 	// TopK returns the k heaviest items satisfying q, heaviest first.
 	TopK(q any, k int) []ServedItem
 	// Max returns the heaviest item satisfying q (a top-1 query).
@@ -85,6 +90,14 @@ type Served interface {
 	// Delete removes the item with the given weight, reporting whether it
 	// was present.
 	Delete(weight float64) (bool, error)
+	// InsertBatch bulk-inserts a batch of DecodeItem-decoded items in
+	// one ingest round: the whole batch is validated before anything is
+	// inserted, and on an overlay-dynamized build the accepted batch
+	// bulk-loads with one sorted-merge flush (per shard, when sharded).
+	InsertBatch(items []any) error
+	// DeleteBatch removes the items with the given weights, returning
+	// how many were present; absent weights are skipped.
+	DeleteBatch(weights []float64) (int, error)
 	// Stats returns the index-wide simulated I/O counters.
 	Stats() Stats
 	// ResetStats zeroes the I/O counters.
@@ -123,6 +136,9 @@ type ProblemSpec struct {
 	Dim int
 	// QueryShape documents the JSON wire shape DecodeQuery accepts.
 	QueryShape string
+	// ItemShape documents the JSON wire shape DecodeItem accepts — one
+	// object per item on the /ingest NDJSON stream.
+	ItemShape string
 	// WireQueries returns m deterministic JSON-encoded queries derived
 	// from seed, in the problem's /query wire shape (DecodeQuery accepts
 	// every one of them). This is the workload source for
@@ -209,7 +225,9 @@ type servedEngine[Q, It any] interface {
 	QueryBatch(qs []Q, k int, parallelism int) []BatchResult[It]
 	QueryBatchCtx(ctx QueryCtx, qs []Q, k int, parallelism int) []BatchResult[It]
 	Insert(it It) error
+	InsertBatch(items []It) error
 	Delete(weight float64) (bool, error)
+	DeleteBatch(weights []float64) (int, error)
 	Stats() Stats
 	ResetStats()
 	WriteMetrics(w io.Writer) error
@@ -236,6 +254,9 @@ type served[Q, V, It any] struct {
 	gen func(g *wrand.RNG) Q
 	// decode parses the problem's JSON query shape.
 	decode func(raw json.RawMessage) (Q, error)
+	// decItem parses the problem's JSON item shape (the ingest wire
+	// format); semantic validation is InsertBatch's job.
+	decItem func(raw json.RawMessage) (It, error)
 	// label renders an item's geometry for ServedItem.
 	label func(It) string
 	// fresh builds a valid item with the given (pre-checked) weight.
@@ -270,6 +291,26 @@ func (s *served[Q, V, It]) DecodeQuery(raw json.RawMessage) (any, error) {
 		return nil, err
 	}
 	return q, nil
+}
+
+func (s *served[Q, V, It]) DecodeItem(raw json.RawMessage) (any, error) {
+	it, err := s.decItem(raw)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func (s *served[Q, V, It]) InsertBatch(items []any) error {
+	typed := make([]It, len(items))
+	for i, it := range items {
+		typed[i] = it.(It)
+	}
+	return s.eng.InsertBatch(typed)
+}
+
+func (s *served[Q, V, It]) DeleteBatch(weights []float64) (int, error) {
+	return s.eng.DeleteBatch(weights)
 }
 
 func (s *served[Q, V, It]) item(it It) ServedItem {
@@ -388,6 +429,25 @@ func decodeFloats(raw json.RawMessage, want int, shape string) ([]float64, error
 	return xs, nil
 }
 
+// unmarshalItem decodes one ingest-stream object, wrapping JSON errors
+// with the problem's documented item shape.
+func unmarshalItem(raw json.RawMessage, shape string, into any) error {
+	if err := json.Unmarshal(raw, into); err != nil {
+		return fmt.Errorf("want %s: %w", shape, err)
+	}
+	return nil
+}
+
+// itemWeight unwraps an item's required "weight" field. Weight is the
+// item's identity, so an omitted field is a shape error rather than a
+// silent zero.
+func itemWeight(w *float64, shape string) (float64, error) {
+	if w == nil {
+		return 0, fmt.Errorf(`want %s: missing "weight"`, shape)
+	}
+	return *w, nil
+}
+
 // wireQueries derives a ProblemSpec.WireQueries from the spec's query
 // generator and a JSON-shaping encoder. gen must be the same generator
 // the served adapter uses, so wire workloads and in-process workloads
@@ -413,6 +473,26 @@ func genCoords(g *wrand.RNG, d int) []float64 {
 		cs[i] = g.Float64() * coordScale
 	}
 	return cs
+}
+
+// pointNItemShape is the shared PointItemN ingest shape for the ortho,
+// circular, and halfspace entries; the coordinate count is checked by
+// the problem's dimension validation on insert.
+const pointNItemShape = `{"coords": [x1, ...], "weight": w}`
+
+func decodePointN(raw json.RawMessage) (PointItemN[int], error) {
+	var body struct {
+		Coords []float64 `json:"coords"`
+		Weight *float64  `json:"weight"`
+	}
+	if err := unmarshalItem(raw, pointNItemShape, &body); err != nil {
+		return PointItemN[int]{}, err
+	}
+	w, err := itemWeight(body.Weight, pointNItemShape)
+	if err != nil {
+		return PointItemN[int]{}, err
+	}
+	return PointItemN[int]{Coords: body.Coords, Weight: w}, nil
 }
 
 // genPointsN is the shared PointItemN workload for the ortho, circular,
@@ -450,6 +530,7 @@ func intervalSpec() ProblemSpec {
 		return items
 	}
 	genQ := func(g *wrand.RNG) float64 { return g.Float64() * coordScale }
+	const itemShape = `{"lo": x1, "hi": x2, "weight": w}`
 	adapt := func(eng servedEngine[float64, IntervalItem[int]], nshards int) Served {
 		return &served[float64, interval.Interval, IntervalItem[int]]{
 			p: intervalProblem[int](), eng: eng, nshards: nshards,
@@ -460,6 +541,21 @@ func intervalSpec() ProblemSpec {
 					return 0, fmt.Errorf("want a stabbing point (number): %w", err)
 				}
 				return x, nil
+			},
+			decItem: func(raw json.RawMessage) (IntervalItem[int], error) {
+				var body struct {
+					Lo     float64  `json:"lo"`
+					Hi     float64  `json:"hi"`
+					Weight *float64 `json:"weight"`
+				}
+				if err := unmarshalItem(raw, itemShape, &body); err != nil {
+					return IntervalItem[int]{}, err
+				}
+				w, err := itemWeight(body.Weight, itemShape)
+				if err != nil {
+					return IntervalItem[int]{}, err
+				}
+				return IntervalItem[int]{Lo: body.Lo, Hi: body.Hi, Weight: w}, nil
 			},
 			label: func(it IntervalItem[int]) string { return fmt.Sprintf("[%.3f, %.3f]", it.Lo, it.Hi) },
 			fresh: func(g *wrand.RNG, w float64) IntervalItem[int] {
@@ -475,6 +571,7 @@ func intervalSpec() ProblemSpec {
 	return ProblemSpec{
 		Name:          "interval",
 		QueryShape:    "number (stabbing point x)",
+		ItemShape:     itemShape,
 		WireQueries:   wireQueries(genQ, func(x float64) any { return x }),
 		NativeDynamic: true,
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
@@ -527,6 +624,7 @@ func rangeSpec() ProblemSpec {
 		}
 		return rangerep.Span{Lo: a, Hi: b}
 	}
+	const itemShape = `{"pos": x, "weight": w}`
 	adapt := func(eng servedEngine[rangerep.Span, PointItem1[int]], nshards int) Served {
 		return &served[rangerep.Span, float64, PointItem1[int]]{
 			p: rangeProblem[int](), eng: eng, nshards: nshards,
@@ -537,6 +635,20 @@ func rangeSpec() ProblemSpec {
 					return rangerep.Span{}, err
 				}
 				return rangerep.Span{Lo: xs[0], Hi: xs[1]}, nil
+			},
+			decItem: func(raw json.RawMessage) (PointItem1[int], error) {
+				var body struct {
+					Pos    float64  `json:"pos"`
+					Weight *float64 `json:"weight"`
+				}
+				if err := unmarshalItem(raw, itemShape, &body); err != nil {
+					return PointItem1[int]{}, err
+				}
+				w, err := itemWeight(body.Weight, itemShape)
+				if err != nil {
+					return PointItem1[int]{}, err
+				}
+				return PointItem1[int]{Pos: body.Pos, Weight: w}, nil
 			},
 			label: func(it PointItem1[int]) string { return fmt.Sprintf("%.3f", it.Pos) },
 			fresh: func(g *wrand.RNG, w float64) PointItem1[int] {
@@ -551,6 +663,7 @@ func rangeSpec() ProblemSpec {
 	return ProblemSpec{
 		Name:          "range",
 		QueryShape:    "[lo, hi]",
+		ItemShape:     itemShape,
 		WireQueries:   wireQueries(genQ, func(q rangerep.Span) any { return [2]float64{q.Lo, q.Hi} }),
 		NativeDynamic: true,
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
@@ -603,7 +716,8 @@ func orthoSpec() ProblemSpec {
 	adapt := func(eng servedEngine[orthorange.Box, PointItemN[int]], nshards int) Served {
 		return &served[orthorange.Box, halfspace.PtN, PointItemN[int]]{
 			p: orthoProblem[int](d), eng: eng, nshards: nshards,
-			gen: genQ,
+			gen:     genQ,
+			decItem: decodePointN,
 			decode: func(raw json.RawMessage) (orthorange.Box, error) {
 				var body struct {
 					Lo []float64 `json:"lo"`
@@ -634,6 +748,7 @@ func orthoSpec() ProblemSpec {
 		Name:       "ortho",
 		Dim:        d,
 		QueryShape: `{"lo": [x1, x2], "hi": [x1, x2]}`,
+		ItemShape:  pointNItemShape,
 		WireQueries: wireQueries(genQ, func(q orthorange.Box) any {
 			return map[string]any{"lo": q.Lo, "hi": q.Hi}
 		}),
@@ -678,7 +793,8 @@ func circularSpec() ProblemSpec {
 	adapt := func(eng servedEngine[circular.Ball, PointItemN[int]], nshards int) Served {
 		return &served[circular.Ball, halfspace.PtN, PointItemN[int]]{
 			p: circularProblem[int](d), eng: eng, nshards: nshards,
-			gen: genQ,
+			gen:     genQ,
+			decItem: decodePointN,
 			decode: func(raw json.RawMessage) (circular.Ball, error) {
 				var body struct {
 					Center []float64 `json:"center"`
@@ -709,6 +825,7 @@ func circularSpec() ProblemSpec {
 		Name:       "circular",
 		Dim:        d,
 		QueryShape: `{"center": [x, y], "radius": r}`,
+		ItemShape:  pointNItemShape,
 		WireQueries: wireQueries(genQ, func(q circular.Ball) any {
 			return map[string]any{"center": q.Center, "radius": q.R}
 		}),
@@ -761,6 +878,7 @@ func dominanceSpec() ProblemSpec {
 	genQ := func(g *wrand.RNG) dominance.Pt3 {
 		return dominance.Pt3{X: g.Float64() * coordScale, Y: g.Float64() * coordScale, Z: g.Float64() * coordScale}
 	}
+	const itemShape = `{"x": x, "y": y, "z": z, "weight": w}`
 	adapt := func(eng servedEngine[dominance.Pt3, DominanceItem[int]], nshards int) Served {
 		return &served[dominance.Pt3, dominance.Pt3, DominanceItem[int]]{
 			p: dominanceProblem[int](), eng: eng, nshards: nshards,
@@ -771,6 +889,22 @@ func dominanceSpec() ProblemSpec {
 					return dominance.Pt3{}, err
 				}
 				return dominance.Pt3{X: xs[0], Y: xs[1], Z: xs[2]}, nil
+			},
+			decItem: func(raw json.RawMessage) (DominanceItem[int], error) {
+				var body struct {
+					X      float64  `json:"x"`
+					Y      float64  `json:"y"`
+					Z      float64  `json:"z"`
+					Weight *float64 `json:"weight"`
+				}
+				if err := unmarshalItem(raw, itemShape, &body); err != nil {
+					return DominanceItem[int]{}, err
+				}
+				w, err := itemWeight(body.Weight, itemShape)
+				if err != nil {
+					return DominanceItem[int]{}, err
+				}
+				return DominanceItem[int]{X: body.X, Y: body.Y, Z: body.Z, Weight: w}, nil
 			},
 			label: func(it DominanceItem[int]) string {
 				return fmt.Sprintf("(%.3f, %.3f, %.3f)", it.X, it.Y, it.Z)
@@ -787,6 +921,7 @@ func dominanceSpec() ProblemSpec {
 	return ProblemSpec{
 		Name:        "dominance",
 		QueryShape:  "[x, y, z] (dominance corner)",
+		ItemShape:   itemShape,
 		WireQueries: wireQueries(genQ, func(q dominance.Pt3) any { return [3]float64{q.X, q.Y, q.Z} }),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewDominanceIndex(mk(n, seed), opts...)
@@ -838,6 +973,7 @@ func enclosureSpec() ProblemSpec {
 	genQ := func(g *wrand.RNG) enclosure.Pt2 {
 		return enclosure.Pt2{X: g.Float64() * coordScale, Y: g.Float64() * coordScale}
 	}
+	const itemShape = `{"x1": x1, "x2": x2, "y1": y1, "y2": y2, "weight": w}`
 	adapt := func(eng servedEngine[enclosure.Pt2, RectItem[int]], nshards int) Served {
 		return &served[enclosure.Pt2, enclosure.Rect, RectItem[int]]{
 			p: enclosureProblem[int](), eng: eng, nshards: nshards,
@@ -848,6 +984,23 @@ func enclosureSpec() ProblemSpec {
 					return enclosure.Pt2{}, err
 				}
 				return enclosure.Pt2{X: xs[0], Y: xs[1]}, nil
+			},
+			decItem: func(raw json.RawMessage) (RectItem[int], error) {
+				var body struct {
+					X1     float64  `json:"x1"`
+					X2     float64  `json:"x2"`
+					Y1     float64  `json:"y1"`
+					Y2     float64  `json:"y2"`
+					Weight *float64 `json:"weight"`
+				}
+				if err := unmarshalItem(raw, itemShape, &body); err != nil {
+					return RectItem[int]{}, err
+				}
+				w, err := itemWeight(body.Weight, itemShape)
+				if err != nil {
+					return RectItem[int]{}, err
+				}
+				return RectItem[int]{X1: body.X1, X2: body.X2, Y1: body.Y1, Y2: body.Y2, Weight: w}, nil
 			},
 			label: func(it RectItem[int]) string {
 				return fmt.Sprintf("[%.3f, %.3f]×[%.3f, %.3f]", it.X1, it.X2, it.Y1, it.Y2)
@@ -865,6 +1018,7 @@ func enclosureSpec() ProblemSpec {
 	return ProblemSpec{
 		Name:        "enclosure",
 		QueryShape:  "[x, y] (query point)",
+		ItemShape:   itemShape,
 		WireQueries: wireQueries(genQ, func(q enclosure.Pt2) any { return [2]float64{q.X, q.Y} }),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewEnclosureIndex(mk(n, seed), opts...)
@@ -916,6 +1070,7 @@ func halfplaneSpec() ProblemSpec {
 		px, py := g.Float64()*coordScale, g.Float64()*coordScale
 		return halfspace.Halfplane{A: a, B: b, C: a*px + b*py}
 	}
+	const itemShape = `{"x": x, "y": y, "weight": w}`
 	adapt := func(eng servedEngine[halfspace.Halfplane, PointItem2[int]], nshards int) Served {
 		return &served[halfspace.Halfplane, halfspace.Pt2, PointItem2[int]]{
 			p: halfplaneProblem[int](), eng: eng, nshards: nshards,
@@ -926,6 +1081,21 @@ func halfplaneSpec() ProblemSpec {
 					return halfspace.Halfplane{}, err
 				}
 				return halfspace.Halfplane{A: xs[0], B: xs[1], C: xs[2]}, nil
+			},
+			decItem: func(raw json.RawMessage) (PointItem2[int], error) {
+				var body struct {
+					X      float64  `json:"x"`
+					Y      float64  `json:"y"`
+					Weight *float64 `json:"weight"`
+				}
+				if err := unmarshalItem(raw, itemShape, &body); err != nil {
+					return PointItem2[int]{}, err
+				}
+				w, err := itemWeight(body.Weight, itemShape)
+				if err != nil {
+					return PointItem2[int]{}, err
+				}
+				return PointItem2[int]{X: body.X, Y: body.Y, Weight: w}, nil
 			},
 			label: func(it PointItem2[int]) string { return fmt.Sprintf("(%.3f, %.3f)", it.X, it.Y) },
 			fresh: func(g *wrand.RNG, w float64) PointItem2[int] {
@@ -940,6 +1110,7 @@ func halfplaneSpec() ProblemSpec {
 	return ProblemSpec{
 		Name:        "halfplane",
 		QueryShape:  "[a, b, c] (halfplane a·x + b·y ≥ c)",
+		ItemShape:   itemShape,
 		WireQueries: wireQueries(genQ, func(q halfspace.Halfplane) any { return [3]float64{q.A, q.B, q.C} }),
 		Build: func(n int, seed uint64, opts ...Option) (Served, error) {
 			ix, err := NewHalfplaneIndex(mk(n, seed), opts...)
@@ -988,7 +1159,8 @@ func halfspaceSpec() ProblemSpec {
 	adapt := func(eng servedEngine[halfspace.Halfspace, PointItemN[int]], nshards int) Served {
 		return &served[halfspace.Halfspace, halfspace.PtN, PointItemN[int]]{
 			p: halfspaceProblem[int](d), eng: eng, nshards: nshards,
-			gen: genQ,
+			gen:     genQ,
+			decItem: decodePointN,
 			decode: func(raw json.RawMessage) (halfspace.Halfspace, error) {
 				var body struct {
 					A []float64 `json:"a"`
@@ -1019,6 +1191,7 @@ func halfspaceSpec() ProblemSpec {
 		Name:       "halfspace",
 		Dim:        d,
 		QueryShape: `{"a": [a1, a2, a3], "c": c} (halfspace a·x ≥ c)`,
+		ItemShape:  pointNItemShape,
 		WireQueries: wireQueries(genQ, func(q halfspace.Halfspace) any {
 			return map[string]any{"a": q.A, "c": q.C}
 		}),

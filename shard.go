@@ -271,6 +271,32 @@ func (s *Sharded[Q, V, It]) QueryBatchCtx(ctx QueryCtx, qs []Q, k int, paralleli
 	return out
 }
 
+// admitInsert is the sharded validation gate shared by Insert and
+// InsertBatch: the same geometry and weight-finiteness checks as a
+// single engine, plus global (cross-shard) weight uniqueness against
+// the owner map. Both paths report identical error strings — the
+// conformance suite pins this — so a caller cannot tell from an error
+// which ingest path rejected the item.
+func (s *Sharded[Q, V, It]) admitInsert(it It) (float64, error) {
+	if err := s.shards[0].validateItem(it); err != nil {
+		return 0, err
+	}
+	w := s.p.weight(it)
+	if _, dup := s.owner[w]; dup {
+		return 0, fmt.Errorf("topk: duplicate weight %v", w)
+	}
+	return w, nil
+}
+
+// routeInsert picks the owning shard for an admitted weight, given the
+// round-robin cursor position rr (ignored under ShardByWeight).
+func (s *Sharded[Q, V, It]) routeInsert(w float64, rr int) int {
+	if s.opts.policy == ShardRoundRobin {
+		return rr
+	}
+	return shard.Hash(w, len(s.shards))
+}
+
 // Insert adds an item to the shard the policy selects, after the same
 // validation gate as a single engine: geometry, weight finiteness, and
 // global (cross-shard) weight uniqueness.
@@ -278,17 +304,11 @@ func (s *Sharded[Q, V, It]) Insert(it It) error {
 	if s.shards[0].dyn == nil {
 		return errStatic(s.opts.reduction)
 	}
-	if err := s.shards[0].validateItem(it); err != nil {
+	w, err := s.admitInsert(it)
+	if err != nil {
 		return err
 	}
-	w := s.p.weight(it)
-	if _, dup := s.owner[w]; dup {
-		return fmt.Errorf("topk: duplicate weight %v", w)
-	}
-	sh := shard.Hash(w, len(s.shards))
-	if s.opts.policy == ShardRoundRobin {
-		sh = s.rr
-	}
+	sh := s.routeInsert(w, s.rr)
 	if err := s.shards[sh].Insert(it); err != nil {
 		return err
 	}
@@ -296,6 +316,51 @@ func (s *Sharded[Q, V, It]) Insert(it It) error {
 		s.rr = (s.rr + 1) % len(s.shards)
 	}
 	s.owner[w] = sh
+	return nil
+}
+
+// InsertBatch adds a batch of items in one cross-shard ingest round:
+// one admission pass over the whole batch (the Insert gate item by
+// item, plus one duplicate sweep within the batch), then the policy
+// routes each item to its owning shard and every shard bulk-loads its
+// sub-batch with a single engine InsertBatch. A batch that fails
+// admission inserts nothing anywhere.
+func (s *Sharded[Q, V, It]) InsertBatch(items []It) error {
+	if s.shards[0].dyn == nil {
+		return errStatic(s.opts.reduction)
+	}
+	seen := make(map[float64]struct{}, len(items))
+	sub := make([][]It, len(s.shards))
+	subW := make([][]float64, len(s.shards))
+	rr := s.rr
+	for _, it := range items {
+		w, err := s.admitInsert(it)
+		if err != nil {
+			return err
+		}
+		if _, dup := seen[w]; dup {
+			return fmt.Errorf("topk: duplicate weight %v", w)
+		}
+		seen[w] = struct{}{}
+		sh := s.routeInsert(w, rr)
+		if s.opts.policy == ShardRoundRobin {
+			rr = (rr + 1) % len(s.shards)
+		}
+		sub[sh] = append(sub[sh], it)
+		subW[sh] = append(subW[sh], w)
+	}
+	for sh, batch := range sub {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := s.shards[sh].InsertBatch(batch); err != nil {
+			return fmt.Errorf("shard %d: %w", sh, err)
+		}
+		for _, w := range subW[sh] {
+			s.owner[w] = sh
+		}
+	}
+	s.rr = rr
 	return nil
 }
 
@@ -315,6 +380,38 @@ func (s *Sharded[Q, V, It]) Delete(weight float64) (bool, error) {
 	}
 	delete(s.owner, weight)
 	return true, nil
+}
+
+// DeleteBatch removes the items with the given weights from their
+// owning shards, returning how many were present anywhere. The owner
+// map routes each weight, so every shard sees one DeleteBatch over
+// exactly the weights it holds and runs its structural maintenance
+// once for the whole batch.
+func (s *Sharded[Q, V, It]) DeleteBatch(weights []float64) (int, error) {
+	if s.shards[0].dyn == nil {
+		return 0, errStatic(s.opts.reduction)
+	}
+	sub := make([][]float64, len(s.shards))
+	for _, w := range weights {
+		sh, ok := s.owner[w]
+		if !ok {
+			continue
+		}
+		sub[sh] = append(sub[sh], w)
+		delete(s.owner, w)
+	}
+	found := 0
+	for sh, ws := range sub {
+		if len(ws) == 0 {
+			continue
+		}
+		n, err := s.shards[sh].DeleteBatch(ws)
+		found += n
+		if err != nil {
+			return found, err
+		}
+	}
+	return found, nil
 }
 
 // Items returns a snapshot of the live items across all shards, in

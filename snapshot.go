@@ -163,6 +163,22 @@ func (e *engine[Q, V, It]) Snapshot(w io.Writer) error {
 		if err := sw.End(cs); err != nil {
 			return err
 		}
+		// The policy section is emitted only for non-default policies, so
+		// a logarithmic overlay's snapshot stays byte-identical to the
+		// version-1 stream; readers treat its absence as "logarithmic".
+		if st.PolicyID != "" && st.PolicyID != dynamic.PolicyLogarithmic.ID() {
+			ps := sw.Begin(snap.SecOverlayPolicy)
+			ps.Str(st.PolicyID)
+			ps.I64(st.Counters.PartialRebuilds)
+			ps.U64(uint64(len(st.Tiers)))
+			for _, t := range st.Tiers {
+				ps.U64(uint64(t.Slot))
+				ps.U64(uint64(t.Tier))
+			}
+			if err := sw.End(ps); err != nil {
+				return err
+			}
+		}
 		for _, lvl := range st.Levels {
 			items := make([]It, len(lvl.Items))
 			for i, ci := range lvl.Items {
@@ -249,7 +265,7 @@ func restoreEngine[Q, V, It any](
 	// Decode every section into plain values before reconstructing, so
 	// the reconstruction under RestoreAccounting touches no input bytes.
 	var (
-		haveConfig, haveItems, haveCounters, haveTail bool
+		haveConfig, haveItems, haveCounters, haveTail, havePolicy bool
 
 		cfgBlock, cfgMem int
 		cfgSeed          uint64
@@ -262,6 +278,8 @@ func restoreEngine[Q, V, It any](
 		counters dynamic.Counters
 		levels   []overlayLevelBlob[It]
 		tail     []It
+		policyID string
+		tiers    []dynamic.TierRef
 	)
 	for {
 		typ, sec, err := sr.Next()
@@ -315,6 +333,19 @@ func restoreEngine[Q, V, It any](
 				return nil, err
 			}
 			haveTail = true
+		case snap.SecOverlayPolicy:
+			if havePolicy {
+				return nil, fmt.Errorf("topk: snapshot repeats its overlay policy section")
+			}
+			policyID = sec.RStr()
+			counters.PartialRebuilds = sec.RI64()
+			n := sec.RCount(16)
+			tiers = make([]dynamic.TierRef, n)
+			for i := range tiers {
+				tiers[i].Slot = int(sec.RU64())
+				tiers[i].Tier = int(sec.RU64())
+			}
+			havePolicy = true
 		default:
 			return nil, fmt.Errorf("topk: snapshot contains unknown section type %d", typ)
 		}
@@ -332,6 +363,17 @@ func restoreEngine[Q, V, It any](
 	o := applyOptions(opts)
 	o.reduction = red
 	o.blockSize, o.memBlocks, o.seed, o.updates = cfgBlock, cfgMem, cfgSeed, cfgUpdates
+	// The maintenance policy is structural state: it comes from the
+	// snapshot (absence of a policy section means the default), never
+	// from the caller's options.
+	mp, err := maintenancePolicyByID(policyID)
+	if err != nil {
+		return nil, err
+	}
+	o.maintPol = mp
+	if havePolicy && h.Kind != snap.KindOverlay {
+		return nil, fmt.Errorf("topk: snapshot carries an overlay policy section but is not an overlay snapshot")
+	}
 
 	// The header's kind must agree with what this configuration builds.
 	wantKind := snap.KindStatic
@@ -360,7 +402,7 @@ func restoreEngine[Q, V, It any](
 		if !haveCounters || !haveTail {
 			return fmt.Errorf("topk: overlay snapshot is missing its counter or tail section")
 		}
-		return e.initOverlay(levels, tail, tailCap, deadFrac, counters)
+		return e.initOverlay(levels, tail, tailCap, deadFrac, counters, policyID, tiers)
 	}
 	if err := e.tracker.RestoreAccounting(cr.n, reconstruct); err != nil {
 		tracker.Close()
@@ -383,11 +425,16 @@ func (e *engine[Q, V, It]) initOverlay(
 	tailCap int,
 	deadFrac float64,
 	counters dynamic.Counters,
+	policyID string,
+	tiers []dynamic.TierRef,
 ) error {
 	p, o, tracker := e.p, e.opts, e.tracker
 	e.data = make(map[float64]It)
 
-	state := dynamic.State[V]{TailCap: tailCap, DeadFrac: deadFrac, Counters: counters}
+	state := dynamic.State[V]{
+		TailCap: tailCap, DeadFrac: deadFrac, Counters: counters,
+		PolicyID: policyID, Tiers: tiers,
+	}
 	addLive := func(it It, where string) error {
 		if err := e.validateItem(it); err != nil {
 			return fmt.Errorf("topk: snapshot %s: %w", where, err)
@@ -458,10 +505,14 @@ type Manifest struct {
 	Dim           int    `json:"dim,omitempty"`
 	// Partitioned distinguishes a Sharded index (even with one shard)
 	// from a plain engine, so a restore rebuilds the same wrapper.
-	Partitioned bool           `json:"partitioned"`
-	Shards      int            `json:"shards"`
-	Policy      string         `json:"policy,omitempty"`
-	RR          int            `json:"rr_cursor,omitempty"`
+	Partitioned bool   `json:"partitioned"`
+	Shards      int    `json:"shards"`
+	Policy      string `json:"policy,omitempty"`
+	RR          int    `json:"rr_cursor,omitempty"`
+	// Maintenance names the overlay's structural-maintenance policy when
+	// it is not the default; empty means logarithmic (and is what every
+	// version-1 manifest reads as).
+	Maintenance string         `json:"maintenance,omitempty"`
 	Items       int            `json:"items"`
 	Files       []ManifestFile `json:"files"`
 }
@@ -485,8 +536,8 @@ func ReadManifest(dir string) (Manifest, error) {
 	if err := json.Unmarshal(raw, &mf); err != nil {
 		return Manifest{}, fmt.Errorf("topk: parsing snapshot manifest: %w", err)
 	}
-	if mf.FormatVersion != snap.Version {
-		return Manifest{}, fmt.Errorf("topk: manifest format version %d, this build reads %d", mf.FormatVersion, snap.Version)
+	if mf.FormatVersion < 1 || mf.FormatVersion > snap.Version {
+		return Manifest{}, fmt.Errorf("topk: manifest format version %d, this build reads versions 1 through %d", mf.FormatVersion, snap.Version)
 	}
 	if mf.Shards < 1 || len(mf.Files) != mf.Shards {
 		return Manifest{}, fmt.Errorf("topk: manifest lists %d files for %d shards", len(mf.Files), mf.Shards)
@@ -534,6 +585,18 @@ func writeManifest(dir string, mf Manifest) error {
 	return os.WriteFile(filepath.Join(dir, ManifestName), append(raw, '\n'), 0o644)
 }
 
+// maintenanceID names the engine's non-default maintenance policy for
+// the manifest; empty for logarithmic overlays and for static or native
+// builds, so pre-policy manifests stay unchanged.
+func (e *engine[Q, V, It]) maintenanceID() string {
+	if _, ov := e.kind(); ov != nil {
+		if id := ov.Policy().ID(); id != dynamic.PolicyLogarithmic.ID() {
+			return id
+		}
+	}
+	return ""
+}
+
 // snapDir persists a single engine as a one-file snapshot directory.
 func (e *engine[Q, V, It]) snapDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -545,6 +608,7 @@ func (e *engine[Q, V, It]) snapDir(dir string) error {
 		Reduction:     e.opts.reduction.String(),
 		Dim:           e.p.dim,
 		Shards:        1,
+		Maintenance:   e.maintenanceID(),
 		Items:         e.n,
 	}
 	entry, err := writeSnapFile(dir, shardFileName(0), 0, e.n, e.Snapshot)
@@ -580,6 +644,7 @@ func (s *Sharded[Q, V, It]) Snapshot(dir string) error {
 		Shards:        len(s.shards),
 		Policy:        s.opts.policy.String(),
 		RR:            s.rr,
+		Maintenance:   s.shards[0].maintenanceID(),
 		Items:         s.Len(),
 	}
 	for i, e := range s.shards {
@@ -664,6 +729,9 @@ func restoreSharded[Q, V, It any](
 		if e.opts.reduction.String() != mf.Reduction {
 			return nil, fmt.Errorf("topk: shard %d snapshot uses reduction %s, manifest says %s", entry.Shard, e.opts.reduction, mf.Reduction)
 		}
+		if got := e.maintenanceID(); got != mf.Maintenance {
+			return nil, fmt.Errorf("topk: shard %d snapshot uses maintenance policy %q, manifest says %q", entry.Shard, e.opts.maintPol, mf.Maintenance)
+		}
 		for w := range e.data {
 			if prev, dup := s.owner[w]; dup {
 				return nil, fmt.Errorf("topk: weight %v is live in shards %d and %d", w, prev, entry.Shard)
@@ -718,6 +786,7 @@ func optionsOf(o Options) []Option {
 		WithMemBlocks(o.memBlocks),
 		WithSeed(o.seed),
 		WithShardPolicy(o.policy),
+		WithMaintenancePolicy(o.maintPol),
 	}
 	if o.updates {
 		opts = append(opts, WithUpdates())

@@ -1,0 +1,283 @@
+package topk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"topk/internal/snap"
+)
+
+// This file covers the format-version-2 policy section (DESIGN.md §12,
+// §15): a buffered overlay's snapshot carries its maintenance policy and
+// tier placement, a logarithmic overlay's stream is the version-1 layout
+// with only the version number changed, and version-1 streams restore
+// onto the logarithmic policy unchanged.
+
+// churnedIntervalIndex builds an overlay-backed interval index (the
+// WorstCase reduction has no native update path) and drives it
+// through enough inserts and deletes to leave levels, tombstones, and a
+// partial tail behind.
+func churnedIntervalIndex(t *testing.T, opts ...Option) *IntervalIndex[int] {
+	t.Helper()
+	base := make([]IntervalItem[int], 64)
+	for i := range base {
+		base[i] = IntervalItem[int]{Lo: float64(i), Hi: float64(i + 10), Weight: float64(i) + 0.5, Data: i}
+	}
+	all := append([]Option{WithUpdates(), WithReduction(WorstCase), WithBlockSize(4)}, opts...)
+	ix, err := NewIntervalIndex(base, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		it := IntervalItem[int]{Lo: float64(i) * 0.5, Hi: float64(i)*0.5 + 7, Weight: 1000 + float64(i), Data: 1000 + i}
+		if err := ix.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i += 3 {
+		if ok, err := ix.Delete(float64(i) + 0.5); err != nil || !ok {
+			t.Fatalf("delete %v: ok=%v err=%v", float64(i)+0.5, ok, err)
+		}
+	}
+	return ix
+}
+
+// intervalAnswers collects a deterministic answer transcript.
+func intervalAnswers(ix *IntervalIndex[int]) []IntervalItem[int] {
+	var out []IntervalItem[int]
+	for _, x := range []float64{0, 5, 12.5, 30, 55.5, 80} {
+		for _, k := range []int{1, 5, 50} {
+			out = append(out, ix.TopK(x, k)...)
+		}
+	}
+	return out
+}
+
+// sectionTypes lists the section types of a snapshot stream in order.
+func sectionTypes(t *testing.T, raw []byte) []uint16 {
+	t.Helper()
+	r, err := snap.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []uint16
+	for {
+		typ, _, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		types = append(types, typ)
+		if typ == snap.SecEnd {
+			return types
+		}
+	}
+}
+
+// TestSnapshotBufferedPolicyRoundTrip snapshots a buffered overlay
+// mid-life and checks the restore resumes the same policy with the same
+// logical state: answers match, and re-snapshotting the restored index
+// reproduces the original stream byte for byte (policy id, tier
+// placement, and counters included).
+func TestSnapshotBufferedPolicyRoundTrip(t *testing.T) {
+	ix := churnedIntervalIndex(t, WithMaintenancePolicy(PolicyBuffered))
+	var buf bytes.Buffer
+	if err := ix.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var havePolicy bool
+	for _, typ := range sectionTypes(t, buf.Bytes()) {
+		if typ == snap.SecOverlayPolicy {
+			havePolicy = true
+		}
+	}
+	if !havePolicy {
+		t.Fatal("buffered overlay snapshot carries no policy section")
+	}
+
+	restored, err := RestoreIntervalIndex[int](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := intervalAnswers(restored), intervalAnswers(ix); !reflect.DeepEqual(got, want) {
+		t.Fatal("restored buffered index answers diverge from original")
+	}
+
+	var again bytes.Buffer
+	if err := restored.Snapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-snapshot of the restored buffered index is not byte-identical")
+	}
+
+	// The restored index keeps updating under the buffered policy, in
+	// lockstep with the original.
+	for i := 0; i < 30; i++ {
+		it := IntervalItem[int]{Lo: float64(i), Hi: float64(i) + 3, Weight: 5000 + float64(i), Data: 5000 + i}
+		if err := ix.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := intervalAnswers(restored), intervalAnswers(ix); !reflect.DeepEqual(got, want) {
+		t.Fatal("restored buffered index diverges after post-restore updates")
+	}
+}
+
+// TestSnapshotLogarithmicStreamIsV1Layout checks the compatibility
+// contract: a logarithmic overlay's version-2 stream differs from the
+// version-1 layout only in the declared version number — no policy
+// section — so patching the version field back to 1 yields a valid
+// version-1 snapshot that restores identically.
+func TestSnapshotLogarithmicStreamIsV1Layout(t *testing.T) {
+	ix := churnedIntervalIndex(t)
+	var buf bytes.Buffer
+	if err := ix.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range sectionTypes(t, buf.Bytes()) {
+		if typ == snap.SecOverlayPolicy {
+			t.Fatal("logarithmic overlay snapshot carries a policy section")
+		}
+	}
+
+	v1 := append([]byte(nil), buf.Bytes()...)
+	if got := binary.LittleEndian.Uint16(v1[4:6]); got != snap.Version {
+		t.Fatalf("stream declares version %d, want %d", got, snap.Version)
+	}
+	binary.LittleEndian.PutUint16(v1[4:6], 1)
+	restored, err := RestoreIntervalIndex[int](bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("restoring the version-1 stream: %v", err)
+	}
+	if got, want := intervalAnswers(restored), intervalAnswers(ix); !reflect.DeepEqual(got, want) {
+		t.Fatal("version-1 restore answers diverge from original")
+	}
+
+	// A version this build has never heard of still errors.
+	binary.LittleEndian.PutUint16(v1[4:6], 99)
+	if _, err := RestoreIntervalIndex[int](bytes.NewReader(v1)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version error", err)
+	}
+}
+
+// TestManifestMaintenanceField checks the directory layer: buffered
+// snapshots record their policy in the manifest, logarithmic ones leave
+// the field absent (the version-1 manifest shape), and a directory
+// patched down to format version 1 still restores.
+func TestManifestMaintenanceField(t *testing.T) {
+	spec, ok := ProblemByName("interval")
+	if !ok {
+		t.Fatal("interval problem not registered")
+	}
+	churn := func(sv Served) {
+		t.Helper()
+		for i := 0; i < 40; i++ {
+			if _, err := sv.InsertFresh(uint64(1000 + i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	t.Run("buffered", func(t *testing.T) {
+		sv, err := spec.Build(confN, confSeed, WithUpdates(), WithReduction(WorstCase), WithMaintenancePolicy(PolicyBuffered))
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn(sv)
+		dir := t.TempDir()
+		if err := sv.Snapshot(dir); err != nil {
+			t.Fatal(err)
+		}
+		mf, err := ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mf.Maintenance != PolicyBuffered.String() {
+			t.Fatalf("manifest maintenance = %q, want %q", mf.Maintenance, PolicyBuffered)
+		}
+		restored, err := spec.Restore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := sv.GenQueries(8, confQSeed)
+		if got, want := answersOf(restored, qs), answersOf(sv, qs); !reflect.DeepEqual(got, want) {
+			t.Fatal("restored buffered index answers diverge from original")
+		}
+		// The policy survives a snapshot of the restored index too.
+		dir2 := t.TempDir()
+		if err := restored.Snapshot(dir2); err != nil {
+			t.Fatal(err)
+		}
+		mf2, err := ReadManifest(dir2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mf2.Maintenance != PolicyBuffered.String() {
+			t.Fatalf("re-snapshot manifest maintenance = %q, want %q", mf2.Maintenance, PolicyBuffered)
+		}
+	})
+
+	t.Run("logarithmic stays v1-shaped", func(t *testing.T) {
+		sv, err := spec.Build(confN, confSeed, WithUpdates(), WithReduction(WorstCase))
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn(sv)
+		dir := t.TempDir()
+		if err := sv.Snapshot(dir); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(raw, []byte("maintenance")) {
+			t.Fatal("logarithmic manifest mentions a maintenance policy")
+		}
+
+		// Patch the directory down to format version 1: the shard stream's
+		// version field plus the manifest's version and checksum. The
+		// result is exactly what a version-1 build would have written, and
+		// must restore onto the logarithmic policy.
+		snapPath := filepath.Join(dir, "shard-000.snap")
+		blob, err := os.ReadFile(snapPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint16(blob[4:6], 1)
+		if err := os.WriteFile(snapPath, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var mf Manifest
+		if err := json.Unmarshal(raw, &mf); err != nil {
+			t.Fatal(err)
+		}
+		mf.FormatVersion = 1
+		mf.Files[0].CRC32 = crc32.ChecksumIEEE(blob)
+		if out, err := json.MarshalIndent(mf, "", "  "); err != nil {
+			t.Fatal(err)
+		} else if err := os.WriteFile(filepath.Join(dir, ManifestName), append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		restored, err := LoadSnapshot(dir)
+		if err != nil {
+			t.Fatalf("restoring the version-1 directory: %v", err)
+		}
+		qs := sv.GenQueries(8, confQSeed)
+		if got, want := answersOf(restored, qs), answersOf(sv, qs); !reflect.DeepEqual(got, want) {
+			t.Fatal("version-1 restore answers diverge from original")
+		}
+	})
+}

@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"topk/internal/snap"
 )
 
 // This file is the persistence conformance suite (DESIGN.md §12): for
@@ -292,7 +294,7 @@ func TestSnapshotDirCorruption(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		raw = bytes.Replace(raw, []byte(`"format_version": 1`), []byte(`"format_version": 99`), 1)
+		raw = bytes.Replace(raw, []byte(fmt.Sprintf(`"format_version": %d`, snap.Version)), []byte(`"format_version": 99`), 1)
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}

@@ -67,6 +67,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"topk/internal/dynamic"
 	"topk/internal/em"
 	"topk/internal/em/diskstore"
 	"topk/internal/obs"
@@ -105,6 +106,40 @@ func (r Reduction) String() string {
 	return fmt.Sprintf("Reduction(%d)", int(r))
 }
 
+// MaintenancePolicy selects how an overlay-dynamized index maintains
+// its substructure ladder between updates (internal/dynamic's policy
+// seam; DESIGN.md §15). It has no effect on natively dynamic builds or
+// on static indexes.
+type MaintenancePolicy int
+
+const (
+	// PolicyLogarithmic is the classic Bentley–Saxe logarithmic method:
+	// a full tail flush carries through the geometric levels, and
+	// tombstone debt is repaid by a global rebuild. Amortized insert
+	// cost O(log(n/B) · Build(n)/n) I/Os. The default.
+	PolicyLogarithmic MaintenancePolicy = iota
+	// PolicyBuffered batches updates into per-tier runs (up to four
+	// runs per tier) and repays tombstone debt with weight-balanced
+	// partial rebuilds of single runs, so no update ever triggers a
+	// global rebuild. Amortized insert cost ≈ (1 + ½·log(n/B)) ·
+	// Build(n)/n I/Os — strictly below the logarithmic policy's on the
+	// EM cost model (experiment E32) — at the price of a constant-factor
+	// wider ladder for queries to merge across.
+	PolicyBuffered
+)
+
+// String returns the policy's name, matching internal/dynamic's policy
+// identifiers (and the id recorded in snapshots).
+func (p MaintenancePolicy) String() string {
+	switch p {
+	case PolicyLogarithmic:
+		return "logarithmic"
+	case PolicyBuffered:
+		return "buffered"
+	}
+	return fmt.Sprintf("MaintenancePolicy(%d)", int(p))
+}
+
 // CachePolicy selects the EM frame cache's replacement/admission
 // policy.
 type CachePolicy int
@@ -133,6 +168,24 @@ func (p CachePolicy) String() string {
 	return fmt.Sprintf("CachePolicy(%d)", int(p))
 }
 
+func (p MaintenancePolicy) dynPolicy() dynamic.MaintenancePolicy {
+	if p == PolicyBuffered {
+		return dynamic.PolicyBuffered
+	}
+	return dynamic.PolicyLogarithmic
+}
+
+// maintenancePolicyByID parses a policy's String()/snapshot identifier.
+func maintenancePolicyByID(id string) (MaintenancePolicy, error) {
+	switch id {
+	case "", PolicyLogarithmic.String():
+		return PolicyLogarithmic, nil
+	case PolicyBuffered.String():
+		return PolicyBuffered, nil
+	}
+	return 0, fmt.Errorf("topk: unknown maintenance policy %q in snapshot", id)
+}
+
 func (p CachePolicy) emPolicy() em.CachePolicy {
 	if p == CacheTinyLFU {
 		return em.PolicyTinyLFU
@@ -154,6 +207,7 @@ type Options struct {
 	slowKeep  int
 	queryLogW io.Writer
 	policy    ShardPolicy
+	maintPol  MaintenancePolicy
 	cachePol  CachePolicy
 	diskDir   string
 	diskDirIO bool
@@ -182,14 +236,31 @@ func WithMemBlocks(m int) Option { return func(o *Options) { o.memBlocks = m } }
 // reductions). Identical seeds and inputs produce identical structures.
 func WithSeed(s uint64) Option { return func(o *Options) { o.seed = s } }
 
-// WithUpdates makes the index dynamic under any reduction: the reduction's
-// static structure is wrapped in a logarithmic-method overlay
-// (internal/dynamic) of O(log n) geometrically sized substructures, giving
-// Insert and Delete at an amortized O(log n · Build(n)/n) I/O cost while
-// queries pay only a tombstone-filtered candidate merge. The interval and
-// range indexes under the Expected reduction are already dynamic through
-// Theorem 2's native update path and ignore this option.
+// WithUpdates makes the index dynamic under any reduction: the
+// reduction's static structure is wrapped in a dynamization overlay
+// (internal/dynamic) of geometrically sized substructures, while
+// queries pay only a tombstone-filtered candidate merge across them.
+// How the overlay maintains those substructures — when the insert
+// buffer flushes, which levels merge, and how tombstone debt is repaid
+// — is a pluggable maintenance policy selected by
+// WithMaintenancePolicy: the default PolicyLogarithmic is the
+// Bentley–Saxe logarithmic method (amortized O(log(n/B) · Build(n)/n)
+// insert I/Os with occasional global rebuilds), PolicyBuffered trades
+// a wider ladder for strictly cheaper amortized inserts and no global
+// rebuilds. The interval and range indexes under the Expected
+// reduction are already dynamic through Theorem 2's native update path
+// and ignore this option.
 func WithUpdates() Option { return func(o *Options) { o.updates = true } }
+
+// WithMaintenancePolicy selects the dynamization overlay's structural
+// maintenance policy (default PolicyLogarithmic). It only matters
+// together with WithUpdates on a non-natively-dynamic build; see
+// MaintenancePolicy for the trade-off and DESIGN.md §15 for the
+// design. The policy is structural state: snapshots record it, and a
+// restore resumes the overlay under the policy it was running.
+func WithMaintenancePolicy(p MaintenancePolicy) Option {
+	return func(o *Options) { o.maintPol = p }
+}
 
 // WithTracing enables per-query phase traces: every QueryBatch result
 // carries the query's span events (Trace on BatchResult), each naming a
