@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke snap-smoke disk-smoke load-smoke load-curve ingest-smoke fmt fmt-check vet clean ci
+.PHONY: all build test race fuzz fuzz-smoke cover bench bench-parallel bench-json bench-check experiments validate examples serve-smoke snap-smoke disk-smoke load-smoke load-curve ingest-smoke cluster-smoke fmt fmt-check vet clean ci
 
 all: build vet test
 
@@ -30,19 +30,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over every fuzz target (CI-sized; crank -fuzztime for a
-# real session).
+# Fuzz pass over every fuzz target. FUZZTIME scales the session: the
+# default is CI-sized, the nightly workflow cranks it to minutes
+# (make fuzz FUZZTIME=5m).
+FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -fuzz FuzzTreapOps -fuzztime 10s ./internal/treap/
-	$(GO) test -fuzz FuzzMapOps -fuzztime 10s ./internal/btree/
-	$(GO) test -fuzz FuzzPersistence -fuzztime 10s ./internal/pstree/
-	$(GO) test -fuzz FuzzTreeOps -fuzztime 10s ./internal/interval/
-	$(GO) test -fuzz FuzzOverlayPolicies -fuzztime 10s ./internal/dynamic/
-	$(GO) test -fuzz FuzzDynamicInterval -fuzztime 10s -run '^$$' .
-	$(GO) test -fuzz FuzzDynamicDominance -fuzztime 10s -run '^$$' .
-	$(GO) test -fuzz FuzzShardedInterval -fuzztime 10s -run '^$$' .
-	$(GO) test -fuzz FuzzSnapshotRestore -fuzztime 10s -run '^$$' .
-	$(GO) test -fuzz FuzzBlockStore -fuzztime 10s -run '^$$' ./internal/em/diskstore/
+	$(GO) test -fuzz FuzzTreapOps -fuzztime $(FUZZTIME) ./internal/treap/
+	$(GO) test -fuzz FuzzMapOps -fuzztime $(FUZZTIME) ./internal/btree/
+	$(GO) test -fuzz FuzzPersistence -fuzztime $(FUZZTIME) ./internal/pstree/
+	$(GO) test -fuzz FuzzTreeOps -fuzztime $(FUZZTIME) ./internal/interval/
+	$(GO) test -fuzz FuzzOverlayPolicies -fuzztime $(FUZZTIME) ./internal/dynamic/
+	$(GO) test -fuzz FuzzDynamicInterval -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzDynamicDominance -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzShardedInterval -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzBlockStore -fuzztime $(FUZZTIME) -run '^$$' ./internal/em/diskstore/
 
 # Brief fuzz pass over just the oracle-diff targets: cheap enough for
 # every CI run, still long enough to shake out op-sequence bugs.
@@ -56,10 +58,11 @@ fuzz-smoke:
 
 # Coverage floors on the packages whose correctness the test pyramid leans
 # on: the dynamization overlay, the reduction framework, the snapshot
-# codec, the disk-backed block store, and the root package holding the
-# problem-descriptor engine, registry, and persistence layer.
+# codec, the disk-backed block store, the cluster serving tier, and the
+# root package holding the problem-descriptor engine, registry, and
+# persistence layer.
 cover:
-	@for pkg in ./internal/dynamic ./internal/core ./internal/snap ./internal/em/diskstore .; do \
+	@for pkg in ./internal/dynamic ./internal/core ./internal/snap ./internal/em/diskstore ./internal/cluster .; do \
 		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		echo "$$pkg coverage: $$pct%"; \
 		awk -v p="$$pct" 'BEGIN { exit !(p >= 70) }' || { echo "FAIL: $$pkg coverage $$pct% is below the 70% floor"; exit 1; }; \
@@ -83,7 +86,7 @@ experiments:
 # family (physical preads+pwrites on the disk-backed store), which is
 # deterministic because physical traffic mirrors the logical trace
 # one-for-one (DESIGN.md §13).
-BENCH_BASELINE = BENCH_PR9.json
+BENCH_BASELINE = BENCH_PR10.json
 bench-json:
 	$(GO) run ./cmd/topk-bench -disk -io-json $(BENCH_BASELINE)
 
@@ -99,11 +102,18 @@ bench-check:
 
 # End-to-end smoke of the serving surface: start topk-serve, poll
 # /healthz, answer a /query batch, and assert /metrics exposes populated
-# histograms. Needs curl; cleans up the server on every exit path.
+# histograms. Needs curl.
+#
+# Every smoke target cleans up with the same discipline: an accumulated
+# pid list killed by a single-quoted trap on EXIT, INT, and TERM — so a
+# mid-script curl failure, a ^C, or a runner-sent TERM never strands a
+# server on its port (single quotes defer $$pids expansion to fire time;
+# SIGKILL also collects processes a test left SIGSTOPped).
 serve-smoke:
 	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
-	@/tmp/topk-serve -addr 127.0.0.1:18099 -n 5000 -slow-ios 1 & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	@pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
+	/tmp/topk-serve -addr 127.0.0.1:18099 -n 5000 -slow-ios 1 & \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18099/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -117,8 +127,9 @@ serve-smoke:
 	curl -sf http://127.0.0.1:18099/debug/slow | grep -q 'slow query' || { echo "FAIL: /debug/slow empty"; exit 1; }; \
 	curl -sf http://127.0.0.1:18099/problems | grep -q '"halfspace"' || { echo "FAIL: /problems missing registry entries"; exit 1; }; \
 	echo "serve-smoke: interval ok"
-	@/tmp/topk-serve -addr 127.0.0.1:18100 -problem dominance -n 5000 -shards 4 -slow-ios 1 & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	@pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
+	/tmp/topk-serve -addr 127.0.0.1:18100 -problem dominance -n 5000 -shards 4 -slow-ios 1 & \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18100/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -144,8 +155,9 @@ snap-smoke:
 	/tmp/topk-snap verify -dir /tmp/topk-snap-smoke/saved
 	/tmp/topk-snap convert -src /tmp/topk-snap-smoke/saved -dst /tmp/topk-snap-smoke/resharded -shards 2
 	/tmp/topk-snap verify -dir /tmp/topk-snap-smoke/resharded
-	@/tmp/topk-serve -addr 127.0.0.1:18101 -n 5000 -snapshot-dir /tmp/topk-snap-smoke/serve & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	@pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
+	/tmp/topk-serve -addr 127.0.0.1:18101 -n 5000 -snapshot-dir /tmp/topk-snap-smoke/serve & \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18101/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -154,7 +166,7 @@ snap-smoke:
 	curl -sf -X POST http://127.0.0.1:18101/snapshot | grep -q '"dir"' || { echo "FAIL: POST /snapshot"; exit 1; }; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	/tmp/topk-serve -addr 127.0.0.1:18101 -n 5000 -snapshot-dir /tmp/topk-snap-smoke/serve & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18101/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -172,8 +184,9 @@ snap-smoke:
 disk-smoke:
 	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
 	@rm -rf /tmp/topk-disk-smoke && mkdir -p /tmp/topk-disk-smoke
-	@/tmp/topk-serve -addr 127.0.0.1:18102 -n 5000 -disk-dir /tmp/topk-disk-smoke & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	@pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
+	/tmp/topk-serve -addr 127.0.0.1:18102 -n 5000 -disk-dir /tmp/topk-disk-smoke & \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18102/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -187,7 +200,7 @@ disk-smoke:
 	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	ls /tmp/topk-disk-smoke/*.tkbs >/dev/null 2>&1 || { echo "FAIL: crash left no block file behind"; exit 1; }; \
 	/tmp/topk-serve -addr 127.0.0.1:18102 -n 5000 -disk-dir /tmp/topk-disk-smoke & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18102/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -206,8 +219,9 @@ disk-smoke:
 load-smoke:
 	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
 	$(GO) build -o /tmp/topk-loadgen ./cmd/topk-loadgen
-	@/tmp/topk-serve -addr 127.0.0.1:18103 -n 5000 & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	@pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
+	/tmp/topk-serve -addr 127.0.0.1:18103 -n 5000 & \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18103/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -241,9 +255,10 @@ load-curve:
 	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
 	$(GO) build -o /tmp/topk-loadgen ./cmd/topk-loadgen
 	@rm -f /tmp/topk-e31-*.json; \
+	pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
 	for shards in 1 2 8; do \
 		/tmp/topk-serve -addr 127.0.0.1:18104 -n 100000 -shards $$shards & \
-		pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+		pid=$$!; pids="$$pids $$pid"; \
 		for i in $$(seq 1 100); do \
 			curl -sf http://127.0.0.1:18104/healthz >/dev/null 2>&1 && break; sleep 0.25; \
 		done; \
@@ -272,8 +287,9 @@ load-curve:
 ingest-smoke:
 	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
 	@rm -rf /tmp/topk-ingest-smoke && mkdir -p /tmp/topk-ingest-smoke
-	@/tmp/topk-serve -addr 127.0.0.1:18105 -n 5000 -updates -maintenance buffered -snapshot-dir /tmp/topk-ingest-smoke/snap & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	@pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
+	/tmp/topk-serve -addr 127.0.0.1:18105 -n 5000 -updates -maintenance buffered -snapshot-dir /tmp/topk-ingest-smoke/snap & \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18105/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -289,7 +305,7 @@ ingest-smoke:
 	curl -sf -X POST http://127.0.0.1:18105/snapshot | grep -q '"dir"' || { echo "FAIL: POST /snapshot"; exit 1; }; \
 	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	/tmp/topk-serve -addr 127.0.0.1:18105 -n 5000 -updates -maintenance buffered -snapshot-dir /tmp/topk-ingest-smoke/snap & \
-	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	pid=$$!; pids="$$pids $$pid"; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18105/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -301,6 +317,58 @@ ingest-smoke:
 	[ "$$before" = "$$after" ] || { echo "FAIL: warm-start answers differ after bulk ingest"; \
 		echo "before: $$before"; echo "after:  $$after"; exit 1; }; \
 	echo "ingest-smoke: ok"
+
+# End-to-end smoke of the cluster serving tier: save a 3-shard snapshot,
+# boot a coordinator (R=2, degradation armed) plus three topk-node
+# replicas that bootstrap themselves by shipping shard files over HTTP,
+# and a single-process topk-serve reference over the same snapshot. The
+# coordinator's /query answers must be byte-identical to the reference
+# (elapsed stripped) — first with all nodes healthy, then with one node
+# SIGSTOPped, where hedged reads must still produce the exact answer and
+# topk_hedged_requests_total must show the hedges that did it.
+cluster-smoke:
+	$(GO) build -o /tmp/topk-node ./cmd/topk-node
+	$(GO) build -o /tmp/topk-serve ./cmd/topk-serve
+	$(GO) build -o /tmp/topk-snap ./cmd/topk-snap
+	@rm -rf /tmp/topk-cluster-smoke && mkdir -p /tmp/topk-cluster-smoke
+	/tmp/topk-snap save -dir /tmp/topk-cluster-smoke/snap -problem interval -n 5000 -shards 3 -reduction Expected
+	@pids=""; trap 'kill -9 $$pids 2>/dev/null' EXIT INT TERM; \
+	/tmp/topk-node -coordinator -addr 127.0.0.1:18110 -snapshot-dir /tmp/topk-cluster-smoke/snap \
+		-nodes 127.0.0.1:18111,127.0.0.1:18112,127.0.0.1:18113 -replicas 2 -hedge 300ms -deadline 5s -degrade-max & \
+	pids="$$pids $$!"; \
+	/tmp/topk-node -addr 127.0.0.1:18111 -fetch http://127.0.0.1:18110 -dir /tmp/topk-cluster-smoke/n1 & \
+	pids="$$pids $$!"; \
+	/tmp/topk-node -addr 127.0.0.1:18112 -fetch http://127.0.0.1:18110 -dir /tmp/topk-cluster-smoke/n2 & \
+	pids="$$pids $$!"; \
+	/tmp/topk-node -addr 127.0.0.1:18113 -fetch http://127.0.0.1:18110 -dir /tmp/topk-cluster-smoke/n3 & \
+	npid=$$!; pids="$$pids $$npid"; \
+	/tmp/topk-serve -addr 127.0.0.1:18114 -n 5000 -snapshot-dir /tmp/topk-cluster-smoke/snap & \
+	pids="$$pids $$!"; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://127.0.0.1:18110/readyz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:18110/readyz | grep -q ready || { echo "FAIL: coordinator /readyz never turned ready"; exit 1; }; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18114/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	body='{"queries":[10,30,50,70,90],"k":5}'; \
+	want=$$(curl -sf -X POST http://127.0.0.1:18114/query -d "$$body" | sed 's/"elapsed":"[^"]*",//'); \
+	got=$$(curl -sf -X POST http://127.0.0.1:18110/query -d "$$body" | sed 's/"elapsed":"[^"]*",//'); \
+	[ -n "$$want" ] || { echo "FAIL: reference /query"; exit 1; }; \
+	[ "$$want" = "$$got" ] || { echo "FAIL: cluster answer differs from single-process reference"; \
+		echo "reference: $$want"; echo "cluster:   $$got"; exit 1; }; \
+	kill -STOP $$npid; \
+	for q in 5 25 45 65 85 95; do \
+		body="{\"queries\":[$$q],\"k\":5}"; \
+		want=$$(curl -sf -X POST http://127.0.0.1:18114/query -d "$$body" | sed 's/"elapsed":"[^"]*",//'); \
+		got=$$(curl -sf -X POST http://127.0.0.1:18110/query -d "$$body" | sed 's/"elapsed":"[^"]*",//'); \
+		[ "$$want" = "$$got" ] || { echo "FAIL: hedged answer differs with a stopped node (q=$$q)"; \
+			echo "reference: $$want"; echo "cluster:   $$got"; exit 1; }; \
+	done; \
+	hedged=$$(curl -sf http://127.0.0.1:18110/metrics | sed -n 's/^topk_hedged_requests_total //p'); \
+	[ -n "$$hedged" ] && [ "$$hedged" -gt 0 ] || { echo "FAIL: topk_hedged_requests_total = '$$hedged' with a stopped node, want > 0"; exit 1; }; \
+	kill -CONT $$npid 2>/dev/null; \
+	echo "cluster-smoke: ok ($$hedged hedged shard requests)"
 
 validate:
 	$(GO) run ./cmd/topk-validate
@@ -318,4 +386,4 @@ clean:
 # What CI runs (.github/workflows/ci.yml), runnable locally. CI
 # additionally runs staticcheck and govulncheck, which are not vendored
 # here.
-ci: build vet fmt-check test race cover fuzz-smoke serve-smoke snap-smoke disk-smoke load-smoke ingest-smoke bench-check
+ci: build vet fmt-check test race cover fuzz-smoke serve-smoke snap-smoke disk-smoke load-smoke ingest-smoke cluster-smoke bench-check

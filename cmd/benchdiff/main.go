@@ -10,7 +10,9 @@
 // baseline (make bench-json writes BENCH_PR<n>.json) in the same PR, so
 // the diff against the new baseline is clean again. Decreases and new
 // keys are reported but pass. Wall rows (ns/op) are machine-dependent
-// and report-only.
+// and report-only. On failure every violation is rendered as one
+// aligned baseline/current/delta table, so a CI log shows the whole
+// shape of a regression at a glance.
 //
 // Exit status: 0 clean, 1 regression, 2 usage or unreadable input.
 package main
@@ -66,22 +68,19 @@ func diff(base, cur *bench.RegressReport) int {
 	for _, r := range cur.IO {
 		curIO[r.Key] = r
 	}
-	failures := 0
+	var fails []failRow
 	for _, b := range base.IO {
 		c, ok := curIO[b.Key]
 		switch {
 		case !ok:
-			fmt.Printf("FAIL %-44s dropped from current snapshot\n", b.Key)
-			failures++
+			fails = append(fails, failRow{key: b.Key, what: "dropped", base: b.IOs, cur: -1})
 		case c.IOs > b.IOs:
-			fmt.Printf("FAIL %-44s I/Os %d -> %d (+%d)\n", b.Key, b.IOs, c.IOs, c.IOs-b.IOs)
-			failures++
+			fails = append(fails, failRow{key: b.Key, what: "I/Os", base: b.IOs, cur: c.IOs})
 		case c.IOs < b.IOs:
 			fmt.Printf("ok   %-44s I/Os %d -> %d (improved)\n", b.Key, b.IOs, c.IOs)
 		}
 		if ok && c.Items != b.Items {
-			fmt.Printf("FAIL %-44s result items %d -> %d (answer shape changed)\n", b.Key, b.Items, c.Items)
-			failures++
+			fails = append(fails, failRow{key: b.Key, what: "items", base: b.Items, cur: c.Items})
 		}
 		delete(curIO, b.Key)
 	}
@@ -107,10 +106,46 @@ func diff(base, cur *bench.RegressReport) int {
 		}
 	}
 
-	if failures > 0 {
-		fmt.Printf("benchdiff: %d regression(s); if intended, regenerate the baseline with `make bench-json` and commit it\n", failures)
+	if len(fails) > 0 {
+		printFailTable(fails)
+		fmt.Printf("benchdiff: %d regression(s); if intended, regenerate the baseline with `make bench-json` and commit it\n", len(fails))
 		return 1
 	}
 	fmt.Printf("benchdiff: %d I/O rows clean\n", len(base.IO))
 	return 0
+}
+
+// failRow is one gate violation. cur == -1 marks a key dropped from the
+// current snapshot; what says which measure moved ("I/Os", "items").
+type failRow struct {
+	key  string
+	what string
+	base int64
+	cur  int64
+}
+
+// printFailTable renders every violation as one aligned delta table, so
+// a failing CI log shows the whole shape of a regression at a glance
+// instead of only the first offending key.
+func printFailTable(fails []failRow) {
+	keyW := len("KEY")
+	for _, f := range fails {
+		if len(f.key) > keyW {
+			keyW = len(f.key)
+		}
+	}
+	fmt.Printf("\nFAIL %-*s %-7s %12s %12s %16s\n", keyW, "KEY", "WHAT", "BASELINE", "CURRENT", "DELTA")
+	for _, f := range fails {
+		if f.cur < 0 {
+			fmt.Printf("FAIL %-*s %-7s %12d %12s %16s\n", keyW, f.key, f.what, f.base, "-", "dropped")
+			continue
+		}
+		delta := f.cur - f.base
+		pct := ""
+		if f.base != 0 {
+			pct = fmt.Sprintf(" (%+.1f%%)", 100*float64(delta)/float64(f.base))
+		}
+		fmt.Printf("FAIL %-*s %-7s %12d %12d %+10d%s\n", keyW, f.key, f.what, f.base, f.cur, delta, pct)
+	}
+	fmt.Println()
 }

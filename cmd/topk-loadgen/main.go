@@ -92,7 +92,7 @@ type runResult struct {
 
 func main() {
 	var (
-		url         = flag.String("url", "http://localhost:8080", "topk-serve base URL")
+		url         = flag.String("url", "http://localhost:8080", "target base URL(s), comma-separated to spread load round-robin (topk-serve or topk-node coordinators)")
 		problem     = flag.String("problem", "interval", "problem whose wire queries to generate: "+strings.Join(topk.ProblemNames(), " | "))
 		qps         = flag.Float64("qps", 0, "open-loop request rate (0 = closed loop)")
 		concurrency = flag.Int("concurrency", 8, "worker connections")
@@ -188,11 +188,19 @@ func run(cfg runConfig, duration, warmup time.Duration) (*runResult, error) {
 		seq       atomic.Int64
 	)
 
+	// -url accepts a comma-separated target list (e.g. several
+	// coordinators fronting one cluster); requests round-robin over it.
+	targets := strings.Split(cfg.URL, ",")
+	for i := range targets {
+		targets[i] = strings.TrimSpace(targets[i])
+	}
+
 	// shoot issues one request; start is the latency origin (scheduled
 	// time under the open loop, send time under the closed loop).
 	shoot := func(start time.Time) {
-		body := bodies[int(seq.Add(1))%bodyPool]
-		resp, err := client.Post(cfg.URL+"/query", "application/json", bytes.NewReader(body))
+		n := int(seq.Add(1))
+		body := bodies[n%bodyPool]
+		resp, err := client.Post(targets[n%len(targets)]+"/query", "application/json", bytes.NewReader(body))
 		now := time.Now()
 		if now.Before(measureAt) {
 			if err == nil {

@@ -67,6 +67,7 @@ import (
 	"time"
 
 	"topk"
+	"topk/internal/cluster"
 	"topk/internal/obs"
 )
 
@@ -274,6 +275,11 @@ func main() {
 	http.HandleFunc("/query", srv.handleQuery)
 	http.HandleFunc("/ingest", srv.handleIngest)
 	http.HandleFunc("/snapshot", srv.handleSnapshot)
+	if srv.snapDir != "" {
+		// Snapshot shipping for cluster bootstrap: topk-node replicas can
+		// seed directly from this server's snapshot directory.
+		http.Handle("/snapshot/", cluster.SnapshotHandler(srv.snapDir))
+	}
 	http.HandleFunc("/debug/slow", srv.handleSlow)
 	http.HandleFunc("/debug/trace", srv.handleTrace)
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"topk"
+	"topk/internal/cluster"
+)
+
+// regressClusterShards/Nodes pin the cluster geometry measured by the
+// cluster row family: a 3-shard snapshot served by 3 in-process nodes.
+const (
+	regressClusterShards = 3
+	regressClusterNodes  = 3
+)
+
+// regressCluster appends the cluster row family: for every problem, the
+// pinned query workload answered through the coordinator's hedged
+// fan-out/merge path at R=1 and R=2, over nodes restored from a
+// partitioned snapshot (the same bootstrap path topk-node uses). The
+// per-query shard costs are cold-cache EM stats, and replica
+// interchangeability makes the winner of any hedged race report
+// identical numbers — so these rows are as deterministic as the
+// single-process ones, and the gate catches cost drift in the
+// cluster merge path itself.
+func regressCluster(cfg Config, rep *RegressReport) error {
+	root, err := os.MkdirTemp("", "topk-regress-cluster-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	for _, spec := range topk.RegisteredProblems() {
+		dir, err := os.MkdirTemp(root, "snap-*")
+		if err != nil {
+			return err
+		}
+		ix, err := spec.BuildSharded(regressN, regressClusterShards, cfg.Seed+27, topk.WithSeed(cfg.Seed))
+		if err != nil {
+			return fmt.Errorf("cluster/%s: %w", spec.Name, err)
+		}
+		if err := ix.Snapshot(dir); err != nil {
+			return fmt.Errorf("cluster/%s: snapshot: %w", spec.Name, err)
+		}
+		queries := spec.WireQueries(regressNQ, cfg.Seed+270)
+
+		for _, r := range []int{1, 2} {
+			ids := make([]string, regressClusterNodes)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("n%d", i+1)
+			}
+			rcfg := cluster.RemoteConfig{
+				Problem: spec.Name, Shards: regressClusterShards,
+				Replication: r, Nodes: ids,
+			}
+			reps := make([]cluster.Replica, len(ids))
+			for i, id := range ids {
+				shards, err := cluster.LoadShards(dir, rcfg.OwnedShards(id))
+				if err != nil {
+					return fmt.Errorf("cluster/r%d/%s: %w", r, spec.Name, err)
+				}
+				reps[i] = cluster.NewNode(id, spec.Name, shards)
+			}
+			co, err := cluster.New(cluster.Config{
+				Problem: spec.Name, Shards: regressClusterShards,
+				Replication: r, HedgeDelay: time.Second,
+			}, reps)
+			if err != nil {
+				return fmt.Errorf("cluster/r%d/%s: %w", r, spec.Name, err)
+			}
+			res, err := co.Query(context.Background(), queries, regressK, cluster.QueryOptions{})
+			if err != nil {
+				return fmt.Errorf("cluster/r%d/%s: query: %w", r, spec.Name, err)
+			}
+			row := IORow{Key: fmt.Sprintf("cluster/r%d/%s", r, spec.Name)}
+			for _, q := range res {
+				if q.Outcome != "ok" {
+					return fmt.Errorf("cluster/r%d/%s: outcome %s (%s)", r, spec.Name, q.Outcome, q.Error)
+				}
+				row.IOs += q.IOs
+				row.Hits += q.Hits
+				row.Items += int64(len(q.Items))
+			}
+			rep.IO = append(rep.IO, row)
+		}
+	}
+	return nil
+}

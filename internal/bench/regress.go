@@ -31,6 +31,10 @@ import (
 //     build and queries). DESIGN.md §13 makes physical traffic mirror
 //     the logical trace one-for-one, so these rows are just as
 //     deterministic as the simulated ones and gate real-I/O drift.
+//   - io, "cluster/r{R}/..." keys: the same pinned workload answered
+//     through the internal/cluster coordinator (hedged fan-out over
+//     snapshot-restored replica nodes, Lemma 2 merge) at replication 1
+//     and 2, gating the cost of the cluster merge path.
 //   - wall: ns/op for a few hot paths via testing.Benchmark. Wall time
 //     is machine-dependent, so the gate only reports these deltas.
 //
@@ -115,6 +119,10 @@ func Regress(cfg Config) (*RegressReport, error) {
 	}
 
 	if err := regressUpdates(cfg, rep); err != nil {
+		return nil, err
+	}
+
+	if err := regressCluster(cfg, rep); err != nil {
 		return nil, err
 	}
 

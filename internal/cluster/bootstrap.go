@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"topk"
+	"topk/internal/shard"
+)
+
+// RemoteConfig is the cluster geometry a coordinator hands out via
+// GET /cluster/config. Nodes derive their shard ownership from it and
+// nothing else — every participant computing rendezvous ownership over
+// the same node list agrees without further coordination.
+type RemoteConfig struct {
+	Problem     string   `json:"problem"`
+	Shards      int      `json:"shards"`
+	Replication int      `json:"replication"`
+	Nodes       []string `json:"nodes"`
+}
+
+// FetchConfig downloads a coordinator's cluster config.
+func FetchConfig(ctx context.Context, client *http.Client, baseURL string) (RemoteConfig, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/cluster/config", nil)
+	if err != nil {
+		return RemoteConfig{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return RemoteConfig{}, fmt.Errorf("fetching cluster config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return RemoteConfig{}, fmt.Errorf("fetching cluster config: %s", resp.Status)
+	}
+	var cfg RemoteConfig
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return RemoteConfig{}, fmt.Errorf("decoding cluster config: %w", err)
+	}
+	if cfg.Shards < 1 || len(cfg.Nodes) == 0 {
+		return RemoteConfig{}, fmt.Errorf("implausible cluster config: %d shards, %d nodes", cfg.Shards, len(cfg.Nodes))
+	}
+	return cfg, nil
+}
+
+// OwnedShards returns the shards the given node ID owns under the
+// config's rendezvous assignment, ascending.
+func (cfg RemoteConfig) OwnedShards(id string) []int {
+	var out []int
+	for s := 0; s < cfg.Shards; s++ {
+		for _, owner := range shard.Owners(s, cfg.Nodes, cfg.Replication) {
+			if owner == id {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FetchShards downloads the snapshot manifest plus the given shards'
+// files from a coordinator (or any SnapshotHandler) into dir, creating
+// it if needed. The result is a partial snapshot directory that
+// topk.LoadShard can restore shard by shard; per-file CRCs are verified
+// by the restore itself.
+func FetchShards(ctx context.Context, client *http.Client, baseURL, dir string, shards []int) (topk.Manifest, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return topk.Manifest{}, err
+	}
+	raw, err := fetchBytes(ctx, client, baseURL+"/snapshot/manifest")
+	if err != nil {
+		return topk.Manifest{}, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, topk.ManifestName), raw, 0o644); err != nil {
+		return topk.Manifest{}, err
+	}
+	mf, err := topk.ReadManifest(dir)
+	if err != nil {
+		return topk.Manifest{}, err
+	}
+	byShard := make(map[int]topk.ManifestFile, len(mf.Files))
+	for _, f := range mf.Files {
+		byShard[f.Shard] = f
+	}
+	for _, s := range shards {
+		entry, ok := byShard[s]
+		if !ok {
+			return topk.Manifest{}, fmt.Errorf("snapshot has no shard %d (manifest lists %d shards)", s, mf.Shards)
+		}
+		b, err := fetchBytes(ctx, client, baseURL+"/snapshot/file/"+entry.Name)
+		if err != nil {
+			return topk.Manifest{}, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if int64(len(b)) != entry.Bytes {
+			return topk.Manifest{}, fmt.Errorf("shard %d: got %d bytes, manifest says %d", s, len(b), entry.Bytes)
+		}
+		if err := os.WriteFile(filepath.Join(dir, entry.Name), b, 0o644); err != nil {
+			return topk.Manifest{}, err
+		}
+	}
+	return mf, nil
+}
+
+// LoadShards restores the given shards from a snapshot directory, each
+// as a standalone one-shard index.
+func LoadShards(dir string, shards []int, opts ...topk.Option) (map[int]topk.Served, error) {
+	out := make(map[int]topk.Served, len(shards))
+	for _, s := range shards {
+		sv, err := topk.LoadShard(dir, s, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		out[s] = sv
+	}
+	return out, nil
+}
+
+func fetchBytes(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// This file is the cluster layer's ownership function: rendezvous
+// (highest-random-weight) hashing from shard to the replica group that
+// serves it. Each (shard, node) pair gets a pseudo-random score and the
+// r highest-scoring nodes own the shard. The property that matters is
+// minimal disruption: adding or removing one node only moves the shards
+// that node scored highest on — every other assignment is untouched —
+// without any coordination state beyond the node list itself.
+
+// nodeSeed hashes a node name once; Owners mixes it with the shard
+// index per pair. FNV-1a keeps the string hash stable across processes
+// and platforms, which the cluster needs: every coordinator and node
+// must compute identical ownership from the same node list.
+func nodeSeed(node string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	return h.Sum64()
+}
+
+// mix64 is SplitMix64's finalizer, the same mixer Hash uses.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owners returns the r nodes owning the given shard under rendezvous
+// hashing, highest score first — the preference order a coordinator
+// tries replicas in. The result is a pure function of (shard, set of
+// node names, r): node list order does not matter, and ties (only
+// possible with duplicate names) break by name so every participant
+// agrees. r is clamped to [1, len(nodes)]; an empty node list returns
+// nil.
+func Owners(shard int, nodes []string, r int) []string {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > len(nodes) {
+		r = len(nodes)
+	}
+	type scored struct {
+		node  string
+		score uint64
+	}
+	sc := make([]scored, len(nodes))
+	for i, node := range nodes {
+		sc[i] = scored{node, mix64(nodeSeed(node) ^ (uint64(shard)*0x9e3779b97f4a7c15 + 1))}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].node < sc[j].node
+	})
+	out := make([]string, r)
+	for i := range out {
+		out[i] = sc[i].node
+	}
+	return out
+}

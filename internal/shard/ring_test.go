@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOwnersDeterministicAndOrderFree(t *testing.T) {
+	nodes := []string{"n1:18111", "n2:18112", "n3:18113"}
+	perm := []string{"n3:18113", "n1:18111", "n2:18112"}
+	for sh := 0; sh < 32; sh++ {
+		a := Owners(sh, nodes, 2)
+		b := Owners(sh, perm, 2)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shard %d: owners depend on node list order: %v vs %v", sh, a, b)
+		}
+		if len(a) != 2 || a[0] == a[1] {
+			t.Fatalf("shard %d: want 2 distinct owners, got %v", sh, a)
+		}
+	}
+}
+
+func TestOwnersClampsReplication(t *testing.T) {
+	nodes := []string{"a", "b"}
+	if got := Owners(0, nodes, 5); len(got) != 2 {
+		t.Fatalf("r beyond node count should clamp: got %v", got)
+	}
+	if got := Owners(0, nodes, 0); len(got) != 1 {
+		t.Fatalf("r below 1 should clamp to 1: got %v", got)
+	}
+	if got := Owners(3, nil, 2); got != nil {
+		t.Fatalf("empty node list should return nil, got %v", got)
+	}
+}
+
+// Every node should own a reasonable share of shards (rendezvous
+// balance), and full replication should cover every node for every
+// shard.
+func TestOwnersBalanceAndCoverage(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	count := map[string]int{}
+	const shards = 400
+	for sh := 0; sh < shards; sh++ {
+		for _, n := range Owners(sh, nodes, 2) {
+			count[n]++
+		}
+		full := Owners(sh, nodes, len(nodes))
+		if len(full) != len(nodes) {
+			t.Fatalf("shard %d: full replication misses nodes: %v", sh, full)
+		}
+	}
+	// 2·400 assignments over 4 nodes: expect 200 each; allow wide slack.
+	for _, n := range nodes {
+		if count[n] < 100 || count[n] > 300 {
+			t.Fatalf("node %s owns %d of %d assignments — rendezvous badly unbalanced: %v", n, count[n], 2*shards, count)
+		}
+	}
+}
+
+// Removing one node must only move the shards it owned: assignments not
+// involving the removed node are untouched.
+func TestOwnersMinimalDisruption(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	without := []string{"a", "b", "c"}
+	for sh := 0; sh < 200; sh++ {
+		before := Owners(sh, nodes, 2)
+		after := Owners(sh, without, 2)
+		hadD := false
+		for _, n := range before {
+			if n == "d" {
+				hadD = true
+			}
+		}
+		if !hadD && !reflect.DeepEqual(before, after) {
+			t.Fatalf("shard %d: removing an uninvolved node changed ownership: %v -> %v", sh, before, after)
+		}
+	}
+}
+
+// Pin a few assignments so an accidental change to the hash function —
+// which would strand every running cluster's shard placement — fails
+// loudly.
+func TestOwnersPinned(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	want := map[int][]string{
+		0: {"n3", "n1"},
+		1: {"n1", "n2"},
+		2: {"n2", "n1"},
+		3: {"n1", "n2"},
+	}
+	for sh, w := range want {
+		if got := Owners(sh, nodes, 2); !reflect.DeepEqual(got, w) {
+			t.Fatalf("shard %d: owners %v, want pinned %v — the placement hash changed", sh, got, w)
+		}
+	}
+	if got := Owners(0, []string{"n1", "n2", "n3", "n4"}, 3); !reflect.DeepEqual(got, []string{"n3", "n1", "n4"}) {
+		t.Fatalf("4-node pinned assignment moved: %v", got)
+	}
+}

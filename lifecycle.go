@@ -35,6 +35,10 @@ var (
 	ErrBudgetExceeded = errors.New("topk: I/O budget exceeded")
 	// ErrDeadlineExceeded: the wall clock passed the query's deadline.
 	ErrDeadlineExceeded = errors.New("topk: deadline exceeded")
+	// ErrReplicaUnavailable: under cluster serving (internal/cluster), no
+	// replica of some shard produced an answer — every owner failed at
+	// the transport layer before the lifecycle limits could even apply.
+	ErrReplicaUnavailable = errors.New("topk: replica unavailable")
 )
 
 // Outcome classifies how a query under a QueryCtx ended.
@@ -54,6 +58,11 @@ const (
 	// OutcomeDeadlineExceeded: the deadline fired and no fallback was
 	// requested; Items is empty and Err wraps ErrDeadlineExceeded.
 	OutcomeDeadlineExceeded
+	// OutcomeUnavailable: under cluster serving, some shard's whole
+	// replica group failed before answering, so not even a degraded
+	// prefix could be assembled; Items is empty and Err wraps
+	// ErrReplicaUnavailable. Single-process paths never produce it.
+	OutcomeUnavailable
 )
 
 func (o Outcome) String() string {
@@ -66,9 +75,24 @@ func (o Outcome) String() string {
 		return "budget_exceeded"
 	case OutcomeDeadlineExceeded:
 		return "deadline_exceeded"
+	case OutcomeUnavailable:
+		return "unavailable"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseOutcome maps an Outcome's String() form back to the value. The
+// cluster tier ships outcomes between processes as their wire strings,
+// and the coordinator needs the typed value back to apply the same
+// per-query merge rules as a single-process Sharded index.
+func ParseOutcome(s string) (Outcome, bool) {
+	for o := OutcomeOK; o <= OutcomeUnavailable; o++ {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return OutcomeOK, false
 }
 
 // aborted reports whether the outcome means the full top-k answer was

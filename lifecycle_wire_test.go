@@ -1,0 +1,43 @@
+package topk_test
+
+import (
+	"testing"
+
+	"topk"
+)
+
+// The cluster tier ships outcomes between processes as their String()
+// forms and parses them back on the coordinator to re-apply the
+// single-process merge rules, so String/ParseOutcome must round-trip
+// every value exactly — a new Outcome that misses the parser would
+// silently merge as OK across the wire.
+func TestOutcomeWireRoundTrip(t *testing.T) {
+	outcomes := []topk.Outcome{
+		topk.OutcomeOK,
+		topk.OutcomeDegraded,
+		topk.OutcomeBudgetExceeded,
+		topk.OutcomeDeadlineExceeded,
+		topk.OutcomeUnavailable,
+	}
+	seen := map[string]bool{}
+	for _, o := range outcomes {
+		s := o.String()
+		if s == "" || s == "unknown" {
+			t.Fatalf("outcome %d has no wire form: %q", o, s)
+		}
+		if seen[s] {
+			t.Fatalf("outcome %d reuses wire form %q", o, s)
+		}
+		seen[s] = true
+		back, ok := topk.ParseOutcome(s)
+		if !ok || back != o {
+			t.Fatalf("ParseOutcome(%q) = %v, %v; want %v, true", s, back, ok, o)
+		}
+	}
+	if _, ok := topk.ParseOutcome("unknown"); ok {
+		t.Fatal(`ParseOutcome("unknown") accepted the fallback string`)
+	}
+	if _, ok := topk.ParseOutcome("definitely-not-an-outcome"); ok {
+		t.Fatal("ParseOutcome accepted garbage")
+	}
+}

@@ -167,6 +167,11 @@ type ProblemSpec struct {
 	// size, seed, shard policy) comes from the snapshot; opts may add
 	// runtime options such as WithMetrics or WithTracing.
 	Restore func(dir string, opts ...Option) (Served, error)
+	// RestoreShard rebuilds exactly one shard of a partitioned snapshot
+	// as a standalone one-shard index — the replica-bootstrap hook behind
+	// LoadShard. Only the manifest and that shard's file need to exist in
+	// dir, so a node ships just the shards it owns.
+	RestoreShard func(dir string, shard int, opts ...Option) (Served, error)
 	// Reshard rewrites a snapshot directory at a different shard count
 	// without touching the indexed items — the bulk shard-shipping
 	// transform behind cmd/topk-snap convert.
@@ -595,6 +600,13 @@ func intervalSpec() ProblemSpec {
 			}
 			return adapt(eng, nsh), nil
 		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
+		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
@@ -687,6 +699,13 @@ func rangeSpec() ProblemSpec {
 			}
 			return adapt(eng, nsh), nil
 		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
+		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
@@ -773,6 +792,13 @@ func orthoSpec() ProblemSpec {
 			}
 			return adapt(eng, nsh), nil
 		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
+		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
@@ -849,6 +875,13 @@ func circularSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(eng, nsh), nil
+		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
 		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
@@ -943,6 +976,13 @@ func dominanceSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(eng, nsh), nil
+		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
 		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
@@ -1041,6 +1081,13 @@ func enclosureSpec() ProblemSpec {
 			}
 			return adapt(eng, nsh), nil
 		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
+		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
@@ -1133,6 +1180,13 @@ func halfplaneSpec() ProblemSpec {
 			}
 			return adapt(eng, nsh), nil
 		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
+		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)
 		},
@@ -1215,6 +1269,13 @@ func halfspaceSpec() ProblemSpec {
 				return nil, err
 			}
 			return adapt(eng, nsh), nil
+		},
+		RestoreShard: func(dir string, shard int, opts ...Option) (Served, error) {
+			eng, err := restoreShardEngine(mkProblem, dir, shard, opts)
+			if err != nil {
+				return nil, err
+			}
+			return adapt(eng, 1), nil
 		},
 		Reshard: func(srcDir, dstDir string, shards int) error {
 			return reshardSnapshot(mkProblem, srcDir, dstDir, shards)

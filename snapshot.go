@@ -776,6 +776,28 @@ func restoreServedEngine[Q, V, It any](
 	return s, mf.Shards, nil
 }
 
+// restoreShardEngine restores exactly one shard of a snapshot directory
+// as a standalone engine — the replica-bootstrap primitive. Only the
+// manifest and that shard's file need to be present: a node that owns
+// two of sixteen shards ships two files, not the whole snapshot.
+func restoreShardEngine[Q, V, It any](
+	mk func(snap.Header) (problem[Q, V, It], error),
+	dir string,
+	shard int,
+	opts []Option,
+) (servedEngine[Q, It], error) {
+	mf, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, entry := range mf.Files {
+		if entry.Shard == shard {
+			return restoreEngineFile(mk, dir, entry, opts)
+		}
+	}
+	return nil, fmt.Errorf("topk: snapshot %s has no shard %d (manifest lists %d shards)", dir, shard, mf.Shards)
+}
+
 // optionsOf reconstructs the Option list matching a restored build's
 // structural configuration, for rebuilding the index at a different
 // shard count.
@@ -841,4 +863,23 @@ func LoadSnapshot(dir string, opts ...Option) (Served, error) {
 		return nil, fmt.Errorf("topk: snapshot holds unknown problem %q (known: %v)", mf.Problem, ProblemNames())
 	}
 	return spec.Restore(dir, opts...)
+}
+
+// LoadShard restores a single shard of a snapshot directory as a
+// standalone one-shard index behind the Served surface. This is how a
+// cluster node bootstraps: it fetches the manifest plus only the shard
+// files it owns and serves each as an independent index, while the
+// coordinator's Lemma 2 merge reassembles exact global answers. The
+// shard file's size and checksum are verified against the manifest
+// before decoding, same as a full restore.
+func LoadShard(dir string, shard int, opts ...Option) (Served, error) {
+	mf, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	spec, ok := ProblemByName(mf.Problem)
+	if !ok {
+		return nil, fmt.Errorf("topk: snapshot holds unknown problem %q (known: %v)", mf.Problem, ProblemNames())
+	}
+	return spec.RestoreShard(dir, shard, opts...)
 }
